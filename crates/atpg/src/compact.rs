@@ -1,0 +1,94 @@
+//! Static test compaction.
+//!
+//! Two cubes are *compatible* when no pin carries opposite care bits;
+//! merging them yields a cube at least as specified as either, so every
+//! fault detected by the originals (under 3-valued simulation) is still
+//! detected by the merge. Greedy first-fit merging shrinks the pattern
+//! count — commercial ATPG flows do the same before handing patterns to
+//! the tester, which is why the paper's cube counts are compacted.
+
+use dpfill_cubes::{CubeSet, TestCube};
+
+/// Greedily merges compatible cubes (first-fit in generation order).
+///
+/// The result preserves detection: each output cube is the intersection
+/// of the input cubes merged into it, hence contained in each of them.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_atpg::compact;
+/// use dpfill_cubes::CubeSet;
+///
+/// let cubes = CubeSet::parse_rows(&["0XX", "X1X", "1XX"]).unwrap();
+/// let compacted = compact(&cubes);
+/// assert_eq!(compacted.len(), 2); // 0XX+X1X merge; 1XX conflicts
+/// ```
+pub fn compact(cubes: &CubeSet) -> CubeSet {
+    let mut slots: Vec<TestCube> = Vec::new();
+    for cube in cubes {
+        let mut merged = false;
+        for slot in slots.iter_mut() {
+            if let Some(m) = slot.merge(cube) {
+                *slot = m;
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            slots.push(cube.clone());
+        }
+    }
+    let width = cubes.width();
+    let mut out = CubeSet::new(width);
+    for s in slots {
+        out.push(s).expect("slot width matches");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_compatible_cubes() {
+        let cubes = CubeSet::parse_rows(&["0X1X", "XX1X", "0XX0"]).unwrap();
+        let c = compact(&cubes);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.cube(0).to_string(), "0X10");
+    }
+
+    #[test]
+    fn keeps_conflicting_cubes_apart() {
+        let cubes = CubeSet::parse_rows(&["0XXX", "1XXX", "X0XX", "X1XX"]).unwrap();
+        let c = compact(&cubes);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn output_contains_inputs() {
+        let cubes = CubeSet::parse_rows(&["0XX", "X1X", "XX0", "111"]).unwrap();
+        let c = compact(&cubes);
+        // Every input cube must be contained in (refined by) some output.
+        for cube in &cubes {
+            assert!(
+                c.iter().any(|slot| slot.is_contained_in(cube)),
+                "cube {cube} lost by compaction"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(compact(&CubeSet::new(4)).is_empty());
+        let single = CubeSet::parse_rows(&["0X"]).unwrap();
+        assert_eq!(compact(&single), single);
+    }
+
+    #[test]
+    fn fully_specified_identical_cubes_collapse() {
+        let cubes = CubeSet::parse_rows(&["01", "01", "01"]).unwrap();
+        assert_eq!(compact(&cubes).len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+/// Configuration of the ATPG driver.
+///
+/// The defaults suit circuits up to a few tens of thousands of gates;
+/// for the largest ITC'99-class profiles the harness caps the fault list
+/// via [`AtpgConfig::max_faults`] (documented substitution, DESIGN.md §3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// PODEM backtrack limit per fault; faults exceeding it are counted
+    /// as aborted, mirroring commercial-tool behaviour.
+    pub backtrack_limit: usize,
+    /// Optional cap on the collapsed fault list (seeded random sample).
+    pub max_faults: Option<usize>,
+    /// Seed for fault sampling and the random fill used during fault
+    /// dropping.
+    pub seed: u64,
+    /// Run static compaction on the generated cubes.
+    pub compaction: bool,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> AtpgConfig {
+        AtpgConfig {
+            backtrack_limit: 64,
+            max_faults: None,
+            seed: 0x5EED_CAFE,
+            compaction: false,
+        }
+    }
+}
+
+impl AtpgConfig {
+    /// Default configuration with a specific seed.
+    pub fn with_seed(seed: u64) -> AtpgConfig {
+        AtpgConfig {
+            seed,
+            ..AtpgConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reasonable() {
+        let c = AtpgConfig::default();
+        assert!(c.backtrack_limit > 0);
+        assert_eq!(c.max_faults, None);
+        assert!(!c.compaction);
+    }
+
+    #[test]
+    fn with_seed_sets_only_seed() {
+        let c = AtpgConfig::with_seed(42);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.backtrack_limit, AtpgConfig::default().backtrack_limit);
+    }
+}

@@ -1,0 +1,201 @@
+use std::fmt;
+
+use dpfill_cubes::Bit;
+use dpfill_netlist::{GateKind, Netlist, SignalId};
+
+/// The stuck value of a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StuckAt {
+    /// Stuck-at-0.
+    Zero,
+    /// Stuck-at-1.
+    One,
+}
+
+impl StuckAt {
+    /// The logic value the signal is stuck at.
+    pub fn value(self) -> Bit {
+        match self {
+            StuckAt::Zero => Bit::Zero,
+            StuckAt::One => Bit::One,
+        }
+    }
+
+    /// The value needed at the site to *activate* the fault.
+    pub fn activation(self) -> Bit {
+        !self.value()
+    }
+
+    /// The opposite polarity.
+    pub fn flipped(self) -> StuckAt {
+        match self {
+            StuckAt::Zero => StuckAt::One,
+            StuckAt::One => StuckAt::Zero,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => write!(f, "s-a-0"),
+            StuckAt::One => write!(f, "s-a-1"),
+        }
+    }
+}
+
+/// A single stuck-at fault on a signal's output.
+///
+/// This reproduction uses the output-fault model: one stuck-at-0 and one
+/// stuck-at-1 per signal. Input-pin faults on fanout-free gates are
+/// equivalent to output faults of their drivers, so the model loses only
+/// fanout-branch faults — a standard simplification that keeps the cube
+/// statistics (what the paper's experiments consume) representative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The faulty signal.
+    pub signal: SignalId,
+    /// The stuck polarity.
+    pub stuck: StuckAt,
+}
+
+impl Fault {
+    /// Creates a fault.
+    pub fn new(signal: SignalId, stuck: StuckAt) -> Fault {
+        Fault { signal, stuck }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.signal, self.stuck)
+    }
+}
+
+/// The full (uncollapsed) fault list: two faults per signal, skipping
+/// constants (a constant's stuck-at-its-value is undetectable by
+/// construction, and its other polarity is equivalent to faults downstream).
+pub fn fault_list(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::with_capacity(netlist.signal_count() * 2);
+    for (id, sig) in netlist.iter() {
+        if matches!(sig.kind(), GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        faults.push(Fault::new(id, StuckAt::Zero));
+        faults.push(Fault::new(id, StuckAt::One));
+    }
+    faults
+}
+
+/// Structural equivalence collapsing through buffer/inverter chains:
+/// a fault on a `BUF` output is equivalent to the same-polarity fault on
+/// its fanin; a fault on a `NOT` output to the opposite-polarity fanin
+/// fault. Each equivalence class keeps its representative closest to the
+/// primary inputs.
+pub fn collapse_faults(netlist: &Netlist, faults: &[Fault]) -> Vec<Fault> {
+    let mut out = Vec::with_capacity(faults.len());
+    let mut seen = std::collections::HashSet::with_capacity(faults.len());
+    for &fault in faults {
+        let root = collapse_one(netlist, fault);
+        if seen.insert(root) {
+            out.push(root);
+        }
+    }
+    out
+}
+
+fn collapse_one(netlist: &Netlist, mut fault: Fault) -> Fault {
+    loop {
+        let sig = netlist.signal(fault.signal);
+        match sig.kind() {
+            GateKind::Buf => {
+                fault = Fault::new(sig.fanins()[0], fault.stuck);
+            }
+            GateKind::Not => {
+                fault = Fault::new(sig.fanins()[0], fault.stuck.flipped());
+            }
+            _ => return fault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::NetlistBuilder;
+
+    fn chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("a");
+        b.gate("n1", GateKind::Not, &["a"]).unwrap();
+        b.gate("b1", GateKind::Buf, &["n1"]).unwrap();
+        b.gate("n2", GateKind::Not, &["b1"]).unwrap();
+        b.output("n2");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_list_has_two_per_signal() {
+        let n = chain();
+        let faults = fault_list(&n);
+        assert_eq!(faults.len(), 2 * n.signal_count());
+    }
+
+    #[test]
+    fn constants_excluded() {
+        let mut b = NetlistBuilder::new("c");
+        b.input("a");
+        b.gate("one", GateKind::Const1, &[]).unwrap();
+        b.gate("z", GateKind::And, &["a", "one"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let faults = fault_list(&n);
+        assert_eq!(faults.len(), 4); // a and z only
+    }
+
+    #[test]
+    fn collapsing_follows_inversion_parity() {
+        let n = chain();
+        let a = n.find("a").unwrap();
+        // n1 = NOT(a): n1 s-a-0 === a s-a-1.
+        let f = collapse_one(&n, Fault::new(n.find("n1").unwrap(), StuckAt::Zero));
+        assert_eq!(f, Fault::new(a, StuckAt::One));
+        // b1 = BUF(n1): b1 s-a-0 === n1 s-a-0 === a s-a-1.
+        let f = collapse_one(&n, Fault::new(n.find("b1").unwrap(), StuckAt::Zero));
+        assert_eq!(f, Fault::new(a, StuckAt::One));
+        // n2 = NOT(b1): n2 s-a-0 === b1 s-a-1 === a s-a-0.
+        let f = collapse_one(&n, Fault::new(n.find("n2").unwrap(), StuckAt::Zero));
+        assert_eq!(f, Fault::new(a, StuckAt::Zero));
+    }
+
+    #[test]
+    fn collapsed_list_of_pure_chain_is_two_faults() {
+        let n = chain();
+        let collapsed = collapse_faults(&n, &fault_list(&n));
+        // Everything collapses onto the primary input.
+        assert_eq!(collapsed.len(), 2);
+        assert!(collapsed
+            .iter()
+            .all(|f| f.signal == n.find("a").unwrap()));
+    }
+
+    #[test]
+    fn collapsing_keeps_non_chain_faults() {
+        let mut b = NetlistBuilder::new("mix");
+        b.input("a");
+        b.input("b");
+        b.gate("z", GateKind::And, &["a", "b"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let collapsed = collapse_faults(&n, &fault_list(&n));
+        assert_eq!(collapsed.len(), 6); // no collapsing possible
+    }
+
+    #[test]
+    fn stuck_at_helpers() {
+        assert_eq!(StuckAt::Zero.value(), Bit::Zero);
+        assert_eq!(StuckAt::Zero.activation(), Bit::One);
+        assert_eq!(StuckAt::One.flipped(), StuckAt::Zero);
+        assert_eq!(StuckAt::One.to_string(), "s-a-1");
+    }
+}

@@ -1,0 +1,360 @@
+//! Parallel-pattern, cone-limited fault simulation.
+//!
+//! After PODEM generates a cube, the driver random-fills it and runs it
+//! (in batches of up to 64 patterns) against every undetected fault:
+//! each fault whose effect reaches an output is *dropped* without ever
+//! invoking PODEM — the optimization that makes full fault lists
+//! tractable.
+//!
+//! The simulator is serial-fault / parallel-pattern: the good circuit is
+//! simulated once per batch with [`PlaneSim`]; each fault then only
+//! re-evaluates its *fanout cone*, propagated level by level with a
+//! bucket queue and abandoned as soon as the effect dies out.
+
+use dpfill_cubes::CubeSet;
+use dpfill_netlist::{CombView, GateKind, SignalId};
+use dpfill_sim::{pack_patterns, PlaneSim, Planes, SimError};
+
+use crate::Fault;
+
+/// Reusable fault-simulation state for one view.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    view: &'a CombView<'a>,
+    /// Combinational fanout edges (into logic gates only; flip-flops
+    /// terminate propagation — their D pins are observation points).
+    fanouts: Vec<Vec<SignalId>>,
+    /// Faulty-value overlay, valid where `stamp == epoch`.
+    overlay: Vec<Planes>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Bucket queue: signals to re-evaluate, per level.
+    buckets: Vec<Vec<SignalId>>,
+    queued: Vec<bool>,
+    /// Output observation mask per signal (true for POs / FF D pins).
+    is_output: Vec<bool>,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Creates a simulator for `view`.
+    pub fn new(view: &'a CombView<'a>) -> FaultSimulator<'a> {
+        let netlist = view.netlist();
+        let n = netlist.signal_count();
+        let mut fanouts: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+        for (id, sig) in netlist.iter() {
+            if sig.kind().is_logic() {
+                for f in sig.fanins() {
+                    fanouts[f.index()].push(id);
+                }
+            }
+        }
+        let mut is_output = vec![false; n];
+        for o in view.outputs() {
+            is_output[o.index()] = true;
+        }
+        let depth = view.levels().depth() as usize;
+        FaultSimulator {
+            view,
+            fanouts,
+            overlay: vec![Planes::ALL_X; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            buckets: vec![Vec::new(); depth + 1],
+            queued: vec![false; n],
+            is_output,
+        }
+    }
+
+    /// Simulates `patterns` (fully specified, up to the batch limit
+    /// internally) against `faults`; returns one `detected` flag per
+    /// fault. Already-`true` entries of `detected` are skipped, so the
+    /// same buffer can accumulate across batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for malformed patterns.
+    pub fn detect(
+        &mut self,
+        patterns: &CubeSet,
+        faults: &[Fault],
+        detected: &mut [bool],
+    ) -> Result<usize, SimError> {
+        assert_eq!(faults.len(), detected.len(), "flag buffer mismatch");
+        if patterns.is_empty() {
+            return Ok(0);
+        }
+        let mut good = PlaneSim::new(self.view);
+        let mut newly = 0usize;
+        let mut first = 0usize;
+        while first < patterns.len() {
+            let (inputs, count) = pack_patterns(patterns, first);
+            good.simulate(&inputs)?;
+            let valid: u64 = if count >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << count) - 1
+            };
+            for (fi, &fault) in faults.iter().enumerate() {
+                if detected[fi] {
+                    continue;
+                }
+                if self.propagate(&good, fault, valid) {
+                    detected[fi] = true;
+                    newly += 1;
+                }
+            }
+            first += count;
+        }
+        Ok(newly)
+    }
+
+    /// Cone propagation of one fault over a simulated batch; returns
+    /// `true` when any output differs from the good circuit in any valid
+    /// pattern.
+    fn propagate(&mut self, good: &PlaneSim<'_>, fault: Fault, valid: u64) -> bool {
+        let netlist = self.view.netlist();
+        let site = fault.signal;
+        let good_site = good.value(site);
+        // Activation: patterns where the good value differs from the
+        // stuck value. (Patterns are fully specified, so `one` is the
+        // value plane.)
+        let stuck_one = match fault.stuck.value() {
+            dpfill_cubes::Bit::One => u64::MAX,
+            _ => 0,
+        };
+        let activated = (good_site.one ^ stuck_one) & valid;
+        if activated == 0 {
+            return false;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: invalidate all stamps.
+            self.stamp.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        let faulty_site = if stuck_one == 0 {
+            Planes::ALL_ZERO
+        } else {
+            Planes::ALL_ONE
+        };
+        self.overlay[site.index()] = faulty_site;
+        self.stamp[site.index()] = self.epoch;
+        if self.is_output[site.index()] {
+            // The site itself is observed.
+            return true;
+        }
+
+        // Seed the bucket queue with the site's fanouts.
+        let levels = self.view.levels();
+        for &out in &self.fanouts[site.index()] {
+            if !self.queued[out.index()] {
+                self.queued[out.index()] = true;
+                self.buckets[levels.level(out) as usize].push(out);
+            }
+        }
+
+        let mut detected = false;
+        let mut fanin_buf: Vec<Planes> = Vec::with_capacity(8);
+        for level in 0..self.buckets.len() {
+            while let Some(id) = self.buckets[level].pop() {
+                self.queued[id.index()] = false;
+                let sig = netlist.signal(id);
+                fanin_buf.clear();
+                for f in sig.fanins() {
+                    let v = if self.stamp[f.index()] == self.epoch {
+                        self.overlay[f.index()]
+                    } else {
+                        good.value(*f)
+                    };
+                    fanin_buf.push(v);
+                }
+                let new = eval_planes(sig.kind(), &fanin_buf);
+                let old = good.value(id);
+                let differs = ((new.one ^ old.one) | (new.zero ^ old.zero)) & valid;
+                if differs == 0 {
+                    // Effect died here; no need to continue this branch.
+                    continue;
+                }
+                self.overlay[id.index()] = new;
+                self.stamp[id.index()] = self.epoch;
+                if self.is_output[id.index()] && (new.one ^ old.one) & valid != 0 {
+                    detected = true;
+                }
+                for &out in &self.fanouts[id.index()] {
+                    if !self.queued[out.index()] {
+                        self.queued[out.index()] = true;
+                        self.buckets[levels.level(out) as usize].push(out);
+                    }
+                }
+            }
+            if detected {
+                // Finish draining queued entries cheaply.
+                for b in self.buckets.iter_mut() {
+                    for id in b.drain(..) {
+                        self.queued[id.index()] = false;
+                    }
+                }
+                break;
+            }
+        }
+        detected
+    }
+}
+
+fn eval_planes(kind: GateKind, fanins: &[Planes]) -> Planes {
+    match kind {
+        GateKind::Input | GateKind::Dff => Planes::ALL_X,
+        GateKind::Const0 => Planes::ALL_ZERO,
+        GateKind::Const1 => Planes::ALL_ONE,
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].not(),
+        GateKind::And => fanins.iter().copied().fold(Planes::ALL_ONE, Planes::and),
+        GateKind::Nand => fanins
+            .iter()
+            .copied()
+            .fold(Planes::ALL_ONE, Planes::and)
+            .not(),
+        GateKind::Or => fanins.iter().copied().fold(Planes::ALL_ZERO, Planes::or),
+        GateKind::Nor => fanins
+            .iter()
+            .copied()
+            .fold(Planes::ALL_ZERO, Planes::or)
+            .not(),
+        GateKind::Xor => fanins.iter().copied().fold(Planes::ALL_ZERO, Planes::xor),
+        GateKind::Xnor => fanins
+            .iter()
+            .copied()
+            .fold(Planes::ALL_ZERO, Planes::xor)
+            .not(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fault_list, StuckAt};
+    use dpfill_cubes::TestCube;
+    use dpfill_netlist::parse::parse_bench;
+
+    const C17: &str = r"
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn exhaustive_patterns_detect_all_testable_c17_faults() {
+        let n = parse_bench("c17", C17).unwrap();
+        let view = CombView::new(&n);
+        let mut sim = FaultSimulator::new(&view);
+        // All 32 input combinations.
+        let mut set = CubeSet::new(5);
+        for v in 0u32..32 {
+            let cube: TestCube = (0..5)
+                .map(|b| dpfill_cubes::Bit::from_bool(v >> b & 1 == 1))
+                .collect();
+            set.push(cube).unwrap();
+        }
+        let faults = fault_list(&n);
+        let mut detected = vec![false; faults.len()];
+        let newly = sim.detect(&set, &faults, &mut detected).unwrap();
+        // c17 has no redundant stuck-at faults: everything is detected.
+        assert_eq!(newly, faults.len());
+        assert!(detected.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn single_pattern_detects_expected_fault() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n";
+        let n = parse_bench("and2", text).unwrap();
+        let view = CombView::new(&n);
+        let mut sim = FaultSimulator::new(&view);
+        let z = n.find("z").unwrap();
+        let a = n.find("a").unwrap();
+        let faults = vec![
+            Fault::new(z, StuckAt::Zero), // needs 11
+            Fault::new(z, StuckAt::One),  // needs one 0 input
+            Fault::new(a, StuckAt::One),  // needs a=0, b=1
+        ];
+        let patterns = CubeSet::parse_rows(&["11"]).unwrap();
+        let mut detected = vec![false; 3];
+        sim.detect(&patterns, &faults, &mut detected).unwrap();
+        assert_eq!(detected, vec![true, false, false]);
+
+        let patterns = CubeSet::parse_rows(&["01"]).unwrap();
+        sim.detect(&patterns, &faults, &mut detected).unwrap();
+        assert_eq!(detected, vec![true, true, true]);
+    }
+
+    #[test]
+    fn detection_accumulates_across_batches() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+        let n = parse_bench("inv", text).unwrap();
+        let view = CombView::new(&n);
+        let mut sim = FaultSimulator::new(&view);
+        let faults = fault_list(&n);
+        let mut detected = vec![false; faults.len()];
+        // >64 patterns forces multiple plane batches.
+        let mut set = CubeSet::new(1);
+        for i in 0..130 {
+            set.push(if i % 2 == 0 { "0" } else { "1" }.parse().unwrap())
+                .unwrap();
+        }
+        let newly = sim.detect(&set, &faults, &mut detected).unwrap();
+        assert_eq!(newly, faults.len());
+        // Second call reports nothing new.
+        let again = sim.detect(&set, &faults, &mut detected).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn pseudo_outputs_observe_fault_effects() {
+        let mut b = dpfill_netlist::NetlistBuilder::new("seq");
+        b.input("a");
+        b.gate("d", GateKind::Not, &["a"]).unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate("z", GateKind::And, &["q", "a"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut sim = FaultSimulator::new(&view);
+        let d = n.find("d").unwrap();
+        let faults = vec![Fault::new(d, StuckAt::Zero)];
+        // Pins [a, q]: a=0 makes d=1; faulty d=0 observed at the FF D pin
+        // even though z masks it.
+        let patterns = CubeSet::parse_rows(&["00"]).unwrap();
+        let mut detected = vec![false];
+        sim.detect(&patterns, &faults, &mut detected).unwrap();
+        assert!(detected[0]);
+    }
+
+    #[test]
+    fn effects_do_not_propagate_through_dffs() {
+        // Fault on q's *input* cone must not wrap around through q.
+        let mut b = dpfill_netlist::NetlistBuilder::new("loopy");
+        b.input("a");
+        b.gate("d", GateKind::And, &["a", "q"]).unwrap();
+        b.dff("q", "d").unwrap();
+        b.output("d");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut sim = FaultSimulator::new(&view);
+        let a = n.find("a").unwrap();
+        let faults = vec![Fault::new(a, StuckAt::Zero)];
+        // a=1, q=1: good d=1; faulty a=0 -> d=0: detected at PO d.
+        let patterns = CubeSet::parse_rows(&["11"]).unwrap();
+        let mut detected = vec![false];
+        sim.detect(&patterns, &faults, &mut detected).unwrap();
+        assert!(detected[0]);
+    }
+}

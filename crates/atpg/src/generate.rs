@@ -1,0 +1,267 @@
+//! The ATPG driver: fault list → PODEM → fault dropping → test cubes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dpfill_cubes::{Bit, CubeSet, TestCube};
+use dpfill_netlist::{CombView, Netlist};
+
+use crate::{collapse_faults, compact, fault_list, AtpgConfig, FaultSimulator, Podem, PodemOutcome};
+
+/// Coverage and effort statistics of one ATPG run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AtpgStats {
+    /// Collapsed faults targeted.
+    pub total_faults: usize,
+    /// Faults detected (by PODEM or by fault simulation).
+    pub detected: usize,
+    /// Faults proven untestable.
+    pub untestable: usize,
+    /// Faults abandoned at the backtrack limit.
+    pub aborted: usize,
+    /// PODEM invocations (targets not dropped beforehand).
+    pub podem_calls: usize,
+}
+
+impl AtpgStats {
+    /// Fault coverage over testable faults, in percent.
+    pub fn coverage_percent(&self) -> f64 {
+        let testable = self.total_faults - self.untestable;
+        if testable == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / testable as f64
+        }
+    }
+}
+
+/// The product of [`generate_tests`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtpgResult {
+    /// Test cubes in generation order — the "Tool ordering".
+    pub cubes: CubeSet,
+    /// Run statistics.
+    pub stats: AtpgStats,
+}
+
+/// Generates stuck-at test cubes for `netlist`.
+///
+/// The driver targets each undetected collapsed fault with PODEM; every
+/// generated cube is random-filled (the fill never changes detection of
+/// the targeted fault, which the cube detects under 3-valued simulation)
+/// and batched through the fault simulator to drop collaterally detected
+/// faults. Cubes keep their `X` bits — only the *dropping copy* is
+/// filled.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_atpg::{generate_tests, AtpgConfig};
+/// use dpfill_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// b.input("a");
+/// b.input("b");
+/// b.gate("z", GateKind::Xor, &["a", "b"])?;
+/// b.output("z");
+/// let result = generate_tests(&b.build()?, &AtpgConfig::default());
+/// assert!(result.stats.coverage_percent() > 99.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> AtpgResult {
+    let view = CombView::new(netlist);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut faults = collapse_faults(netlist, &fault_list(netlist));
+    if let Some(cap) = config.max_faults {
+        if faults.len() > cap {
+            faults.shuffle(&mut rng);
+            faults.truncate(cap);
+        }
+    }
+
+    let mut podem = Podem::new(&view, config.backtrack_limit);
+    let mut fsim = FaultSimulator::new(&view);
+    let mut detected = vec![false; faults.len()];
+    let mut stats = AtpgStats {
+        total_faults: faults.len(),
+        ..AtpgStats::default()
+    };
+
+    let width = view.input_count();
+    let mut cubes = CubeSet::new(width);
+    let mut drop_batch = CubeSet::new(width);
+
+    for target in 0..faults.len() {
+        if detected[target] {
+            continue;
+        }
+        // Fault-drop in batches of 64 patterns: flushing more eagerly
+        // would re-scan the whole fault list per generated pattern and
+        // dominate the run time.
+        if drop_batch.len() >= 64 {
+            stats.detected += fsim
+                .detect(&drop_batch, &faults, &mut detected)
+                .expect("filled batch patterns are well-formed");
+            drop_batch = CubeSet::new(width);
+            if detected[target] {
+                continue;
+            }
+        }
+        stats.podem_calls += 1;
+        match podem.run(faults[target]) {
+            PodemOutcome::Test(cube) => {
+                detected[target] = true;
+                stats.detected += 1;
+                let filled = random_fill(&cube, &mut rng);
+                cubes.push(cube).expect("PODEM cube has view width");
+                drop_batch.push(filled).expect("filled cube keeps width");
+            }
+            PodemOutcome::Untestable => stats.untestable += 1,
+            PodemOutcome::Aborted => stats.aborted += 1,
+        }
+    }
+    if !drop_batch.is_empty() {
+        stats.detected += fsim
+            .detect(&drop_batch, &faults, &mut detected)
+            .expect("filled batch patterns are well-formed");
+    }
+
+    if config.compaction {
+        cubes = compact(&cubes);
+    }
+    AtpgResult { cubes, stats }
+}
+
+fn random_fill(cube: &TestCube, rng: &mut StdRng) -> TestCube {
+    cube.iter()
+        .map(|b| {
+            if b.is_x() {
+                Bit::from_bool(rng.gen_bool(0.5))
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::parse::parse_bench;
+
+    const C17: &str = r"
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn full_coverage_on_c17() {
+        let n = parse_bench("c17", C17).unwrap();
+        let result = generate_tests(&n, &AtpgConfig::default());
+        assert_eq!(result.stats.untestable, 0);
+        assert_eq!(result.stats.aborted, 0);
+        assert!((result.stats.coverage_percent() - 100.0).abs() < 1e-9);
+        assert!(!result.cubes.is_empty());
+        assert_eq!(result.cubes.width(), 5);
+    }
+
+    #[test]
+    fn fault_dropping_reduces_podem_calls() {
+        // Needs a circuit whose pattern count exceeds the 64-pattern drop
+        // batch, so intermediate flushes actually happen.
+        let n = dpfill_circuits::GeneratorConfig {
+            name: "drop",
+            pis: 8,
+            ffs: 12,
+            gates: 400,
+            seed: 3,
+        }
+        .generate();
+        let result = generate_tests(&n, &AtpgConfig::default());
+        assert!(
+            result.stats.podem_calls < result.stats.total_faults,
+            "dropping should spare PODEM calls: {} calls for {} faults",
+            result.stats.podem_calls,
+            result.stats.total_faults
+        );
+    }
+
+    #[test]
+    fn cubes_contain_x_bits() {
+        let n = parse_bench("c17", C17).unwrap();
+        let result = generate_tests(&n, &AtpgConfig::default());
+        // c17 cubes are small but should still carry some don't-cares.
+        assert!(result.cubes.x_percent() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = parse_bench("c17", C17).unwrap();
+        let a = generate_tests(&n, &AtpgConfig::with_seed(1));
+        let b = generate_tests(&n, &AtpgConfig::with_seed(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compaction_reduces_pattern_count() {
+        let n = parse_bench("c17", C17).unwrap();
+        let plain = generate_tests(&n, &AtpgConfig::default());
+        let compacted = generate_tests(
+            &n,
+            &AtpgConfig {
+                compaction: true,
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(compacted.cubes.len() <= plain.cubes.len());
+        assert_eq!(
+            compacted.stats.detected, plain.stats.detected,
+            "compaction must not change coverage accounting"
+        );
+    }
+
+    #[test]
+    fn fault_sampling_caps_the_list() {
+        let n = parse_bench("c17", C17).unwrap();
+        let result = generate_tests(
+            &n,
+            &AtpgConfig {
+                max_faults: Some(5),
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(result.stats.total_faults, 5);
+    }
+
+    #[test]
+    fn untestable_faults_are_classified() {
+        let text = "INPUT(a)\nOUTPUT(z)\nna = NOT(a)\nz = OR(a, na)\n";
+        let n = parse_bench("red", text).unwrap();
+        let result = generate_tests(&n, &AtpgConfig::default());
+        assert!(result.stats.untestable > 0);
+    }
+
+    #[test]
+    fn sequential_circuit_cubes_cover_ff_pins() {
+        let text = "INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = XOR(a, q)\nz = BUF(d)\n";
+        let n = parse_bench("seq", text).unwrap();
+        let result = generate_tests(&n, &AtpgConfig::default());
+        assert_eq!(result.cubes.width(), 2); // a + q
+        assert!((result.stats.coverage_percent() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! Stuck-at ATPG — the TetraMax™ substitute of the DP-fill reproduction.
+//!
+//! The paper feeds X-rich test cubes from a commercial ATPG into its
+//! X-filling study. This crate produces equivalent cubes from first
+//! principles:
+//!
+//! * [`Fault`] / [`fault_list`] — single stuck-at faults over all
+//!   signals, with structural equivalence collapsing through
+//!   buffer/inverter chains;
+//! * [`Podem`] — the classic PODEM algorithm (objective, backtrace,
+//!   implication via good/faulty pair simulation, D-frontier, bounded
+//!   backtracking) generating one *test cube* per fault: only the
+//!   backtraced pins are specified, the rest stay `X` — exactly the
+//!   don't-care density the paper's Table I reports;
+//! * [`FaultSimulator`] — 64-way parallel-pattern, cone-limited fault
+//!   simulation used for fault dropping;
+//! * [`compact`] — static compaction by compatible-cube merging;
+//! * [`generate_tests`] — the driver tying it together, emitting cubes in
+//!   generation order (the "Tool ordering" of the paper's Table II).
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_atpg::{generate_tests, AtpgConfig};
+//! use dpfill_netlist::parse::parse_bench;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n";
+//! let netlist = parse_bench("nand2", text)?;
+//! let result = generate_tests(&netlist, &AtpgConfig::default());
+//! assert!(result.stats.detected > 0);
+//! assert!(result.cubes.len() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod compact;
+mod config;
+mod fault;
+mod faultsim;
+mod generate;
+mod podem;
+pub mod tdf;
+
+pub use compact::compact;
+pub use config::AtpgConfig;
+pub use fault::{collapse_faults, fault_list, Fault, StuckAt};
+pub use faultsim::FaultSimulator;
+pub use generate::{generate_tests, AtpgResult, AtpgStats};
+pub use podem::{Podem, PodemOutcome};

@@ -1,0 +1,433 @@
+//! PODEM test generation.
+
+use dpfill_cubes::{Bit, TestCube};
+use dpfill_netlist::{CombView, GateKind, SignalId};
+use dpfill_sim::eval::eval_gate;
+
+use crate::Fault;
+
+/// The result of running PODEM on one fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test cube detecting the fault; only backtraced pins are
+    /// specified, the rest are `X`.
+    Test(TestCube),
+    /// The search space was exhausted: the fault is untestable
+    /// (redundant logic).
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+impl PodemOutcome {
+    /// Convenience accessor for the generated cube.
+    pub fn cube(&self) -> Option<&TestCube> {
+        match self {
+            PodemOutcome::Test(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// The PODEM engine: path-oriented decision making over primary-input
+/// assignments (Goel, 1981), driven by good/faulty pair simulation.
+///
+/// One instance holds the simulation buffers for a view and is reused
+/// across faults.
+#[derive(Debug)]
+pub struct Podem<'a> {
+    view: &'a CombView<'a>,
+    good: Vec<Bit>,
+    faulty: Vec<Bit>,
+    assignment: Vec<Bit>,
+    fanin_buf: Vec<Bit>,
+    backtrack_limit: usize,
+}
+
+/// One decision: pin index, chosen value, whether both values were tried.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    pin: usize,
+    value: Bit,
+    flipped: bool,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates an engine for `view` with the given backtrack limit.
+    pub fn new(view: &'a CombView<'a>, backtrack_limit: usize) -> Podem<'a> {
+        let n = view.netlist().signal_count();
+        Podem {
+            view,
+            good: vec![Bit::X; n],
+            faulty: vec![Bit::X; n],
+            assignment: vec![Bit::X; view.input_count()],
+            fanin_buf: Vec::with_capacity(8),
+            backtrack_limit,
+        }
+    }
+
+    /// Generates a test cube for `fault`.
+    pub fn run(&mut self, fault: Fault) -> PodemOutcome {
+        self.assignment.fill(Bit::X);
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            self.simulate(fault);
+            if self.detected() {
+                return PodemOutcome::Test(TestCube::new(self.assignment.clone()));
+            }
+            let objective = self.objective(fault);
+            let next = objective.and_then(|(sig, val)| self.backtrace(sig, val));
+            match next {
+                Some((pin, value)) => {
+                    debug_assert!(self.assignment[pin].is_x(), "backtrace hit assigned pin");
+                    self.assignment[pin] = value;
+                    decisions.push(Decision {
+                        pin,
+                        value,
+                        flipped: false,
+                    });
+                }
+                None => {
+                    // Conflict or dead end: revert decisions.
+                    backtracks += 1;
+                    if backtracks > self.backtrack_limit {
+                        return PodemOutcome::Aborted;
+                    }
+                    loop {
+                        match decisions.last_mut() {
+                            Some(d) if !d.flipped => {
+                                d.value = !d.value;
+                                d.flipped = true;
+                                self.assignment[d.pin] = d.value;
+                                break;
+                            }
+                            Some(d) => {
+                                self.assignment[d.pin] = Bit::X;
+                                decisions.pop();
+                            }
+                            None => return PodemOutcome::Untestable,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Good/faulty pair simulation with the fault site forced in the
+    /// faulty circuit.
+    fn simulate(&mut self, fault: Fault) {
+        let netlist = self.view.netlist();
+        for &id in self.view.levels().order() {
+            let sig = netlist.signal(id);
+            let gv = match sig.kind() {
+                GateKind::Input | GateKind::Dff => {
+                    self.assignment[self.view.input_index(id).expect("source is a pin")]
+                }
+                kind => {
+                    self.fanin_buf.clear();
+                    for f in sig.fanins() {
+                        self.fanin_buf.push(self.good[f.index()]);
+                    }
+                    eval_gate(kind, &self.fanin_buf)
+                }
+            };
+            self.good[id.index()] = gv;
+            let fv = if id == fault.signal {
+                fault.stuck.value()
+            } else {
+                match sig.kind() {
+                    GateKind::Input | GateKind::Dff => gv,
+                    kind => {
+                        self.fanin_buf.clear();
+                        for f in sig.fanins() {
+                            self.fanin_buf.push(self.faulty[f.index()]);
+                        }
+                        eval_gate(kind, &self.fanin_buf)
+                    }
+                }
+            };
+            self.faulty[id.index()] = fv;
+        }
+    }
+
+    /// Is the fault effect visible at a view output?
+    fn detected(&self) -> bool {
+        self.view.outputs().iter().any(|o| {
+            let g = self.good[o.index()];
+            let f = self.faulty[o.index()];
+            g.is_care() && f.is_care() && g != f
+        })
+    }
+
+    /// Does this signal carry a D or D̄ (definite good/faulty mismatch)?
+    fn has_d(&self, id: SignalId) -> bool {
+        let g = self.good[id.index()];
+        let f = self.faulty[id.index()];
+        g.is_care() && f.is_care() && g != f
+    }
+
+    /// The next objective `(signal, value)` per classic PODEM:
+    /// activation first, then D-frontier extension. `None` means the
+    /// current assignment cannot detect the fault (backtrack).
+    fn objective(&self, fault: Fault) -> Option<(SignalId, Bit)> {
+        let site_good = self.good[fault.signal.index()];
+        if site_good.is_x() {
+            return Some((fault.signal, fault.stuck.activation()));
+        }
+        if site_good == fault.stuck.value() {
+            // The site is justified to the stuck value: no activation
+            // possible under this assignment.
+            return None;
+        }
+        // Fault activated: extend the D-frontier.
+        let netlist = self.view.netlist();
+        for (id, sig) in netlist.iter() {
+            if !sig.kind().is_logic() {
+                continue;
+            }
+            let out_unknown =
+                self.good[id.index()].is_x() || self.faulty[id.index()].is_x();
+            if !out_unknown {
+                continue;
+            }
+            let has_d_input = sig.fanins().iter().any(|f| self.has_d(*f));
+            if !has_d_input {
+                continue;
+            }
+            // Pick the first X input and aim for the non-controlling
+            // value; a frontier gate without an X good-input cannot be
+            // extended from here — try the next frontier gate.
+            let Some(x_input) = sig
+                .fanins()
+                .iter()
+                .copied()
+                .find(|f| self.good[f.index()].is_x())
+            else {
+                continue;
+            };
+            let value = match sig.kind() {
+                GateKind::And | GateKind::Nand => Bit::One,
+                GateKind::Or | GateKind::Nor => Bit::Zero,
+                // XOR-like gates have no controlling value; any definite
+                // value extends the frontier.
+                _ => Bit::Zero,
+            };
+            return Some((x_input, value));
+        }
+        None
+    }
+
+    /// Maps an objective to a primary-input assignment by walking one
+    /// X-path backwards (classic backtrace). `None` when the objective is
+    /// unreachable (e.g. blocked by constants).
+    fn backtrace(&self, mut sig: SignalId, mut val: Bit) -> Option<(usize, Bit)> {
+        let netlist = self.view.netlist();
+        loop {
+            if let Some(pin) = self.view.input_index(sig) {
+                if !self.assignment[pin].is_x() {
+                    // The pin is already assigned (can happen when the
+                    // objective is stale); treat as unreachable.
+                    return None;
+                }
+                return Some((pin, val));
+            }
+            let s = netlist.signal(sig);
+            match s.kind() {
+                GateKind::Buf => sig = s.fanins()[0],
+                GateKind::Not => {
+                    val = !val;
+                    sig = s.fanins()[0];
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
+                | GateKind::Xor | GateKind::Xnor => {
+                    let target = if s.kind().is_inverting() { !val } else { val };
+                    let x_input = s
+                        .fanins()
+                        .iter()
+                        .copied()
+                        .find(|f| self.good[f.index()].is_x())?;
+                    val = match s.kind() {
+                        GateKind::And | GateKind::Nand => target,
+                        GateKind::Or | GateKind::Nor => target,
+                        // XOR-like: value is a free choice.
+                        _ => Bit::Zero,
+                    };
+                    sig = x_input;
+                }
+                GateKind::Const0 | GateKind::Const1 => return None,
+                GateKind::Input | GateKind::Dff => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StuckAt;
+    use dpfill_netlist::{parse::parse_bench, Netlist, NetlistBuilder};
+    use dpfill_sim::CombSim;
+
+    const C17: &str = r"
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    /// Checks that `cube` really detects `fault` by pair simulation of a
+    /// fully-0-filled version (any fill of a 3-valued-detected cube
+    /// detects).
+    fn verify_detection(netlist: &Netlist, fault: Fault, cube: &TestCube) -> bool {
+        let view = CombView::new(netlist);
+        let mut good = CombSim::new(&view);
+        let inputs: Vec<Bit> = cube.iter().collect();
+        good.simulate(&inputs).unwrap();
+        // Faulty simulation: rerun with the site forced.
+        let mut podem = Podem::new(&view, 1);
+        podem.assignment.copy_from_slice(&inputs);
+        podem.simulate(fault);
+        view.outputs().iter().any(|o| {
+            let g = good.value(*o);
+            let f = podem.faulty[o.index()];
+            g.is_care() && f.is_care() && g != f
+        })
+    }
+
+    #[test]
+    fn detects_simple_nand_faults() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n";
+        let n = parse_bench("nand2", text).unwrap();
+        let view = CombView::new(&n);
+        let mut podem = Podem::new(&view, 32);
+        let z = n.find("z").unwrap();
+
+        // z s-a-1: need z = 0, i.e. a = b = 1.
+        let outcome = podem.run(Fault::new(z, StuckAt::One));
+        let cube = outcome.cube().expect("testable").clone();
+        assert_eq!(cube.to_string(), "11");
+        assert!(verify_detection(&n, Fault::new(z, StuckAt::One), &cube));
+
+        // z s-a-0: need z = 1: at least one of a, b = 0.
+        let outcome = podem.run(Fault::new(z, StuckAt::Zero));
+        let cube = outcome.cube().expect("testable").clone();
+        assert!(verify_detection(&n, Fault::new(z, StuckAt::Zero), &cube));
+        // The cube must leave at least one input unspecified or set a 0.
+        assert!(cube.iter().any(|b| b == Bit::Zero));
+    }
+
+    #[test]
+    fn cubes_keep_unneeded_pins_x() {
+        // Wide OR: one controlling input suffices; the rest stay X.
+        let mut b = NetlistBuilder::new("or4");
+        for i in 0..4 {
+            b.input(format!("i{i}"));
+        }
+        b.gate("z", GateKind::Or, &["i0", "i1", "i2", "i3"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut podem = Podem::new(&view, 32);
+        let z = n.find("z").unwrap();
+        let cube = podem
+            .run(Fault::new(z, StuckAt::Zero))
+            .cube()
+            .expect("testable")
+            .clone();
+        // z s-a-0 needs z=1: exactly one input set to 1.
+        assert_eq!(cube.x_count(), 3, "cube {cube} over-specified");
+    }
+
+    #[test]
+    fn full_c17_coverage() {
+        let n = parse_bench("c17", C17).unwrap();
+        let view = CombView::new(&n);
+        let mut podem = Podem::new(&view, 64);
+        let faults = crate::collapse_faults(&n, &crate::fault_list(&n));
+        for fault in faults {
+            let outcome = podem.run(fault);
+            let cube = outcome
+                .cube()
+                .unwrap_or_else(|| panic!("{fault} should be testable in c17"));
+            assert!(
+                verify_detection(&n, fault, cube),
+                "cube {cube} does not detect {fault}"
+            );
+        }
+    }
+
+    #[test]
+    fn untestable_redundant_fault() {
+        // z = OR(a, NOT(a)) is constant 1: z s-a-1 is undetectable.
+        let mut b = NetlistBuilder::new("red");
+        b.input("a");
+        b.gate("na", GateKind::Not, &["a"]).unwrap();
+        b.gate("z", GateKind::Or, &["a", "na"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut podem = Podem::new(&view, 64);
+        let z = n.find("z").unwrap();
+        assert_eq!(podem.run(Fault::new(z, StuckAt::One)), PodemOutcome::Untestable);
+        // z s-a-0 is testable (any input value).
+        assert!(podem.run(Fault::new(z, StuckAt::Zero)).cube().is_some());
+    }
+
+    #[test]
+    fn xor_tree_faults() {
+        let mut b = NetlistBuilder::new("xor3");
+        b.input("a");
+        b.input("b");
+        b.input("c");
+        b.gate("x1", GateKind::Xor, &["a", "b"]).unwrap();
+        b.gate("x2", GateKind::Xor, &["x1", "c"]).unwrap();
+        b.output("x2");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut podem = Podem::new(&view, 64);
+        for fault in crate::fault_list(&n) {
+            let outcome = podem.run(fault);
+            let cube = outcome.cube().unwrap_or_else(|| panic!("{fault} testable"));
+            assert!(verify_detection(&n, fault, cube), "{fault}");
+            // XOR trees require fully specified side inputs.
+            assert!(cube.care_count() >= 2, "{fault} cube {cube}");
+        }
+    }
+
+    #[test]
+    fn dff_boundary_faults_detected_at_pseudo_outputs() {
+        // Sequential circuit: the fault effect reaches a FF D pin.
+        let mut bld = NetlistBuilder::new("seq");
+        bld.input("a");
+        bld.input("en");
+        bld.gate("d", GateKind::And, &["a", "en"]).unwrap();
+        bld.dff("q", "d").unwrap();
+        bld.gate("z", GateKind::Buf, &["q"]).unwrap();
+        bld.output("z");
+        let n = bld.build().unwrap();
+        let view = CombView::new(&n);
+        let mut podem = Podem::new(&view, 64);
+        let d = n.find("d").unwrap();
+        let cube = podem
+            .run(Fault::new(d, StuckAt::Zero))
+            .cube()
+            .expect("testable at pseudo-PO")
+            .clone();
+        assert!(verify_detection(&n, Fault::new(d, StuckAt::Zero), &cube));
+        // Pins are [a, en, q]: a=en=1 required, q free.
+        assert_eq!(cube.get(0), Some(Bit::One));
+        assert_eq!(cube.get(1), Some(Bit::One));
+        assert_eq!(cube.get(2), Some(Bit::X));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the ATPG stack: every cube PODEM emits must be
+//! confirmed by the independent fault simulator, compaction must
+//! preserve detection, and coverage accounting must add up.
+
+use dpfill_atpg::{
+    collapse_faults, compact, fault_list, generate_tests, AtpgConfig, FaultSimulator, Podem,
+    PodemOutcome,
+};
+use dpfill_circuits::GeneratorConfig;
+use dpfill_core::fill::FillMethod;
+use dpfill_netlist::{CombView, Netlist};
+use proptest::prelude::*;
+
+fn arb_circuit() -> impl Strategy<Value = Netlist> {
+    (2usize..6, 1usize..4, 10usize..80, 0u64..1_000).prop_map(|(pis, ffs, gates, seed)| {
+        GeneratorConfig {
+            name: "prop",
+            pis,
+            ffs,
+            gates,
+            seed,
+        }
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PODEM's claimed tests are confirmed by the fault simulator on a
+    /// random fill of the cube (detection under 3-valued simulation
+    /// survives any fill).
+    #[test]
+    fn podem_cubes_are_confirmed_by_fault_simulation(netlist in arb_circuit()) {
+        let view = CombView::new(&netlist);
+        let mut podem = Podem::new(&view, 48);
+        let mut fsim = FaultSimulator::new(&view);
+        let faults = collapse_faults(&netlist, &fault_list(&netlist));
+        let mut checked = 0;
+        for &fault in faults.iter().take(24) {
+            if let PodemOutcome::Test(cube) = podem.run(fault) {
+                let set = dpfill_cubes::CubeSet::from_cubes([cube]).expect("one cube");
+                let filled = FillMethod::Random(9).fill(&set);
+                let mut detected = vec![false];
+                fsim.detect(&filled, &[fault], &mut detected).expect("filled");
+                prop_assert!(
+                    detected[0],
+                    "fault simulator rejects PODEM's cube for {fault}"
+                );
+                checked += 1;
+            }
+        }
+        prop_assert!(checked > 0, "no testable faults found");
+    }
+
+    /// The ATPG driver's coverage accounting is exhaustive and within
+    /// bounds.
+    #[test]
+    fn atpg_statistics_add_up(netlist in arb_circuit()) {
+        let result = generate_tests(&netlist, &AtpgConfig::default());
+        let s = &result.stats;
+        prop_assert!(s.detected + s.untestable + s.aborted <= s.total_faults);
+        prop_assert!(s.detected >= result.cubes.len(), "each cube detects its target");
+        prop_assert!(s.coverage_percent() <= 100.0 + 1e-9);
+        prop_assert_eq!(result.cubes.width(), netlist.scan_width());
+    }
+
+    /// Compaction only merges: the result is smaller, every original
+    /// cube is refined by some output cube, and no care bit is lost.
+    #[test]
+    fn compaction_preserves_cubes(netlist in arb_circuit()) {
+        let result = generate_tests(&netlist, &AtpgConfig::default());
+        let compacted = compact(&result.cubes);
+        prop_assert!(compacted.len() <= result.cubes.len());
+        for cube in &result.cubes {
+            prop_assert!(
+                compacted.iter().any(|slot| slot.is_contained_in(cube)),
+                "cube {} lost", cube
+            );
+        }
+    }
+
+    /// Deterministic: the same seed gives byte-identical cube sets.
+    #[test]
+    fn atpg_is_deterministic(netlist in arb_circuit(), seed in 0u64..50) {
+        let a = generate_tests(&netlist, &AtpgConfig::with_seed(seed));
+        let b = generate_tests(&netlist, &AtpgConfig::with_seed(seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig 1 benchmark: the motivating XStat-vs-DP-fill instance, timed;
+//! `dpfill-repro fig1` (or `examples/motivation.rs`) prints the gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_harness::experiments::fig1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_motivation");
+    group.sample_size(20);
+    group.bench_function("xstat_vs_dp_gap", |b| {
+        b.iter(|| {
+            let (r, _) = fig1();
+            assert!(r.dp_peak < r.xstat_peak);
+            criterion::black_box((r.dp_peak, r.xstat_peak))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig 2(a)/(b) benchmark: Algorithm 3's iteration behaviour as n grows
+//! (the paper observes O(log n) iterations); `dpfill-repro fig2a fig2b`
+//! prints the traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_core::ordering::IOrdering;
+use dpfill_cubes::gen::CubeProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_iterations");
+    group.sample_size(10);
+
+    for n in [64usize, 128, 256] {
+        let cubes = CubeProfile::new(100, n)
+            .x_percent(85.0)
+            .decay_ratio(6.0)
+            .generate(6 + n as u64);
+        group.bench_function(format!("algorithm3/n{n}"), |b| {
+            b.iter(|| {
+                let trace = IOrdering::new().order_with_trace(&cubes);
+                // O(log n) guard baked into the benchmark.
+                assert!(trace.iterations() <= 8 * 8 + 2);
+                criterion::black_box(trace.iterations())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table I benchmark: the circuit → ATPG → cube-statistics flow.
+//!
+//! Regenerates the Table I rows (X density per circuit) while measuring
+//! the cost of each stage; `dpfill-repro table1` prints the full table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dpfill_atpg::{generate_tests, AtpgConfig};
+use dpfill_circuits::itc99;
+use dpfill_harness::{prepare, FlowConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_xdensity");
+    group.sample_size(10);
+
+    for name in ["b01", "b03", "b10"] {
+        let profile = itc99(name).expect("known benchmark");
+        let netlist = profile.generate();
+        group.bench_function(format!("atpg_cubes/{name}"), |b| {
+            b.iter_batched(
+                || netlist.clone(),
+                |n| {
+                    let result = generate_tests(&n, &AtpgConfig::default());
+                    criterion::black_box(result.cubes.x_percent())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // The full prepared row (generation + ATPG + stats) for one circuit.
+    let cfg = FlowConfig::smoke();
+    let b03 = itc99("b03").expect("known benchmark");
+    group.bench_function("prepare_row/b03", |b| {
+        b.iter(|| {
+            let p = prepare(&b03, &cfg);
+            criterion::black_box((p.cubes.len(), p.cubes.x_percent()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

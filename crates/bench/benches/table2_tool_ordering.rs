@@ -1,0 +1,39 @@
+//! Table II benchmark: the six fills under the tool ordering.
+//!
+//! One timing per fill method on a representative X-rich cube set, at
+//! two circuit scales; `dpfill-repro table2` prints the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_core::fill::FillMethod;
+use dpfill_core::ordering::OrderingMethod;
+use dpfill_core::sweep_fills;
+use dpfill_cubes::gen::CubeProfile;
+use dpfill_cubes::peak_toggles;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_tool_ordering");
+    group.sample_size(10);
+
+    // b12-scale and b15-scale profile cubes.
+    let small = CubeProfile::new(126, 100).x_percent(76.9).generate(2);
+    let large = CubeProfile::new(485, 420).x_percent(87.8).generate(15);
+
+    for (label, cubes) in [("b12_scale", &small), ("b15_scale", &large)] {
+        for method in FillMethod::TABLE_COLUMNS {
+            group.bench_function(format!("{label}/{}", method.label()), |b| {
+                b.iter(|| {
+                    let filled = method.fill(cubes);
+                    criterion::black_box(peak_toggles(&filled).unwrap())
+                })
+            });
+        }
+        group.bench_function(format!("{label}/full_row_sweep"), |b| {
+            b.iter(|| criterion::black_box(sweep_fills(cubes, OrderingMethod::Tool)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

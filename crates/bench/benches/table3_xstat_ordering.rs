@@ -1,0 +1,30 @@
+//! Table III benchmark: the XStat nearest-neighbour ordering plus the
+//! fill sweep under it; `dpfill-repro table3` prints the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_core::ordering::{OrderingMethod, OrderingStrategy, XStatOrdering};
+use dpfill_core::sweep_fills;
+use dpfill_cubes::gen::CubeProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_xstat_ordering");
+    group.sample_size(10);
+
+    for (label, width, n, x) in [
+        ("b12_scale", 126usize, 100usize, 76.9f64),
+        ("b14_scale", 275, 320, 77.9),
+    ] {
+        let cubes = CubeProfile::new(width, n).x_percent(x).generate(3);
+        group.bench_function(format!("{label}/ordering_only"), |b| {
+            b.iter(|| criterion::black_box(XStatOrdering.order(&cubes)))
+        });
+        group.bench_function(format!("{label}/row_sweep"), |b| {
+            b.iter(|| criterion::black_box(sweep_fills(&cubes, OrderingMethod::XStat)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table IV benchmark: the paper's Algorithm 3 (I-ordering) and the
+//! fill sweep under it; `dpfill-repro table4` prints the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_core::ordering::{IOrdering, OrderingMethod};
+use dpfill_core::sweep_fills;
+use dpfill_cubes::gen::CubeProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_i_ordering");
+    group.sample_size(10);
+
+    for (label, width, n, x) in [
+        ("b12_scale", 126usize, 100usize, 76.9f64),
+        ("b14_scale", 275, 320, 77.9),
+    ] {
+        let cubes = CubeProfile::new(width, n)
+            .x_percent(x)
+            .decay_ratio(6.0)
+            .generate(4);
+        group.bench_function(format!("{label}/algorithm3_search"), |b| {
+            b.iter(|| criterion::black_box(IOrdering::new().order_with_trace(&cubes).chosen_k))
+        });
+        group.bench_function(format!("{label}/row_sweep"), |b| {
+            b.iter(|| criterion::black_box(sweep_fills(&cubes, OrderingMethod::Interleaved)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table V benchmark: the four competing techniques end to end
+//! (ordering + fill + peak measurement); `dpfill-repro table5` prints
+//! the full comparison with %improvements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_core::Technique;
+use dpfill_cubes::gen::CubeProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_techniques");
+    group.sample_size(10);
+
+    let cubes = CubeProfile::new(126, 100)
+        .x_percent(76.9)
+        .decay_ratio(6.0)
+        .generate(5);
+
+    let techniques: [(&str, Technique); 4] = [
+        ("isa", Technique::isa(7)),
+        ("adj_fill", Technique::adj_fill()),
+        ("xstat", Technique::xstat()),
+        ("proposed", Technique::proposed()),
+    ];
+    for (label, technique) in techniques {
+        group.bench_function(format!("b12_scale/{label}"), |b| {
+            b.iter(|| criterion::black_box(technique.evaluate(&cubes).peak))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

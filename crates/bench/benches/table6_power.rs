@@ -1,0 +1,47 @@
+//! Table VI benchmark: full-circuit peak-power estimation (capacitance
+//! model + bit-parallel toggle counting); `dpfill-repro table6` prints
+//! the power comparison in µW.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpfill_atpg::{generate_tests, AtpgConfig};
+use dpfill_circuits::itc99;
+use dpfill_core::Technique;
+use dpfill_netlist::CombView;
+use dpfill_power::{peak_power, CapacitanceModel, PowerConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_power");
+    group.sample_size(10);
+
+    let profile = itc99("b08").expect("known benchmark");
+    let netlist = profile.generate();
+    let cubes = generate_tests(&netlist, &AtpgConfig::default()).cubes;
+    let cfg = PowerConfig::default();
+
+    group.bench_function("b08/capacitance_model", |b| {
+        b.iter(|| criterion::black_box(CapacitanceModel::of(&netlist, &cfg).total()))
+    });
+
+    let caps = CapacitanceModel::of(&netlist, &cfg);
+    let view = CombView::new(&netlist);
+    let filled = Technique::proposed().evaluate(&cubes).filled;
+    group.bench_function("b08/peak_power_proposed", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                peak_power(&view, &filled, &caps, &cfg).unwrap().peak_uw,
+            )
+        })
+    });
+
+    let xstat = Technique::xstat().evaluate(&cubes).filled;
+    group.bench_function("b08/peak_power_xstat", |b| {
+        b.iter(|| {
+            criterion::black_box(peak_power(&view, &xstat, &caps, &cfg).unwrap().peak_uw)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

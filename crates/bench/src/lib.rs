@@ -1,0 +1,1 @@
+//! Criterion benchmark crate. All benchmark targets live in `benches/`; see the crate manifest for the one-target-per-table mapping.

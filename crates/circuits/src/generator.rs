@@ -1,0 +1,274 @@
+//! Seeded random sequential netlist generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dpfill_netlist::{GateKind, Netlist, NetlistBuilder};
+
+/// Parameters of the synthetic netlist generator.
+///
+/// The generator builds a levelized random circuit with the statistical
+/// shape of synthesized control/datapath logic:
+///
+/// * level 0 holds the sources (PIs and FF outputs);
+/// * gate levels have geometric-ish widths, giving depth
+///   `O(gates^0.4)` — comparable to synthesized ITC'99 depth;
+/// * fanins prefer *recent* levels (locality bias), producing the fanout
+///   distribution real netlists show (many low-fanout nets, few hubs);
+/// * the gate mix is NAND/NOR-heavy with a sprinkle of XORs, like a
+///   mapped standard-cell library;
+/// * FF D-inputs and unused gate outputs are registered/observed so no
+///   logic dangles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Design name.
+    pub name: &'static str,
+    /// Primary input count.
+    pub pis: usize,
+    /// Flip-flop count.
+    pub ffs: usize,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// RNG seed; the same config always generates the same netlist.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Generates the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no sources (`pis + ffs == 0`).
+    pub fn generate(&self) -> Netlist {
+        assert!(self.pis + self.ffs > 0, "generator needs at least one source");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut b = NetlistBuilder::new(self.name);
+
+        // Sources.
+        let mut level_of: Vec<Vec<String>> = Vec::new();
+        let mut sources: Vec<String> = Vec::new();
+        for i in 0..self.pis {
+            let name = format!("pi{i}");
+            b.input(&name);
+            sources.push(name);
+        }
+        for i in 0..self.ffs {
+            // FF outputs exist up front; D-inputs get wired at the end.
+            sources.push(format!("ff{i}"));
+        }
+        level_of.push(sources);
+
+        // Level plan: width decays gently so depth ≈ gates^0.4.
+        let depth = ((self.gates as f64).powf(0.4).ceil() as usize).clamp(2, 64);
+        let mut remaining = self.gates;
+        let mut gate_names: Vec<String> = Vec::with_capacity(self.gates);
+        let mut gate_idx = 0usize;
+        for lvl in 1..=depth {
+            if remaining == 0 {
+                break;
+            }
+            let levels_left = depth - lvl + 1;
+            let width = (remaining / levels_left).max(1).min(remaining);
+            let mut this_level = Vec::with_capacity(width);
+            for _ in 0..width {
+                let kind = pick_kind(&mut rng);
+                let fanin_count = match kind {
+                    GateKind::Not | GateKind::Buf => 1,
+                    _ => {
+                        if rng.gen_bool(0.18) {
+                            3
+                        } else {
+                            2
+                        }
+                    }
+                };
+                let mut fanins: Vec<String> = Vec::with_capacity(fanin_count);
+                for _ in 0..fanin_count {
+                    fanins.push(pick_fanin(&mut rng, &level_of, lvl));
+                }
+                fanins.dedup();
+                let kind = if fanins.len() == 1 && fanin_count > 1 {
+                    // Dedup collapsed a 2-input gate: degrade gracefully.
+                    if kind.is_inverting() {
+                        GateKind::Not
+                    } else {
+                        GateKind::Buf
+                    }
+                } else {
+                    kind
+                };
+                let name = format!("g{gate_idx}");
+                gate_idx += 1;
+                let fanin_refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
+                b.gate(&name, kind, &fanin_refs)
+                    .expect("generator arities are valid");
+                this_level.push(name.clone());
+                gate_names.push(name);
+            }
+            remaining -= this_level.len();
+            level_of.push(this_level);
+        }
+
+        // Register feedback: FF D pins sample late-level gates (or
+        // sources for degenerate sizes).
+        for i in 0..self.ffs {
+            let d = if gate_names.is_empty() {
+                level_of[0][rng.gen_range(0..level_of[0].len())].clone()
+            } else {
+                // Bias toward the last third of gates.
+                let lo = gate_names.len() * 2 / 3;
+                gate_names[rng.gen_range(lo..gate_names.len())].clone()
+            };
+            b.dff(format!("ff{i}"), d).expect("dff arity");
+        }
+
+        let netlist_probe = b.clone().build().expect("generator invariants hold");
+        // Observe every dangling signal as a primary output, as a P&R
+        // netlist would (no floating nets).
+        let mut danglers = 0usize;
+        for (id, sig) in netlist_probe.iter() {
+            if netlist_probe.fanout_count(id) == 0 && sig.kind() != GateKind::Dff {
+                b.output(sig.name());
+                danglers += 1;
+            }
+        }
+        if danglers == 0 {
+            // Guarantee at least one observable output.
+            if let Some(last) = gate_names.last() {
+                b.output(last);
+            } else {
+                b.output(&level_of[0][0]);
+            }
+        }
+        b.build().expect("generator invariants hold")
+    }
+}
+
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    // NAND/NOR-heavy standard-cell mix.
+    match rng.gen_range(0..100) {
+        0..=27 => GateKind::Nand,
+        28..=45 => GateKind::Nor,
+        46..=58 => GateKind::And,
+        59..=71 => GateKind::Or,
+        72..=81 => GateKind::Not,
+        82..=89 => GateKind::Xor,
+        90..=94 => GateKind::Xnor,
+        _ => GateKind::Buf,
+    }
+}
+
+/// Picks a fanin with locality bias: mostly the previous level, with a
+/// geometric tail reaching back to the sources.
+fn pick_fanin(rng: &mut StdRng, level_of: &[Vec<String>], lvl: usize) -> String {
+    let mut back = 1usize;
+    while back < lvl && rng.gen_bool(0.35) {
+        back += 1;
+    }
+    let pool = &level_of[lvl - back];
+    pool[rng.gen_range(0..pool.len())].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::NetlistStats;
+
+    fn config(gates: usize) -> GeneratorConfig {
+        GeneratorConfig {
+            name: "gen",
+            pis: 6,
+            ffs: 10,
+            gates,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn respects_requested_counts() {
+        for gates in [20, 100, 500] {
+            let n = config(gates).generate();
+            assert_eq!(n.gate_count(), gates);
+            assert_eq!(n.input_count(), 6);
+            assert_eq!(n.dff_count(), 10);
+            assert_eq!(n.scan_width(), 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = config(150).generate();
+        let b = config(150).generate();
+        assert_eq!(a, b);
+        let c = GeneratorConfig {
+            seed: 8,
+            ..config(150)
+        }
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_dangling_signals() {
+        let n = config(200).generate();
+        for (id, sig) in n.iter() {
+            if sig.kind() != GateKind::Dff {
+                assert!(
+                    n.fanout_count(id) > 0,
+                    "signal {} dangles",
+                    sig.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_shape() {
+        let n = config(400).generate();
+        let st = NetlistStats::of(&n);
+        assert!(st.depth >= 3, "depth {}", st.depth);
+        assert!(st.mean_fanout >= 1.0);
+        assert!(st.max_fanout >= 3, "max fanout {}", st.max_fanout);
+        // NAND-heavy mix.
+        assert!(st.count_of(GateKind::Nand) > st.count_of(GateKind::Xnor));
+    }
+
+    #[test]
+    fn bench_round_trip() {
+        use dpfill_netlist::parse::{parse_bench, write_bench};
+        let n = config(60).generate();
+        let text = write_bench(&n);
+        let back = parse_bench("gen", &text).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn tiny_configs_work() {
+        let n = GeneratorConfig {
+            name: "tiny",
+            pis: 1,
+            ffs: 0,
+            gates: 1,
+            seed: 0,
+        }
+        .generate();
+        assert_eq!(n.gate_count(), 1);
+        assert!(n.output_count() >= 1);
+    }
+
+    #[test]
+    fn simulates_cleanly() {
+        use dpfill_cubes::Bit;
+        use dpfill_netlist::CombView;
+        use dpfill_sim::CombSim;
+        let n = config(120).generate();
+        let view = CombView::new(&n);
+        let mut sim = CombSim::new(&view);
+        let inputs = vec![Bit::One; view.input_count()];
+        sim.simulate(&inputs).unwrap();
+        // Fully specified inputs give fully specified internals.
+        for (id, _) in n.iter() {
+            assert!(sim.value(id).is_care());
+        }
+    }
+}

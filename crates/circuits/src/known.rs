@@ -1,0 +1,70 @@
+//! Hand-written reference circuits used across tests and examples.
+
+use dpfill_netlist::{parse::parse_bench, Netlist};
+
+/// The ISCAS-85 c17 benchmark in `.bench` form — the canonical six-NAND
+/// teaching circuit.
+pub const C17_BENCH: &str = r"# c17: ISCAS-85 reference circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+/// Parses and returns c17.
+pub fn c17() -> Netlist {
+    parse_bench("c17", C17_BENCH).expect("embedded c17 is valid")
+}
+
+/// A small sequential circuit with three flip-flops — a convenient toy
+/// for scan-chain and LOS experiments (5 scan pins total).
+pub fn scan_toy() -> Netlist {
+    let text = r"# scan_toy: 2 PIs, 3 FFs
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+n1 = NAND(a, q0)
+n2 = XOR(b, q1)
+n3 = NOR(n1, q2)
+d0 = AND(n2, n3)
+d1 = OR(n1, n2)
+d2 = XNOR(n3, a)
+q0 = DFF(d0)
+q1 = DFF(d1)
+q2 = DFF(d2)
+z = AND(n3, q1)
+";
+    parse_bench("scan_toy", text).expect("embedded scan_toy is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_shape() {
+        let n = c17();
+        assert_eq!(n.input_count(), 5);
+        assert_eq!(n.output_count(), 2);
+        assert_eq!(n.gate_count(), 6);
+        assert!(!n.is_sequential());
+    }
+
+    #[test]
+    fn scan_toy_shape() {
+        let n = scan_toy();
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.dff_count(), 3);
+        assert_eq!(n.scan_width(), 5);
+        assert!(n.is_sequential());
+    }
+}

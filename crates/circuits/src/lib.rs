@@ -1,0 +1,34 @@
+//! ITC'99 benchmark profiles and a synthetic circuit generator.
+//!
+//! The DP-fill paper evaluates on the ITC'99 suite synthesized through a
+//! commercial flow. Neither the synthesized netlists nor the tools are
+//! redistributable, so this crate provides the documented substitution
+//! (DESIGN.md §3): per-benchmark [`CircuitProfile`]s carrying the paper's
+//! Table I shape — `#(PIs+FFs)` and `#Gates` — and a seeded
+//! [`generate`](CircuitProfile::generate) that produces a random but
+//! realistic sequential netlist matching the profile (gate mix, locality-
+//! biased fanin selection, geometric level structure, registered
+//! feedback).
+//!
+//! What matters downstream is (a) the cube width `#(PIs+FFs)`, which is
+//! exact, and (b) the don't-care structure ATPG extracts, which tracks
+//! circuit testability; both are preserved well enough that the paper's
+//! *qualitative* results reproduce (see EXPERIMENTS.md).
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_circuits::itc99;
+//!
+//! let b03 = itc99("b03").expect("known benchmark");
+//! let netlist = b03.generate();
+//! assert_eq!(netlist.scan_width(), b03.scan_width());
+//! ```
+
+mod generator;
+mod known;
+mod profile;
+
+pub use generator::GeneratorConfig;
+pub use known::{c17, scan_toy, C17_BENCH};
+pub use profile::{itc99, itc99_suite, CircuitProfile};

@@ -1,0 +1,206 @@
+use std::fmt;
+
+use dpfill_netlist::Netlist;
+
+use crate::generator::GeneratorConfig;
+
+/// Shape of one ITC'99 benchmark, as reported in the paper's Table I.
+///
+/// `pis + ffs` (the cube width) and `gates` match the paper exactly;
+/// the PI/FF split uses the published ITC'99 interface counts, clamped
+/// to the paper's totals. `paper_x_percent` and `approx_patterns` steer
+/// the profile-mode cube generator and the Table I comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitProfile {
+    /// Benchmark name (`"b01"` … `"b22"`).
+    pub name: &'static str,
+    /// Primary inputs.
+    pub pis: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// Combinational gates (paper Table I "# Gates").
+    pub gates: usize,
+    /// Average X percentage of the paper's test cubes (Table I "X %").
+    pub paper_x_percent: f64,
+    /// Representative ATPG pattern count used by the profile-mode cube
+    /// generator.
+    pub approx_patterns: usize,
+    /// Base seed; every derived artifact (netlist, cubes) mixes this.
+    pub seed: u64,
+}
+
+impl CircuitProfile {
+    /// Cube width: `#PIs + #FFs` — the paper's "#(PIs + FFs)" column.
+    pub fn scan_width(&self) -> usize {
+        self.pis + self.ffs
+    }
+
+    /// Generates the benchmark's synthetic netlist (deterministic).
+    pub fn generate(&self) -> Netlist {
+        GeneratorConfig {
+            name: self.name,
+            pis: self.pis,
+            ffs: self.ffs,
+            gates: self.gates,
+            seed: self.seed,
+        }
+        .generate()
+    }
+
+    /// A down-scaled copy (gates and pattern counts multiplied by
+    /// `factor`, width preserved) for quick benchmarking runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn scaled(&self, factor: f64) -> CircuitProfile {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        CircuitProfile {
+            gates: ((self.gates as f64 * factor) as usize).max(16),
+            approx_patterns: ((self.approx_patterns as f64 * factor) as usize).max(8),
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for CircuitProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs+FFs, {} gates, X% {:.1}",
+            self.name,
+            self.scan_width(),
+            self.gates,
+            self.paper_x_percent
+        )
+    }
+}
+
+macro_rules! profile {
+    ($name:literal, $pis:expr, $ffs:expr, $gates:expr, $x:expr, $pat:expr, $seed:expr) => {
+        CircuitProfile {
+            name: $name,
+            pis: $pis,
+            ffs: $ffs,
+            gates: $gates,
+            paper_x_percent: $x,
+            approx_patterns: $pat,
+            seed: $seed,
+        }
+    };
+}
+
+/// The 21 ITC'99 circuits of the paper's evaluation, in table order.
+///
+/// Widths (`pis + ffs`) and gate counts follow Table I; b09 (absent from
+/// Table I but present in Tables II–VI) uses the published ITC'99 size.
+pub const ITC99: [CircuitProfile; 21] = [
+    profile!("b01", 2, 3, 57, 7.1, 14, 0xB01),
+    profile!("b02", 1, 3, 31, 5.0, 10, 0xB02),
+    profile!("b03", 4, 25, 103, 70.4, 30, 0xB03),
+    profile!("b04", 11, 66, 615, 64.4, 60, 0xB04),
+    profile!("b05", 1, 34, 608, 36.8, 60, 0xB05),
+    profile!("b06", 2, 3, 60, 12.5, 16, 0xB06),
+    profile!("b07", 1, 49, 431, 58.6, 50, 0xB07),
+    profile!("b08", 9, 21, 196, 60.4, 40, 0xB08),
+    profile!("b09", 1, 28, 170, 55.0, 36, 0xB09),
+    profile!("b10", 11, 17, 217, 58.7, 44, 0xB10),
+    profile!("b11", 7, 31, 574, 64.1, 60, 0xB11),
+    profile!("b12", 5, 121, 1_600, 76.9, 100, 0xB12),
+    profile!("b13", 10, 43, 596, 65.4, 60, 0xB13),
+    profile!("b14", 32, 243, 5_400, 77.9, 320, 0xB14),
+    profile!("b15", 36, 449, 8_700, 87.8, 420, 0xB15),
+    profile!("b17", 37, 1_415, 27_990, 89.9, 700, 0xB17),
+    profile!("b18", 37, 3_320, 75_800, 86.9, 900, 0xB18),
+    profile!("b19", 24, 6_642, 146_500, 89.8, 1_000, 0xB19),
+    profile!("b20", 32, 490, 9_400, 75.3, 380, 0xB20),
+    profile!("b21", 32, 490, 9_400, 73.2, 380, 0xB21),
+    profile!("b22", 32, 735, 13_400, 74.1, 440, 0xB22),
+];
+
+/// Looks up a benchmark profile by name.
+pub fn itc99(name: &str) -> Option<CircuitProfile> {
+    ITC99.iter().find(|p| p.name == name).copied()
+}
+
+/// The whole suite, in the paper's table order.
+pub fn itc99_suite() -> &'static [CircuitProfile] {
+    &ITC99
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_paper_table1() {
+        // Spot-check the paper's #(PIs+FFs) column.
+        let expect = [
+            ("b01", 5),
+            ("b03", 29),
+            ("b04", 77),
+            ("b12", 126),
+            ("b14", 275),
+            ("b15", 485),
+            ("b17", 1452),
+            ("b18", 3357),
+            ("b19", 6666),
+            ("b20", 522),
+            ("b22", 767),
+        ];
+        for (name, width) in expect {
+            assert_eq!(itc99(name).unwrap().scan_width(), width, "{name}");
+        }
+    }
+
+    #[test]
+    fn gate_counts_match_paper_table1() {
+        assert_eq!(itc99("b01").unwrap().gates, 57);
+        assert_eq!(itc99("b12").unwrap().gates, 1_600);
+        assert_eq!(itc99("b19").unwrap().gates, 146_500);
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(itc99("b05").is_some());
+        assert!(itc99("b16").is_none()); // b16 is famously absent
+        assert!(itc99("c17").is_none());
+        assert_eq!(itc99_suite().len(), 21);
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let names: Vec<&str> = ITC99.iter().map(|p| p.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 21);
+        assert_eq!(names[0], "b01");
+        assert_eq!(*names.last().unwrap(), "b22");
+    }
+
+    #[test]
+    fn scaling_shrinks_gates_not_width() {
+        let b14 = itc99("b14").unwrap();
+        let small = b14.scaled(0.1);
+        assert_eq!(small.scan_width(), b14.scan_width());
+        assert!(small.gates < b14.gates);
+        assert!(small.approx_patterns < b14.approx_patterns);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn zero_scale_panics() {
+        let _ = itc99("b01").unwrap().scaled(0.0);
+    }
+
+    #[test]
+    fn small_profiles_generate_quickly() {
+        for name in ["b01", "b02", "b06"] {
+            let p = itc99(name).unwrap();
+            let n = p.generate();
+            assert_eq!(n.scan_width(), p.scan_width(), "{name}");
+            assert_eq!(n.gate_count(), p.gates, "{name}");
+        }
+    }
+}

@@ -1,0 +1,724 @@
+//! The Bottleneck Coloring Problem (BCP).
+//!
+//! Given intervals over a discrete set of *colors* (transitions between
+//! consecutive test cubes), assign each interval one color inside its
+//! window so that the maximum number of intervals sharing a color is
+//! minimized (paper §V). Two solvers are provided:
+//!
+//! * the **paper solver** — Algorithm 1 (dynamic-programming lower bound)
+//!   plus Algorithm 2 (earliest-deadline greedy with per-color quota =
+//!   lower bound), exactly as published;
+//! * the **generalized solver** — additionally accounts for per-color
+//!   *baseline* loads (forced toggles from adjacent opposite care bits,
+//!   which the paper's formulation ignores). The lower bound becomes
+//!   `max over windows ⌈(intervals inside + baseline inside) / |window|⌉`
+//!   and earliest-deadline-first with per-color capacities achieves it
+//!   (Hall's condition over contiguous windows is sufficient for unit
+//!   jobs with interval windows).
+//!
+//! Both agree whenever the baseline is zero (property-tested), and the
+//! generalized peak is provably optimal for the true objective
+//! `max_t (baseline_t + load_t)` (tested against brute force).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use crate::Interval;
+
+/// Errors from BCP construction and solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BcpError {
+    /// An interval refers to a color `>= num_colors`.
+    IntervalOutOfRange {
+        /// The offending interval.
+        interval: Interval,
+        /// Number of colors in the instance.
+        num_colors: usize,
+    },
+    /// The baseline vector length differs from `num_colors`.
+    BaselineLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        found: usize,
+    },
+    /// A coloring assigned a color outside an interval's window, or has
+    /// the wrong length.
+    InvalidColoring(String),
+    /// The greedy/EDF pass could not place every interval within the
+    /// given peak. Cannot happen for peaks at or above the lower bound;
+    /// reported instead of panicking to keep the solver total.
+    Infeasible {
+        /// The peak that was attempted.
+        peak: u64,
+    },
+}
+
+impl fmt::Display for BcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BcpError::IntervalOutOfRange {
+                interval,
+                num_colors,
+            } => write!(
+                f,
+                "interval {interval} exceeds color range 0..{num_colors}"
+            ),
+            BcpError::BaselineLengthMismatch { expected, found } => {
+                write!(f, "baseline length {found} does not match {expected} colors")
+            }
+            BcpError::InvalidColoring(msg) => write!(f, "invalid coloring: {msg}"),
+            BcpError::Infeasible { peak } => {
+                write!(f, "no coloring exists with peak {peak}")
+            }
+        }
+    }
+}
+
+impl Error for BcpError {}
+
+/// A BCP instance: intervals over `num_colors` colors plus optional
+/// per-color baseline loads.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BcpInstance {
+    num_colors: usize,
+    intervals: Vec<Interval>,
+    baseline: Vec<u64>,
+}
+
+/// A color assignment: `colors[i]` is the color given to interval `i` (in
+/// instance order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u32>,
+}
+
+impl Coloring {
+    /// Per-interval colors, in instance order.
+    pub fn colors(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Color of interval `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn color(&self, i: usize) -> u32 {
+        self.colors[i]
+    }
+}
+
+/// Peaks achieved by a verified coloring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifiedPeak {
+    /// `max_t (baseline_t + interval load_t)` — the true toggle peak.
+    pub with_baseline: u64,
+    /// `max_t interval load_t` — the paper's BCP objective.
+    pub intervals_only: u64,
+}
+
+/// A solved instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BcpSolution {
+    /// The color given to each interval.
+    pub coloring: Coloring,
+    /// The lower bound the solver certified.
+    pub lower_bound: u64,
+    /// The achieved peaks (optimal: `with_baseline == lower_bound` for
+    /// the generalized solver; `intervals_only == lower_bound` for the
+    /// paper solver).
+    pub peak: VerifiedPeak,
+}
+
+impl BcpInstance {
+    /// Creates an instance with `num_colors` colors, no intervals and a
+    /// zero baseline.
+    pub fn new(num_colors: usize) -> BcpInstance {
+        BcpInstance {
+            num_colors,
+            intervals: Vec::new(),
+            baseline: vec![0; num_colors],
+        }
+    }
+
+    /// Adds an interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::IntervalOutOfRange`] when the interval's end is
+    /// not a valid color.
+    pub fn add_interval(&mut self, interval: Interval) -> Result<(), BcpError> {
+        if interval.end() as usize >= self.num_colors {
+            return Err(BcpError::IntervalOutOfRange {
+                interval,
+                num_colors: self.num_colors,
+            });
+        }
+        self.intervals.push(interval);
+        Ok(())
+    }
+
+    /// Adds a forced (unavoidable) load at color `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= num_colors`.
+    pub fn add_baseline(&mut self, t: usize, amount: u64) {
+        self.baseline[t] += amount;
+    }
+
+    /// Replaces the baseline vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::BaselineLengthMismatch`] on length mismatch.
+    pub fn set_baseline(&mut self, baseline: Vec<u64>) -> Result<(), BcpError> {
+        if baseline.len() != self.num_colors {
+            return Err(BcpError::BaselineLengthMismatch {
+                expected: self.num_colors,
+                found: baseline.len(),
+            });
+        }
+        self.baseline = baseline;
+        Ok(())
+    }
+
+    /// Number of colors (transitions).
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// The intervals, in insertion order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The per-color baseline loads.
+    pub fn baseline(&self) -> &[u64] {
+        &self.baseline
+    }
+
+    /// Algorithm 1: the paper's dynamic-programming lower bound on the
+    /// number of intervals sharing a color (baseline ignored).
+    ///
+    /// `T[i][j]` (intervals with `start ≥ i` and `end ≤ j`) satisfies
+    /// `T[i][j] = T[i][j-1] + T[i+1][j] − T[i+1][j-1] + #(start=i ∧ end=j)`
+    /// and the bound is `max ⌈T[i][j]/(j−i+1)⌉`. Computed row by row in
+    /// O(C²) time and O(C) space.
+    pub fn lower_bound_paper(&self) -> u64 {
+        self.lower_bound_inner(false)
+    }
+
+    /// Generalized lower bound for the true objective
+    /// `max_t (baseline_t + load_t)`:
+    /// `max( max_t baseline_t, max_{i≤j} ⌈(T[i][j] + Σ baseline)/(j−i+1)⌉ )`.
+    pub fn lower_bound(&self) -> u64 {
+        self.lower_bound_inner(true)
+    }
+
+    fn lower_bound_inner(&self, with_baseline: bool) -> u64 {
+        let c = self.num_colors;
+        if c == 0 {
+            return 0;
+        }
+        // exact_by_start[i] lists (end, count) pairs of intervals starting
+        // exactly at i.
+        let mut exact_by_start: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for iv in &self.intervals {
+            exact_by_start[iv.start() as usize].push(iv.end());
+        }
+        // Baseline prefix sums: pre[j] = sum of baseline[0..j].
+        let mut pre = vec![0u64; c + 1];
+        for t in 0..c {
+            pre[t + 1] = pre[t] + self.baseline[t];
+        }
+
+        let mut best: u64 = if with_baseline {
+            self.baseline.iter().copied().max().unwrap_or(0)
+        } else {
+            0
+        };
+        // prev[j] = T[i+1][j]; cur[j] = T[i][j]. Row i processed from the
+        // last color down to 0.
+        let mut prev = vec![0u64; c];
+        let mut cur = vec![0u64; c];
+        let mut add = vec![0u64; c];
+        for i in (0..c).rev() {
+            for a in add.iter_mut() {
+                *a = 0;
+            }
+            for &e in &exact_by_start[i] {
+                add[e as usize] += 1;
+            }
+            for j in 0..c {
+                if j < i {
+                    cur[j] = 0;
+                    continue;
+                }
+                let t_left = if j > i { cur[j - 1] } else { 0 };
+                let t_down = prev[j];
+                let t_diag = if j > i { prev[j - 1] } else { 0 };
+                cur[j] = t_left + t_down - t_diag + add[j];
+                let len = (j - i + 1) as u64;
+                let numerator = if with_baseline {
+                    cur[j] + (pre[j + 1] - pre[i])
+                } else {
+                    cur[j]
+                };
+                let bound = numerator.div_ceil(len);
+                if bound > best {
+                    best = bound;
+                }
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        best
+    }
+
+    /// Reference implementation of the lower bound: direct counting per
+    /// window, O(C²·k). Used to cross-check the DP in tests; exposed for
+    /// downstream validation on small instances.
+    pub fn lower_bound_naive(&self, with_baseline: bool) -> u64 {
+        let c = self.num_colors;
+        let mut best: u64 = if with_baseline {
+            self.baseline.iter().copied().max().unwrap_or(0)
+        } else {
+            0
+        };
+        for i in 0..c {
+            for j in i..c {
+                let inside = self
+                    .intervals
+                    .iter()
+                    .filter(|iv| iv.within(i as u32, j as u32))
+                    .count() as u64;
+                let b: u64 = if with_baseline {
+                    self.baseline[i..=j].iter().sum()
+                } else {
+                    0
+                };
+                let len = (j - i + 1) as u64;
+                best = best.max((inside + b).div_ceil(len));
+            }
+        }
+        best
+    }
+
+    /// Algorithm 2: earliest-deadline greedy coloring with a per-color
+    /// quota of `lb` intervals (the paper's optimal coloring; baseline
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Infeasible`] if `lb` is below the true lower
+    /// bound (cannot happen when `lb = self.lower_bound_paper()`).
+    pub fn color_greedy_paper(&self, lb: u64) -> Result<Coloring, BcpError> {
+        self.color_with_capacity(|_t| lb)
+    }
+
+    /// Earliest-deadline-first coloring with per-color capacity
+    /// `peak − baseline_t` — the generalized solver's assignment step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Infeasible`] when `peak` is below the
+    /// generalized lower bound.
+    pub fn color_edf(&self, peak: u64) -> Result<Coloring, BcpError> {
+        self.color_with_capacity(|t| peak.saturating_sub(self.baseline[t]))
+    }
+
+    fn color_with_capacity<F: Fn(usize) -> u64>(&self, capacity: F) -> Result<Coloring, BcpError> {
+        let c = self.num_colors;
+        let k = self.intervals.len();
+        let mut colors = vec![u32::MAX; k];
+        if k == 0 {
+            return Ok(Coloring { colors });
+        }
+        // Indices of intervals grouped by start color.
+        let mut by_start: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for (idx, iv) in self.intervals.iter().enumerate() {
+            by_start[iv.start() as usize].push(idx as u32);
+        }
+        // Min-heap ordered by interval end (the deadline).
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(k);
+        let mut assigned = 0usize;
+        for t in 0..c {
+            for &idx in &by_start[t] {
+                heap.push(Reverse((self.intervals[idx as usize].end(), idx)));
+            }
+            let quota = capacity(t);
+            let mut used = 0u64;
+            while used < quota {
+                match heap.pop() {
+                    Some(Reverse((end, idx))) => {
+                        if (end as usize) < t {
+                            // A deadline was missed: the quota was too
+                            // small at some earlier color.
+                            return Err(BcpError::Infeasible { peak: quota });
+                        }
+                        colors[idx as usize] = t as u32;
+                        assigned += 1;
+                        used += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if assigned != k {
+            let last_quota = capacity(c - 1);
+            return Err(BcpError::Infeasible { peak: last_quota });
+        }
+        Ok(Coloring { colors })
+    }
+
+    /// Verifies a coloring: every interval colored inside its window.
+    /// Returns the achieved peaks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::InvalidColoring`] when the coloring is
+    /// malformed.
+    pub fn verify(&self, coloring: &Coloring) -> Result<VerifiedPeak, BcpError> {
+        if coloring.colors.len() != self.intervals.len() {
+            return Err(BcpError::InvalidColoring(format!(
+                "{} colors for {} intervals",
+                coloring.colors.len(),
+                self.intervals.len()
+            )));
+        }
+        let mut load = vec![0u64; self.num_colors];
+        for (iv, &color) in self.intervals.iter().zip(&coloring.colors) {
+            if !iv.contains(color) {
+                return Err(BcpError::InvalidColoring(format!(
+                    "interval {iv} colored {color}"
+                )));
+            }
+            load[color as usize] += 1;
+        }
+        let intervals_only = load.iter().copied().max().unwrap_or(0);
+        let with_baseline = load
+            .iter()
+            .zip(&self.baseline)
+            .map(|(l, b)| l + b)
+            .max()
+            .unwrap_or_else(|| self.baseline.iter().copied().max().unwrap_or(0));
+        Ok(VerifiedPeak {
+            with_baseline,
+            intervals_only,
+        })
+    }
+
+    /// Solves with the generalized (baseline-aware) algorithm; the
+    /// returned peak is optimal for `max_t (baseline_t + load_t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BcpError::Infeasible`] — which would indicate a bug,
+    /// as the generalized lower bound is always achievable.
+    pub fn solve(&self) -> Result<BcpSolution, BcpError> {
+        let lb = self.lower_bound();
+        let coloring = self.color_edf(lb)?;
+        let peak = self.verify(&coloring)?;
+        debug_assert_eq!(peak.with_baseline, lb, "EDF must achieve the bound");
+        Ok(BcpSolution {
+            coloring,
+            lower_bound: lb,
+            peak,
+        })
+    }
+
+    /// Solves with the paper's Algorithms 1+2 (baseline ignored during
+    /// optimization, but reported in the verified peak).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BcpError::Infeasible`] — which would indicate a bug,
+    /// as Algorithm 2 always meets the Algorithm 1 bound.
+    pub fn solve_paper(&self) -> Result<BcpSolution, BcpError> {
+        let lb = self.lower_bound_paper();
+        let coloring = self.color_greedy_paper(lb)?;
+        let peak = self.verify(&coloring)?;
+        debug_assert_eq!(peak.intervals_only, lb, "greedy must meet Algorithm 1's bound");
+        Ok(BcpSolution {
+            coloring,
+            lower_bound: lb,
+            peak,
+        })
+    }
+
+    /// Exhaustive minimum peak (with baseline) — O(∏ len(interval)).
+    /// Only for tiny instances in tests and validation.
+    pub fn brute_force_min_peak(&self) -> u64 {
+        fn rec(
+            instance: &BcpInstance,
+            idx: usize,
+            load: &mut Vec<u64>,
+            best: &mut u64,
+        ) {
+            if idx == instance.intervals.len() {
+                let peak = load
+                    .iter()
+                    .zip(&instance.baseline)
+                    .map(|(l, b)| l + b)
+                    .max()
+                    .unwrap_or(0);
+                *best = (*best).min(peak);
+                return;
+            }
+            let iv = instance.intervals[idx];
+            for t in iv.start()..=iv.end() {
+                load[t as usize] += 1;
+                // Prune: partial peak already ≥ best.
+                let partial = load[t as usize] + instance.baseline[t as usize];
+                if partial < *best || *best == 0 {
+                    rec(instance, idx + 1, load, best);
+                }
+                load[t as usize] -= 1;
+            }
+        }
+        if self.num_colors == 0 {
+            return 0;
+        }
+        let mut best = u64::MAX;
+        let mut load = vec![0u64; self.num_colors];
+        rec(self, 0, &mut load, &mut best);
+        if best == u64::MAX {
+            // No intervals: the peak is the baseline's max.
+            self.baseline.iter().copied().max().unwrap_or(0)
+        } else {
+            best
+        }
+    }
+}
+
+/// Construction helpers for tests and examples that need a hand-made
+/// [`Coloring`]. Not part of the stable API.
+#[doc(hidden)]
+pub mod test_support {
+    use super::Coloring;
+
+    /// Builds a coloring from raw colors (no validation; pair with
+    /// [`BcpInstance::verify`](super::BcpInstance::verify)).
+    pub fn coloring(colors: Vec<u32>) -> Coloring {
+        Coloring { colors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(n_colors: usize, ivs: &[(u32, u32)]) -> BcpInstance {
+        let mut inst = BcpInstance::new(n_colors);
+        for &(s, e) in ivs {
+            inst.add_interval(Interval::new(s, e)).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = BcpInstance::new(5);
+        assert_eq!(inst.lower_bound_paper(), 0);
+        assert_eq!(inst.lower_bound(), 0);
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 0);
+    }
+
+    #[test]
+    fn zero_colors() {
+        let mut inst = BcpInstance::new(0);
+        assert_eq!(inst.lower_bound(), 0);
+        assert!(inst.solve().is_ok());
+        assert!(inst
+            .add_interval(Interval::new(0, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_range_interval_rejected() {
+        let mut inst = BcpInstance::new(3);
+        assert!(matches!(
+            inst.add_interval(Interval::new(1, 3)),
+            Err(BcpError::IntervalOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pigeonhole_bound() {
+        // Three identical point intervals must share one color.
+        let inst = instance(4, &[(1, 1), (1, 1), (1, 1)]);
+        assert_eq!(inst.lower_bound_paper(), 3);
+        let sol = inst.solve_paper().unwrap();
+        assert_eq!(sol.peak.intervals_only, 3);
+    }
+
+    #[test]
+    fn spreading_reduces_peak() {
+        // Four intervals each allowing two colors can spread to peak 2.
+        let inst = instance(2, &[(0, 1), (0, 1), (0, 1), (0, 1)]);
+        assert_eq!(inst.lower_bound_paper(), 2);
+        let sol = inst.solve_paper().unwrap();
+        assert_eq!(sol.peak.intervals_only, 2);
+    }
+
+    #[test]
+    fn window_density_bound() {
+        // Window [1,2] holds 5 intervals over 2 colors -> LB 3 even
+        // though each single color only "sees" fewer forced intervals.
+        let inst = instance(
+            5,
+            &[(1, 2), (1, 2), (1, 1), (2, 2), (1, 2)],
+        );
+        assert_eq!(inst.lower_bound_paper(), 3);
+        assert_eq!(
+            inst.lower_bound_naive(false),
+            3,
+            "naive disagrees with DP"
+        );
+        let sol = inst.solve_paper().unwrap();
+        assert_eq!(sol.peak.intervals_only, 3);
+        assert_eq!(inst.brute_force_min_peak(), 3);
+    }
+
+    #[test]
+    fn paper_fig1_style_instance_is_optimal() {
+        // Disjoint choices allow peak 1.
+        let inst = instance(4, &[(0, 1), (2, 3), (1, 2)]);
+        let sol = inst.solve_paper().unwrap();
+        assert_eq!(sol.peak.intervals_only, 1);
+    }
+
+    #[test]
+    fn baseline_changes_optimum() {
+        // One interval over colors {0,1}; baseline load 2 at color 0.
+        let mut inst = instance(2, &[(0, 1)]);
+        inst.add_baseline(0, 2);
+        // Paper solver ignores baseline and may pick color 0 -> true
+        // peak 3; generalized solver must pick color 1 -> peak 2.
+        assert_eq!(inst.lower_bound(), 2);
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 2);
+        assert_eq!(sol.coloring.color(0), 1);
+        assert_eq!(inst.brute_force_min_peak(), 2);
+    }
+
+    #[test]
+    fn baseline_only_instance() {
+        let mut inst = BcpInstance::new(3);
+        inst.set_baseline(vec![1, 4, 2]).unwrap();
+        assert_eq!(inst.lower_bound(), 4);
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 4);
+        assert_eq!(inst.brute_force_min_peak(), 4);
+    }
+
+    #[test]
+    fn baseline_window_averaging() {
+        // Baseline [0,3,0] + two intervals over the whole range: the
+        // window [1,1] gives ceil((0+3)/1)=3; whole window gives
+        // ceil((2+3)/3)=2; max_t baseline = 3 -> LB 3 and EDF avoids
+        // color 1 entirely.
+        let mut inst = instance(3, &[(0, 2), (0, 2)]);
+        inst.set_baseline(vec![0, 3, 0]).unwrap();
+        assert_eq!(inst.lower_bound(), 3);
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 3);
+        assert_eq!(inst.brute_force_min_peak(), 3);
+    }
+
+    #[test]
+    fn set_baseline_validates_length() {
+        let mut inst = BcpInstance::new(3);
+        assert!(matches!(
+            inst.set_baseline(vec![0, 1]),
+            Err(BcpError::BaselineLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_respects_deadlines() {
+        // Intervals with tight deadlines first: EDF must schedule the
+        // early-ending ones before the late ones.
+        let inst = instance(3, &[(0, 2), (0, 0), (0, 1), (0, 2)]);
+        let lb = inst.lower_bound_paper();
+        assert_eq!(lb, 2);
+        let coloring = inst.color_greedy_paper(lb).unwrap();
+        let peak = inst.verify(&coloring).unwrap();
+        assert_eq!(peak.intervals_only, 2);
+        // Interval 1 (deadline 0) must get color 0.
+        assert_eq!(coloring.color(1), 0);
+    }
+
+    #[test]
+    fn infeasible_quota_reported() {
+        let inst = instance(2, &[(0, 0), (0, 0)]);
+        assert!(matches!(
+            inst.color_greedy_paper(1),
+            Err(BcpError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_out_of_window_colors() {
+        let inst = instance(3, &[(0, 1)]);
+        let bad = Coloring { colors: vec![2] };
+        assert!(matches!(
+            inst.verify(&bad),
+            Err(BcpError::InvalidColoring(_))
+        ));
+        let short = Coloring { colors: vec![] };
+        assert!(matches!(
+            inst.verify(&short),
+            Err(BcpError::InvalidColoring(_))
+        ));
+    }
+
+    #[test]
+    fn dp_matches_naive_on_dense_instance() {
+        let ivs: Vec<(u32, u32)> = (0..20)
+            .flat_map(|s| (s..20).map(move |e| (s, e)))
+            .filter(|(s, e)| (e - s) % 3 == 0)
+            .collect();
+        let inst = instance(20, &ivs);
+        assert_eq!(inst.lower_bound_paper(), inst.lower_bound_naive(false));
+        let sol = inst.solve_paper().unwrap();
+        assert_eq!(sol.peak.intervals_only, sol.lower_bound);
+    }
+
+    #[test]
+    fn generalized_solver_matches_brute_force() {
+        // A handful of hand-rolled small instances with baselines.
+        let cases: Vec<(usize, Vec<(u32, u32)>, Vec<u64>)> = vec![
+            (3, vec![(0, 1), (1, 2), (0, 2)], vec![1, 0, 2]),
+            (4, vec![(0, 3), (1, 2), (2, 3), (0, 0)], vec![0, 2, 0, 1]),
+            (2, vec![(0, 1), (0, 1), (1, 1)], vec![3, 0]),
+            (5, vec![(0, 4); 7], vec![1, 1, 1, 1, 1]),
+        ];
+        for (c, ivs, baseline) in cases {
+            let mut inst = instance(c, &ivs);
+            inst.set_baseline(baseline.clone()).unwrap();
+            let sol = inst.solve().unwrap();
+            assert_eq!(
+                sol.peak.with_baseline,
+                inst.brute_force_min_peak(),
+                "instance {c} {ivs:?} {baseline:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solution_peak_equals_lower_bound() {
+        let inst = instance(6, &[(0, 5), (1, 3), (2, 2), (2, 4), (0, 1), (4, 5)]);
+        let sol = inst.solve_paper().unwrap();
+        assert_eq!(sol.peak.intervals_only, sol.lower_bound);
+        let gsol = inst.solve().unwrap();
+        assert_eq!(gsol.peak.with_baseline, gsol.lower_bound);
+        // No baseline: both agree.
+        assert_eq!(gsol.peak.with_baseline, sol.peak.intervals_only);
+    }
+}

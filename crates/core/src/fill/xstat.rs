@@ -1,0 +1,187 @@
+//! The XStat two-phase fill (Trinadh et al. [22]).
+
+use dpfill_cubes::stretch::{RowStretches, Stretch};
+use dpfill_cubes::{Bit, CubeSet};
+
+use super::FillStrategy;
+
+/// XStat fill: the strongest published heuristic prior to DP-fill, and
+/// the paper's Fig 1 foil.
+///
+/// * **Phase 1** — adjacent-fills every stretch from both ends: a
+///   `v X…X w` (`v ≠ w`) stretch keeps exactly one `X` in the middle
+///   (`0XXXX1 → 00X11`); `v X…X v`, leading/trailing and all-`X`
+///   stretches are filled completely (they never need a toggle).
+/// * **Phase 2** — each surviving middle `X` has a binary choice: copy
+///   the left value (toggle on its right) or the right value (toggle on
+///   its left). Choices are made greedily against the running
+///   per-transition toggle counts, lightest side first.
+///
+/// The greedy phase-1 halving is what costs optimality: it shrinks each
+/// stretch's window to two transitions *before* seeing the global
+/// picture, which is exactly the weakness the paper's Fig 1 illustrates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XStatFill;
+
+impl FillStrategy for XStatFill {
+    fn name(&self) -> &'static str {
+        "XStat"
+    }
+
+    fn fill(&self, cubes: &CubeSet) -> CubeSet {
+        let mut matrix = cubes.to_pin_matrix();
+        let cols = matrix.cols();
+        let transitions = cols.saturating_sub(1);
+        // Pending phase-2 decisions: (row, x_col, left_value).
+        let mut pending: Vec<(usize, usize, Bit)> = Vec::new();
+
+        for row in 0..matrix.rows() {
+            let stretches = RowStretches::analyze(matrix.row(row));
+            for s in stretches.stretches() {
+                match *s {
+                    Stretch::AllX => {
+                        for col in 0..cols {
+                            matrix.set(row, col, Bit::Zero);
+                        }
+                    }
+                    Stretch::Leading { first_care } => {
+                        let v = matrix.bit(row, first_care);
+                        for col in 0..first_care {
+                            matrix.set(row, col, v);
+                        }
+                    }
+                    Stretch::Trailing { last_care } => {
+                        let v = matrix.bit(row, last_care);
+                        for col in last_care + 1..cols {
+                            matrix.set(row, col, v);
+                        }
+                    }
+                    Stretch::SameValue { left, right, value } => {
+                        for col in left + 1..right {
+                            matrix.set(row, col, value);
+                        }
+                    }
+                    Stretch::Transition {
+                        left,
+                        right,
+                        left_value,
+                    } => {
+                        // Phase 1: fill toward the middle, keep one X at
+                        // the midpoint column.
+                        let mid = (left + right) / 2;
+                        let mid = mid.clamp(left + 1, right - 1);
+                        let right_value = !left_value;
+                        for col in left + 1..mid {
+                            matrix.set(row, col, left_value);
+                        }
+                        for col in mid + 1..right {
+                            matrix.set(row, col, right_value);
+                        }
+                        pending.push((row, mid, left_value));
+                    }
+                    Stretch::ForcedToggle { .. } => {}
+                }
+            }
+        }
+
+        // Phase 2: count all definite toggles, then resolve middles
+        // greedily.
+        let mut load = vec![0u64; transitions];
+        for row in 0..matrix.rows() {
+            let r = matrix.row(row);
+            for t in 0..transitions {
+                if r[t].conflicts(r[t + 1]) {
+                    load[t] += 1;
+                }
+            }
+        }
+        // Lightest-neighbourhood decisions first (the "statistical"
+        // ordering: constrained middles with one heavy side decided while
+        // alternatives remain).
+        pending.sort_by_key(|&(_, col, _)| {
+            let left_t = col - 1;
+            let right_t = col;
+            load[left_t].min(load[right_t])
+        });
+        for (row, col, left_value) in pending {
+            let left_t = col - 1; // toggle if X takes the right value
+            let right_t = col; // toggle if X takes the left value
+            if load[left_t] < load[right_t] {
+                matrix.set(row, col, !left_value);
+                load[left_t] += 1;
+            } else {
+                matrix.set(row, col, left_value);
+                load[right_t] += 1;
+            }
+        }
+        debug_assert_eq!(matrix.x_count(), 0);
+        matrix.to_cube_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill::{DpFill, FillStrategy};
+    use dpfill_cubes::peak_toggles;
+
+    #[test]
+    fn phase1_leaves_middle_then_phase2_resolves() {
+        let cubes = CubeSet::parse_rows(&["0", "X", "X", "X", "X", "1"]).unwrap();
+        let filled = XStatFill.fill(&cubes);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+        // Exactly one toggle in the row.
+        assert_eq!(
+            dpfill_cubes::total_toggles(&filled).unwrap(),
+            1,
+            "one transition stretch -> one toggle"
+        );
+    }
+
+    #[test]
+    fn single_x_between_opposite_bits() {
+        let cubes = CubeSet::parse_rows(&["0", "X", "1"]).unwrap();
+        let filled = XStatFill.fill(&cubes);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+        assert_eq!(peak_toggles(&filled).unwrap(), 1);
+    }
+
+    #[test]
+    fn same_value_stretch_costs_nothing() {
+        let cubes = CubeSet::parse_rows(&["1", "X", "X", "1"]).unwrap();
+        let filled = XStatFill.fill(&cubes);
+        assert_eq!(peak_toggles(&filled).unwrap(), 0);
+    }
+
+    #[test]
+    fn suboptimal_vs_dp_fill_exists() {
+        // The Fig 1 phenomenon: XStat's halving pins toggles near stretch
+        // middles; DP-fill can do strictly better on a crafted matrix.
+        // Rows chosen so every stretch middle collides on the same
+        // transition while DP can spread them.
+        let cubes = CubeSet::parse_rows(&[
+            "000", "XXX", "X0X", "111", "0X1", "XX1", "X11",
+        ])
+        .unwrap();
+        let xstat = peak_toggles(&XStatFill.fill(&cubes)).unwrap();
+        let dp = peak_toggles(&DpFill::new().fill(&cubes)).unwrap();
+        assert!(dp <= xstat, "dp {dp} must never exceed xstat {xstat}");
+    }
+
+    #[test]
+    fn handles_edge_shapes() {
+        let empty = CubeSet::new(3);
+        assert!(XStatFill.fill(&empty).is_empty());
+        let single = CubeSet::parse_rows(&["X0X"]).unwrap();
+        let filled = XStatFill.fill(&single);
+        assert!(filled.is_fully_specified());
+        let two = CubeSet::parse_rows(&["0X", "X1"]).unwrap();
+        let filled = XStatFill.fill(&two);
+        assert!(CubeSet::is_filling_of(&filled, &two));
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(XStatFill.name(), "XStat");
+    }
+}

@@ -1,0 +1,124 @@
+use std::fmt;
+
+/// One interval of the Bottleneck Coloring Problem.
+///
+/// An interval `(start, end)` (both inclusive, 0-based) is the *transition
+/// window* of a `v X…X w` stretch: the single unavoidable toggle of that
+/// stretch may be placed at any transition `t ∈ [start, end]`. In the
+/// paper's hotel metaphor this is a guest who must be given a room on one
+/// day within their stay.
+///
+/// Transitions are indexed so that transition `t` sits between cubes `t`
+/// and `t+1`; a sequence of `n` cubes has `n-1` transitions (colors).
+///
+/// # Example
+///
+/// ```
+/// use dpfill_core::Interval;
+///
+/// let iv = Interval::new(2, 5);
+/// assert_eq!(iv.len(), 4);
+/// assert!(iv.contains(3));
+/// assert!(!iv.contains(6));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    start: u32,
+    end: u32,
+}
+
+impl Interval {
+    /// Creates an interval covering transitions `start..=end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Interval {
+        assert!(start <= end, "interval start {start} > end {end}");
+        Interval { start, end }
+    }
+
+    /// First admissible transition.
+    #[inline]
+    pub fn start(self) -> u32 {
+        self.start
+    }
+
+    /// Last admissible transition.
+    #[inline]
+    pub fn end(self) -> u32 {
+        self.end
+    }
+
+    /// Number of admissible transitions.
+    #[inline]
+    pub fn len(self) -> usize {
+        (self.end - self.start + 1) as usize
+    }
+
+    /// Intervals always admit at least one transition.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Does the interval admit transition `t`?
+    #[inline]
+    pub fn contains(self, t: u32) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Is this interval fully inside the window `[lo, hi]`?
+    #[inline]
+    pub fn within(self, lo: u32, hi: u32) -> bool {
+        lo <= self.start && self.end <= hi
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let iv = Interval::new(1, 3);
+        assert_eq!(iv.start(), 1);
+        assert_eq!(iv.end(), 3);
+        assert_eq!(iv.len(), 3);
+        assert!(!iv.is_empty());
+    }
+
+    #[test]
+    fn point_interval() {
+        let iv = Interval::new(4, 4);
+        assert_eq!(iv.len(), 1);
+        assert!(iv.contains(4));
+        assert!(!iv.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "start")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(3, 2);
+    }
+
+    #[test]
+    fn within_window() {
+        let iv = Interval::new(2, 4);
+        assert!(iv.within(2, 4));
+        assert!(iv.within(0, 10));
+        assert!(!iv.within(3, 10));
+        assert!(!iv.within(0, 3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(0, 2).to_string(), "[0, 2]");
+    }
+}

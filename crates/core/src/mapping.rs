@@ -1,0 +1,292 @@
+//! Mapping between test-cube matrices and BCP instances (paper §V-C/V-D).
+//!
+//! [`MatrixMapping::analyze`] walks every pin row of the matrix `A`
+//! (pins × cubes) and:
+//!
+//! * pre-fills the *safe* don't-cares — leading/trailing runs, `v X…X v`
+//!   runs and all-`X` rows — which provably never need a toggle;
+//! * emits one BCP [`Interval`] per `v X…X w` transition stretch (the one
+//!   unavoidable toggle whose position is free);
+//! * tallies *forced toggles* (adjacent opposite care bits) into the
+//!   instance baseline.
+//!
+//! [`MatrixMapping::apply_coloring`] then reconstructs the filled matrix
+//! from a BCP coloring: an interval colored `j` fills its stretch with the
+//! left value through column `j` and the right value from column `j+1`
+//! (paper §V-D).
+
+use dpfill_cubes::stretch::{RowStretches, Stretch};
+use dpfill_cubes::{Bit, CubeSet, PinMatrix};
+
+use crate::bcp::{BcpInstance, Coloring};
+use crate::Interval;
+
+/// Where an interval came from: the row and the delimiting care columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalSite {
+    /// Pin row of the stretch.
+    pub row: usize,
+    /// Column of the left care bit (`k` in the paper).
+    pub left: usize,
+    /// Column of the right care bit (`l` in the paper).
+    pub right: usize,
+    /// Value of the left care bit.
+    pub left_value: Bit,
+}
+
+/// The analyzed matrix: safe pre-fill applied, intervals extracted,
+/// forced toggles tallied.
+#[derive(Clone, Debug)]
+pub struct MatrixMapping {
+    prefilled: PinMatrix,
+    instance: BcpInstance,
+    sites: Vec<IntervalSite>,
+}
+
+impl MatrixMapping {
+    /// Analyzes a cube set (columns = cubes) per the paper's mapping.
+    pub fn analyze(cubes: &CubeSet) -> MatrixMapping {
+        Self::analyze_matrix(cubes.to_pin_matrix())
+    }
+
+    /// Analyzes an already-transposed matrix.
+    pub fn analyze_matrix(mut matrix: PinMatrix) -> MatrixMapping {
+        let num_colors = matrix.cols().saturating_sub(1);
+        let mut instance = BcpInstance::new(num_colors);
+        let mut sites = Vec::new();
+
+        for row in 0..matrix.rows() {
+            let stretches = RowStretches::analyze(matrix.row(row));
+            for s in stretches.stretches() {
+                match *s {
+                    Stretch::AllX => {
+                        // Any constant works; zero by convention.
+                        for col in 0..matrix.cols() {
+                            matrix.set(row, col, Bit::Zero);
+                        }
+                    }
+                    Stretch::Leading { first_care } => {
+                        let v = matrix.bit(row, first_care);
+                        for col in 0..first_care {
+                            matrix.set(row, col, v);
+                        }
+                    }
+                    Stretch::Trailing { last_care } => {
+                        let v = matrix.bit(row, last_care);
+                        for col in last_care + 1..matrix.cols() {
+                            matrix.set(row, col, v);
+                        }
+                    }
+                    Stretch::SameValue { left, right, value } => {
+                        for col in left + 1..right {
+                            matrix.set(row, col, value);
+                        }
+                    }
+                    Stretch::Transition {
+                        left,
+                        right,
+                        left_value,
+                    } => {
+                        // Interval (k, l-1): the toggle may sit at any
+                        // transition between columns left and right.
+                        let interval = Interval::new(left as u32, (right - 1) as u32);
+                        instance
+                            .add_interval(interval)
+                            .expect("stretch bounds are valid transitions");
+                        sites.push(IntervalSite {
+                            row,
+                            left,
+                            right,
+                            left_value,
+                        });
+                    }
+                    Stretch::ForcedToggle { col } => {
+                        instance.add_baseline(col, 1);
+                    }
+                }
+            }
+        }
+        MatrixMapping {
+            prefilled: matrix,
+            instance,
+            sites,
+        }
+    }
+
+    /// The BCP instance extracted from the matrix.
+    pub fn instance(&self) -> &BcpInstance {
+        &self.instance
+    }
+
+    /// Interval provenance, aligned with `instance().intervals()`.
+    pub fn sites(&self) -> &[IntervalSite] {
+        &self.sites
+    }
+
+    /// The matrix with all safe fills applied; only transition stretches
+    /// still hold `X`.
+    pub fn prefilled(&self) -> &PinMatrix {
+        &self.prefilled
+    }
+
+    /// Number of forced toggles summed over all transitions.
+    pub fn forced_total(&self) -> u64 {
+        self.instance.baseline().iter().sum()
+    }
+
+    /// Reconstructs the fully filled matrix from a coloring
+    /// (paper §V-D) and returns it as a cube set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring does not match the instance (wrong length
+    /// or out-of-window colors) — obtain colorings from the BCP solvers,
+    /// which guarantee validity.
+    pub fn apply_coloring(&self, coloring: &Coloring) -> CubeSet {
+        assert_eq!(
+            coloring.colors().len(),
+            self.sites.len(),
+            "coloring does not match interval count"
+        );
+        let mut matrix = self.prefilled.clone();
+        for (site, &color) in self.sites.iter().zip(coloring.colors()) {
+            let j = color as usize;
+            assert!(
+                site.left <= j && j < site.right,
+                "color {j} outside stretch window [{}, {})",
+                site.left,
+                site.right
+            );
+            let right_value = !site.left_value;
+            for col in site.left + 1..=j {
+                matrix.set(site.row, col, site.left_value);
+            }
+            for col in j + 1..site.right {
+                matrix.set(site.row, col, right_value);
+            }
+        }
+        debug_assert_eq!(matrix.x_count(), 0, "all X bits must be filled");
+        matrix.to_cube_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::peak_toggles;
+
+    fn set(rows: &[&str]) -> CubeSet {
+        CubeSet::parse_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn safe_fills_applied() {
+        // One pin over 5 cubes: X 0 X 0 X -> leading, same-value,
+        // trailing: fully filled with zeros, no intervals.
+        let cubes = set(&["X", "0", "X", "0", "X"]);
+        let m = MatrixMapping::analyze(&cubes);
+        assert_eq!(m.instance().intervals().len(), 0);
+        assert_eq!(m.prefilled().x_count(), 0);
+        assert_eq!(m.forced_total(), 0);
+        let filled = m.apply_coloring(&m.instance().solve().unwrap().coloring);
+        assert_eq!(peak_toggles(&filled).unwrap(), 0);
+    }
+
+    #[test]
+    fn all_x_row_filled_with_zero() {
+        let cubes = set(&["X", "X", "X"]);
+        let m = MatrixMapping::analyze(&cubes);
+        let filled = m.apply_coloring(&m.instance().solve().unwrap().coloring);
+        assert_eq!(filled.cube(0).to_string(), "0");
+        assert_eq!(peak_toggles(&filled).unwrap(), 0);
+    }
+
+    #[test]
+    fn transition_stretch_becomes_interval() {
+        // Pin row: 0 X X 1 over 4 cubes -> interval [0, 2].
+        let cubes = set(&["0", "X", "X", "1"]);
+        let m = MatrixMapping::analyze(&cubes);
+        assert_eq!(m.instance().intervals(), &[Interval::new(0, 2)]);
+        assert_eq!(m.sites()[0].left, 0);
+        assert_eq!(m.sites()[0].right, 3);
+        assert_eq!(m.sites()[0].left_value, Bit::Zero);
+    }
+
+    #[test]
+    fn forced_toggles_feed_baseline() {
+        // Pin row: 0 1 0 -> two forced toggles at transitions 0 and 1.
+        let cubes = set(&["0", "1", "0"]);
+        let m = MatrixMapping::analyze(&cubes);
+        assert_eq!(m.instance().baseline(), &[1, 1]);
+        assert_eq!(m.forced_total(), 2);
+    }
+
+    #[test]
+    fn coloring_reconstruction_each_position() {
+        // 0 X X 1: placing the toggle at each admissible transition.
+        let cubes = set(&["0", "X", "X", "1"]);
+        let m = MatrixMapping::analyze(&cubes);
+        let expectations = [
+            (0u32, ["0", "1", "1", "1"]),
+            (1u32, ["0", "0", "1", "1"]),
+            (2u32, ["0", "0", "0", "1"]),
+        ];
+        for (color, want) in expectations {
+            let coloring = crate::bcp::test_support::coloring(vec![color]);
+            let filled = m.apply_coloring(&coloring);
+            let got: Vec<String> = filled.iter().map(|c| c.to_string()).collect();
+            assert_eq!(got, want, "color {color}");
+            assert_eq!(peak_toggles(&filled).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn falling_stretch_reconstruction() {
+        // 1 X 0: one interval [0,1]; left value one.
+        let cubes = set(&["1", "X", "0"]);
+        let m = MatrixMapping::analyze(&cubes);
+        assert_eq!(m.sites()[0].left_value, Bit::One);
+        let sol = m.instance().solve().unwrap();
+        let filled = m.apply_coloring(&sol.coloring);
+        assert_eq!(peak_toggles(&filled).unwrap(), 1);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+    }
+
+    #[test]
+    fn multi_row_solution_is_optimal_peak() {
+        // Two pins, both 0 X 1 over 3 cubes: two intervals [0,1]; they
+        // can split across the two transitions -> peak 1.
+        let cubes = set(&["00", "XX", "11"]);
+        let m = MatrixMapping::analyze(&cubes);
+        let sol = m.instance().solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 1);
+        let filled = m.apply_coloring(&sol.coloring);
+        assert_eq!(peak_toggles(&filled).unwrap(), 1);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+    }
+
+    #[test]
+    fn peak_of_filled_matrix_matches_bcp_peak() {
+        let cubes = set(&[
+            "0X1X0", "1XX00", "X01XX", "0XXX1", "10X0X", "XX10X",
+        ]);
+        let m = MatrixMapping::analyze(&cubes);
+        let sol = m.instance().solve().unwrap();
+        let filled = m.apply_coloring(&sol.coloring);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+        assert_eq!(
+            peak_toggles(&filled).unwrap() as u64,
+            sol.peak.with_baseline
+        );
+    }
+
+    #[test]
+    fn single_cube_has_no_transitions() {
+        let cubes = set(&["0X1"]);
+        let m = MatrixMapping::analyze(&cubes);
+        assert_eq!(m.instance().num_colors(), 0);
+        assert!(m.instance().intervals().is_empty());
+        let filled = m.apply_coloring(&m.instance().solve().unwrap().coloring);
+        assert!(filled.is_fully_specified());
+    }
+}

@@ -1,0 +1,249 @@
+use dpfill_cubes::CubeSet;
+
+use crate::mapping::MatrixMapping;
+
+use super::OrderingStrategy;
+
+/// The paper's I-ordering (Algorithm 3): interleaved test-vector
+/// ordering.
+///
+/// Cubes are first sorted by ascending don't-care count (`T'`). For an
+/// interleave factor `k`, the schedule takes one X-poor cube from the
+/// front of `T'` followed by `k` X-rich cubes from the back, repeating
+/// until fewer than `k+1` cubes remain (leftovers are appended). Larger
+/// `k` surrounds every hard, heavily specified cube with soft all-X-ish
+/// cubes, stretching each pin's don't-care runs so DP-fill has more room
+/// to spread toggles.
+///
+/// `k` starts at 1 and grows while the bottleneck value (the optimal
+/// DP-fill peak of the candidate order, computed with Algorithms 1+2)
+/// keeps improving — the paper observes O(log n) growth steps
+/// (Fig 2(a)/(b)), which [`IOrderingTrace`] lets you reproduce.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IOrdering {
+    max_k: Option<usize>,
+}
+
+/// The per-iteration record of Algorithm 3's search for `k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IOrderingTrace {
+    /// Evaluated interleave factors, in order (`1, 2, …`).
+    pub k_values: Vec<usize>,
+    /// Optimal bottleneck value (DP-fill peak) for each `k`.
+    pub bottleneck_values: Vec<u64>,
+    /// The chosen factor (argmin of `bottleneck_values`).
+    pub chosen_k: usize,
+    /// The chosen permutation.
+    pub order: Vec<usize>,
+}
+
+impl IOrderingTrace {
+    /// Number of `while` iterations Algorithm 3 executed — the quantity
+    /// the paper plots against `log n` in Fig 2(b).
+    pub fn iterations(&self) -> usize {
+        self.k_values.len()
+    }
+}
+
+impl IOrdering {
+    /// I-ordering with the paper's stopping rule (grow `k` until the
+    /// bottleneck stops improving).
+    pub fn new() -> IOrdering {
+        IOrdering { max_k: None }
+    }
+
+    /// I-ordering that additionally caps `k` (useful for sweeps).
+    pub fn with_max_k(max_k: usize) -> IOrdering {
+        IOrdering {
+            max_k: Some(max_k),
+        }
+    }
+
+    /// Builds the interleaved schedule for a fixed `k` over cubes sorted
+    /// as `sorted` (ascending X count). Exposed for the Fig 2(a) sweep.
+    pub fn schedule_for_k(sorted: &[usize], k: usize) -> Vec<usize> {
+        let n = sorted.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let rounds = n / (k + 1);
+        let mut order = Vec::with_capacity(n);
+        for i in 0..rounds {
+            // One X-poor cube from the front…
+            order.push(sorted[i]);
+            // …then k X-rich cubes from the back, descending.
+            let back_hi = n - i * k; // exclusive
+            for j in 1..=k {
+                order.push(sorted[back_hi - j]);
+            }
+        }
+        // Leftovers (fewer than k+1): the middle slice, in sorted order.
+        let taken_front = rounds;
+        let taken_back = rounds * k;
+        for &idx in &sorted[taken_front..n - taken_back] {
+            order.push(idx);
+        }
+        order
+    }
+
+    /// Runs Algorithm 3, returning the full trace.
+    pub fn order_with_trace(&self, cubes: &CubeSet) -> IOrderingTrace {
+        let n = cubes.len();
+        if n <= 2 {
+            return IOrderingTrace {
+                k_values: Vec::new(),
+                bottleneck_values: Vec::new(),
+                chosen_k: 0,
+                order: (0..n).collect(),
+            };
+        }
+        // T': ascending don't-care count, stable by index.
+        let x_counts = cubes.x_counts();
+        let mut sorted: Vec<usize> = (0..n).collect();
+        sorted.sort_by_key(|&i| (x_counts[i], i));
+
+        let mut k_values = Vec::new();
+        let mut bottlenecks = Vec::new();
+        let mut best: Option<(u64, usize, Vec<usize>)> = None;
+        let k_cap = self.max_k.unwrap_or(n - 1).min(n - 1);
+        let mut k = 0usize;
+        loop {
+            k += 1;
+            if k > k_cap {
+                break;
+            }
+            let candidate = Self::schedule_for_k(&sorted, k);
+            let value = bottleneck_value(cubes, &candidate);
+            k_values.push(k);
+            bottlenecks.push(value);
+            match &best {
+                Some((b, _, _)) if value >= *b => {
+                    // Paper's exit rule: stop as soon as k stops helping.
+                    break;
+                }
+                _ => best = Some((value, k, candidate)),
+            }
+        }
+        let (_, chosen_k, order) = best.unwrap_or_else(|| (0, 0, (0..n).collect()));
+        IOrderingTrace {
+            k_values,
+            bottleneck_values: bottlenecks,
+            chosen_k,
+            order,
+        }
+    }
+}
+
+/// The optimal bottleneck (DP-fill peak) of `cubes` under `order` — the
+/// candidate-evaluation step of Algorithm 3 and the y-axis of Fig 2(a).
+pub(crate) fn bottleneck_value(cubes: &CubeSet, order: &[usize]) -> u64 {
+    let reordered = cubes
+        .reordered(order)
+        .expect("schedule is a permutation by construction");
+    MatrixMapping::analyze(&reordered)
+        .instance()
+        .lower_bound()
+}
+
+impl OrderingStrategy for IOrdering {
+    fn name(&self) -> &'static str {
+        "I-order"
+    }
+
+    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
+        self.order_with_trace(cubes).order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill::{DpFill, FillStrategy};
+    use crate::ordering::is_permutation;
+    use dpfill_cubes::{gen::CubeProfile, peak_toggles};
+
+    #[test]
+    fn schedule_shape_matches_algorithm3() {
+        // n=7, k=2: rounds = 7/3 = 2.
+        // Round 1: front[0], back: idx 6,5. Round 2: front[1], back: 4,3.
+        // Leftover: idx 2.
+        let sorted: Vec<usize> = (0..7).collect();
+        let s = IOrdering::schedule_for_k(&sorted, 2);
+        assert_eq!(s, vec![0, 6, 5, 1, 4, 3, 2]);
+    }
+
+    #[test]
+    fn schedule_k1_alternates_front_back() {
+        let sorted: Vec<usize> = (0..6).collect();
+        let s = IOrdering::schedule_for_k(&sorted, 1);
+        assert_eq!(s, vec![0, 5, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_is_always_a_permutation() {
+        for n in 1..25usize {
+            let sorted: Vec<usize> = (0..n).collect();
+            for k in 1..n.max(2) {
+                let s = IOrdering::schedule_for_k(&sorted, k);
+                assert!(
+                    is_permutation(&s, n),
+                    "n={n} k={k} produced {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let cubes = CubeProfile::new(40, 30).x_percent(80.0).generate(13);
+        let trace = IOrdering::new().order_with_trace(&cubes);
+        assert!(is_permutation(&trace.order, cubes.len()));
+        assert_eq!(trace.k_values.len(), trace.bottleneck_values.len());
+        assert!(trace.iterations() >= 1);
+        // chosen_k is the argmin.
+        let min = trace.bottleneck_values.iter().min().unwrap();
+        let arg = trace.k_values[trace
+            .bottleneck_values
+            .iter()
+            .position(|v| v == min)
+            .unwrap()];
+        assert_eq!(trace.chosen_k, arg);
+    }
+
+    #[test]
+    fn improves_dp_fill_peak_on_x_rich_cubes() {
+        let cubes = CubeProfile::new(60, 40)
+            .x_percent(85.0)
+            .flip_probability(0.4)
+            .generate(23);
+        let tool_peak = peak_toggles(&DpFill::new().fill(&cubes)).unwrap();
+        let order = IOrdering::new().order(&cubes);
+        let reordered = cubes.reordered(&order).unwrap();
+        let i_peak = peak_toggles(&DpFill::new().fill(&reordered)).unwrap();
+        assert!(
+            i_peak <= tool_peak,
+            "I-ordering ({i_peak}) must not lose to tool order ({tool_peak})"
+        );
+    }
+
+    #[test]
+    fn stops_after_logarithmically_many_iterations() {
+        let cubes = CubeProfile::new(50, 120).x_percent(85.0).generate(31);
+        let trace = IOrdering::new().order_with_trace(&cubes);
+        let log_n = (cubes.len() as f64).log2().ceil() as usize;
+        assert!(
+            trace.iterations() <= 6 * log_n + 2,
+            "{} iterations for n={} (log n = {log_n})",
+            trace.iterations(),
+            cubes.len()
+        );
+    }
+
+    #[test]
+    fn tiny_sets() {
+        let cubes = CubeSet::parse_rows(&["0X", "1X"]).unwrap();
+        let trace = IOrdering::new().order_with_trace(&cubes);
+        assert_eq!(trace.order, vec![0, 1]);
+        assert_eq!(trace.chosen_k, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Test-vector orderings (the rows of the paper's Tables II–IV).
+//!
+//! Peak toggles are measured between *consecutive* patterns, so the cube
+//! order matters as much as the filling. Four orderings are provided:
+//!
+//! | Ordering | Idea |
+//! |----------|------|
+//! | [`ToolOrdering`] | the ATPG emission order (the paper's TetraMax™ order) |
+//! | [`XStatOrdering`] | greedy nearest-neighbour chaining by conflict distance, per [22] |
+//! | [`IsaOrdering`] | simulated annealing over orderings of the MT-filled patterns, reconstructing Girard et al. [20] |
+//! | [`IOrdering`] | the paper's Algorithm 3: interleave X-poor and X-rich cubes, growing the interleave factor `k` while the bottleneck improves |
+
+mod interleave;
+mod isa;
+mod packed;
+mod tool;
+mod xstat;
+
+pub use interleave::{IOrdering, IOrderingTrace};
+pub use isa::IsaOrdering;
+pub use packed::PackedCubes;
+pub use tool::ToolOrdering;
+pub use xstat::XStatOrdering;
+
+use dpfill_cubes::CubeSet;
+
+/// A test-vector ordering strategy.
+///
+/// Implementations return a permutation of `0..cubes.len()`: position `p`
+/// of the result names the original index of the cube scheduled `p`-th.
+pub trait OrderingStrategy {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the ordering permutation.
+    fn order(&self, cubes: &CubeSet) -> Vec<usize>;
+}
+
+/// The orderings compared in the paper, as an enum for sweeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderingMethod {
+    /// ATPG emission order (identity).
+    Tool,
+    /// XStat greedy nearest-neighbour ordering [22].
+    XStat,
+    /// Simulated-annealing ordering [20] with the given seed.
+    Isa(u64),
+    /// The paper's I-ordering (Algorithm 3).
+    Interleaved,
+}
+
+impl OrderingMethod {
+    /// Row labels used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrderingMethod::Tool => "Tool",
+            OrderingMethod::XStat => "XStat-order",
+            OrderingMethod::Isa(_) => "ISA",
+            OrderingMethod::Interleaved => "I-order",
+        }
+    }
+
+    /// Computes the permutation.
+    pub fn order(self, cubes: &CubeSet) -> Vec<usize> {
+        match self {
+            OrderingMethod::Tool => ToolOrdering.order(cubes),
+            OrderingMethod::XStat => XStatOrdering.order(cubes),
+            OrderingMethod::Isa(seed) => IsaOrdering::new(seed).order(cubes),
+            OrderingMethod::Interleaved => IOrdering::new().order(cubes),
+        }
+    }
+}
+
+/// Checks that `order` is a permutation of `0..n` (test/debug helper).
+pub fn is_permutation(order: &[usize], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &i in order {
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::gen::random_cube_set;
+
+    #[test]
+    fn every_method_returns_a_permutation() {
+        let cubes = random_cube_set(24, 17, 0.7, 3);
+        for m in [
+            OrderingMethod::Tool,
+            OrderingMethod::XStat,
+            OrderingMethod::Isa(5),
+            OrderingMethod::Interleaved,
+        ] {
+            let order = m.order(&cubes);
+            assert!(
+                is_permutation(&order, cubes.len()),
+                "{} returned a non-permutation",
+                m.label()
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_checker() {
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(!is_permutation(&[0, 0, 1], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+        assert!(!is_permutation(&[0, 1, 3], 3));
+    }
+
+    #[test]
+    fn empty_set_orderings() {
+        let cubes = CubeSet::new(8);
+        for m in [
+            OrderingMethod::Tool,
+            OrderingMethod::XStat,
+            OrderingMethod::Isa(1),
+            OrderingMethod::Interleaved,
+        ] {
+            assert!(m.order(&cubes).is_empty(), "{}", m.label());
+        }
+    }
+}

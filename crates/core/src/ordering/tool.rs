@@ -1,0 +1,33 @@
+use dpfill_cubes::CubeSet;
+
+use super::OrderingStrategy;
+
+/// The "Tool" ordering: patterns stay in the order the ATPG emitted them.
+///
+/// This is the paper's baseline row (Table II): TetraMax™'s natural
+/// output order, which our PODEM substitute mirrors by emitting cubes in
+/// generation order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ToolOrdering;
+
+impl OrderingStrategy for ToolOrdering {
+    fn name(&self) -> &'static str {
+        "Tool"
+    }
+
+    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
+        (0..cubes.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_permutation() {
+        let cubes = CubeSet::parse_rows(&["0X", "1X", "XX"]).unwrap();
+        assert_eq!(ToolOrdering.order(&cubes), vec![0, 1, 2]);
+        assert_eq!(ToolOrdering.name(), "Tool");
+    }
+}

@@ -1,0 +1,122 @@
+use dpfill_cubes::CubeSet;
+
+use super::{OrderingStrategy, PackedCubes};
+
+/// XStat's vector ordering [22]: greedy nearest-neighbour chaining on
+/// *conflict distance*.
+///
+/// Starting from the most specified cube (fewest `X`s — its toggles are
+/// the hardest to hide), the ordering repeatedly appends the unvisited
+/// cube with the fewest unavoidable toggles against the last scheduled
+/// one. Conflict distance only counts opposite care-care pins, so cubes
+/// that can be made identical by filling count as distance 0.
+///
+/// Complexity O(n²·w) with `w` words per packed cube; ties break toward
+/// more specified cubes, then lower index (deterministic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XStatOrdering;
+
+impl OrderingStrategy for XStatOrdering {
+    fn name(&self) -> &'static str {
+        "XStat-order"
+    }
+
+    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
+        let n = cubes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let packed = PackedCubes::pack(cubes);
+        let care: Vec<usize> = (0..n).map(|i| packed.care_count(i)).collect();
+
+        // Seed: most specified cube.
+        let start = (0..n)
+            .max_by_key(|&i| (care[i], std::cmp::Reverse(i)))
+            .expect("non-empty set");
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        visited[start] = true;
+        order.push(start);
+        let mut current = start;
+        for _ in 1..n {
+            let mut best: Option<(usize, usize, usize)> = None; // (dist, -care, idx)
+            for cand in 0..n {
+                if visited[cand] {
+                    continue;
+                }
+                let d = packed.conflict(current, cand);
+                let key = (d, usize::MAX - care[cand], cand);
+                if best.map_or(true, |b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let (_, _, next) = best.expect("unvisited cube exists");
+            visited[next] = true;
+            order.push(next);
+            current = next;
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::is_permutation;
+    use dpfill_cubes::{conflict_distance, gen::random_cube_set};
+
+    #[test]
+    fn chains_compatible_cubes_adjacently() {
+        // Cubes 0 and 2 are identical; 1 conflicts with both on 3 pins.
+        let cubes = CubeSet::parse_rows(&["000X", "111X", "000X"]).unwrap();
+        let order = XStatOrdering.order(&cubes);
+        assert!(is_permutation(&order, 3));
+        // The two zero-cubes must be adjacent.
+        let pos0 = order.iter().position(|&i| i == 0).unwrap();
+        let pos2 = order.iter().position(|&i| i == 2).unwrap();
+        assert_eq!(pos0.abs_diff(pos2), 1, "order: {order:?}");
+    }
+
+    #[test]
+    fn reduces_peak_conflicts_vs_adversarial_tool_order() {
+        // Alternating far-apart cubes; nearest-neighbour should regroup.
+        let rows = ["00000000", "11111111", "00000001", "11111110"];
+        let cubes = CubeSet::parse_rows(&rows).unwrap();
+        let order = XStatOrdering.order(&cubes);
+        let reordered = cubes.reordered(&order).unwrap();
+        let peak_before: usize = (0..cubes.len() - 1)
+            .map(|j| conflict_distance(cubes.cube(j), cubes.cube(j + 1)))
+            .max()
+            .unwrap();
+        let peak_after: usize = (0..reordered.len() - 1)
+            .map(|j| conflict_distance(reordered.cube(j), reordered.cube(j + 1)))
+            .max()
+            .unwrap();
+        assert!(peak_after < peak_before);
+        // The two clusters must be crossed exactly once: only one
+        // expensive transition survives.
+        let expensive = (0..reordered.len() - 1)
+            .filter(|&j| conflict_distance(reordered.cube(j), reordered.cube(j + 1)) > 4)
+            .count();
+        assert_eq!(expensive, 1, "clusters should be crossed once");
+    }
+
+    #[test]
+    fn starts_from_most_specified_cube() {
+        let cubes = CubeSet::parse_rows(&["XXXX", "0X1X", "0011"]).unwrap();
+        let order = XStatOrdering.order(&cubes);
+        assert_eq!(order[0], 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cubes = random_cube_set(32, 20, 0.8, 5);
+        assert_eq!(XStatOrdering.order(&cubes), XStatOrdering.order(&cubes));
+    }
+
+    #[test]
+    fn single_cube() {
+        let cubes = CubeSet::parse_rows(&["01X"]).unwrap();
+        assert_eq!(XStatOrdering.order(&cubes), vec![0]);
+    }
+}

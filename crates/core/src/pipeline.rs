@@ -1,0 +1,187 @@
+//! End-to-end ordering + filling pipelines — the "techniques" compared in
+//! the paper's Tables V and VI.
+
+use dpfill_cubes::{peak_toggles, toggle_profile, CubeSet};
+
+use crate::fill::FillMethod;
+use crate::ordering::OrderingMethod;
+
+/// One ordering + one fill, evaluated together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Technique {
+    /// The vector ordering applied first.
+    pub ordering: OrderingMethod,
+    /// The X-fill applied to the reordered cubes.
+    pub fill: FillMethod,
+}
+
+/// The outcome of running a [`Technique`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TechniqueResult {
+    /// Permutation applied to the input cubes.
+    pub order: Vec<usize>,
+    /// The reordered, fully filled patterns.
+    pub filled: CubeSet,
+    /// Peak input toggles `max_j hd(T_j, T_{j+1})`.
+    pub peak: usize,
+    /// Per-transition toggle profile.
+    pub profile: Vec<usize>,
+}
+
+impl Technique {
+    /// Creates a technique.
+    pub fn new(ordering: OrderingMethod, fill: FillMethod) -> Technique {
+        Technique { ordering, fill }
+    }
+
+    /// The paper's proposed technique: I-ordering + DP-fill.
+    pub fn proposed() -> Technique {
+        Technique::new(OrderingMethod::Interleaved, FillMethod::Dp)
+    }
+
+    /// Reconstruction of Girard et al. [20]: SA ordering of MT-filled
+    /// vectors.
+    pub fn isa(seed: u64) -> Technique {
+        Technique::new(OrderingMethod::Isa(seed), FillMethod::Mt)
+    }
+
+    /// Reconstruction of Wu et al. [21]: tool order + scan-chain
+    /// adjacent fill.
+    pub fn adj_fill() -> Technique {
+        Technique::new(OrderingMethod::Tool, FillMethod::Adj)
+    }
+
+    /// Reconstruction of Trinadh et al. [22]: XStat ordering + XStat
+    /// fill.
+    pub fn xstat() -> Technique {
+        Technique::new(OrderingMethod::XStat, FillMethod::XStat)
+    }
+
+    /// A display label like `"I-order + DP-fill"`.
+    pub fn label(&self) -> String {
+        format!("{} + {}", self.ordering.label(), self.fill.label())
+    }
+
+    /// Orders, fills and measures `cubes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cube set (there is no toggle profile to
+    /// report); callers filter empty pattern sets earlier.
+    pub fn evaluate(&self, cubes: &CubeSet) -> TechniqueResult {
+        let order = self.ordering.order(cubes);
+        let reordered = cubes
+            .reordered(&order)
+            .expect("ordering strategies return permutations");
+        let filled = self.fill.fill(&reordered);
+        debug_assert!(CubeSet::is_filling_of(&filled, &reordered));
+        let peak = peak_toggles(&filled).expect("non-empty cube set");
+        let profile = toggle_profile(&filled).expect("non-empty cube set");
+        TechniqueResult {
+            order,
+            filled,
+            peak,
+            profile,
+        }
+    }
+}
+
+/// Peak toggles of every fill under one ordering — one row of
+/// Tables II/III/IV.
+pub fn sweep_fills(cubes: &CubeSet, ordering: OrderingMethod) -> Vec<(FillMethod, usize)> {
+    let order = ordering.order(cubes);
+    let reordered = cubes
+        .reordered(&order)
+        .expect("ordering strategies return permutations");
+    FillMethod::TABLE_COLUMNS
+        .iter()
+        .map(|&fill| {
+            let filled = fill.fill(&reordered);
+            let peak = peak_toggles(&filled).expect("non-empty cube set");
+            (fill, peak)
+        })
+        .collect()
+}
+
+/// The percentage improvement of `ours` over `theirs`, as printed in the
+/// paper's Tables V/VI (negative when `ours` is worse).
+pub fn percent_improvement(theirs: f64, ours: f64) -> f64 {
+    if theirs == 0.0 {
+        0.0
+    } else {
+        100.0 * (theirs - ours) / theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::gen::CubeProfile;
+
+    fn cubes() -> CubeSet {
+        CubeProfile::new(32, 24).x_percent(80.0).generate(41)
+    }
+
+    #[test]
+    fn proposed_beats_or_ties_every_fill_under_its_own_ordering() {
+        // DP-fill's optimality guarantee is per ordering (the paper makes
+        // the same caveat for cross-ordering comparisons in §VII).
+        let cubes = cubes();
+        let proposed = Technique::proposed().evaluate(&cubes);
+        for (fill, peak) in sweep_fills(&cubes, OrderingMethod::Interleaved) {
+            assert!(
+                proposed.peak <= peak,
+                "proposed {} vs I-order + {} = {peak}",
+                proposed.peak,
+                fill.label()
+            );
+        }
+    }
+
+    #[test]
+    fn dp_fill_is_the_best_column_under_each_ordering() {
+        let cubes = cubes();
+        for ordering in [
+            OrderingMethod::Tool,
+            OrderingMethod::XStat,
+            OrderingMethod::Interleaved,
+        ] {
+            let sweep = sweep_fills(&cubes, ordering);
+            let dp = sweep
+                .iter()
+                .find(|(f, _)| matches!(f, FillMethod::Dp))
+                .unwrap()
+                .1;
+            for (fill, peak) in &sweep {
+                assert!(
+                    dp <= *peak,
+                    "{}: DP {dp} vs {} {peak}",
+                    ordering.label(),
+                    fill.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_profile_is_consistent() {
+        let cubes = cubes();
+        let r = Technique::xstat().evaluate(&cubes);
+        assert_eq!(r.profile.len(), cubes.len() - 1);
+        assert_eq!(*r.profile.iter().max().unwrap(), r.peak);
+        assert_eq!(r.filled.len(), cubes.len());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Technique::proposed().label(), "I-order + DP-fill");
+        assert_eq!(Technique::adj_fill().label(), "Tool + Adj-fill");
+    }
+
+    #[test]
+    fn percent_improvement_math() {
+        assert!((percent_improvement(100.0, 75.0) - 25.0).abs() < 1e-12);
+        assert!((percent_improvement(10.0, 20.0) + 100.0).abs() < 1e-12);
+        assert_eq!(percent_improvement(0.0, 5.0), 0.0);
+    }
+}

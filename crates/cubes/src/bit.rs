@@ -1,0 +1,335 @@
+use std::fmt;
+use std::ops::Not;
+use std::str::FromStr;
+
+use crate::CubeError;
+
+/// A three-valued logic bit: `0`, `1`, or don't-care `X`.
+///
+/// `X` is the *unknown/don't-care* value of classic test generation: an
+/// input bit the pattern does not constrain. Operators follow the standard
+/// pessimistic 3-valued (ternary) truth tables, e.g. `0 & X = 0` but
+/// `1 & X = X`.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_cubes::Bit;
+///
+/// assert_eq!(Bit::Zero & Bit::X, Bit::Zero);
+/// assert_eq!(Bit::One & Bit::X, Bit::X);
+/// assert_eq!(!Bit::X, Bit::X);
+/// assert!(Bit::X.is_x());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Bit {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Don't-care / unknown.
+    #[default]
+    X,
+}
+
+impl Bit {
+    /// All three values, handy for exhaustive truth-table tests.
+    pub const ALL: [Bit; 3] = [Bit::Zero, Bit::One, Bit::X];
+
+    /// Returns `true` if the bit is a care bit (`0` or `1`).
+    #[inline]
+    pub fn is_care(self) -> bool {
+        !matches!(self, Bit::X)
+    }
+
+    /// Returns `true` if the bit is the don't-care value `X`.
+    #[inline]
+    pub fn is_x(self) -> bool {
+        matches!(self, Bit::X)
+    }
+
+    /// Converts a care bit into `bool`; `None` for `X`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::X => None,
+        }
+    }
+
+    /// Builds a care bit from a `bool`.
+    #[inline]
+    pub fn from_bool(v: bool) -> Bit {
+        if v {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Three-valued AND.
+    #[inline]
+    pub fn and(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+
+    /// Three-valued OR.
+    #[inline]
+    pub fn or(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+
+    /// Three-valued XOR (`X` with anything is `X`).
+    #[inline]
+    pub fn xor(self, rhs: Bit) -> Bit {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Bit::from_bool(a ^ b),
+            _ => Bit::X,
+        }
+    }
+
+    /// Two cubes' bits *conflict* when both are care bits with opposite
+    /// values; this is what makes two cubes incompatible for merging and
+    /// what creates unavoidable ("forced") toggles.
+    #[inline]
+    pub fn conflicts(self, rhs: Bit) -> bool {
+        matches!(
+            (self, rhs),
+            (Bit::Zero, Bit::One) | (Bit::One, Bit::Zero)
+        )
+    }
+
+    /// Intersection of two cube bits: equal bits stay, `X` yields to a care
+    /// bit, conflicting care bits return `None`. This is the bit-level
+    /// operation behind static compaction.
+    #[inline]
+    pub fn merge(self, rhs: Bit) -> Option<Bit> {
+        match (self, rhs) {
+            (a, b) if a == b => Some(a),
+            (Bit::X, b) => Some(b),
+            (a, Bit::X) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The character representation used by pattern files: `0`, `1`, `X`.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::X => 'X',
+        }
+    }
+
+    /// Parses one pattern character (`0`, `1`, `x`, `X`, or `-` as used by
+    /// some ATPG pattern formats for don't-care).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::InvalidBitChar`] for any other character.
+    #[inline]
+    pub fn from_char(c: char) -> Result<Bit, CubeError> {
+        match c {
+            '0' => Ok(Bit::Zero),
+            '1' => Ok(Bit::One),
+            'x' | 'X' | '-' => Ok(Bit::X),
+            other => Err(CubeError::InvalidBitChar(other)),
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+
+    #[inline]
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X => Bit::X,
+        }
+    }
+}
+
+impl std::ops::BitAnd for Bit {
+    type Output = Bit;
+
+    #[inline]
+    fn bitand(self, rhs: Bit) -> Bit {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for Bit {
+    type Output = Bit;
+
+    #[inline]
+    fn bitor(self, rhs: Bit) -> Bit {
+        self.or(rhs)
+    }
+}
+
+impl std::ops::BitXor for Bit {
+    type Output = Bit;
+
+    #[inline]
+    fn bitxor(self, rhs: Bit) -> Bit {
+        self.xor(rhs)
+    }
+}
+
+impl From<bool> for Bit {
+    #[inline]
+    fn from(v: bool) -> Bit {
+        Bit::from_bool(v)
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Bit::Zero => "0",
+            Bit::One => "1",
+            Bit::X => "X",
+        })
+    }
+}
+
+impl FromStr for Bit {
+    type Err = CubeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Bit::from_char(c),
+            _ => Err(CubeError::InvalidBitString(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        use Bit::*;
+        let expect = [
+            (Zero, Zero, Zero),
+            (Zero, One, Zero),
+            (Zero, X, Zero),
+            (One, Zero, Zero),
+            (One, One, One),
+            (One, X, X),
+            (X, Zero, Zero),
+            (X, One, X),
+            (X, X, X),
+        ];
+        for (a, b, r) in expect {
+            assert_eq!(a & b, r, "{a} & {b}");
+        }
+    }
+
+    #[test]
+    fn or_truth_table() {
+        use Bit::*;
+        let expect = [
+            (Zero, Zero, Zero),
+            (Zero, One, One),
+            (Zero, X, X),
+            (One, Zero, One),
+            (One, One, One),
+            (One, X, One),
+            (X, Zero, X),
+            (X, One, One),
+            (X, X, X),
+        ];
+        for (a, b, r) in expect {
+            assert_eq!(a | b, r, "{a} | {b}");
+        }
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        use Bit::*;
+        assert_eq!(Zero ^ Zero, Zero);
+        assert_eq!(Zero ^ One, One);
+        assert_eq!(One ^ One, Zero);
+        assert_eq!(One ^ X, X);
+        assert_eq!(X ^ X, X);
+    }
+
+    #[test]
+    fn not_is_involutive_on_care_bits() {
+        assert_eq!(!Bit::Zero, Bit::One);
+        assert_eq!(!Bit::One, Bit::Zero);
+        assert_eq!(!Bit::X, Bit::X);
+        for b in Bit::ALL {
+            assert_eq!(!!b, b);
+        }
+    }
+
+    #[test]
+    fn and_or_are_commutative_and_monotone() {
+        for a in Bit::ALL {
+            for b in Bit::ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_three_values() {
+        for a in Bit::ALL {
+            for b in Bit::ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_only_on_opposite_care_bits() {
+        assert!(Bit::Zero.conflicts(Bit::One));
+        assert!(Bit::One.conflicts(Bit::Zero));
+        assert!(!Bit::X.conflicts(Bit::One));
+        assert!(!Bit::Zero.conflicts(Bit::Zero));
+        assert!(!Bit::X.conflicts(Bit::X));
+    }
+
+    #[test]
+    fn merge_matches_cube_intersection_semantics() {
+        assert_eq!(Bit::X.merge(Bit::One), Some(Bit::One));
+        assert_eq!(Bit::One.merge(Bit::X), Some(Bit::One));
+        assert_eq!(Bit::Zero.merge(Bit::Zero), Some(Bit::Zero));
+        assert_eq!(Bit::Zero.merge(Bit::One), None);
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for b in Bit::ALL {
+            assert_eq!(Bit::from_char(b.to_char()).unwrap(), b);
+        }
+        assert_eq!(Bit::from_char('-').unwrap(), Bit::X);
+        assert!(Bit::from_char('z').is_err());
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("0".parse::<Bit>().unwrap(), Bit::Zero);
+        assert_eq!("x".parse::<Bit>().unwrap(), Bit::X);
+        assert!("10".parse::<Bit>().is_err());
+        assert!("".parse::<Bit>().is_err());
+    }
+}

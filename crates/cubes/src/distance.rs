@@ -1,0 +1,154 @@
+//! Distances between cubes and toggle metrics over pattern sequences.
+
+use crate::{CubeError, CubeSet, TestCube};
+
+/// Hamming distance between two **fully specified** patterns, counting `X`
+/// pessimistically: a pair involving an `X` on either side counts as *no*
+/// toggle (the filling algorithm will decide it later). For the paper's
+/// objective this function is applied after filling, where no `X` remains.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_cubes::{hamming_distance, TestCube};
+///
+/// let a: TestCube = "0101".parse().unwrap();
+/// let b: TestCube = "0011".parse().unwrap();
+/// assert_eq!(hamming_distance(&a, &b), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the cubes have different widths.
+pub fn hamming_distance(a: &TestCube, b: &TestCube) -> usize {
+    assert_eq!(
+        a.width(),
+        b.width(),
+        "hamming distance requires equal widths"
+    );
+    a.iter()
+        .zip(b.iter())
+        .filter(|(x, y)| x.conflicts(*y))
+        .count()
+}
+
+/// *Conflict distance*: the number of pins where both cubes carry opposite
+/// care bits. These toggles are unavoidable no matter how the `X` bits are
+/// filled; the XStat ordering chains cubes by this metric.
+///
+/// For fully specified patterns this equals [`hamming_distance`].
+pub fn conflict_distance(a: &TestCube, b: &TestCube) -> usize {
+    hamming_distance(a, b)
+}
+
+/// Per-transition toggle counts for an ordered pattern sequence:
+/// element `j` is `hd(T_j, T_{j+1})`, so the result has `n - 1` entries.
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set.
+pub fn toggle_profile(set: &CubeSet) -> Result<Vec<usize>, CubeError> {
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
+    Ok(set
+        .cubes()
+        .windows(2)
+        .map(|w| hamming_distance(&w[0], &w[1]))
+        .collect())
+}
+
+/// Peak toggles of an ordered pattern sequence: the paper's objective
+/// `max_j hd(T_j, T_{j+1})`. A single pattern has peak `0`.
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set.
+pub fn peak_toggles(set: &CubeSet) -> Result<usize, CubeError> {
+    Ok(toggle_profile(set)?.into_iter().max().unwrap_or(0))
+}
+
+/// Total toggles across the sequence (the *average power* proxy, reported
+/// alongside the peak in the extension experiments).
+pub fn total_toggles(set: &CubeSet) -> Result<usize, CubeError> {
+    Ok(toggle_profile(set)?.into_iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bit;
+
+    fn set_of(rows: &[&str]) -> CubeSet {
+        let mut set = CubeSet::new(rows[0].len());
+        for r in rows {
+            set.push(r.parse().unwrap()).unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn hamming_counts_conflicting_care_bits_only() {
+        let a: TestCube = "01X".parse().unwrap();
+        let b: TestCube = "10X".parse().unwrap();
+        assert_eq!(hamming_distance(&a, &b), 2);
+        let c: TestCube = "0XX".parse().unwrap();
+        assert_eq!(hamming_distance(&a, &c), 0);
+    }
+
+    #[test]
+    fn hamming_is_symmetric_and_zero_on_self() {
+        let a: TestCube = "0110".parse().unwrap();
+        let b: TestCube = "1010".parse().unwrap();
+        assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        assert_eq!(hamming_distance(&a, &a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn hamming_panics_on_width_mismatch() {
+        let a: TestCube = "01".parse().unwrap();
+        let b: TestCube = "010".parse().unwrap();
+        let _ = hamming_distance(&a, &b);
+    }
+
+    #[test]
+    fn profile_and_peak() {
+        let set = set_of(&["000", "011", "010", "101"]);
+        assert_eq!(toggle_profile(&set).unwrap(), vec![2, 1, 3]);
+        assert_eq!(peak_toggles(&set).unwrap(), 3);
+        assert_eq!(total_toggles(&set).unwrap(), 6);
+    }
+
+    #[test]
+    fn single_pattern_has_zero_peak() {
+        let set = set_of(&["0101"]);
+        assert_eq!(peak_toggles(&set).unwrap(), 0);
+        assert!(toggle_profile(&set).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_an_error() {
+        let set = CubeSet::new(4);
+        assert_eq!(peak_toggles(&set), Err(CubeError::EmptySet));
+    }
+
+    #[test]
+    fn triangle_inequality_on_full_patterns() {
+        // Hamming distance on fully specified patterns is a metric.
+        let a: TestCube = "0000".parse().unwrap();
+        let b: TestCube = "0110".parse().unwrap();
+        let c: TestCube = "1111".parse().unwrap();
+        assert!(
+            hamming_distance(&a, &c)
+                <= hamming_distance(&a, &b) + hamming_distance(&b, &c)
+        );
+    }
+
+    #[test]
+    fn x_bits_do_not_count() {
+        let a = TestCube::new(vec![Bit::X; 8]);
+        let b: TestCube = "10101010".parse().unwrap();
+        assert_eq!(hamming_distance(&a, &b), 0);
+    }
+}

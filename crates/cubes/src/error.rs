@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cube parsing, construction and set manipulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CubeError {
+    /// A pattern character was not one of `0`, `1`, `x`, `X`, `-`.
+    InvalidBitChar(char),
+    /// A string that should encode exactly one bit did not.
+    InvalidBitString(String),
+    /// A cube of width `found` was pushed into a set of width `expected`.
+    WidthMismatch {
+        /// Width required by the [`CubeSet`](crate::CubeSet).
+        expected: usize,
+        /// Width of the offending cube.
+        found: usize,
+    },
+    /// A reorder permutation was not a permutation of `0..len`.
+    InvalidPermutation {
+        /// Number of cubes in the set.
+        len: usize,
+    },
+    /// A pattern file line failed to parse.
+    ParseLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// An operation that requires at least one cube was called on an empty
+    /// set (for example peak-toggle evaluation).
+    EmptySet,
+}
+
+impl fmt::Display for CubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeError::InvalidBitChar(c) => {
+                write!(f, "invalid pattern character {c:?} (expected 0, 1, X or -)")
+            }
+            CubeError::InvalidBitString(s) => {
+                write!(f, "invalid bit string {s:?} (expected a single character)")
+            }
+            CubeError::WidthMismatch { expected, found } => {
+                write!(f, "cube width {found} does not match set width {expected}")
+            }
+            CubeError::InvalidPermutation { len } => {
+                write!(f, "reorder indices are not a permutation of 0..{len}")
+            }
+            CubeError::ParseLine { line, message } => {
+                write!(f, "pattern file line {line}: {message}")
+            }
+            CubeError::EmptySet => write!(f, "operation requires a non-empty cube set"),
+        }
+    }
+}
+
+impl Error for CubeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CubeError::WidthMismatch {
+            expected: 4,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('4') && msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CubeError>();
+    }
+}

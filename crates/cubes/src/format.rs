@@ -1,0 +1,157 @@
+//! Plain-text pattern format.
+//!
+//! One cube per line as a `01X` string; `#` starts a comment; blank lines
+//! are ignored. This mirrors the pattern dumps that commercial ATPG flows
+//! exchange (a simplified STIL), and is the on-disk format used by the
+//! experiment harness.
+//!
+//! ```text
+//! # patterns for b03, tool order
+//! 0X1XX10X
+//! 1XX0X10X
+//! ```
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::{CubeError, CubeSet, TestCube};
+
+/// Parses a pattern file from any reader. Note that a `&[u8]` or `&mut R`
+/// can be passed where `R: Read` is expected.
+///
+/// # Errors
+///
+/// Returns [`CubeError::ParseLine`] (wrapped in `io::Error` for I/O
+/// failures) with the 1-based line number of the first offending line.
+pub fn read_patterns<R: Read>(reader: R) -> io::Result<Result<CubeSet, CubeError>> {
+    let reader = BufReader::new(reader);
+    let mut cubes: Vec<TestCube> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let content = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => &line[..],
+        };
+        let content = content.trim();
+        if content.is_empty() {
+            continue;
+        }
+        let cube: TestCube = match content.parse() {
+            Ok(c) => c,
+            Err(e) => {
+                return Ok(Err(CubeError::ParseLine {
+                    line: idx + 1,
+                    message: e.to_string(),
+                }))
+            }
+        };
+        if let Some(w) = width {
+            if cube.width() != w {
+                return Ok(Err(CubeError::ParseLine {
+                    line: idx + 1,
+                    message: format!("cube width {} does not match width {}", cube.width(), w),
+                }));
+            }
+        } else {
+            width = Some(cube.width());
+        }
+        cubes.push(cube);
+    }
+    Ok(CubeSet::from_cubes(cubes))
+}
+
+/// Parses a pattern file from a string.
+///
+/// # Errors
+///
+/// Returns [`CubeError::ParseLine`] on the first malformed line.
+pub fn parse_patterns(text: &str) -> Result<CubeSet, CubeError> {
+    read_patterns(text.as_bytes()).expect("reading from memory cannot fail")
+}
+
+/// Writes a cube set in the pattern format, with an optional header
+/// comment.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_patterns<W: Write>(
+    mut writer: W,
+    set: &CubeSet,
+    header: Option<&str>,
+) -> io::Result<()> {
+    if let Some(h) = header {
+        for line in h.lines() {
+            writeln!(writer, "# {line}")?;
+        }
+    }
+    for cube in set {
+        writeln!(writer, "{cube}")?;
+    }
+    Ok(())
+}
+
+/// Renders a cube set to a pattern-format string.
+pub fn patterns_to_string(set: &CubeSet, header: Option<&str>) -> String {
+    let mut buf = Vec::new();
+    write_patterns(&mut buf, set, header).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("pattern text is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let set = CubeSet::parse_rows(&["0X1X", "1XX0", "XXXX"]).unwrap();
+        let text = patterns_to_string(&set, Some("three cubes"));
+        assert!(text.starts_with("# three cubes\n"));
+        let back = parse_patterns(&text).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0X1 # trailing comment\n  1X0  \n";
+        let set = parse_patterns(text).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.cube(0).to_string(), "0X1");
+        assert_eq!(set.cube(1).to_string(), "1X0");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "0X1\n1Z0\n";
+        match parse_patterns(text) {
+            Err(CubeError::ParseLine { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected ParseLine error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_widths() {
+        let text = "0X1\n10\n";
+        match parse_patterns(text) {
+            Err(CubeError::ParseLine { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("width"));
+            }
+            other => panic!("expected ParseLine error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_set() {
+        let set = parse_patterns("# nothing here\n\n").unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn multi_line_header() {
+        let set = CubeSet::parse_rows(&["01"]).unwrap();
+        let text = patterns_to_string(&set, Some("line a\nline b"));
+        assert!(text.contains("# line a\n# line b\n"));
+        assert_eq!(parse_patterns(&text).unwrap(), set);
+    }
+}

@@ -1,0 +1,53 @@
+//! Test-cube data structures for scan-test power experiments.
+//!
+//! A *test cube* is a partially specified test pattern: a vector over
+//! `{0, 1, X}` where `X` marks a don't-care bit left unassigned by ATPG.
+//! This crate provides:
+//!
+//! * [`Bit`] — a three-valued logic bit with the usual 3-valued operators;
+//! * [`TestCube`] — one pattern, with Hamming/conflict distances and
+//!   cube-merging for static compaction;
+//! * [`CubeSet`] — an ordered set of equal-width cubes (the matrix whose
+//!   columns the DP-fill paper calls `T1..Tn`), with X-density statistics
+//!   and reordering;
+//! * [`PinMatrix`] — the transposed row-major view (one row per pin) that
+//!   X-filling algorithms operate on;
+//! * [`stretch`] — classification of the X-runs ("stretches") inside a row,
+//!   the raw material of the paper's interval mapping and of Fig 2(c);
+//! * [`gen`] — seeded random cube generators used for tests and for the
+//!   profile-driven reproduction mode;
+//! * [`format`] — a plain-text pattern format (one `01X` string per line).
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_cubes::{CubeSet, TestCube};
+//!
+//! # fn main() -> Result<(), dpfill_cubes::CubeError> {
+//! let mut set = CubeSet::new(4);
+//! set.push("01XX".parse::<TestCube>()?)?;
+//! set.push("0X1X".parse::<TestCube>()?)?;
+//! assert_eq!(set.len(), 2);
+//! assert!((set.x_percent() - 50.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bit;
+mod cube;
+mod distance;
+mod error;
+pub mod format;
+pub mod gen;
+mod matrix;
+mod set;
+pub mod stretch;
+
+pub use bit::Bit;
+pub use cube::TestCube;
+pub use distance::{
+    conflict_distance, hamming_distance, peak_toggles, toggle_profile, total_toggles,
+};
+pub use error::CubeError;
+pub use matrix::PinMatrix;
+pub use set::CubeSet;

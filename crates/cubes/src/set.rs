@@ -1,0 +1,349 @@
+use std::fmt;
+
+use crate::{Bit, CubeError, PinMatrix, TestCube};
+
+/// An ordered collection of equal-width test cubes — the pattern sequence
+/// `T1, T2, … Tn` of the paper.
+///
+/// The order of cubes is significant: peak toggles are measured between
+/// *consecutive* cubes, so reordering the set changes the objective.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_cubes::{CubeSet, TestCube};
+///
+/// # fn main() -> Result<(), dpfill_cubes::CubeError> {
+/// let mut set = CubeSet::new(3);
+/// set.push("0X1".parse::<TestCube>()?)?;
+/// set.push("1X0".parse::<TestCube>()?)?;
+/// set.push("XX1".parse::<TestCube>()?)?;
+/// let reordered = set.reordered(&[2, 0, 1])?;
+/// assert_eq!(reordered.cube(0).to_string(), "XX1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CubeSet {
+    width: usize,
+    cubes: Vec<TestCube>,
+}
+
+impl CubeSet {
+    /// Creates an empty set whose cubes must all have `width` bits.
+    pub fn new(width: usize) -> CubeSet {
+        CubeSet {
+            width,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Builds a set from cubes, taking the width from the first cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] if the cubes disagree on width.
+    pub fn from_cubes<I: IntoIterator<Item = TestCube>>(cubes: I) -> Result<CubeSet, CubeError> {
+        let mut iter = cubes.into_iter();
+        match iter.next() {
+            None => Ok(CubeSet::new(0)),
+            Some(first) => {
+                let mut set = CubeSet::new(first.width());
+                set.push(first)?;
+                for cube in iter {
+                    set.push(cube)?;
+                }
+                Ok(set)
+            }
+        }
+    }
+
+    /// Parses a set from `01X` strings, one cube per string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bit-parse and width-mismatch errors.
+    pub fn parse_rows(rows: &[&str]) -> Result<CubeSet, CubeError> {
+        CubeSet::from_cubes(
+            rows.iter()
+                .map(|r| r.parse::<TestCube>())
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the cube width differs
+    /// from the set width.
+    pub fn push(&mut self, cube: TestCube) -> Result<(), CubeError> {
+        if cube.width() != self.width {
+            return Err(CubeError::WidthMismatch {
+                expected: self.width,
+                found: cube.width(),
+            });
+        }
+        self.cubes.push(cube);
+        Ok(())
+    }
+
+    /// Common width of all cubes (the number of pins `m`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cubes `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Returns `true` when the set holds no cubes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes in order.
+    #[inline]
+    pub fn cubes(&self) -> &[TestCube] {
+        &self.cubes
+    }
+
+    /// Mutable access to the cubes (fill algorithms rewrite bits in place).
+    #[inline]
+    pub fn cubes_mut(&mut self) -> &mut [TestCube] {
+        &mut self.cubes
+    }
+
+    /// Cube at position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn cube(&self, index: usize) -> &TestCube {
+        &self.cubes[index]
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, TestCube> {
+        self.cubes.iter()
+    }
+
+    /// Total number of `X` bits over all cubes.
+    pub fn x_count(&self) -> usize {
+        self.cubes.iter().map(TestCube::x_count).sum()
+    }
+
+    /// Average percentage of `X` bits per cube — the paper's Table I
+    /// "X %" column. Returns `0` for an empty or zero-width set.
+    pub fn x_percent(&self) -> f64 {
+        let total_bits = self.len() * self.width;
+        if total_bits == 0 {
+            0.0
+        } else {
+            100.0 * self.x_count() as f64 / total_bits as f64
+        }
+    }
+
+    /// Returns `true` when no cube contains an `X` bit.
+    pub fn is_fully_specified(&self) -> bool {
+        self.cubes.iter().all(TestCube::is_fully_specified)
+    }
+
+    /// Returns a new set with cubes ordered as `order[0], order[1], …`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::InvalidPermutation`] unless `order` is a
+    /// permutation of `0..self.len()`.
+    pub fn reordered(&self, order: &[usize]) -> Result<CubeSet, CubeError> {
+        if order.len() != self.len() {
+            return Err(CubeError::InvalidPermutation { len: self.len() });
+        }
+        let mut seen = vec![false; self.len()];
+        for &i in order {
+            if i >= self.len() || seen[i] {
+                return Err(CubeError::InvalidPermutation { len: self.len() });
+            }
+            seen[i] = true;
+        }
+        Ok(CubeSet {
+            width: self.width,
+            cubes: order.iter().map(|&i| self.cubes[i].clone()).collect(),
+        })
+    }
+
+    /// The transposed, row-per-pin view used by X-filling algorithms
+    /// (the paper's matrix `A`: `m` rows × `n` columns).
+    pub fn to_pin_matrix(&self) -> PinMatrix {
+        PinMatrix::from_cube_set(self)
+    }
+
+    /// Checks that `filled` is a legal filling of `self`: same shape, no
+    /// remaining `X`, and every care bit preserved. Fill algorithms must
+    /// never flip a care bit — that would destroy fault detection.
+    pub fn is_filling_of(filled: &CubeSet, original: &CubeSet) -> bool {
+        filled.width == original.width
+            && filled.len() == original.len()
+            && filled.is_fully_specified()
+            && filled
+                .cubes
+                .iter()
+                .zip(&original.cubes)
+                .all(|(f, o)| f.is_contained_in(o))
+    }
+
+    /// Per-cube X counts, used by the I-ordering's initial sort.
+    pub fn x_counts(&self) -> Vec<usize> {
+        self.cubes.iter().map(TestCube::x_count).collect()
+    }
+
+    /// Bit at `(cube, pin)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    #[inline]
+    pub fn bit(&self, cube: usize, pin: usize) -> Bit {
+        self.cubes[cube][pin]
+    }
+}
+
+impl FromIterator<TestCube> for CubeSet {
+    /// Collects cubes into a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes have mismatched widths; use
+    /// [`CubeSet::from_cubes`] for a fallible version.
+    fn from_iter<I: IntoIterator<Item = TestCube>>(iter: I) -> CubeSet {
+        CubeSet::from_cubes(iter).expect("cubes with equal widths")
+    }
+}
+
+impl<'a> IntoIterator for &'a CubeSet {
+    type Item = &'a TestCube;
+    type IntoIter = std::slice::Iter<'a, TestCube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl IntoIterator for CubeSet {
+    type Item = TestCube;
+    type IntoIter = std::vec::IntoIter<TestCube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl fmt::Display for CubeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for cube in &self.cubes {
+            writeln!(f, "{cube}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CubeSet {
+        CubeSet::parse_rows(&["0X1", "1X0", "XX1", "00X"]).unwrap()
+    }
+
+    #[test]
+    fn push_enforces_width() {
+        let mut set = CubeSet::new(3);
+        assert!(set.push("0X1".parse().unwrap()).is_ok());
+        let err = set.push("0X".parse().unwrap()).unwrap_err();
+        assert_eq!(
+            err,
+            CubeError::WidthMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn x_percent_matches_hand_count() {
+        let set = sample();
+        // 12 bits total, 5 X bits.
+        assert!((set.x_percent() - 100.0 * 5.0 / 12.0).abs() < 1e-9);
+        assert_eq!(set.x_count(), 5);
+    }
+
+    #[test]
+    fn empty_set_statistics() {
+        let set = CubeSet::new(0);
+        assert_eq!(set.x_percent(), 0.0);
+        assert!(set.is_empty());
+        assert!(set.is_fully_specified());
+    }
+
+    #[test]
+    fn reorder_valid_permutation() {
+        let set = sample();
+        let r = set.reordered(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(r.cube(0).to_string(), "00X");
+        assert_eq!(r.cube(3).to_string(), "0X1");
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn reorder_rejects_bad_permutations() {
+        let set = sample();
+        assert!(set.reordered(&[0, 1, 2]).is_err()); // wrong length
+        assert!(set.reordered(&[0, 0, 1, 2]).is_err()); // duplicate
+        assert!(set.reordered(&[0, 1, 2, 9]).is_err()); // out of range
+    }
+
+    #[test]
+    fn filling_check_accepts_legal_fill() {
+        let original = sample();
+        let filled = CubeSet::parse_rows(&["001", "100", "001", "000"]).unwrap();
+        assert!(CubeSet::is_filling_of(&filled, &original));
+    }
+
+    #[test]
+    fn filling_check_rejects_flipped_care_bit() {
+        let original = sample();
+        // First cube care bit 0 at pin 0 flipped to 1.
+        let bad = CubeSet::parse_rows(&["101", "100", "001", "000"]).unwrap();
+        assert!(!CubeSet::is_filling_of(&bad, &original));
+    }
+
+    #[test]
+    fn filling_check_rejects_remaining_x() {
+        let original = sample();
+        let still_x = CubeSet::parse_rows(&["0X1", "100", "001", "000"]).unwrap();
+        assert!(!CubeSet::is_filling_of(&still_x, &original));
+    }
+
+    #[test]
+    fn from_cubes_of_empty_iterator() {
+        let set = CubeSet::from_cubes(std::iter::empty()).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.width(), 0);
+    }
+
+    #[test]
+    fn display_one_cube_per_line() {
+        let set = CubeSet::parse_rows(&["0X", "11"]).unwrap();
+        assert_eq!(set.to_string(), "0X\n11\n");
+    }
+
+    #[test]
+    fn x_counts_per_cube() {
+        assert_eq!(sample().x_counts(), vec![1, 1, 2, 1]);
+    }
+}

@@ -1,0 +1,412 @@
+//! X-stretch analysis of pin rows.
+//!
+//! A *stretch* is a maximal run of `X` bits inside one pin's row (its value
+//! across the ordered cubes). The DP-fill paper's interval mapping (§V-C)
+//! classifies stretches by the care bits that delimit them:
+//!
+//! * `v X…X v` — *same-value* stretch: filled with `v`, zero toggles;
+//! * `v X…X w`, `v ≠ w` — *transition* stretch: exactly one toggle whose
+//!   position is free, i.e. one interval of the Bottleneck Coloring
+//!   Problem;
+//! * leading / trailing stretches — copy the nearest care bit, no toggle;
+//! * a row with no care bit at all — fill constant, no toggle.
+//!
+//! Adjacent opposite care bits (`v w`, no `X` between) are *forced
+//! toggles*; they are not stretches but are reported here because the
+//! generalized solver needs them as baseline loads.
+//!
+//! Fig 2(c) of the paper plots the statistics of stretch lengths for
+//! different test-vector orderings; [`StretchStats`] reproduces those
+//! numbers.
+
+use crate::{Bit, PinMatrix};
+
+/// One classified feature of a pin row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stretch {
+    /// `X` run before the first care bit: columns `[0, first_care)`.
+    Leading {
+        /// Column of the first care bit.
+        first_care: usize,
+    },
+    /// `X` run after the last care bit: columns `(last_care, n)`.
+    Trailing {
+        /// Column of the last care bit.
+        last_care: usize,
+    },
+    /// `v X…X v`: columns `(left, right)` exclusive are `X`, both ends
+    /// carry the same care value.
+    SameValue {
+        /// Column of the left care bit.
+        left: usize,
+        /// Column of the right care bit.
+        right: usize,
+        /// The shared care value.
+        value: Bit,
+    },
+    /// `v X…X w` with `v ≠ w`: one unavoidable toggle somewhere in the
+    /// transition window `[left, right-1]` (the paper's interval
+    /// `(k, l-1)`).
+    Transition {
+        /// Column of the left care bit (`k`).
+        left: usize,
+        /// Column of the right care bit (`l`).
+        right: usize,
+        /// Value of the left care bit.
+        left_value: Bit,
+    },
+    /// Opposite care bits in adjacent columns: a toggle at transition
+    /// `col → col+1` that no filling can avoid.
+    ForcedToggle {
+        /// The transition index (between columns `col` and `col+1`).
+        col: usize,
+    },
+    /// The whole row is `X`: fill with any constant, no toggles.
+    AllX,
+}
+
+impl Stretch {
+    /// Number of `X` bits covered by this stretch (`0` for forced toggles).
+    pub fn x_len(&self, row_len: usize) -> usize {
+        match *self {
+            Stretch::Leading { first_care } => first_care,
+            Stretch::Trailing { last_care } => row_len - last_care - 1,
+            Stretch::SameValue { left, right, .. } | Stretch::Transition { left, right, .. } => {
+                right - left - 1
+            }
+            Stretch::ForcedToggle { .. } => 0,
+            Stretch::AllX => row_len,
+        }
+    }
+}
+
+/// Classified features of one row, in left-to-right order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RowStretches {
+    stretches: Vec<Stretch>,
+}
+
+impl RowStretches {
+    /// Analyzes one pin row.
+    pub fn analyze(row: &[Bit]) -> RowStretches {
+        let mut stretches = Vec::new();
+        let care_positions: Vec<usize> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_care())
+            .map(|(i, _)| i)
+            .collect();
+
+        if care_positions.is_empty() {
+            if !row.is_empty() {
+                stretches.push(Stretch::AllX);
+            }
+            return RowStretches { stretches };
+        }
+
+        let first = care_positions[0];
+        if first > 0 {
+            stretches.push(Stretch::Leading { first_care: first });
+        }
+        for w in care_positions.windows(2) {
+            let (left, right) = (w[0], w[1]);
+            let (lv, rv) = (row[left], row[right]);
+            if right == left + 1 {
+                if lv.conflicts(rv) {
+                    stretches.push(Stretch::ForcedToggle { col: left });
+                }
+            } else if lv == rv {
+                stretches.push(Stretch::SameValue {
+                    left,
+                    right,
+                    value: lv,
+                });
+            } else {
+                stretches.push(Stretch::Transition {
+                    left,
+                    right,
+                    left_value: lv,
+                });
+            }
+        }
+        let last = *care_positions.last().expect("non-empty care positions");
+        if last + 1 < row.len() {
+            stretches.push(Stretch::Trailing { last_care: last });
+        }
+        RowStretches { stretches }
+    }
+
+    /// The classified stretches in order.
+    pub fn stretches(&self) -> &[Stretch] {
+        &self.stretches
+    }
+
+    /// Number of transition stretches (= BCP intervals from this row).
+    pub fn transition_count(&self) -> usize {
+        self.stretches
+            .iter()
+            .filter(|s| matches!(s, Stretch::Transition { .. }))
+            .count()
+    }
+
+    /// Number of forced toggles in this row.
+    pub fn forced_count(&self) -> usize {
+        self.stretches
+            .iter()
+            .filter(|s| matches!(s, Stretch::ForcedToggle { .. }))
+            .count()
+    }
+}
+
+/// Aggregate stretch-length statistics over a whole matrix — the data of
+/// the paper's Fig 2(c).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StretchStats {
+    /// Histogram: `histogram[k]` = number of X-stretches of length
+    /// `k+1` … capped at the last bucket.
+    histogram: Vec<usize>,
+    total_stretches: usize,
+    total_x_bits: usize,
+    max_len: usize,
+    mean_len: f64,
+    transition_stretches: usize,
+    forced_toggles: usize,
+}
+
+/// Bucket boundaries used for the Fig 2(c) histogram: stretch lengths
+/// `1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, >64`.
+pub const LENGTH_BUCKETS: [(usize, usize); 8] = [
+    (1, 1),
+    (2, 2),
+    (3, 4),
+    (5, 8),
+    (9, 16),
+    (17, 32),
+    (33, 64),
+    (65, usize::MAX),
+];
+
+impl StretchStats {
+    /// Computes the statistics over every row of the matrix. Leading,
+    /// trailing, same-value and transition stretches all count (they are
+    /// all "don't-care stretches"); forced toggles are tallied separately.
+    pub fn of_matrix(matrix: &PinMatrix) -> StretchStats {
+        let mut histogram = vec![0usize; LENGTH_BUCKETS.len()];
+        let mut total = 0usize;
+        let mut xsum = 0usize;
+        let mut max_len = 0usize;
+        let mut transitions = 0usize;
+        let mut forced = 0usize;
+        for row in matrix.iter_rows() {
+            let rs = RowStretches::analyze(row);
+            for s in rs.stretches() {
+                match s {
+                    Stretch::ForcedToggle { .. } => forced += 1,
+                    _ => {
+                        let len = s.x_len(row.len());
+                        if len == 0 {
+                            continue;
+                        }
+                        total += 1;
+                        xsum += len;
+                        max_len = max_len.max(len);
+                        if matches!(s, Stretch::Transition { .. }) {
+                            transitions += 1;
+                        }
+                        let bucket = LENGTH_BUCKETS
+                            .iter()
+                            .position(|&(lo, hi)| len >= lo && len <= hi)
+                            .expect("buckets cover all positive lengths");
+                        histogram[bucket] += 1;
+                    }
+                }
+            }
+        }
+        StretchStats {
+            histogram,
+            total_stretches: total,
+            total_x_bits: xsum,
+            max_len,
+            mean_len: if total == 0 {
+                0.0
+            } else {
+                xsum as f64 / total as f64
+            },
+            transition_stretches: transitions,
+            forced_toggles: forced,
+        }
+    }
+
+    /// Histogram bucket counts aligned with [`LENGTH_BUCKETS`].
+    pub fn histogram(&self) -> &[usize] {
+        &self.histogram
+    }
+
+    /// Total number of X-stretches.
+    pub fn total_stretches(&self) -> usize {
+        self.total_stretches
+    }
+
+    /// Total `X` bits covered by stretches.
+    pub fn total_x_bits(&self) -> usize {
+        self.total_x_bits
+    }
+
+    /// Longest stretch observed.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Mean stretch length (`0` when there are no stretches).
+    pub fn mean_len(&self) -> f64 {
+        self.mean_len
+    }
+
+    /// Number of transition (`v X…X w`) stretches = BCP intervals.
+    pub fn transition_stretches(&self) -> usize {
+        self.transition_stretches
+    }
+
+    /// Number of forced toggles (adjacent opposite care bits).
+    pub fn forced_toggles(&self) -> usize {
+        self.forced_toggles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CubeSet;
+
+    fn row(s: &str) -> Vec<Bit> {
+        s.chars().map(|c| Bit::from_char(c).unwrap()).collect()
+    }
+
+    #[test]
+    fn classifies_all_stretch_kinds() {
+        let r = row("XX0XX0X1X1X1XX");
+        //          ^^leading
+        //            ^same 0..0
+        //                ^transition 0->1 (cols 5..7)
+        //                  ^same? col7=1,col9=1 -> same
+        //                       col9..col11: 1 X 1 same
+        //                           trailing XX
+        let rs = RowStretches::analyze(&r);
+        let kinds: Vec<&Stretch> = rs.stretches().iter().collect();
+        assert!(matches!(kinds[0], Stretch::Leading { first_care: 2 }));
+        assert!(matches!(
+            kinds[1],
+            Stretch::SameValue {
+                left: 2,
+                right: 5,
+                value: Bit::Zero
+            }
+        ));
+        assert!(matches!(
+            kinds[2],
+            Stretch::Transition {
+                left: 5,
+                right: 7,
+                left_value: Bit::Zero
+            }
+        ));
+        assert!(matches!(
+            kinds[3],
+            Stretch::SameValue {
+                left: 7,
+                right: 9,
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[4],
+            Stretch::SameValue {
+                left: 9,
+                right: 11,
+                ..
+            }
+        ));
+        assert!(matches!(kinds[5], Stretch::Trailing { last_care: 11 }));
+    }
+
+    #[test]
+    fn forced_toggle_detected() {
+        let rs = RowStretches::analyze(&row("01X0"));
+        assert_eq!(rs.forced_count(), 1);
+        assert!(matches!(rs.stretches()[0], Stretch::ForcedToggle { col: 0 }));
+        // 1 X 0 is a transition stretch.
+        assert_eq!(rs.transition_count(), 1);
+    }
+
+    #[test]
+    fn adjacent_equal_care_bits_produce_nothing() {
+        let rs = RowStretches::analyze(&row("0011"));
+        // Only the forced toggle between columns 1 and 2.
+        assert_eq!(rs.stretches().len(), 1);
+        assert!(matches!(rs.stretches()[0], Stretch::ForcedToggle { col: 1 }));
+    }
+
+    #[test]
+    fn all_x_row() {
+        let rs = RowStretches::analyze(&row("XXXX"));
+        assert_eq!(rs.stretches(), &[Stretch::AllX]);
+        assert_eq!(rs.stretches()[0].x_len(4), 4);
+    }
+
+    #[test]
+    fn empty_row() {
+        let rs = RowStretches::analyze(&[]);
+        assert!(rs.stretches().is_empty());
+    }
+
+    #[test]
+    fn single_care_bit_row() {
+        let rs = RowStretches::analyze(&row("XX1X"));
+        assert_eq!(rs.stretches().len(), 2);
+        assert!(matches!(rs.stretches()[0], Stretch::Leading { first_care: 2 }));
+        assert!(matches!(rs.stretches()[1], Stretch::Trailing { last_care: 2 }));
+    }
+
+    #[test]
+    fn x_len_computations() {
+        assert_eq!(Stretch::Leading { first_care: 3 }.x_len(10), 3);
+        assert_eq!(Stretch::Trailing { last_care: 6 }.x_len(10), 3);
+        assert_eq!(
+            Stretch::Transition {
+                left: 2,
+                right: 7,
+                left_value: Bit::Zero
+            }
+            .x_len(10),
+            4
+        );
+        assert_eq!(Stretch::ForcedToggle { col: 1 }.x_len(10), 0);
+        assert_eq!(Stretch::AllX.x_len(10), 10);
+    }
+
+    #[test]
+    fn matrix_stats() {
+        let set = CubeSet::parse_rows(&["0X", "XX", "1X", "XX", "01"]).unwrap();
+        // Matrix rows (pins over 5 cubes):
+        // pin 0: 0 X 1 X 0  -> transition (0..2) len 1, transition (2..4) len 1
+        // pin 1: X X X X 1  -> leading len 4
+        let stats = StretchStats::of_matrix(&set.to_pin_matrix());
+        assert_eq!(stats.total_stretches(), 3);
+        assert_eq!(stats.transition_stretches(), 2);
+        assert_eq!(stats.forced_toggles(), 0);
+        assert_eq!(stats.max_len(), 4);
+        assert_eq!(stats.total_x_bits(), 6);
+        assert_eq!(stats.histogram()[0], 2); // two stretches of length 1
+        assert_eq!(stats.histogram()[2], 1); // one of length 4 (bucket 3-4)
+    }
+
+    #[test]
+    fn buckets_cover_all_lengths() {
+        for len in 1..200usize {
+            assert!(
+                LENGTH_BUCKETS.iter().any(|&(lo, hi)| len >= lo && len <= hi),
+                "length {len} not covered"
+            );
+        }
+    }
+}

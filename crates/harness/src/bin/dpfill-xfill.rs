@@ -1,0 +1,156 @@
+//! `dpfill-xfill` — apply a test-vector ordering and an X-fill to a
+//! pattern file.
+//!
+//! The adoption-path tool: feed it the cube dump of any ATPG flow (one
+//! `01X` string per line, `#` comments) and get back fully specified
+//! patterns with minimized peak toggles.
+//!
+//! ```text
+//! dpfill-xfill [OPTIONS] [INPUT]
+//!
+//!   INPUT                 pattern file ('-' or absent: stdin)
+//!   --fill METHOD         dp|b|xstat|adj|mt|0|1|random   (default: dp)
+//!   --order METHOD        keep|interleave|xstat|isa      (default: interleave)
+//!   --output FILE         write here instead of stdout
+//!   --stats               print peak/ordering statistics to stderr
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! dpfill-repro table1 --csv /tmp/csv   # (any cube source)
+//! dpfill-xfill cubes.pat --fill dp --order interleave --stats > filled.pat
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use dpfill_core::fill::FillMethod;
+use dpfill_core::ordering::OrderingMethod;
+use dpfill_cubes::{format, peak_toggles, CubeSet};
+
+struct Options {
+    input: Option<String>,
+    output: Option<String>,
+    fill: FillMethod,
+    order: Option<OrderingMethod>,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: None,
+        output: None,
+        fill: FillMethod::Dp,
+        order: Some(OrderingMethod::Interleaved),
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fill" => {
+                opts.fill = match args.next().as_deref() {
+                    Some("dp") => FillMethod::Dp,
+                    Some("b") => FillMethod::B,
+                    Some("xstat") => FillMethod::XStat,
+                    Some("adj") => FillMethod::Adj,
+                    Some("mt") => FillMethod::Mt,
+                    Some("0") => FillMethod::Zero,
+                    Some("1") => FillMethod::One,
+                    Some("random") => FillMethod::Random(0xF111),
+                    other => return Err(format!("unknown --fill {other:?}")),
+                };
+            }
+            "--order" => {
+                opts.order = match args.next().as_deref() {
+                    Some("keep") => None,
+                    Some("interleave") => Some(OrderingMethod::Interleaved),
+                    Some("xstat") => Some(OrderingMethod::XStat),
+                    Some("isa") => Some(OrderingMethod::Isa(0x15A)),
+                    other => return Err(format!("unknown --order {other:?}")),
+                };
+            }
+            "--output" => {
+                opts.output = Some(args.next().ok_or("--output needs a path")?);
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => {
+                println!(
+                    "dpfill-xfill: order + X-fill a pattern file\n\
+                     usage: dpfill-xfill [--fill dp|b|xstat|adj|mt|0|1|random]\n\
+                     \u{20}      [--order keep|interleave|xstat|isa] [--output FILE] [--stats] [INPUT|-]"
+                );
+                std::process::exit(0);
+            }
+            "-" => opts.input = None,
+            other if !other.starts_with('-') => opts.input = Some(other.to_owned()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let text = match &opts.input {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let cubes = format::parse_patterns(&text).map_err(|e| e.to_string())?;
+    if cubes.is_empty() {
+        return Err("no patterns in input".to_owned());
+    }
+
+    let ordered: CubeSet = match opts.order {
+        None => cubes.clone(),
+        Some(method) => {
+            let order = method.order(&cubes);
+            cubes.reordered(&order).map_err(|e| e.to_string())?
+        }
+    };
+    let filled = opts.fill.fill(&ordered);
+    debug_assert!(CubeSet::is_filling_of(&filled, &ordered));
+
+    if opts.stats {
+        let before = peak_toggles(&FillMethod::Zero.fill(&cubes)).map_err(|e| e.to_string())?;
+        let after = peak_toggles(&filled).map_err(|e| e.to_string())?;
+        eprintln!(
+            "{} cubes x {} pins, {:.1}% X; peak toggles: 0-fill(as-given) {} -> {} {}",
+            cubes.len(),
+            cubes.width(),
+            cubes.x_percent(),
+            before,
+            opts.fill.label(),
+            after
+        );
+    }
+
+    let header = format!(
+        "filled by dpfill-xfill: {} / {}",
+        opts.order.map_or("keep", |o| o.label()),
+        opts.fill.label()
+    );
+    let out_text = format::patterns_to_string(&filled, Some(&header));
+    match &opts.output {
+        Some(path) => std::fs::write(path, out_text)
+            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        None => print!("{out_text}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|o| run(&o)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Tables II, III and IV: peak input toggles of six fills under one
+//! ordering.
+
+use dpfill_core::ordering::OrderingMethod;
+use dpfill_core::sweep_fills;
+
+use crate::flow::Prepared;
+use crate::paper::{paper_row, FILL_LABELS};
+use crate::table::TextTable;
+
+/// One benchmark row of a fills table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FillsRow {
+    /// Benchmark name.
+    pub ckt: String,
+    /// Measured peaks in column order MT, R, 0, 1, B, DP.
+    pub peaks: [u64; 6],
+    /// The paper's row, when available.
+    pub paper: Option<[u64; 6]>,
+    /// Cube source used.
+    pub source: &'static str,
+}
+
+impl FillsRow {
+    /// DP-fill's measured peak.
+    pub fn dp_peak(&self) -> u64 {
+        self.peaks[5]
+    }
+
+    /// Best non-DP measured peak.
+    pub fn best_existing(&self) -> u64 {
+        *self.peaks[..5].iter().min().expect("five fills")
+    }
+}
+
+/// The paper's row for (ordering, circuit), for comparison output.
+pub fn paper_fills_for(ordering: OrderingMethod, ckt: &str) -> Option<[u64; 6]> {
+    let row = paper_row(ckt)?;
+    match ordering {
+        OrderingMethod::Tool => Some(row.table2),
+        OrderingMethod::XStat => Some(row.table3),
+        OrderingMethod::Interleaved => Some(row.table4),
+        OrderingMethod::Isa(_) => None,
+    }
+}
+
+/// Runs one fills table (II = Tool, III = XStat, IV = I-ordering).
+pub fn fills_table(
+    prepared: &[Prepared],
+    ordering: OrderingMethod,
+    title: &str,
+) -> (Vec<FillsRow>, TextTable) {
+    let mut rows = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let sweep = sweep_fills(&p.cubes, ordering);
+        let mut peaks = [0u64; 6];
+        for (i, (_, peak)) in sweep.iter().enumerate() {
+            peaks[i] = *peak as u64;
+        }
+        rows.push(FillsRow {
+            ckt: p.profile.name.to_owned(),
+            peaks,
+            paper: paper_fills_for(ordering, p.profile.name),
+            source: p.source,
+        });
+    }
+
+    let mut table = TextTable::new(title);
+    let mut header: Vec<String> = vec!["Ckt".into()];
+    for l in FILL_LABELS {
+        header.push(l.to_owned());
+        header.push(format!("{l} (paper)"));
+    }
+    header.push("source".into());
+    table.header(header);
+    for r in &rows {
+        let mut cells: Vec<String> = vec![r.ckt.clone()];
+        for i in 0..6 {
+            cells.push(r.peaks[i].to_string());
+            cells.push(
+                r.paper
+                    .map(|p| p[i].to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        cells.push(r.source.to_owned());
+        table.row(cells);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{prepare_suite, FlowConfig};
+
+    #[test]
+    fn dp_fill_is_minimal_in_every_row() {
+        let cfg = FlowConfig::smoke();
+        let prepared = prepare_suite(&cfg);
+        for ordering in [
+            OrderingMethod::Tool,
+            OrderingMethod::XStat,
+            OrderingMethod::Interleaved,
+        ] {
+            let (rows, _) = fills_table(&prepared, ordering, "t");
+            for r in &rows {
+                assert!(
+                    r.dp_peak() <= r.best_existing(),
+                    "{}: DP {} vs best existing {} under {:?}",
+                    r.ckt,
+                    r.dp_peak(),
+                    r.best_existing(),
+                    ordering
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_lookup_routes_to_the_right_table() {
+        let t2 = paper_fills_for(OrderingMethod::Tool, "b03").unwrap();
+        let t4 = paper_fills_for(OrderingMethod::Interleaved, "b03").unwrap();
+        assert_eq!(t2[5], 14);
+        assert_eq!(t4[5], 6);
+        assert!(paper_fills_for(OrderingMethod::Isa(0), "b03").is_none());
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper table/figure; each returns typed rows plus a
+//! rendered [`TextTable`](crate::table::TextTable) with the paper's
+//! numbers alongside the measured ones.
+
+mod fig1;
+mod fig2;
+mod fills;
+mod table1;
+mod table5;
+mod table6;
+
+pub use fig1::{fig1, Fig1Result};
+pub use fig2::{fig2a, fig2b, fig2c, Fig2aRow, Fig2bRow, Fig2cResult};
+pub use fills::{fills_table, paper_fills_for, FillsRow};
+pub use table1::{table1, Table1Row};
+pub use table5::{table5, Table5Row};
+pub use table6::{table6, Table6Row};

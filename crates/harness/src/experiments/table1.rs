@@ -1,0 +1,78 @@
+//! Table I: benchmark shapes and the X density of their test cubes.
+
+use crate::flow::{FlowConfig, Prepared};
+use crate::paper::paper_row;
+use crate::table::{fmt_f64, TextTable};
+
+/// One row of the Table I reproduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub ckt: String,
+    /// Cube width (`#PIs + #FFs`).
+    pub width: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// Number of cubes produced.
+    pub patterns: usize,
+    /// Measured average X percentage.
+    pub measured_x: f64,
+    /// Paper's Table I X percentage, when reported.
+    pub paper_x: Option<f64>,
+    /// Cube source used (`"atpg"` / `"profile"`).
+    pub source: &'static str,
+}
+
+/// Runs the Table I experiment over prepared benchmarks.
+pub fn table1(prepared: &[Prepared], _config: &FlowConfig) -> (Vec<Table1Row>, TextTable) {
+    let mut rows = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        rows.push(Table1Row {
+            ckt: p.profile.name.to_owned(),
+            width: p.profile.scan_width(),
+            gates: p.profile.gates,
+            patterns: p.cubes.len(),
+            measured_x: p.cubes.x_percent(),
+            paper_x: paper_row(p.profile.name).and_then(|r| r.x_percent),
+            source: p.source,
+        });
+    }
+    let mut table = TextTable::new("Table I: X% of test cubes (paper vs measured)");
+    table.header(["Ckt", "PIs+FFs", "Gates", "Patterns", "X% paper", "X% measured", "source"]);
+    for r in &rows {
+        table.row([
+            r.ckt.clone(),
+            r.width.to_string(),
+            r.gates.to_string(),
+            r.patterns.to_string(),
+            r.paper_x.map(fmt_f64).unwrap_or_else(|| "-".into()),
+            fmt_f64(r.measured_x),
+            r.source.to_owned(),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{prepare_suite, FlowConfig};
+
+    #[test]
+    fn smoke_rows_are_sane() {
+        let cfg = FlowConfig::smoke();
+        let prepared = prepare_suite(&cfg);
+        let (rows, table) = table1(&prepared, &cfg);
+        assert_eq!(rows.len(), prepared.len());
+        assert!(!table.is_empty());
+        for r in &rows {
+            assert!(r.patterns > 0, "{} produced no cubes", r.ckt);
+            assert!(
+                (0.0..=100.0).contains(&r.measured_x),
+                "{}: X% {}",
+                r.ckt,
+                r.measured_x
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Table VI: peak circuit power (µW) of the proposed technique vs the
+//! existing techniques, via full-circuit simulation and the wire-load
+//! capacitance model.
+
+use dpfill_core::{percent_improvement, Technique};
+use dpfill_netlist::CombView;
+use dpfill_power::{peak_power, CapacitanceModel, PowerConfig};
+
+use crate::flow::Prepared;
+use crate::paper::paper_row;
+use crate::table::{fmt_f64, TextTable};
+
+/// One benchmark row of the Table VI reproduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table6Row {
+    /// Benchmark name.
+    pub ckt: String,
+    /// Peak circuit power, µW, per technique:
+    /// [tool(best-existing MT), ISA, Adj-fill, XStat, Proposed].
+    pub power_uw: [f64; 5],
+    /// %improvement of proposed over the first four techniques.
+    pub improvement: [f64; 4],
+    /// Paper's Table VI row, when available.
+    pub paper: Option<[f64; 5]>,
+}
+
+/// Runs the Table VI experiment.
+pub fn table6(prepared: &[Prepared], seed: u64) -> (Vec<Table6Row>, TextTable) {
+    let power_cfg = PowerConfig::default();
+    let mut rows = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let view = CombView::new(&p.netlist);
+        let caps = CapacitanceModel::of(&p.netlist, &power_cfg);
+        let techniques = [
+            Technique::new(
+                dpfill_core::ordering::OrderingMethod::Tool,
+                dpfill_core::fill::FillMethod::B,
+            ),
+            Technique::isa(seed),
+            Technique::adj_fill(),
+            Technique::xstat(),
+            Technique::proposed(),
+        ];
+        let mut power_uw = [0f64; 5];
+        for (i, t) in techniques.iter().enumerate() {
+            let result = t.evaluate(&p.cubes);
+            let report = peak_power(&view, &result.filled, &caps, &power_cfg)
+                .expect("filled patterns simulate cleanly");
+            power_uw[i] = report.peak_uw;
+        }
+        let improvement = [
+            percent_improvement(power_uw[0], power_uw[4]),
+            percent_improvement(power_uw[1], power_uw[4]),
+            percent_improvement(power_uw[2], power_uw[4]),
+            percent_improvement(power_uw[3], power_uw[4]),
+        ];
+        rows.push(Table6Row {
+            ckt: p.profile.name.to_owned(),
+            power_uw,
+            improvement,
+            paper: paper_row(p.profile.name).map(|r| r.table6),
+        });
+    }
+
+    let mut table = TextTable::new(
+        "Table VI: peak circuit power (uW), proposed vs existing techniques",
+    );
+    table.header([
+        "Ckt", "Tool", "ISA", "Adj-fill", "XStat", "Proposed", "%Tool", "%ISA", "%Adj",
+        "%XStat", "paper(Tool)", "paper(Proposed)",
+    ]);
+    for r in &rows {
+        table.row([
+            r.ckt.clone(),
+            fmt_f64(r.power_uw[0]),
+            fmt_f64(r.power_uw[1]),
+            fmt_f64(r.power_uw[2]),
+            fmt_f64(r.power_uw[3]),
+            fmt_f64(r.power_uw[4]),
+            fmt_f64(r.improvement[0]),
+            fmt_f64(r.improvement[1]),
+            fmt_f64(r.improvement[2]),
+            fmt_f64(r.improvement[3]),
+            r.paper.map(|p| fmt_f64(p[0])).unwrap_or_else(|| "-".into()),
+            r.paper.map(|p| fmt_f64(p[4])).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    (rows, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{prepare_suite, FlowConfig};
+
+    #[test]
+    fn power_rows_are_positive_and_correlated_with_toggles() {
+        let cfg = FlowConfig::smoke();
+        let prepared = prepare_suite(&cfg);
+        let (rows, table) = table6(&prepared, cfg.seed);
+        assert_eq!(rows.len(), prepared.len());
+        assert!(!table.is_empty());
+        for r in &rows {
+            for (i, p) in r.power_uw.iter().enumerate() {
+                assert!(*p > 0.0, "{} technique {i} reported no power", r.ckt);
+            }
+        }
+    }
+}

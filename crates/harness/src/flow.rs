@@ -1,0 +1,229 @@
+//! The shared circuit → cubes preparation flow.
+//!
+//! Every experiment needs, per benchmark: the (synthetic) netlist and a
+//! set of X-rich test cubes in "tool" order. Two cube sources exist:
+//!
+//! * **ATPG** — run PODEM + fault dropping on the generated netlist;
+//!   faithful but expensive, the default for circuits up to
+//!   [`FlowConfig::atpg_gate_limit`] gates;
+//! * **Profile** — the calibrated [`CubeProfile`] generator matched to
+//!   the paper's Table I X% (documented substitution, DESIGN.md §3),
+//!   used for the multi-10k-gate circuits where full-fault-list PODEM
+//!   is disproportionate.
+//!
+//! Both sources exercise identical downstream code; every report states
+//! which source produced each row.
+
+use dpfill_atpg::{generate_tests, AtpgConfig};
+use dpfill_circuits::CircuitProfile;
+use dpfill_cubes::{gen::CubeProfile, CubeSet};
+use dpfill_netlist::Netlist;
+
+/// Where test cubes come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CubeSource {
+    /// ATPG below the gate limit, profile generator above (default).
+    #[default]
+    Auto,
+    /// Force PODEM ATPG for every circuit.
+    Atpg,
+    /// Force the profile generator for every circuit.
+    Profile,
+}
+
+/// Which benchmarks an experiment sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Subset {
+    /// b01–b06 class (quick smoke runs; used by the test suite).
+    Smoke,
+    /// Every circuit up to 2 000 gates (b01–b13).
+    Small,
+    /// The whole 21-circuit suite (default).
+    #[default]
+    Full,
+}
+
+impl Subset {
+    /// Does this subset include a circuit of `gates` gates?
+    pub fn includes(self, gates: usize) -> bool {
+        match self {
+            Subset::Smoke => gates <= 250,
+            Subset::Small => gates <= 2_000,
+            Subset::Full => true,
+        }
+    }
+}
+
+/// Configuration of the preparation flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Cube source policy.
+    pub source: CubeSource,
+    /// Benchmarks to sweep.
+    pub subset: Subset,
+    /// ATPG is used (under [`CubeSource::Auto`]) up to this many gates.
+    pub atpg_gate_limit: usize,
+    /// Base seed mixed into every generator.
+    pub seed: u64,
+    /// Cap on ATPG fault lists (keeps the medium circuits snappy).
+    pub max_faults: Option<usize>,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            source: CubeSource::Auto,
+            subset: Subset::Full,
+            atpg_gate_limit: 2_000,
+            seed: 0xD9F1_77,
+            max_faults: Some(20_000),
+        }
+    }
+}
+
+impl FlowConfig {
+    /// The quick configuration used by tests and CI.
+    pub fn smoke() -> FlowConfig {
+        FlowConfig {
+            subset: Subset::Smoke,
+            ..FlowConfig::default()
+        }
+    }
+}
+
+/// A benchmark ready for experiments.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The benchmark profile.
+    pub profile: CircuitProfile,
+    /// The synthetic netlist (needed by the power experiments).
+    pub netlist: Netlist,
+    /// Test cubes in tool (generation) order.
+    pub cubes: CubeSet,
+    /// `"atpg"` or `"profile"` — which source produced the cubes.
+    pub source: &'static str,
+}
+
+/// Prepares one benchmark: generate the netlist and obtain cubes.
+pub fn prepare(profile: &CircuitProfile, config: &FlowConfig) -> Prepared {
+    let netlist = profile.generate();
+    let use_atpg = match config.source {
+        CubeSource::Atpg => true,
+        CubeSource::Profile => false,
+        CubeSource::Auto => profile.gates <= config.atpg_gate_limit,
+    };
+    let (cubes, source) = if use_atpg {
+        let atpg_cfg = AtpgConfig {
+            seed: config.seed ^ profile.seed,
+            max_faults: config.max_faults,
+            // Commercial flows hand the tester compacted patterns; this
+            // also moves the tiny circuits' X density toward Table I.
+            compaction: true,
+            ..AtpgConfig::default()
+        };
+        let result = generate_tests(&netlist, &atpg_cfg);
+        (result.cubes, "atpg")
+    } else {
+        let cubes = CubeProfile::new(profile.scan_width(), profile.approx_patterns)
+            .x_percent(profile.paper_x_percent)
+            .flip_probability(0.25)
+            .hot_fraction(0.10)
+            .hot_weight(4.0)
+            .decay_ratio(64.0)
+            // ATPG-like temporal clustering: the targeted circuit region
+            // (and with it many justification values) changes every
+            // ~32 patterns.
+            .regime_changes((profile.approx_patterns / 32).max(2))
+            .generate(config.seed ^ profile.seed.rotate_left(17));
+        (cubes, "profile")
+    };
+    Prepared {
+        profile: *profile,
+        netlist,
+        cubes,
+        source,
+    }
+}
+
+/// Prepares every benchmark in the configured subset, in paper order.
+pub fn prepare_suite(config: &FlowConfig) -> Vec<Prepared> {
+    dpfill_circuits::itc99_suite()
+        .iter()
+        .filter(|p| config.subset.includes(p.gates))
+        .map(|p| prepare(p, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_circuits::itc99;
+
+    #[test]
+    fn atpg_source_for_small_circuits() {
+        let b01 = itc99("b01").unwrap();
+        let prepared = prepare(&b01, &FlowConfig::default());
+        assert_eq!(prepared.source, "atpg");
+        assert_eq!(prepared.cubes.width(), b01.scan_width());
+        assert!(!prepared.cubes.is_empty());
+    }
+
+    #[test]
+    fn profile_source_above_the_limit() {
+        let b14 = itc99("b14").unwrap();
+        let cfg = FlowConfig::default();
+        assert!(b14.gates > cfg.atpg_gate_limit);
+        let prepared = prepare(&b14, &cfg);
+        assert_eq!(prepared.source, "profile");
+        assert_eq!(prepared.cubes.width(), 275);
+        assert_eq!(prepared.cubes.len(), b14.approx_patterns);
+        // X density close to the paper's Table I value.
+        assert!(
+            (prepared.cubes.x_percent() - 77.9).abs() < 8.0,
+            "{}",
+            prepared.cubes.x_percent()
+        );
+    }
+
+    #[test]
+    fn forced_sources() {
+        let b03 = itc99("b03").unwrap();
+        let atpg = prepare(
+            &b03,
+            &FlowConfig {
+                source: CubeSource::Atpg,
+                ..FlowConfig::default()
+            },
+        );
+        assert_eq!(atpg.source, "atpg");
+        let profile = prepare(
+            &b03,
+            &FlowConfig {
+                source: CubeSource::Profile,
+                ..FlowConfig::default()
+            },
+        );
+        assert_eq!(profile.source, "profile");
+    }
+
+    #[test]
+    fn subsets_filter_by_size() {
+        assert!(Subset::Smoke.includes(57));
+        assert!(!Subset::Smoke.includes(615));
+        assert!(Subset::Small.includes(1_600));
+        assert!(!Subset::Small.includes(5_400));
+        assert!(Subset::Full.includes(146_500));
+        let smoke = prepare_suite(&FlowConfig::smoke());
+        assert!(smoke.len() >= 5, "smoke suite has b01,b02,b03,b06,b08,b09,b10");
+        assert!(smoke.iter().all(|p| p.profile.gates <= 250));
+    }
+
+    #[test]
+    fn deterministic() {
+        let b01 = itc99("b01").unwrap();
+        let cfg = FlowConfig::default();
+        let a = prepare(&b01, &cfg);
+        let b = prepare(&b01, &cfg);
+        assert_eq!(a.cubes, b.cubes);
+    }
+}

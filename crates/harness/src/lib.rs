@@ -1,0 +1,39 @@
+//! Experiment harness regenerating every table and figure of the
+//! DP-fill paper (DATE 2015).
+//!
+//! The `dpfill-repro` binary drives the experiments; this library
+//! exposes them programmatically:
+//!
+//! | Experiment | Function | Paper artifact |
+//! |------------|----------|----------------|
+//! | X density | [`experiments::table1`] | Table I |
+//! | Fills × Tool order | [`experiments::fills_table`] | Table II |
+//! | Fills × XStat order | [`experiments::fills_table`] | Table III |
+//! | Fills × I-order | [`experiments::fills_table`] | Table IV |
+//! | Technique shoot-out | [`experiments::table5`] | Table V |
+//! | Peak circuit power | [`experiments::table6`] | Table VI |
+//! | XStat sub-optimality | [`experiments::fig1`] | Fig 1 |
+//! | I-ordering trace | [`experiments::fig2a`] | Fig 2(a) |
+//! | Iterations vs log n | [`experiments::fig2b`] | Fig 2(b) |
+//! | Stretch statistics | [`experiments::fig2c`] | Fig 2(c) |
+//!
+//! Every report prints the paper's published number next to the
+//! measured one; `EXPERIMENTS.md` in the repository root records a full
+//! run.
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_harness::experiments::fig1;
+//!
+//! let (result, table) = fig1();
+//! assert!(result.dp_peak < result.xstat_peak);
+//! println!("{}", table.render());
+//! ```
+
+pub mod experiments;
+pub mod flow;
+pub mod paper;
+pub mod table;
+
+pub use flow::{prepare, prepare_suite, CubeSource, FlowConfig, Prepared, Subset};

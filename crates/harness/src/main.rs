@@ -1,0 +1,214 @@
+//! `dpfill-repro` — regenerate the DP-fill paper's tables and figures.
+//!
+//! ```text
+//! dpfill-repro [EXPERIMENTS] [OPTIONS]
+//!
+//! EXPERIMENTS (default: all)
+//!   table1 table2 table3 table4 table5 table6 fig1 fig2a fig2b fig2c all
+//!
+//! OPTIONS
+//!   --subset smoke|small|full   benchmark subset (default: full)
+//!   --source auto|atpg|profile  cube source (default: auto)
+//!   --seed N                    base seed (default: built-in)
+//!   --atpg-gate-limit N         auto-mode ATPG cutoff (default: 2000)
+//!   --csv DIR                   also write CSV files into DIR
+//!   --fig2c-ckt NAME            circuit for Fig 2(c) (default: largest prepared)
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dpfill_core::ordering::OrderingMethod;
+use dpfill_harness::experiments::{
+    fig1, fig2a, fig2b, fig2c, fills_table, table1, table5, table6,
+};
+use dpfill_harness::table::TextTable;
+use dpfill_harness::{prepare_suite, CubeSource, FlowConfig, Prepared, Subset};
+
+struct Options {
+    experiments: BTreeSet<String>,
+    config: FlowConfig,
+    csv_dir: Option<PathBuf>,
+    fig2c_ckt: Option<String>,
+}
+
+const ALL_EXPERIMENTS: [&str; 10] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2a", "fig2b",
+    "fig2c",
+];
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiments = BTreeSet::new();
+    let mut config = FlowConfig::default();
+    let mut csv_dir = None;
+    let mut fig2c_ckt = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            e if ALL_EXPERIMENTS.contains(&e) => {
+                experiments.insert(e.to_owned());
+            }
+            "--subset" => {
+                config.subset = match args.next().as_deref() {
+                    Some("smoke") => Subset::Smoke,
+                    Some("small") => Subset::Small,
+                    Some("full") => Subset::Full,
+                    other => return Err(format!("invalid --subset {other:?}")),
+                }
+            }
+            "--source" => {
+                config.source = match args.next().as_deref() {
+                    Some("auto") => CubeSource::Auto,
+                    Some("atpg") => CubeSource::Atpg,
+                    Some("profile") => CubeSource::Profile,
+                    other => return Err(format!("invalid --source {other:?}")),
+                }
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--atpg-gate-limit" => {
+                config.atpg_gate_limit = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--atpg-gate-limit needs an integer")?;
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    args.next().ok_or("--csv needs a directory")?,
+                ));
+            }
+            "--fig2c-ckt" => {
+                fig2c_ckt = Some(args.next().ok_or("--fig2c-ckt needs a name")?);
+            }
+            "--help" | "-h" => {
+                println!("dpfill-repro: regenerate the DP-fill paper's tables and figures");
+                println!("experiments: {} all", ALL_EXPERIMENTS.join(" "));
+                println!("options: --subset smoke|small|full  --source auto|atpg|profile");
+                println!("         --seed N  --atpg-gate-limit N  --csv DIR  --fig2c-ckt NAME");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    Ok(Options {
+        experiments,
+        config,
+        csv_dir,
+        fig2c_ckt,
+    })
+}
+
+fn emit(table: &TextTable, name: &str, csv_dir: &Option<PathBuf>) {
+    println!("{}", table.render());
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+fn pick_fig2c<'a>(prepared: &'a [Prepared], requested: &Option<String>) -> Option<&'a Prepared> {
+    match requested {
+        Some(name) => prepared.iter().find(|p| p.profile.name == name),
+        // The paper uses b19 — default to the largest prepared circuit.
+        None => prepared.iter().max_by_key(|p| p.profile.gates),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let needs_suite = opts.experiments.iter().any(|e| e != "fig1");
+    let prepared: Vec<Prepared> = if needs_suite {
+        eprintln!(
+            "preparing benchmark suite ({:?}, source {:?})...",
+            opts.config.subset, opts.config.source
+        );
+        prepare_suite(&opts.config)
+    } else {
+        Vec::new()
+    };
+
+    for exp in &opts.experiments {
+        match exp.as_str() {
+            "table1" => {
+                let (_, t) = table1(&prepared, &opts.config);
+                emit(&t, "table1", &opts.csv_dir);
+            }
+            "table2" => {
+                let (_, t) = fills_table(
+                    &prepared,
+                    OrderingMethod::Tool,
+                    "Table II: peak input toggles, Tool ordering (measured vs paper)",
+                );
+                emit(&t, "table2", &opts.csv_dir);
+            }
+            "table3" => {
+                let (_, t) = fills_table(
+                    &prepared,
+                    OrderingMethod::XStat,
+                    "Table III: peak input toggles, XStat ordering (measured vs paper)",
+                );
+                emit(&t, "table3", &opts.csv_dir);
+            }
+            "table4" => {
+                let (_, t) = fills_table(
+                    &prepared,
+                    OrderingMethod::Interleaved,
+                    "Table IV: peak input toggles, I-ordering (measured vs paper)",
+                );
+                emit(&t, "table4", &opts.csv_dir);
+            }
+            "table5" => {
+                let (_, t) = table5(&prepared, opts.config.seed);
+                emit(&t, "table5", &opts.csv_dir);
+            }
+            "table6" => {
+                let (_, t) = table6(&prepared, opts.config.seed);
+                emit(&t, "table6", &opts.csv_dir);
+            }
+            "fig1" => {
+                let (_, t) = fig1();
+                emit(&t, "fig1", &opts.csv_dir);
+            }
+            "fig2a" => {
+                let (_, t) = fig2a(&prepared);
+                emit(&t, "fig2a", &opts.csv_dir);
+            }
+            "fig2b" => {
+                let (_, t) = fig2b(&prepared);
+                emit(&t, "fig2b", &opts.csv_dir);
+            }
+            "fig2c" => match pick_fig2c(&prepared, &opts.fig2c_ckt) {
+                Some(p) => {
+                    let (_, t) = fig2c(p);
+                    emit(&t, "fig2c", &opts.csv_dir);
+                }
+                None => eprintln!("fig2c: no matching circuit prepared"),
+            },
+            _ => unreachable!("validated above"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,173 @@
+//! Plain-text table rendering and CSV output for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// A column-aligned text table with a title.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>) -> TextTable {
+        TextTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header cells.
+    pub fn header<I, S>(&mut self, cells: I) -> &mut TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let render_row = |cells: &[String], out: &mut String| {
+            let mut line = String::new();
+            for (i, w) in width.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(line, "{cell:<w$}");
+                } else {
+                    let _ = write!(line, "  {cell:>w$}");
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        };
+        if !self.header.is_empty() {
+            render_row(&self.header, &mut out);
+            let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV (header first when present).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(
+                out,
+                "{}",
+                self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float like the paper's tables (one decimal, no trailing
+/// zeros beyond that).
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("demo");
+        t.header(["ckt", "peak"]);
+        t.row(["b01", "4"]);
+        t.row(["b19", "3753"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("b01"));
+        // Right-aligned numbers share a column edge.
+        let lines: Vec<&str> = s.lines().collect();
+        let c1 = lines[1].rfind('k').unwrap(); // 'peak'
+        let c2 = lines[3].rfind('4').unwrap();
+        assert!(c2 <= c1 + 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new("c");
+        t.header(["a", "b"]);
+        t.row(["x,y", "z\"q"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"z\"\"q\""));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new("empty");
+        assert!(t.is_empty());
+        assert!(t.render().contains("empty"));
+        assert_eq!(t.to_csv(), "");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(3.14159), "3.1");
+        assert_eq!(fmt_f64(90.0), "90.0");
+    }
+}

@@ -1,0 +1,319 @@
+use std::collections::HashMap;
+
+use crate::netlist::Signal;
+use crate::{GateKind, Netlist, NetlistError, SignalId};
+
+/// Incremental construction of a [`Netlist`] with forward references.
+///
+/// `.bench` files may use a signal before its driver is declared, so the
+/// builder records gates with *named* fanins and resolves everything in
+/// [`NetlistBuilder::build`], where all structural invariants are checked:
+/// unique drivers, defined fanins, legal arities and an acyclic
+/// combinational core.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), dpfill_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("fwd");
+/// b.gate("z", GateKind::Not, &["a"])?; // forward reference to a
+/// b.input("a");
+/// b.output("z");
+/// let n = b.build()?;
+/// assert_eq!(n.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    defs: Vec<(String, GateKind, Vec<String>)>,
+    outputs: Vec<String>,
+}
+
+impl NetlistBuilder {
+    /// Starts a builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> NetlistBuilder {
+        NetlistBuilder {
+            name: name.into(),
+            defs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> &mut Self {
+        self.defs.push((name.into(), GateKind::Input, Vec::new()));
+        self
+    }
+
+    /// Declares a D flip-flop driving `q` from `d`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` for signature stability with
+    /// [`NetlistBuilder::gate`].
+    pub fn dff(
+        &mut self,
+        q: impl Into<String>,
+        d: impl Into<String>,
+    ) -> Result<&mut Self, NetlistError> {
+        self.defs
+            .push((q.into(), GateKind::Dff, vec![d.into()]));
+        Ok(self)
+    }
+
+    /// Declares a gate driving `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] immediately when the fanin count
+    /// can never be legal for `kind`.
+    pub fn gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanins: &[&str],
+    ) -> Result<&mut Self, NetlistError> {
+        let name = name.into();
+        if !kind.accepts_fanins(fanins.len()) {
+            return Err(NetlistError::BadArity {
+                signal: name,
+                kind: kind.bench_name().to_owned(),
+                fanins: fanins.len(),
+            });
+        }
+        self.defs.push((
+            name,
+            kind,
+            fanins.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        Ok(self)
+    }
+
+    /// Marks a signal as primary output (may be called before the signal
+    /// is declared).
+    pub fn output(&mut self, name: impl Into<String>) -> &mut Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Resolves names and validates the structure.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::Empty`] — no signals declared;
+    /// * [`NetlistError::DuplicateSignal`] — a name driven twice;
+    /// * [`NetlistError::UndefinedSignal`] — a fanin or output never
+    ///   driven;
+    /// * [`NetlistError::CombinationalLoop`] — a cycle that avoids every
+    ///   flip-flop.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if self.defs.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+        let mut by_name: HashMap<String, SignalId> = HashMap::with_capacity(self.defs.len());
+        for (i, (name, _, _)) in self.defs.iter().enumerate() {
+            if by_name.insert(name.clone(), SignalId::new(i)).is_some() {
+                return Err(NetlistError::DuplicateSignal(name.clone()));
+            }
+        }
+
+        let mut signals = Vec::with_capacity(self.defs.len());
+        let mut inputs = Vec::new();
+        let mut dffs = Vec::new();
+        for (i, (name, kind, fanin_names)) in self.defs.into_iter().enumerate() {
+            let id = SignalId::new(i);
+            let mut fanins = Vec::with_capacity(fanin_names.len());
+            for f in &fanin_names {
+                fanins.push(
+                    *by_name
+                        .get(f)
+                        .ok_or_else(|| NetlistError::UndefinedSignal(f.clone()))?,
+                );
+            }
+            match kind {
+                GateKind::Input => inputs.push(id),
+                GateKind::Dff => dffs.push(id),
+                _ => {}
+            }
+            signals.push(Signal::new(name, kind, fanins));
+        }
+
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for o in &self.outputs {
+            outputs.push(
+                *by_name
+                    .get(o)
+                    .ok_or_else(|| NetlistError::UndefinedSignal(o.clone()))?,
+            );
+        }
+
+        detect_combinational_loop(&signals)?;
+
+        Ok(Netlist::from_parts(
+            self.name, signals, inputs, dffs, outputs, by_name,
+        ))
+    }
+}
+
+/// Iterative DFS cycle detection over the combinational core: edges into
+/// flip-flops are sequential and do not count.
+fn detect_combinational_loop(signals: &[Signal]) -> Result<(), NetlistError> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; signals.len()];
+
+    for start in 0..signals.len() {
+        if color[start] != WHITE || !signals[start].kind().is_logic() {
+            continue;
+        }
+        // Explicit stack of (node, next-fanin-index) to avoid recursion on
+        // deep netlists.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let fanins = signals[node].fanins();
+            if *next < fanins.len() {
+                let child = fanins[*next].index();
+                *next += 1;
+                // Stop at sequential/source elements: they break the path.
+                if !signals[child].kind().is_logic() {
+                    continue;
+                }
+                match color[child] {
+                    WHITE => {
+                        color[child] = GRAY;
+                        stack.push((child, 0));
+                    }
+                    GRAY => {
+                        return Err(NetlistError::CombinationalLoop(
+                            signals[child].name().to_owned(),
+                        ));
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_driver_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a");
+        b.input("a");
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::DuplicateSignal("a".into())
+        );
+    }
+
+    #[test]
+    fn undefined_fanin_rejected() {
+        let mut b = NetlistBuilder::new("undef");
+        b.input("a");
+        b.gate("z", GateKind::Not, &["ghost"]).unwrap();
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::UndefinedSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let mut b = NetlistBuilder::new("undef-out");
+        b.input("a");
+        b.output("ghost");
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetlistError::UndefinedSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn bad_arity_rejected_eagerly() {
+        let mut b = NetlistBuilder::new("arity");
+        let err = b.gate("z", GateKind::Not, &["a", "b"]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { fanins: 2, .. }));
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        assert_eq!(
+            NetlistBuilder::new("empty").build().unwrap_err(),
+            NetlistError::Empty
+        );
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut b = NetlistBuilder::new("loop");
+        b.input("a");
+        b.gate("x", GateKind::And, &["a", "y"]).unwrap();
+        b.gate("y", GateKind::Or, &["x", "a"]).unwrap();
+        b.output("y");
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::CombinationalLoop(_)
+        ));
+    }
+
+    #[test]
+    fn sequential_loop_is_fine() {
+        // x = AND(a, q); q = DFF(x): loop broken by the flip-flop.
+        let mut b = NetlistBuilder::new("seq-loop");
+        b.input("a");
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.output("x");
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = NetlistBuilder::new("fwd");
+        b.gate("z", GateKind::Nor, &["a", "b"]).unwrap();
+        b.input("a");
+        b.input("b");
+        b.output("z");
+        let n = b.build().unwrap();
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.signal(n.find("z").unwrap()).fanins().len(), 2);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut b = NetlistBuilder::new("self");
+        b.input("a");
+        b.gate("x", GateKind::And, &["x", "a"]).unwrap();
+        b.output("x");
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::CombinationalLoop(_)
+        ));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut b = NetlistBuilder::new("deep");
+        b.input("s0");
+        for i in 1..60_000 {
+            b.gate(format!("s{i}"), GateKind::Not, &[&format!("s{}", i - 1)])
+                .unwrap();
+        }
+        b.output("s59999");
+        assert!(b.build().is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from netlist construction, validation and `.bench` parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate keyword that is not part of the `.bench` dialect.
+    UnknownGateKind(String),
+    /// Two drivers were declared for the same signal name.
+    DuplicateSignal(String),
+    /// A fanin (or output marker) references a name that is never driven.
+    UndefinedSignal(String),
+    /// A gate was declared with an illegal number of fanins.
+    BadArity {
+        /// Signal being driven.
+        signal: String,
+        /// The gate kind.
+        kind: String,
+        /// Offending fanin count.
+        fanins: usize,
+    },
+    /// The combinational core contains a cycle (a loop not broken by any
+    /// flip-flop); the offending signal is reported.
+    CombinationalLoop(String),
+    /// `.bench` text that could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The netlist has no primary inputs or no signals at all.
+    Empty,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownGateKind(k) => write!(f, "unknown gate kind {k:?}"),
+            NetlistError::DuplicateSignal(s) => {
+                write!(f, "signal {s:?} is driven more than once")
+            }
+            NetlistError::UndefinedSignal(s) => {
+                write!(f, "signal {s:?} is referenced but never driven")
+            }
+            NetlistError::BadArity {
+                signal,
+                kind,
+                fanins,
+            } => write!(
+                f,
+                "gate {kind} driving {signal:?} has invalid fanin count {fanins}"
+            ),
+            NetlistError::CombinationalLoop(s) => {
+                write!(f, "combinational loop through signal {s:?}")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "bench file line {line}: {message}")
+            }
+            NetlistError::Empty => write!(f, "netlist has no signals"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_subject() {
+        assert!(NetlistError::DuplicateSignal("g1".into())
+            .to_string()
+            .contains("g1"));
+        assert!(NetlistError::Parse {
+            line: 12,
+            message: "oops".into()
+        }
+        .to_string()
+        .contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

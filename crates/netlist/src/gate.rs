@@ -1,0 +1,213 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::NetlistError;
+
+/// The kind of driver behind a signal.
+///
+/// `Input` and `Dff` are *sequential sources* for the combinational core:
+/// simulation and ATPG treat their outputs as free variables (primary
+/// input / pseudo primary input). The remaining kinds are combinational
+/// gates with the obvious semantics; `Buf`/`Not` take exactly one fanin,
+/// the binary kinds take two or more (multi-input gates are evaluated as
+/// the associative fold), and the constants take none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Primary input.
+    Input,
+    /// D flip-flop (its single fanin is the D pin).
+    Dff,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// AND gate.
+    And,
+    /// NAND gate.
+    Nand,
+    /// OR gate.
+    Or,
+    /// NOR gate.
+    Nor,
+    /// XOR gate.
+    Xor,
+    /// XNOR gate.
+    Xnor,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+}
+
+impl GateKind {
+    /// Every kind, for exhaustive tests.
+    pub const ALL: [GateKind; 12] = [
+        GateKind::Input,
+        GateKind::Dff,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// Is this a combinational logic gate (not an input, flip-flop or
+    /// constant)?
+    pub fn is_logic(self) -> bool {
+        !matches!(
+            self,
+            GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1
+        )
+    }
+
+    /// Valid fanin counts: `(min, max)` inclusive, `usize::MAX` = unbounded.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Dff | GateKind::Buf | GateKind::Not => (1, 1),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => (2, usize::MAX),
+            GateKind::Xor | GateKind::Xnor => (2, usize::MAX),
+        }
+    }
+
+    /// Checks a fanin count against [`GateKind::arity`].
+    pub fn accepts_fanins(self, n: usize) -> bool {
+        let (lo, hi) = self.arity();
+        n >= lo && n <= hi
+    }
+
+    /// Is the gate's output inverted relative to its "base" function?
+    /// (`NAND`/`NOR`/`XNOR`/`NOT` are the inverting kinds.) Used by fault
+    /// collapsing and PODEM backtrace parity.
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// The controlling input value of the gate, if it has one:
+    /// `0` for AND/NAND, `1` for OR/NOR, none for XOR-like, buffers and
+    /// sources. A controlling value at any fanin determines the output.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The canonical `.bench` keyword for this kind.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Dff => "DFF",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = NetlistError;
+
+    /// Parses a `.bench` gate keyword, case-insensitively. `BUFF` is
+    /// accepted as an alias of `BUF` (both appear in published
+    /// benchmarks).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(GateKind::Input),
+            "DFF" => Ok(GateKind::Dff),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "CONST0" => Ok(GateKind::Const0),
+            "CONST1" => Ok(GateKind::Const1),
+            other => Err(NetlistError::UnknownGateKind(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kind in GateKind::ALL {
+            let parsed: GateKind = kind.bench_name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_with_aliases() {
+        assert_eq!("nand".parse::<GateKind>().unwrap(), GateKind::Nand);
+        assert_eq!("Buff".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert_eq!("inv".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert!("MAJ".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn arities() {
+        assert!(GateKind::Not.accepts_fanins(1));
+        assert!(!GateKind::Not.accepts_fanins(2));
+        assert!(GateKind::And.accepts_fanins(2));
+        assert!(GateKind::And.accepts_fanins(5));
+        assert!(!GateKind::And.accepts_fanins(1));
+        assert!(GateKind::Input.accepts_fanins(0));
+        assert!(!GateKind::Input.accepts_fanins(1));
+        assert!(GateKind::Dff.accepts_fanins(1));
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+
+    #[test]
+    fn logic_classification() {
+        assert!(GateKind::Nand.is_logic());
+        assert!(GateKind::Buf.is_logic());
+        assert!(!GateKind::Input.is_logic());
+        assert!(!GateKind::Dff.is_logic());
+        assert!(!GateKind::Const0.is_logic());
+    }
+
+    #[test]
+    fn inversion_parity() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Buf.is_inverting());
+    }
+}

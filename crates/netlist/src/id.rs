@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Index of a signal inside its [`Netlist`](crate::Netlist).
+///
+/// Signals are stored densely, so `SignalId` is a plain `u32` newtype:
+/// cheap to copy, hash and use as a vector index via [`SignalId::index`].
+///
+/// # Example
+///
+/// ```
+/// use dpfill_netlist::SignalId;
+///
+/// let id = SignalId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "s3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// Creates an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> SignalId {
+        SignalId(u32::try_from(index).expect("netlist larger than u32::MAX signals"))
+    }
+
+    /// The dense index of this signal.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<SignalId> for usize {
+    #[inline]
+    fn from(id: SignalId) -> usize {
+        id.index()
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        for i in [0usize, 1, 41, 65_535] {
+            assert_eq!(SignalId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordered_by_index() {
+        assert!(SignalId::new(1) < SignalId::new(2));
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(SignalId::new(7).to_string(), "s7");
+    }
+}

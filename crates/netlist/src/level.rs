@@ -1,0 +1,190 @@
+use crate::{Netlist, SignalId};
+
+/// Topological levelization of the combinational core.
+///
+/// Sources (primary inputs, flip-flop outputs, constants) sit at level 0;
+/// every logic gate sits one past its deepest fanin. The [`order`]
+/// (topological) is the evaluation order used by simulation and ATPG.
+///
+/// Because every [`Netlist`] is validated acyclic at build time,
+/// levelization always succeeds.
+///
+/// [`order`]: Levelization::order
+///
+/// # Example
+///
+/// ```
+/// use dpfill_netlist::{GateKind, Levelization, NetlistBuilder};
+///
+/// # fn main() -> Result<(), dpfill_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("lv");
+/// b.input("a");
+/// b.gate("n1", GateKind::Not, &["a"])?;
+/// b.gate("n2", GateKind::Not, &["n1"])?;
+/// b.output("n2");
+/// let n = b.build()?;
+/// let lv = Levelization::of(&n);
+/// assert_eq!(lv.depth(), 2);
+/// assert_eq!(lv.level(n.find("n2").unwrap()), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Levelization {
+    level: Vec<u32>,
+    order: Vec<SignalId>,
+    depth: u32,
+}
+
+impl Levelization {
+    /// Levelizes the combinational core of `netlist`.
+    pub fn of(netlist: &Netlist) -> Levelization {
+        let n = netlist.signal_count();
+        let mut level = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut remaining = vec![0u32; n];
+        let mut ready: Vec<SignalId> = Vec::new();
+
+        for (id, sig) in netlist.iter() {
+            if sig.kind().is_logic() {
+                remaining[id.index()] = sig.fanins().len() as u32;
+                if sig.fanins().is_empty() {
+                    ready.push(id);
+                }
+            } else {
+                // Input / Dff / constants are sources at level 0; they are
+                // part of the order so simulators can visit everything.
+                ready.push(id);
+            }
+        }
+
+        // Kahn's algorithm over combinational edges only (edges into
+        // flip-flops are sequential and ignored here).
+        let mut fanouts: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+        for (id, sig) in netlist.iter() {
+            if sig.kind().is_logic() {
+                for f in sig.fanins() {
+                    fanouts[f.index()].push(id);
+                }
+            }
+        }
+
+        let mut head = 0;
+        let mut queue = ready;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &out in &fanouts[id.index()] {
+                let oi = out.index();
+                level[oi] = level[oi].max(level[id.index()] + 1);
+                remaining[oi] -= 1;
+                if remaining[oi] == 0 {
+                    queue.push(out);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "netlist validated acyclic at build");
+
+        let depth = level.iter().copied().max().unwrap_or(0);
+        Levelization {
+            level,
+            order,
+            depth,
+        }
+    }
+
+    /// Level of a signal (0 for sources).
+    pub fn level(&self, id: SignalId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// All signals in topological order (sources first).
+    pub fn order(&self) -> &[SignalId] {
+        &self.order
+    }
+
+    /// Maximum level — the logic depth of the circuit.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, NetlistBuilder};
+
+    fn diamond() -> Netlist {
+        // a -> n1, n2 -> z (reconverging paths of different depth)
+        let mut b = NetlistBuilder::new("diamond");
+        b.input("a");
+        b.input("b");
+        b.gate("n1", GateKind::Not, &["a"]).unwrap();
+        b.gate("n2", GateKind::And, &["n1", "b"]).unwrap();
+        b.gate("z", GateKind::Or, &["n2", "a"]).unwrap();
+        b.output("z");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn levels_follow_longest_path() {
+        let n = diamond();
+        let lv = Levelization::of(&n);
+        assert_eq!(lv.level(n.find("a").unwrap()), 0);
+        assert_eq!(lv.level(n.find("n1").unwrap()), 1);
+        assert_eq!(lv.level(n.find("n2").unwrap()), 2);
+        assert_eq!(lv.level(n.find("z").unwrap()), 3);
+        assert_eq!(lv.depth(), 3);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let n = diamond();
+        let lv = Levelization::of(&n);
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; n.signal_count()];
+            for (i, id) in lv.order().iter().enumerate() {
+                pos[id.index()] = i;
+            }
+            pos
+        };
+        for (id, sig) in n.iter() {
+            if sig.kind().is_logic() {
+                for f in sig.fanins() {
+                    assert!(
+                        pos[f.index()] < pos[id.index()],
+                        "{} must come before {}",
+                        n.signal(*f).name(),
+                        sig.name()
+                    );
+                }
+            }
+        }
+        assert_eq!(lv.order().len(), n.signal_count());
+    }
+
+    #[test]
+    fn dff_is_a_source() {
+        let mut b = NetlistBuilder::new("seq");
+        b.input("a");
+        b.gate("x", GateKind::And, &["a", "q"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.output("x");
+        let n = b.build().unwrap();
+        let lv = Levelization::of(&n);
+        assert_eq!(lv.level(n.find("q").unwrap()), 0);
+        assert_eq!(lv.level(n.find("x").unwrap()), 1);
+    }
+
+    #[test]
+    fn single_input_depth_zero() {
+        let mut b = NetlistBuilder::new("wire");
+        b.input("a");
+        b.output("a");
+        let n = b.build().unwrap();
+        let lv = Levelization::of(&n);
+        assert_eq!(lv.depth(), 0);
+        assert_eq!(lv.order().len(), 1);
+    }
+}

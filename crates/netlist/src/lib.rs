@@ -1,0 +1,55 @@
+//! Gate-level netlists for scan-test experiments.
+//!
+//! This crate is the structural substrate of the DP-fill reproduction: a
+//! compact gate-level netlist with named signals, an ISCAS/ITC `.bench`
+//! parser and writer, combinational levelization, and the *combinational
+//! view* (flip-flops opened up into pseudo inputs/outputs) that ATPG and
+//! simulation operate on.
+//!
+//! # Model
+//!
+//! A [`Netlist`] is a list of [`Signal`]s. Every signal is driven by
+//! exactly one source: a primary input, a D flip-flop, or a logic gate
+//! over other signals. Primary outputs are a subset of signals marked as
+//! observable. Sequential loops must pass through a flip-flop; the
+//! combinational core must be acyclic (checked at build time).
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), dpfill_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("toy");
+//! b.input("a");
+//! b.input("b");
+//! b.gate("n", GateKind::Nand, &["a", "b"])?;
+//! b.dff("q", "n")?;
+//! b.gate("z", GateKind::Xor, &["n", "q"])?;
+//! b.output("z");
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.gate_count(), 2);   // n, z
+//! assert_eq!(netlist.input_count(), 2);
+//! assert_eq!(netlist.dff_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod error;
+mod gate;
+mod id;
+mod level;
+mod netlist;
+pub mod parse;
+mod stats;
+mod view;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use id::SignalId;
+pub use level::Levelization;
+pub use netlist::{Netlist, Signal};
+pub use stats::NetlistStats;
+pub use view::CombView;

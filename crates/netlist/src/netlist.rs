@@ -1,0 +1,277 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{GateKind, SignalId};
+
+/// One signal and the gate that drives it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signal {
+    name: String,
+    kind: GateKind,
+    fanins: Vec<SignalId>,
+}
+
+impl Signal {
+    pub(crate) fn new(name: String, kind: GateKind, fanins: Vec<SignalId>) -> Signal {
+        Signal { name, kind, fanins }
+    }
+
+    /// The signal's name as written in the source netlist.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driving gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Fanin signals, in pin order.
+    pub fn fanins(&self) -> &[SignalId] {
+        &self.fanins
+    }
+}
+
+/// An immutable gate-level netlist.
+///
+/// Construct with [`NetlistBuilder`](crate::NetlistBuilder) or by parsing
+/// a `.bench` file with [`parse::parse_bench`](crate::parse::parse_bench).
+/// All structural invariants (unique drivers, defined fanins, legal
+/// arities, acyclic combinational core) hold by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    signals: Vec<Signal>,
+    inputs: Vec<SignalId>,
+    dffs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    by_name: HashMap<String, SignalId>,
+    fanout_counts: Vec<u32>,
+}
+
+impl Netlist {
+    pub(crate) fn from_parts(
+        name: String,
+        signals: Vec<Signal>,
+        inputs: Vec<SignalId>,
+        dffs: Vec<SignalId>,
+        outputs: Vec<SignalId>,
+        by_name: HashMap<String, SignalId>,
+    ) -> Netlist {
+        let mut fanout_counts = vec![0u32; signals.len()];
+        for s in &signals {
+            for f in s.fanins() {
+                fanout_counts[f.index()] += 1;
+            }
+        }
+        // Primary outputs observe their signal too.
+        for o in &outputs {
+            fanout_counts[o.index()] += 1;
+        }
+        Netlist {
+            name,
+            signals,
+            inputs,
+            dffs,
+            outputs,
+            by_name,
+            fanout_counts,
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of signals (inputs + flip-flops + gates + constants).
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of combinational logic gates (excludes inputs, flip-flops
+    /// and constants) — the paper's "# Gates" column.
+    pub fn gate_count(&self) -> usize {
+        self.signals.iter().filter(|s| s.kind().is_logic()).count()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of D flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The signal driven as `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn signal(&self, id: SignalId) -> &Signal {
+        &self.signals[id.index()]
+    }
+
+    /// All signals in id order.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Flip-flops in declaration order (their *output* signals).
+    pub fn dffs(&self) -> &[SignalId] {
+        &self.dffs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// Looks a signal up by name.
+    pub fn find(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of places this signal is consumed (gate fanins plus primary
+    /// outputs). Used by the capacitance model.
+    pub fn fanout_count(&self, id: SignalId) -> usize {
+        self.fanout_counts[id.index()] as usize
+    }
+
+    /// Iterates over `(SignalId, &Signal)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SignalId, &Signal)> {
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId::new(i), s))
+    }
+
+    /// The *scan inputs* of the combinational core: primary inputs
+    /// followed by flip-flop outputs (pseudo primary inputs). Test cubes
+    /// index pins in exactly this order.
+    pub fn scan_inputs(&self) -> Vec<SignalId> {
+        self.inputs
+            .iter()
+            .chain(self.dffs.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Width of a test cube for this circuit: `#PIs + #FFs` — the paper's
+    /// "#(PIs + FFs)" column.
+    pub fn scan_width(&self) -> usize {
+        self.inputs.len() + self.dffs.len()
+    }
+
+    /// The *scan outputs*: primary outputs followed by flip-flop D inputs
+    /// (pseudo primary outputs).
+    pub fn scan_outputs(&self) -> Vec<SignalId> {
+        self.outputs
+            .iter()
+            .copied()
+            .chain(
+                self.dffs
+                    .iter()
+                    .map(|ff| self.signal(*ff).fanins()[0]),
+            )
+            .collect()
+    }
+
+    /// `true` when the design contains at least one flip-flop.
+    pub fn is_sequential(&self) -> bool {
+        !self.dffs.is_empty()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs, {} FFs, {} gates, {} POs",
+            self.name,
+            self.input_count(),
+            self.dff_count(),
+            self.gate_count(),
+            self.output_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn toy() -> Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.gate("n", GateKind::Nand, &["a", "b"]).unwrap();
+        b.dff("q", "n").unwrap();
+        b.gate("z", GateKind::Xor, &["n", "q"]).unwrap();
+        b.output("z");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let n = toy();
+        assert_eq!(n.signal_count(), 5);
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.dff_count(), 1);
+        assert_eq!(n.output_count(), 1);
+        assert_eq!(n.scan_width(), 3);
+        assert!(n.is_sequential());
+    }
+
+    #[test]
+    fn scan_views() {
+        let n = toy();
+        let ins = n.scan_inputs();
+        assert_eq!(ins.len(), 3);
+        assert_eq!(n.signal(ins[0]).name(), "a");
+        assert_eq!(n.signal(ins[2]).name(), "q");
+        let outs = n.scan_outputs();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(n.signal(outs[0]).name(), "z");
+        assert_eq!(n.signal(outs[1]).name(), "n"); // D pin of q
+    }
+
+    #[test]
+    fn fanout_counts_include_pos() {
+        let n = toy();
+        let z = n.find("z").unwrap();
+        assert_eq!(n.fanout_count(z), 1); // PO only
+        let nand = n.find("n").unwrap();
+        assert_eq!(n.fanout_count(nand), 2); // q.D and z
+        let a = n.find("a").unwrap();
+        assert_eq!(n.fanout_count(a), 1);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let n = toy();
+        assert!(n.find("a").is_some());
+        assert!(n.find("nope").is_none());
+    }
+
+    #[test]
+    fn display_summary() {
+        let n = toy();
+        let s = n.to_string();
+        assert!(s.contains("2 PIs") && s.contains("1 FFs") && s.contains("2 gates"));
+    }
+}

@@ -1,0 +1,289 @@
+//! ISCAS/ITC `.bench` format parser and writer.
+//!
+//! The `.bench` dialect understood here covers the published ISCAS-85,
+//! ISCAS-89 and ITC'99 gate-level benchmark releases:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G23 = DFF(G10)
+//! ```
+//!
+//! Gate keywords are case-insensitive; `BUFF`/`INV` aliases are accepted.
+//! The writer emits a canonical form that re-parses to the same netlist
+//! (round-trip property-tested).
+
+use std::fmt::Write as _;
+
+use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
+
+/// Parses a `.bench` netlist from text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for syntax errors,
+/// and the underlying structural error (duplicate driver, undefined
+/// signal, combinational loop, …) from the final build.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_netlist::parse::parse_bench;
+///
+/// let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n";
+/// let netlist = parse_bench("two_nand", text).unwrap();
+/// assert_eq!(netlist.gate_count(), 1);
+/// ```
+pub fn parse_bench(name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name);
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            builder.input(parse_single_name(rest, line_no)?);
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            builder.output(parse_single_name(rest, line_no)?);
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim();
+            if target.is_empty() {
+                return Err(parse_err(line_no, "missing signal name before '='"));
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| {
+                parse_err(line_no, "expected GATE(fanin, ...) after '='")
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(parse_err(line_no, "missing closing ')'"));
+            }
+            let kind_str = rhs[..open].trim();
+            let kind: GateKind = kind_str
+                .parse()
+                .map_err(|_| parse_err(line_no, &format!("unknown gate kind {kind_str:?}")))?;
+            if kind == GateKind::Input {
+                return Err(parse_err(line_no, "INPUT cannot appear as a gate"));
+            }
+            let args = rhs[open + 1..rhs.len() - 1].trim();
+            let fanins: Vec<&str> = if args.is_empty() {
+                Vec::new()
+            } else {
+                args.split(',').map(str::trim).collect()
+            };
+            if fanins.iter().any(|f| f.is_empty()) {
+                return Err(parse_err(line_no, "empty fanin name"));
+            }
+            if kind == GateKind::Dff {
+                if fanins.len() != 1 {
+                    return Err(parse_err(line_no, "DFF takes exactly one fanin"));
+                }
+                builder.dff(target, fanins[0]).map_err(|e| {
+                    parse_err(line_no, &e.to_string())
+                })?;
+            } else {
+                builder
+                    .gate(target, kind, &fanins)
+                    .map_err(|e| parse_err(line_no, &e.to_string()))?;
+            }
+        } else {
+            return Err(parse_err(line_no, "unrecognized statement"));
+        }
+    }
+    builder.build()
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.get(..keyword.len())?;
+    if upper.eq_ignore_ascii_case(keyword) {
+        let rest = line[keyword.len()..].trim_start();
+        if rest.starts_with('(') {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn parse_single_name(rest: &str, line_no: usize) -> Result<String, NetlistError> {
+    let rest = rest.trim();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(parse_err(line_no, "expected (name)"));
+    }
+    let name = rest[1..rest.len() - 1].trim();
+    if name.is_empty() || name.contains(|c: char| c == '(' || c == ')' || c == ',') {
+        return Err(parse_err(line_no, "invalid signal name"));
+    }
+    Ok(name.to_owned())
+}
+
+fn parse_err(line: usize, message: &str) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+/// Writes a netlist in canonical `.bench` form.
+///
+/// The output starts with a summary comment, lists `INPUT`/`OUTPUT`
+/// directives, then one gate per line in signal-id order.
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} : {} inputs, {} outputs, {} DFFs, {} gates",
+        netlist.name(),
+        netlist.input_count(),
+        netlist.output_count(),
+        netlist.dff_count(),
+        netlist.gate_count()
+    );
+    for &pi in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.signal(pi).name());
+    }
+    for &po in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.signal(po).name());
+    }
+    for (_, sig) in netlist.iter() {
+        if sig.kind() == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<&str> = sig
+            .fanins()
+            .iter()
+            .map(|f| netlist.signal(*f).name())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            sig.name(),
+            sig.kind().bench_name(),
+            fanins.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_LIKE: &str = r"
+# a small ISCAS-style circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let n = parse_bench("c17", C17_LIKE).unwrap();
+        assert_eq!(n.input_count(), 5);
+        assert_eq!(n.output_count(), 2);
+        assert_eq!(n.gate_count(), 6);
+        assert_eq!(n.dff_count(), 0);
+    }
+
+    #[test]
+    fn parses_sequential() {
+        let text = "INPUT(a)\nOUTPUT(z)\nq = DFF(z)\nz = XOR(a, q)\n";
+        let n = parse_bench("seq", text).unwrap();
+        assert_eq!(n.dff_count(), 1);
+        assert_eq!(n.scan_width(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = parse_bench("c17", C17_LIKE).unwrap();
+        let text = write_bench(&n);
+        let again = parse_bench("c17", &text).unwrap();
+        assert_eq!(n, again);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let text = "input(a)\ninput(b)\noutput(z)\nz = nand(a, b)\n";
+        assert!(parse_bench("lc", text).is_ok());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "INPUT(a)\nz = FROB(a)\n";
+        match parse_bench("bad", text) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("FROB"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "INPUT a\n",
+            "z = AND(a b)\n",
+            "z = AND(a,)\n",
+            "= AND(a, b)\n",
+            "z = AND(a, b\n",
+            "gibberish\n",
+        ] {
+            let text = format!("INPUT(a)\nINPUT(b)\n{bad}");
+            assert!(
+                parse_bench("bad", &text).is_err(),
+                "should reject: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_dff_with_two_fanins() {
+        let text = "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n";
+        assert!(matches!(
+            parse_bench("bad", text),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nINPUT(a)  # inline\nOUTPUT(a)\n";
+        let n = parse_bench("c", text).unwrap();
+        assert_eq!(n.input_count(), 1);
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        let text = "INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)\n";
+        assert_eq!(
+            parse_bench("bad", text).unwrap_err(),
+            NetlistError::UndefinedSignal("ghost".into())
+        );
+    }
+
+    #[test]
+    fn signal_named_like_directive_prefix() {
+        // A gate target whose name begins with "INPUT" must not be
+        // mistaken for a directive.
+        let text = "INPUT(a)\nINPUTX = NOT(a)\nOUTPUT(INPUTX)\n";
+        let n = parse_bench("tricky", text).unwrap();
+        assert_eq!(n.gate_count(), 1);
+        assert!(n.find("INPUTX").is_some());
+    }
+}

@@ -1,0 +1,113 @@
+use std::fmt;
+
+use crate::{GateKind, Levelization, Netlist};
+
+/// Summary statistics of a netlist — the numbers behind the paper's
+/// Table I circuit columns plus structural shape used to calibrate the
+/// synthetic benchmark generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// `inputs + dffs`: the paper's "#(PIs + FFs)" column and test-cube
+    /// width.
+    pub scan_width: usize,
+    /// Logic depth (max level).
+    pub depth: u32,
+    /// Mean fanout over all signals.
+    pub mean_fanout: f64,
+    /// Maximum fanout.
+    pub max_fanout: usize,
+    /// Gate-kind histogram indexed by [`GateKind::ALL`] position.
+    pub kind_counts: [usize; GateKind::ALL.len()],
+}
+
+impl NetlistStats {
+    /// Computes the statistics of `netlist`.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let levels = Levelization::of(netlist);
+        let mut kind_counts = [0usize; GateKind::ALL.len()];
+        let mut fanout_sum = 0usize;
+        let mut max_fanout = 0usize;
+        for (id, sig) in netlist.iter() {
+            let pos = GateKind::ALL
+                .iter()
+                .position(|k| *k == sig.kind())
+                .expect("ALL covers every kind");
+            kind_counts[pos] += 1;
+            let f = netlist.fanout_count(id);
+            fanout_sum += f;
+            max_fanout = max_fanout.max(f);
+        }
+        NetlistStats {
+            name: netlist.name().to_owned(),
+            inputs: netlist.input_count(),
+            dffs: netlist.dff_count(),
+            outputs: netlist.output_count(),
+            gates: netlist.gate_count(),
+            scan_width: netlist.scan_width(),
+            depth: levels.depth(),
+            mean_fanout: if netlist.signal_count() == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / netlist.signal_count() as f64
+            },
+            max_fanout,
+            kind_counts,
+        }
+    }
+
+    /// Count of a specific gate kind.
+    pub fn count_of(&self, kind: GateKind) -> usize {
+        let pos = GateKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("ALL covers every kind");
+        self.kind_counts[pos]
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: PIs+FFs={} gates={} depth={} mean_fanout={:.2}",
+            self.name, self.scan_width, self.gates, self.depth, self.mean_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn stats_of_toy() {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.gate("n", GateKind::Nand, &["a", "b"]).unwrap();
+        b.dff("q", "n").unwrap();
+        b.gate("z", GateKind::Xor, &["n", "q"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let st = NetlistStats::of(&n);
+        assert_eq!(st.scan_width, 3);
+        assert_eq!(st.gates, 2);
+        assert_eq!(st.count_of(GateKind::Nand), 1);
+        assert_eq!(st.count_of(GateKind::Xor), 1);
+        assert_eq!(st.count_of(GateKind::Input), 2);
+        assert_eq!(st.depth, 2);
+        assert_eq!(st.max_fanout, 2); // n feeds q and z
+        assert!(st.to_string().contains("toy"));
+    }
+}

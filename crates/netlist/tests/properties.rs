@@ -1,0 +1,102 @@
+//! Property tests: `.bench` round-trips and structural invariants on
+//! randomly built netlists.
+
+use dpfill_netlist::{
+    parse::{parse_bench, write_bench},
+    GateKind, Levelization, Netlist, NetlistBuilder,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random acyclic netlist described as (inputs, gate specs).
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..6, 1usize..40).prop_flat_map(|(n_inputs, n_gates)| {
+        let gate = (0u8..8, proptest::collection::vec(any::<prop::sample::Index>(), 1..3));
+        proptest::collection::vec(gate, n_gates).prop_map(move |specs| {
+            let mut b = NetlistBuilder::new("arb");
+            for i in 0..n_inputs {
+                b.input(format!("i{i}"));
+            }
+            let mut names: Vec<String> = (0..n_inputs).map(|i| format!("i{i}")).collect();
+            for (gi, (kind_sel, fanin_sel)) in specs.into_iter().enumerate() {
+                let kind = match kind_sel {
+                    0 => GateKind::And,
+                    1 => GateKind::Nand,
+                    2 => GateKind::Or,
+                    3 => GateKind::Nor,
+                    4 => GateKind::Xor,
+                    5 => GateKind::Xnor,
+                    6 => GateKind::Not,
+                    _ => GateKind::Buf,
+                };
+                let unary = matches!(kind, GateKind::Not | GateKind::Buf);
+                let mut fanins: Vec<String> = fanin_sel
+                    .iter()
+                    .take(if unary { 1 } else { 2 })
+                    .map(|idx| names[idx.index(names.len())].clone())
+                    .collect();
+                while fanins.len() < if unary { 1 } else { 2 } {
+                    fanins.push(names[0].clone());
+                }
+                let name = format!("g{gi}");
+                let refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
+                b.gate(&name, kind, &refs).expect("valid arity");
+                names.push(name);
+            }
+            b.output(names.last().expect("at least one signal"));
+            b.build().expect("acyclic by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bench_round_trip(netlist in arb_netlist()) {
+        let text = write_bench(&netlist);
+        let back = parse_bench("arb", &text).expect("writer output parses");
+        prop_assert_eq!(&netlist, &back);
+        // And a second round trip is a fixed point.
+        prop_assert_eq!(write_bench(&back), text);
+    }
+
+    #[test]
+    fn levelization_is_topological(netlist in arb_netlist()) {
+        let lv = Levelization::of(&netlist);
+        prop_assert_eq!(lv.order().len(), netlist.signal_count());
+        for (id, sig) in netlist.iter() {
+            if sig.kind().is_logic() {
+                for f in sig.fanins() {
+                    prop_assert!(lv.level(*f) < lv.level(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_counts_are_consistent(netlist in arb_netlist()) {
+        let mut counts = vec![0usize; netlist.signal_count()];
+        for (_, sig) in netlist.iter() {
+            for f in sig.fanins() {
+                counts[f.index()] += 1;
+            }
+        }
+        for &o in netlist.outputs() {
+            counts[o.index()] += 1;
+        }
+        for (id, _) in netlist.iter() {
+            prop_assert_eq!(netlist.fanout_count(id), counts[id.index()]);
+        }
+    }
+
+    #[test]
+    fn scan_views_partition_signals(netlist in arb_netlist()) {
+        let ins = netlist.scan_inputs();
+        prop_assert_eq!(ins.len(), netlist.scan_width());
+        // Inputs are exactly the Input/Dff signals.
+        for (id, sig) in netlist.iter() {
+            let is_source = matches!(sig.kind(), GateKind::Input | GateKind::Dff);
+            prop_assert_eq!(ins.contains(&id), is_source);
+        }
+    }
+}

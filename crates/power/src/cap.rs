@@ -1,0 +1,116 @@
+use dpfill_netlist::{GateKind, Netlist};
+
+use crate::PowerConfig;
+
+/// Per-signal switched capacitance estimate.
+///
+/// When signal `s` toggles, the charged/discharged capacitance is the
+/// sum of (a) the input capacitance of every gate pin it drives (a
+/// per-kind standard-cell table), (b) the wire capacitance of its net
+/// (wire-load model: base + slope × fanout), and (c) its driver's output
+/// diffusion capacitance. This is the classic pre-layout power model and
+/// stands in for the paper's extracted post-P&R capacitances (see
+/// DESIGN.md §3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapacitanceModel {
+    per_signal: Vec<f64>,
+}
+
+/// Input capacitance per gate pin, in farads, by consuming gate kind —
+/// a 45 nm-flavoured relative sizing (inverters smallest, XORs largest).
+fn input_cap(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Not | GateKind::Buf => 0.9e-15,
+        GateKind::Nand | GateKind::Nor => 1.1e-15,
+        GateKind::And | GateKind::Or => 1.3e-15,
+        GateKind::Xor | GateKind::Xnor => 1.8e-15,
+        GateKind::Dff => 1.5e-15,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+    }
+}
+
+/// Output (diffusion) capacitance of a driver, by its own kind.
+fn output_cap(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Input => 0.5e-15,
+        GateKind::Dff => 1.2e-15,
+        GateKind::Const0 | GateKind::Const1 => 0.0,
+        _ => 0.7e-15,
+    }
+}
+
+impl CapacitanceModel {
+    /// Builds the per-signal capacitance vector for `netlist`.
+    pub fn of(netlist: &Netlist, config: &PowerConfig) -> CapacitanceModel {
+        let mut per_signal = vec![0f64; netlist.signal_count()];
+        // Driver output + wire-load from fanout count.
+        for (id, sig) in netlist.iter() {
+            let fanout = netlist.fanout_count(id);
+            per_signal[id.index()] = output_cap(sig.kind())
+                + config.wire_cap_base
+                + config.wire_cap_per_fanout * fanout as f64;
+        }
+        // Pin capacitance of every consumer.
+        for (_, sig) in netlist.iter() {
+            for f in sig.fanins() {
+                per_signal[f.index()] += input_cap(sig.kind());
+            }
+        }
+        CapacitanceModel { per_signal }
+    }
+
+    /// Capacitance per signal (indexed by `SignalId`), in farads.
+    pub fn per_signal(&self) -> &[f64] {
+        &self.per_signal
+    }
+
+    /// Total capacitance of the design, in farads.
+    pub fn total(&self) -> f64 {
+        self.per_signal.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::NetlistBuilder;
+
+    fn toy() -> Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.gate("n", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("x", GateKind::Xor, &["n", "a"]).unwrap();
+        b.output("x");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn higher_fanout_means_higher_cap() {
+        let n = toy();
+        let cfg = PowerConfig::default();
+        let model = CapacitanceModel::of(&n, &cfg);
+        let a = n.find("a").unwrap(); // drives n and x (fanout 2)
+        let b = n.find("b").unwrap(); // drives n only
+        assert!(
+            model.per_signal()[a.index()] > model.per_signal()[b.index()],
+            "fanout-2 net must carry more capacitance"
+        );
+    }
+
+    #[test]
+    fn all_caps_positive_for_live_signals() {
+        let n = toy();
+        let model = CapacitanceModel::of(&n, &PowerConfig::default());
+        for (id, _) in n.iter() {
+            assert!(model.per_signal()[id.index()] > 0.0);
+        }
+        assert!(model.total() > 0.0);
+    }
+
+    #[test]
+    fn xor_pins_cost_more_than_nand_pins() {
+        assert!(input_cap(GateKind::Xor) > input_cap(GateKind::Nand));
+        assert!(input_cap(GateKind::Nand) > input_cap(GateKind::Not));
+    }
+}

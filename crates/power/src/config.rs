@@ -1,0 +1,56 @@
+/// Electrical parameters of the power model (45 nm-flavoured defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerConfig {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Capture (launch-to-capture) clock frequency in hertz.
+    pub frequency: f64,
+    /// Wire capacitance per fanout endpoint, in farads (wire-load model
+    /// slope).
+    pub wire_cap_per_fanout: f64,
+    /// Fixed wire capacitance per driven net, in farads.
+    pub wire_cap_base: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> PowerConfig {
+        PowerConfig {
+            vdd: 1.1,
+            frequency: 100.0e6,
+            // ~0.8 fF per fanout plus 0.4 fF per net: a typical 45 nm
+            // pre-layout wire-load flavour.
+            wire_cap_per_fanout: 0.8e-15,
+            wire_cap_base: 0.4e-15,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Energy-to-power factor: `½ · V²dd · f`.
+    pub fn switch_factor(&self) -> f64 {
+        0.5 * self.vdd * self.vdd * self.frequency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_45nm_flavoured() {
+        let c = PowerConfig::default();
+        assert!(c.vdd > 0.9 && c.vdd < 1.3);
+        assert!(c.frequency > 0.0);
+        assert!(c.wire_cap_per_fanout > 0.0);
+    }
+
+    #[test]
+    fn switch_factor_math() {
+        let c = PowerConfig {
+            vdd: 2.0,
+            frequency: 10.0,
+            ..PowerConfig::default()
+        };
+        assert!((c.switch_factor() - 20.0).abs() < 1e-12);
+    }
+}

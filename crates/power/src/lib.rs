@@ -1,0 +1,30 @@
+//! Power estimation — the substitute for the paper's extracted-netlist
+//! power flow (SoC Encounter™ + 45 nm library).
+//!
+//! The paper reports *peak circuit power* (Table VI) computed from
+//! place-and-route-extracted capacitances. This crate models the same
+//! quantity from first principles:
+//!
+//! * [`CapacitanceModel`] — per-signal switched capacitance from a
+//!   45 nm-flavoured standard-cell table (per-kind input capacitance)
+//!   plus a fanout-based wire-load model, the classic pre-layout estimate;
+//! * [`peak_power`] — dynamic power per launch-capture transition,
+//!   `P = ½ · V²dd · f · ΣC(switched)`, over a filled pattern sequence,
+//!   using the bit-parallel toggle counter of `dpfill-sim`;
+//! * [`ir_drop_report`] — first-order grid droop + delay-stretch model:
+//!   does the peak transition risk the *false delay failures* the paper
+//!   sets out to prevent?
+//!
+//! Absolute µW differ from the paper's silicon-calibrated flow, but the
+//! quantity is *linear in switched capacitance*, so technique-vs-technique
+//! ratios — what Table VI actually compares — are preserved.
+
+mod cap;
+mod config;
+mod ir_drop;
+mod report;
+
+pub use cap::CapacitanceModel;
+pub use config::PowerConfig;
+pub use ir_drop::{ir_drop_report, GridModel, IrDropReport};
+pub use report::{peak_power, PowerReport};

@@ -1,0 +1,157 @@
+use dpfill_cubes::CubeSet;
+use dpfill_netlist::CombView;
+use dpfill_sim::{toggle_report, SimError};
+
+use crate::{CapacitanceModel, PowerConfig};
+
+/// Dynamic-power figures of a pattern sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerReport {
+    /// Power per launch-capture transition, in microwatts.
+    pub per_transition_uw: Vec<f64>,
+    /// Peak over all transitions, in microwatts (the paper's Table VI
+    /// quantity).
+    pub peak_uw: f64,
+    /// Mean over all transitions, in microwatts.
+    pub average_uw: f64,
+    /// Index of the peak transition (first if tied), when any exist.
+    pub peak_transition: Option<usize>,
+    /// Peak unweighted circuit toggles (for correlation studies).
+    pub peak_toggles: u64,
+}
+
+/// Estimates per-transition dynamic power of `patterns` applied to the
+/// circuit behind `view`.
+///
+/// Every pattern must be fully specified (run an X-fill first). The
+/// computation is `P_j = ½·V²dd·f·Σ_{s switches at j} C_s`, with the
+/// switched set obtained by bit-parallel simulation of consecutive
+/// patterns — exactly the state-preserving-DFT capture model of the
+/// paper (§III).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] for width mismatches or unfilled patterns.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_circuits::c17;
+/// use dpfill_cubes::CubeSet;
+/// use dpfill_netlist::CombView;
+/// use dpfill_power::{peak_power, CapacitanceModel, PowerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let netlist = c17();
+/// let view = CombView::new(&netlist);
+/// let config = PowerConfig::default();
+/// let caps = CapacitanceModel::of(&netlist, &config);
+/// let patterns = CubeSet::parse_rows(&["00000", "11111", "00000"])?;
+/// let report = peak_power(&view, &patterns, &caps, &config)?;
+/// assert!(report.peak_uw > 0.0);
+/// assert_eq!(report.per_transition_uw.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn peak_power(
+    view: &CombView<'_>,
+    patterns: &CubeSet,
+    caps: &CapacitanceModel,
+    config: &PowerConfig,
+) -> Result<PowerReport, SimError> {
+    let toggles = toggle_report(view, patterns, Some(caps.per_signal()))?;
+    let factor = config.switch_factor() * 1.0e6; // watts -> microwatts
+    let per_transition_uw: Vec<f64> = toggles.weighted.iter().map(|c| c * factor).collect();
+    let peak_uw = per_transition_uw.iter().copied().fold(0.0, f64::max);
+    let average_uw = if per_transition_uw.is_empty() {
+        0.0
+    } else {
+        per_transition_uw.iter().sum::<f64>() / per_transition_uw.len() as f64
+    };
+    let peak_transition = per_transition_uw
+        .iter()
+        .position(|&p| (p - peak_uw).abs() < f64::EPSILON)
+        .filter(|_| !per_transition_uw.is_empty());
+    Ok(PowerReport {
+        peak_transition,
+        peak_uw,
+        average_uw,
+        per_transition_uw,
+        peak_toggles: toggles.peak_toggles(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn chain(len: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("i");
+        let mut prev = "i".to_owned();
+        for k in 0..len {
+            let name = format!("n{k}");
+            b.gate(name.clone(), GateKind::Not, &[prev.as_str()]).unwrap();
+            prev = name;
+        }
+        b.output(&prev);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn flipping_input_draws_power() {
+        let n = chain(4);
+        let view = CombView::new(&n);
+        let cfg = PowerConfig::default();
+        let caps = CapacitanceModel::of(&n, &cfg);
+        let patterns = CubeSet::parse_rows(&["0", "1", "1"]).unwrap();
+        let r = peak_power(&view, &patterns, &caps, &cfg).unwrap();
+        assert!(r.per_transition_uw[0] > 0.0);
+        assert_eq!(r.per_transition_uw[1], 0.0);
+        assert_eq!(r.peak_transition, Some(0));
+        assert!(r.peak_uw >= r.average_uw);
+        assert_eq!(r.peak_toggles, 5);
+    }
+
+    #[test]
+    fn power_scales_with_toggled_capacitance() {
+        let short = chain(2);
+        let long = chain(10);
+        let cfg = PowerConfig::default();
+        let patterns = CubeSet::parse_rows(&["0", "1"]).unwrap();
+        let p_short = {
+            let view = CombView::new(&short);
+            let caps = CapacitanceModel::of(&short, &cfg);
+            peak_power(&view, &patterns, &caps, &cfg).unwrap().peak_uw
+        };
+        let p_long = {
+            let view = CombView::new(&long);
+            let caps = CapacitanceModel::of(&long, &cfg);
+            peak_power(&view, &patterns, &caps, &cfg).unwrap().peak_uw
+        };
+        assert!(p_long > p_short * 2.0, "{p_long} vs {p_short}");
+    }
+
+    #[test]
+    fn rejects_unfilled_patterns() {
+        let n = chain(2);
+        let view = CombView::new(&n);
+        let cfg = PowerConfig::default();
+        let caps = CapacitanceModel::of(&n, &cfg);
+        let patterns = CubeSet::parse_rows(&["0", "X"]).unwrap();
+        assert!(peak_power(&view, &patterns, &caps, &cfg).is_err());
+    }
+
+    #[test]
+    fn single_pattern_reports_zero() {
+        let n = chain(2);
+        let view = CombView::new(&n);
+        let cfg = PowerConfig::default();
+        let caps = CapacitanceModel::of(&n, &cfg);
+        let patterns = CubeSet::parse_rows(&["1"]).unwrap();
+        let r = peak_power(&view, &patterns, &caps, &cfg).unwrap();
+        assert_eq!(r.peak_uw, 0.0);
+        assert_eq!(r.peak_transition, None);
+    }
+}

@@ -1,0 +1,228 @@
+use dpfill_cubes::{hamming_distance, CubeSet};
+
+use crate::{ScanChains, ScanError};
+
+/// At-speed capture scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CaptureScheme {
+    /// Launch-off-shift: the transition is launched by the last shift
+    /// cycle; higher coverage and shorter test time, but the scheme whose
+    /// capture power the paper minimizes.
+    #[default]
+    Los,
+    /// Launch-off-capture: the transition is launched by a first capture;
+    /// easier timing, lower coverage.
+    Loc,
+}
+
+/// What a test cycle does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleKind {
+    /// Scan shift (hold active: combinational inputs frozen).
+    Shift,
+    /// Launch cycle (LOS: the last shift; LOC: the first capture).
+    Launch,
+    /// Response capture.
+    Capture,
+}
+
+/// The per-cycle combinational input state of a whole scan session
+/// under the state-preserving DFT scheme.
+///
+/// With first-level hold, the combinational core keeps seeing pattern
+/// `j` throughout the shifting of pattern `j+1`; it changes state only
+/// at the launch/capture boundary. [`ScanSchedule::capture_sequence`]
+/// therefore equals the pattern list itself — the formal content of the
+/// paper's §III reduction — and [`ScanSchedule::comb_toggle_profile`]
+/// shows zero toggles on every shift cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanSchedule {
+    kinds: Vec<CycleKind>,
+    /// Pattern index visible to the combinational core at each cycle.
+    visible: Vec<usize>,
+    scheme: CaptureScheme,
+    shift_len: usize,
+    patterns: CubeSet,
+}
+
+impl ScanSchedule {
+    /// Builds the schedule for applying `patterns` through `chains`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::WidthMismatch`] when pattern width differs
+    /// from the design's scan width.
+    pub fn new(
+        chains: &ScanChains,
+        patterns: &CubeSet,
+        scheme: CaptureScheme,
+    ) -> Result<ScanSchedule, ScanError> {
+        if patterns.width() != chains.scan_width() {
+            return Err(ScanError::WidthMismatch {
+                expected: chains.scan_width(),
+                found: patterns.width(),
+            });
+        }
+        let shift_len = chains.max_length();
+        let mut kinds = Vec::new();
+        let mut visible = Vec::new();
+        for j in 0..patterns.len() {
+            // Shifting pattern j in: the core still sees pattern j-1
+            // (or the reset state for j = 0, modeled as pattern 0).
+            let held = j.saturating_sub(1);
+            for s in 0..shift_len {
+                let launch = s + 1 == shift_len && scheme == CaptureScheme::Los;
+                kinds.push(if launch { CycleKind::Launch } else { CycleKind::Shift });
+                visible.push(held);
+            }
+            if scheme == CaptureScheme::Loc {
+                kinds.push(CycleKind::Launch);
+                visible.push(j);
+            }
+            kinds.push(CycleKind::Capture);
+            visible.push(j);
+        }
+        Ok(ScanSchedule {
+            kinds,
+            visible,
+            scheme,
+            shift_len,
+            patterns: patterns.clone(),
+        })
+    }
+
+    /// Cycle kinds, in order.
+    pub fn kinds(&self) -> &[CycleKind] {
+        &self.kinds
+    }
+
+    /// The capture scheme.
+    pub fn scheme(&self) -> CaptureScheme {
+        self.scheme
+    }
+
+    /// Number of shift cycles per pattern.
+    pub fn shift_len(&self) -> usize {
+        self.shift_len
+    }
+
+    /// Total tester cycles.
+    pub fn cycle_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The sequence of patterns as the combinational core experiences
+    /// them across captures — identical to the pattern list under the
+    /// state-preservation property (paper §III).
+    pub fn capture_sequence(&self) -> &CubeSet {
+        &self.patterns
+    }
+
+    /// Combinational input toggles per cycle. Shift cycles are zero by
+    /// the hold property; each capture boundary pays the Hamming
+    /// distance between consecutive patterns.
+    pub fn comb_toggle_profile(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.kinds.len());
+        let mut prev_visible = 0usize;
+        for (&_kind, &vis) in self.kinds.iter().zip(&self.visible) {
+            let toggles = if vis != prev_visible {
+                hamming_distance(self.patterns.cube(prev_visible), self.patterns.cube(vis))
+            } else {
+                0
+            };
+            out.push(toggles);
+            prev_visible = vis;
+        }
+        out
+    }
+
+    /// The peak of [`ScanSchedule::comb_toggle_profile`] — equal to the
+    /// peak pattern-to-pattern Hamming distance.
+    pub fn peak_comb_toggles(&self) -> usize {
+        self.comb_toggle_profile().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::peak_toggles;
+    use dpfill_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn design() -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        b.input("a");
+        b.gate("d", GateKind::Not, &["q0"]).unwrap();
+        b.dff("q0", "d").unwrap();
+        b.dff("q1", "d").unwrap();
+        b.dff("q2", "d").unwrap();
+        b.output("d");
+        b.build().unwrap()
+    }
+
+    fn patterns() -> CubeSet {
+        CubeSet::parse_rows(&["0000", "0110", "1001", "1111"]).unwrap()
+    }
+
+    #[test]
+    fn los_schedule_shape() {
+        let n = design();
+        let chains = ScanChains::single(&n).unwrap();
+        let sched = ScanSchedule::new(&chains, &patterns(), CaptureScheme::Los).unwrap();
+        // Per pattern: 3 shifts (last = launch) + 1 capture.
+        assert_eq!(sched.cycle_count(), 4 * 4);
+        assert_eq!(sched.shift_len(), 3);
+        let launches = sched
+            .kinds()
+            .iter()
+            .filter(|k| matches!(k, CycleKind::Launch))
+            .count();
+        assert_eq!(launches, 4);
+    }
+
+    #[test]
+    fn loc_adds_a_launch_cycle() {
+        let n = design();
+        let chains = ScanChains::single(&n).unwrap();
+        let los = ScanSchedule::new(&chains, &patterns(), CaptureScheme::Los).unwrap();
+        let loc = ScanSchedule::new(&chains, &patterns(), CaptureScheme::Loc).unwrap();
+        assert_eq!(loc.cycle_count(), los.cycle_count() + patterns().len());
+    }
+
+    #[test]
+    fn shift_cycles_are_quiet_under_hold() {
+        let n = design();
+        let chains = ScanChains::single(&n).unwrap();
+        let sched = ScanSchedule::new(&chains, &patterns(), CaptureScheme::Los).unwrap();
+        let profile = sched.comb_toggle_profile();
+        for (kind, toggles) in sched.kinds().iter().zip(&profile) {
+            if matches!(kind, CycleKind::Shift) {
+                assert_eq!(*toggles, 0, "shift cycles must not disturb the core");
+            }
+        }
+    }
+
+    #[test]
+    fn peak_equals_pattern_peak_hamming() {
+        let n = design();
+        let chains = ScanChains::single(&n).unwrap();
+        let pats = patterns();
+        let sched = ScanSchedule::new(&chains, &pats, CaptureScheme::Los).unwrap();
+        assert_eq!(
+            sched.peak_comb_toggles(),
+            peak_toggles(&pats).unwrap(),
+            "the §III reduction: scan peak == pattern-sequence peak"
+        );
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let n = design();
+        let chains = ScanChains::single(&n).unwrap();
+        let bad = CubeSet::parse_rows(&["00"]).unwrap();
+        assert!(matches!(
+            ScanSchedule::new(&chains, &bad, CaptureScheme::Los),
+            Err(ScanError::WidthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+use std::error::Error;
+use std::fmt;
+
+use dpfill_netlist::{Netlist, SignalId};
+
+/// Errors from scan-chain construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScanError {
+    /// Asked for zero chains.
+    NoChains,
+    /// The design has no flip-flops to stitch.
+    NoFlipFlops,
+    /// A cube width does not match the design's scan width.
+    WidthMismatch {
+        /// Expected `#PIs + #FFs`.
+        expected: usize,
+        /// Supplied width.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NoChains => write!(f, "chain count must be at least 1"),
+            ScanError::NoFlipFlops => write!(f, "design has no flip-flops to stitch"),
+            ScanError::WidthMismatch { expected, found } => {
+                write!(f, "pattern width {found} does not match scan width {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ScanError {}
+
+/// A partition of a design's flip-flops into scan chains.
+///
+/// Cube pins are ordered PIs-then-FFs (the [`CombView`] convention);
+/// the chains cover the FF pins. Chain `c`, position `p` holds the FF
+/// that is `p` hops from the scan-in pin of chain `c` (position 0 is
+/// scanned in *last*).
+///
+/// [`CombView`]: dpfill_netlist::CombView
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanChains {
+    chains: Vec<Vec<SignalId>>,
+    scan_width: usize,
+    pi_count: usize,
+}
+
+impl ScanChains {
+    /// Stitches all flip-flops into a single chain (declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::NoFlipFlops`] for purely combinational
+    /// designs.
+    pub fn single(netlist: &Netlist) -> Result<ScanChains, ScanError> {
+        ScanChains::balanced(netlist, 1)
+    }
+
+    /// Stitches the flip-flops into `count` balanced chains
+    /// (round-robin over declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::NoChains`] when `count == 0` and
+    /// [`ScanError::NoFlipFlops`] for purely combinational designs.
+    pub fn balanced(netlist: &Netlist, count: usize) -> Result<ScanChains, ScanError> {
+        if count == 0 {
+            return Err(ScanError::NoChains);
+        }
+        if netlist.dff_count() == 0 {
+            return Err(ScanError::NoFlipFlops);
+        }
+        let mut chains: Vec<Vec<SignalId>> = vec![Vec::new(); count];
+        for (i, &ff) in netlist.dffs().iter().enumerate() {
+            chains[i % count].push(ff);
+        }
+        chains.retain(|c| !c.is_empty());
+        Ok(ScanChains {
+            chains,
+            scan_width: netlist.scan_width(),
+            pi_count: netlist.input_count(),
+        })
+    }
+
+    /// The chains (FF output signals, scan order).
+    pub fn chains(&self) -> &[Vec<SignalId>] {
+        &self.chains
+    }
+
+    /// Number of chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Longest chain length — the shift cycle count per pattern.
+    pub fn max_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total scan width (`#PIs + #FFs`) of the host design.
+    pub fn scan_width(&self) -> usize {
+        self.scan_width
+    }
+
+    /// Number of primary inputs (cube pins before the FF section).
+    pub fn pi_count(&self) -> usize {
+        self.pi_count
+    }
+
+    /// The cube pin index of chain `c`, position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn pin_of(&self, chain: usize, position: usize) -> usize {
+        // FF pins follow the PIs in declaration order; recover the
+        // declaration index from the round-robin partition.
+        let _ = &self.chains[chain][position];
+        let decl_index = position * self.chain_count() + chain;
+        self.pi_count + decl_index
+    }
+
+    /// Splits a cube's FF section into per-chain scan-in vectors
+    /// (index 0 = scanned in last).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::WidthMismatch`] when the cube width differs
+    /// from the design's scan width.
+    pub fn chain_vectors(
+        &self,
+        cube: &dpfill_cubes::TestCube,
+    ) -> Result<Vec<Vec<dpfill_cubes::Bit>>, ScanError> {
+        if cube.width() != self.scan_width {
+            return Err(ScanError::WidthMismatch {
+                expected: self.scan_width,
+                found: cube.width(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.chain_count());
+        for c in 0..self.chain_count() {
+            let len = self.chains[c].len();
+            let mut v = Vec::with_capacity(len);
+            for p in 0..len {
+                v.push(cube[self.pin_of(c, p)]);
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::{GateKind, NetlistBuilder};
+
+    fn five_ff_design() -> Netlist {
+        let mut b = NetlistBuilder::new("ffs");
+        b.input("a");
+        b.input("b");
+        b.gate("d", GateKind::And, &["a", "b"]).unwrap();
+        for i in 0..5 {
+            b.dff(format!("q{i}"), "d").unwrap();
+        }
+        b.output("d");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_chain_covers_all_ffs() {
+        let n = five_ff_design();
+        let chains = ScanChains::single(&n).unwrap();
+        assert_eq!(chains.chain_count(), 1);
+        assert_eq!(chains.max_length(), 5);
+        assert_eq!(chains.scan_width(), 7);
+    }
+
+    #[test]
+    fn balanced_partition_round_robins() {
+        let n = five_ff_design();
+        let chains = ScanChains::balanced(&n, 2).unwrap();
+        assert_eq!(chains.chain_count(), 2);
+        assert_eq!(chains.chains()[0].len(), 3); // q0, q2, q4
+        assert_eq!(chains.chains()[1].len(), 2); // q1, q3
+        assert_eq!(chains.max_length(), 3);
+    }
+
+    #[test]
+    fn pin_mapping_is_consistent() {
+        let n = five_ff_design();
+        let chains = ScanChains::balanced(&n, 2).unwrap();
+        // chain 0 pos 0 = q0 = declaration 0 = pin 2 (after 2 PIs).
+        assert_eq!(chains.pin_of(0, 0), 2);
+        // chain 1 pos 0 = q1 = pin 3.
+        assert_eq!(chains.pin_of(1, 0), 3);
+        // chain 0 pos 1 = q2 = pin 4.
+        assert_eq!(chains.pin_of(0, 1), 4);
+    }
+
+    #[test]
+    fn chain_vectors_slice_the_ff_section() {
+        let n = five_ff_design();
+        let chains = ScanChains::single(&n).unwrap();
+        let cube: dpfill_cubes::TestCube = "0101X1X".parse().unwrap();
+        let vecs = chains.chain_vectors(&cube).unwrap();
+        assert_eq!(vecs.len(), 1);
+        let s: String = vecs[0]
+            .iter()
+            .map(|b| b.to_char())
+            .collect();
+        assert_eq!(s, "01X1X"); // FF pins 2..7
+    }
+
+    #[test]
+    fn errors() {
+        let n = five_ff_design();
+        assert_eq!(
+            ScanChains::balanced(&n, 0).unwrap_err(),
+            ScanError::NoChains
+        );
+        let mut b = NetlistBuilder::new("comb");
+        b.input("a");
+        b.output("a");
+        let comb = b.build().unwrap();
+        assert_eq!(
+            ScanChains::single(&comb).unwrap_err(),
+            ScanError::NoFlipFlops
+        );
+        let chains = ScanChains::single(&n).unwrap();
+        let bad: dpfill_cubes::TestCube = "01".parse().unwrap();
+        assert!(matches!(
+            chains.chain_vectors(&bad),
+            Err(ScanError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn more_chains_than_ffs_collapses() {
+        let n = five_ff_design();
+        let chains = ScanChains::balanced(&n, 10).unwrap();
+        assert_eq!(chains.chain_count(), 5);
+        assert_eq!(chains.max_length(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the scan model: chain partitions cover every
+//! flip-flop exactly once, schedules account for every cycle, and the
+//! §III reduction (capture peak == pattern peak) holds for arbitrary
+//! pattern sets.
+
+use dpfill_cubes::{peak_toggles, Bit, CubeSet, TestCube};
+use dpfill_netlist::{GateKind, Netlist, NetlistBuilder};
+use dpfill_scan::{shift_power_profile, wtm, CaptureScheme, ScanChains, ScanSchedule};
+use proptest::prelude::*;
+
+fn design(pis: usize, ffs: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("scanprop");
+    for i in 0..pis {
+        b.input(format!("pi{i}"));
+    }
+    b.gate("d", GateKind::Not, &["pi0"]).unwrap();
+    for i in 0..ffs {
+        b.dff(format!("q{i}"), "d").unwrap();
+    }
+    b.output("d");
+    b.build().unwrap()
+}
+
+fn arb_bit() -> impl Strategy<Value = Bit> {
+    prop_oneof![Just(Bit::Zero), Just(Bit::One), Just(Bit::X)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chains_partition_ffs(pis in 1usize..4, ffs in 1usize..20, count in 1usize..6) {
+        let n = design(pis, ffs);
+        let chains = ScanChains::balanced(&n, count).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for chain in chains.chains() {
+            for ff in chain {
+                prop_assert!(seen.insert(*ff), "flip-flop in two chains");
+            }
+        }
+        prop_assert_eq!(seen.len(), ffs);
+        prop_assert_eq!(chains.chain_count(), count.min(ffs));
+        // Balanced: lengths differ by at most one.
+        let lens: Vec<usize> = chains.chains().iter().map(Vec::len).collect();
+        let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1);
+    }
+
+    #[test]
+    fn pin_mapping_is_a_bijection(ffs in 1usize..16, count in 1usize..5) {
+        let n = design(2, ffs);
+        let chains = ScanChains::balanced(&n, count).unwrap();
+        let mut pins = std::collections::HashSet::new();
+        for c in 0..chains.chain_count() {
+            for p in 0..chains.chains()[c].len() {
+                let pin = chains.pin_of(c, p);
+                prop_assert!(pin >= 2 && pin < 2 + ffs);
+                prop_assert!(pins.insert(pin), "pin {pin} mapped twice");
+            }
+        }
+        prop_assert_eq!(pins.len(), ffs);
+    }
+
+    #[test]
+    fn schedule_reduction_holds(
+        ffs in 1usize..10,
+        rows in proptest::collection::vec(proptest::collection::vec(arb_bit(), 1..12), 2..10),
+    ) {
+        let n = design(2, ffs);
+        let width = n.scan_width();
+        let cubes: Vec<TestCube> = rows
+            .iter()
+            .map(|r| (0..width).map(|i| {
+                // Fully specify: schedules measure real toggles.
+                match r[i % r.len()] {
+                    Bit::X => Bit::Zero,
+                    b => b,
+                }
+            }).collect())
+            .collect();
+        let set = CubeSet::from_cubes(cubes).unwrap();
+        let chains = ScanChains::single(&n).unwrap();
+        for scheme in [CaptureScheme::Los, CaptureScheme::Loc] {
+            let sched = ScanSchedule::new(&chains, &set, scheme).unwrap();
+            prop_assert_eq!(
+                sched.peak_comb_toggles(),
+                peak_toggles(&set).unwrap(),
+                "scheme {:?}", scheme
+            );
+            // Cycle accounting: shifts + launches + captures add up.
+            let per_pattern = sched.shift_len()
+                + 1
+                + usize::from(scheme == CaptureScheme::Loc);
+            prop_assert_eq!(sched.cycle_count(), set.len() * per_pattern);
+        }
+    }
+
+    #[test]
+    fn wtm_is_monotone_under_specialization(bits in proptest::collection::vec(arb_bit(), 1..20)) {
+        // Filling an X can only increase (or keep) the WTM.
+        let base = wtm(&bits);
+        let mut filled = bits.clone();
+        for b in filled.iter_mut() {
+            if b.is_x() {
+                *b = Bit::Zero;
+            }
+        }
+        prop_assert!(wtm(&filled) >= base);
+    }
+
+    #[test]
+    fn shift_profile_has_one_entry_per_pattern(
+        ffs in 1usize..10,
+        n_patterns in 1usize..12,
+    ) {
+        let n = design(2, ffs);
+        let set = dpfill_cubes::gen::random_cube_set(n.scan_width(), n_patterns, 0.4, 9);
+        let chains = ScanChains::single(&n).unwrap();
+        let profile = shift_power_profile(&chains, &set).unwrap();
+        prop_assert_eq!(profile.len(), n_patterns);
+    }
+}

@@ -1,0 +1,199 @@
+use dpfill_cubes::Bit;
+use dpfill_netlist::{CombView, GateKind, SignalId};
+
+use crate::eval::eval_gate;
+use crate::SimError;
+
+/// Scalar three-valued simulator over a combinational view.
+///
+/// One instance holds a value buffer sized to the netlist; repeated calls
+/// to [`CombSim::simulate`] reuse it without reallocating. Inputs are the
+/// view's pins in order (primary inputs then flip-flop outputs), exactly
+/// matching test-cube pin indices.
+#[derive(Debug)]
+pub struct CombSim<'a> {
+    view: &'a CombView<'a>,
+    values: Vec<Bit>,
+    fanin_buf: Vec<Bit>,
+}
+
+impl<'a> CombSim<'a> {
+    /// Creates a simulator for `view` with all values initialized to `X`.
+    pub fn new(view: &'a CombView<'a>) -> CombSim<'a> {
+        CombSim {
+            view,
+            values: vec![Bit::X; view.netlist().signal_count()],
+            fanin_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// The view this simulator runs on.
+    pub fn view(&self) -> &'a CombView<'a> {
+        self.view
+    }
+
+    /// Simulates one input assignment (`inputs[i]` drives view pin `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongInputCount`] when `inputs` does not match
+    /// the view's pin count.
+    pub fn simulate(&mut self, inputs: &[Bit]) -> Result<(), SimError> {
+        if inputs.len() != self.view.input_count() {
+            return Err(SimError::WrongInputCount {
+                expected: self.view.input_count(),
+                found: inputs.len(),
+            });
+        }
+        let netlist = self.view.netlist();
+        for &id in self.view.levels().order() {
+            let sig = netlist.signal(id);
+            let value = match sig.kind() {
+                GateKind::Input | GateKind::Dff => {
+                    let pin = self
+                        .view
+                        .input_index(id)
+                        .expect("sources are view inputs");
+                    inputs[pin]
+                }
+                kind => {
+                    self.fanin_buf.clear();
+                    for f in sig.fanins() {
+                        self.fanin_buf.push(self.values[f.index()]);
+                    }
+                    eval_gate(kind, &self.fanin_buf)
+                }
+            };
+            self.values[id.index()] = value;
+        }
+        Ok(())
+    }
+
+    /// Value of a signal after the last [`CombSim::simulate`] call.
+    pub fn value(&self, id: SignalId) -> Bit {
+        self.values[id.index()]
+    }
+
+    /// All signal values (indexed by `SignalId`).
+    pub fn values(&self) -> &[Bit] {
+        &self.values
+    }
+
+    /// Values of the view outputs (POs then FF D pins), in view order.
+    pub fn outputs(&self) -> Vec<Bit> {
+        self.view
+            .outputs()
+            .iter()
+            .map(|id| self.values[id.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_netlist::{Netlist, NetlistBuilder};
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        b.input("a");
+        b.input("b");
+        b.input("cin");
+        b.gate("axb", GateKind::Xor, &["a", "b"]).unwrap();
+        b.gate("sum", GateKind::Xor, &["axb", "cin"]).unwrap();
+        b.gate("t1", GateKind::And, &["a", "b"]).unwrap();
+        b.gate("t2", GateKind::And, &["axb", "cin"]).unwrap();
+        b.gate("cout", GateKind::Or, &["t1", "t2"]).unwrap();
+        b.output("sum");
+        b.output("cout");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let n = full_adder();
+        let view = CombView::new(&n);
+        let mut sim = CombSim::new(&view);
+        for a in 0u8..2 {
+            for b in 0u8..2 {
+                for c in 0u8..2 {
+                    sim.simulate(&[
+                        Bit::from_bool(a == 1),
+                        Bit::from_bool(b == 1),
+                        Bit::from_bool(c == 1),
+                    ])
+                    .unwrap();
+                    let sum = a ^ b ^ c;
+                    let cout = (a & b) | ((a ^ b) & c);
+                    assert_eq!(sim.value(n.find("sum").unwrap()), Bit::from_bool(sum == 1));
+                    assert_eq!(
+                        sim.value(n.find("cout").unwrap()),
+                        Bit::from_bool(cout == 1)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_inputs_propagate_pessimistically() {
+        let n = full_adder();
+        let view = CombView::new(&n);
+        let mut sim = CombSim::new(&view);
+        // a=0, b=X: a AND b = 0 regardless, a XOR b = X.
+        sim.simulate(&[Bit::Zero, Bit::X, Bit::Zero]).unwrap();
+        assert_eq!(sim.value(n.find("t1").unwrap()), Bit::Zero);
+        assert_eq!(sim.value(n.find("axb").unwrap()), Bit::X);
+        assert_eq!(sim.value(n.find("sum").unwrap()), Bit::X);
+        assert_eq!(sim.value(n.find("cout").unwrap()), Bit::Zero);
+    }
+
+    #[test]
+    fn dff_outputs_come_from_cube_pins() {
+        let mut b = NetlistBuilder::new("seq");
+        b.input("a");
+        b.gate("d", GateKind::Not, &["q"]).unwrap();
+        b.dff("q", "d").unwrap();
+        b.gate("z", GateKind::And, &["a", "q"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut sim = CombSim::new(&view);
+        // pins: [a, q]
+        sim.simulate(&[Bit::One, Bit::One]).unwrap();
+        assert_eq!(sim.value(n.find("z").unwrap()), Bit::One);
+        assert_eq!(sim.value(n.find("d").unwrap()), Bit::Zero);
+        let outs = sim.outputs(); // [z, d]
+        assert_eq!(outs, vec![Bit::One, Bit::Zero]);
+    }
+
+    #[test]
+    fn wrong_input_count_is_reported() {
+        let n = full_adder();
+        let view = CombView::new(&n);
+        let mut sim = CombSim::new(&view);
+        assert_eq!(
+            sim.simulate(&[Bit::One]).unwrap_err(),
+            SimError::WrongInputCount {
+                expected: 3,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn constants_simulate() {
+        let mut b = NetlistBuilder::new("consts");
+        b.input("a");
+        b.gate("one", GateKind::Const1, &[]).unwrap();
+        b.gate("z", GateKind::And, &["a", "one"]).unwrap();
+        b.output("z");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+        let mut sim = CombSim::new(&view);
+        sim.simulate(&[Bit::One]).unwrap();
+        assert_eq!(sim.value(n.find("z").unwrap()), Bit::One);
+        sim.simulate(&[Bit::Zero]).unwrap();
+        assert_eq!(sim.value(n.find("z").unwrap()), Bit::Zero);
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from simulation drivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The input vector length does not match the view's input count.
+    WrongInputCount {
+        /// Inputs required by the combinational view.
+        expected: usize,
+        /// Inputs supplied.
+        found: usize,
+    },
+    /// A pattern still contains `X` where a fully specified vector is
+    /// required (toggle counting runs on filled patterns only).
+    UnspecifiedInput {
+        /// Pattern index.
+        pattern: usize,
+        /// Pin index.
+        pin: usize,
+    },
+    /// The weight slice does not cover every signal.
+    WrongWeightCount {
+        /// Signals in the netlist.
+        expected: usize,
+        /// Weights supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WrongInputCount { expected, found } => {
+                write!(f, "expected {expected} input values, found {found}")
+            }
+            SimError::UnspecifiedInput { pattern, pin } => {
+                write!(
+                    f,
+                    "pattern {pattern} pin {pin} is X; toggle counting requires filled patterns"
+                )
+            }
+            SimError::WrongWeightCount { expected, found } => {
+                write!(f, "expected {expected} signal weights, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = SimError::WrongInputCount {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,110 @@
+//! Three-valued gate evaluation.
+//!
+//! [`eval_gate`] folds a gate's fanin values with the pessimistic
+//! three-valued semantics of [`Bit`]: an `X` input yields `X` unless a
+//! controlling value decides the output (e.g. `0 AND X = 0`).
+
+use dpfill_cubes::Bit;
+use dpfill_netlist::GateKind;
+
+/// Evaluates one gate over its fanin values.
+///
+/// `Input` and `Dff` are sources: they must be assigned externally, and
+/// evaluating them here returns `X` (callers overwrite source values
+/// before gate evaluation).
+///
+/// # Panics
+///
+/// Panics in debug builds when the fanin count violates the gate's arity.
+pub fn eval_gate(kind: GateKind, fanins: &[Bit]) -> Bit {
+    debug_assert!(
+        kind.accepts_fanins(fanins.len()) || !kind.is_logic(),
+        "{kind} with {} fanins",
+        fanins.len()
+    );
+    match kind {
+        GateKind::Input | GateKind::Dff => Bit::X,
+        GateKind::Const0 => Bit::Zero,
+        GateKind::Const1 => Bit::One,
+        GateKind::Buf => fanins[0],
+        GateKind::Not => !fanins[0],
+        GateKind::And => fanins.iter().copied().fold(Bit::One, Bit::and),
+        GateKind::Nand => !fanins.iter().copied().fold(Bit::One, Bit::and),
+        GateKind::Or => fanins.iter().copied().fold(Bit::Zero, Bit::or),
+        GateKind::Nor => !fanins.iter().copied().fold(Bit::Zero, Bit::or),
+        GateKind::Xor => fanins.iter().copied().fold(Bit::Zero, Bit::xor),
+        GateKind::Xnor => !fanins.iter().copied().fold(Bit::Zero, Bit::xor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_input_gates_match_boolean_logic() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (ba, bb) = (Bit::from_bool(a), Bit::from_bool(b));
+                assert_eq!(eval_gate(GateKind::And, &[ba, bb]), Bit::from_bool(a && b));
+                assert_eq!(
+                    eval_gate(GateKind::Nand, &[ba, bb]),
+                    Bit::from_bool(!(a && b))
+                );
+                assert_eq!(eval_gate(GateKind::Or, &[ba, bb]), Bit::from_bool(a || b));
+                assert_eq!(
+                    eval_gate(GateKind::Nor, &[ba, bb]),
+                    Bit::from_bool(!(a || b))
+                );
+                assert_eq!(eval_gate(GateKind::Xor, &[ba, bb]), Bit::from_bool(a ^ b));
+                assert_eq!(
+                    eval_gate(GateKind::Xnor, &[ba, bb]),
+                    Bit::from_bool(!(a ^ b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(eval_gate(GateKind::And, &[Bit::Zero, Bit::X]), Bit::Zero);
+        assert_eq!(eval_gate(GateKind::Nand, &[Bit::Zero, Bit::X]), Bit::One);
+        assert_eq!(eval_gate(GateKind::Or, &[Bit::One, Bit::X]), Bit::One);
+        assert_eq!(eval_gate(GateKind::Nor, &[Bit::One, Bit::X]), Bit::Zero);
+    }
+
+    #[test]
+    fn x_propagates_without_controlling_value() {
+        assert_eq!(eval_gate(GateKind::And, &[Bit::One, Bit::X]), Bit::X);
+        assert_eq!(eval_gate(GateKind::Xor, &[Bit::One, Bit::X]), Bit::X);
+        assert_eq!(eval_gate(GateKind::Not, &[Bit::X]), Bit::X);
+        assert_eq!(eval_gate(GateKind::Buf, &[Bit::X]), Bit::X);
+    }
+
+    #[test]
+    fn wide_gates_fold() {
+        assert_eq!(
+            eval_gate(GateKind::And, &[Bit::One, Bit::One, Bit::One]),
+            Bit::One
+        );
+        assert_eq!(
+            eval_gate(GateKind::Nor, &[Bit::Zero, Bit::Zero, Bit::Zero]),
+            Bit::One
+        );
+        assert_eq!(
+            eval_gate(GateKind::Xor, &[Bit::One, Bit::One, Bit::One]),
+            Bit::One
+        );
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(eval_gate(GateKind::Const0, &[]), Bit::Zero);
+        assert_eq!(eval_gate(GateKind::Const1, &[]), Bit::One);
+    }
+
+    #[test]
+    fn sources_return_x() {
+        assert_eq!(eval_gate(GateKind::Input, &[]), Bit::X);
+    }
+}

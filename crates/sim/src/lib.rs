@@ -1,0 +1,49 @@
+//! Logic simulation for the DP-fill reproduction.
+//!
+//! Three engines over the [`CombView`](dpfill_netlist::CombView) of a
+//! netlist:
+//!
+//! * [`CombSim`] — scalar three-valued (0/1/X) simulation, used by PODEM
+//!   (implication and D-propagation run on good/faulty value pairs built
+//!   from [`Bit`](dpfill_cubes::Bit));
+//! * [`PlaneSim`] — 64-way bit-parallel simulation over [`Planes`]
+//!   (two-plane encoding of 0/1/X), used by fault simulation and toggle
+//!   counting;
+//! * [`toggles`] — per-transition circuit toggle counts for an ordered,
+//!   fully specified pattern sequence, optionally weighted per signal —
+//!   the raw material of the power model (paper Table VI).
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_cubes::Bit;
+//! use dpfill_netlist::{CombView, GateKind, NetlistBuilder};
+//! use dpfill_sim::CombSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new("mux");
+//! b.input("a");
+//! b.input("b");
+//! b.gate("z", GateKind::And, &["a", "b"])?;
+//! b.output("z");
+//! let n = b.build()?;
+//! let view = CombView::new(&n);
+//! let mut sim = CombSim::new(&view);
+//! sim.simulate(&[Bit::One, Bit::X])?;
+//! assert_eq!(sim.value(n.find("z").unwrap()), Bit::X);
+//! sim.simulate(&[Bit::Zero, Bit::X])?;
+//! assert_eq!(sim.value(n.find("z").unwrap()), Bit::Zero);
+//! # Ok(())
+//! # }
+//! ```
+
+mod comb;
+mod error;
+pub mod eval;
+mod planes;
+pub mod toggles;
+
+pub use comb::CombSim;
+pub use error::SimError;
+pub use planes::{pack_patterns, PlaneSim, Planes};
+pub use toggles::{toggle_report, ToggleReport};

@@ -1,0 +1,375 @@
+use dpfill_cubes::{Bit, CubeSet};
+use dpfill_netlist::{CombView, GateKind, SignalId};
+
+use crate::SimError;
+
+/// 64 three-valued values in two planes.
+///
+/// Bit `p` of `zero`/`one` says pattern `p` *can be* 0 / 1:
+///
+/// * definite 0 — `zero` set, `one` clear;
+/// * definite 1 — `one` set, `zero` clear;
+/// * `X` — both set.
+///
+/// The encoding makes every gate a handful of word operations and is the
+/// standard trick behind parallel-pattern fault simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Planes {
+    /// "Can be zero" mask.
+    pub zero: u64,
+    /// "Can be one" mask.
+    pub one: u64,
+}
+
+impl Planes {
+    /// All 64 patterns definite 0.
+    pub const ALL_ZERO: Planes = Planes {
+        zero: u64::MAX,
+        one: 0,
+    };
+    /// All 64 patterns definite 1.
+    pub const ALL_ONE: Planes = Planes {
+        zero: 0,
+        one: u64::MAX,
+    };
+    /// All 64 patterns `X`.
+    pub const ALL_X: Planes = Planes {
+        zero: u64::MAX,
+        one: u64::MAX,
+    };
+
+    /// Builds planes from up to 64 scalar bits (pattern `p` = `bits[p]`);
+    /// missing patterns are `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 bits are supplied.
+    pub fn from_bits(bits: &[Bit]) -> Planes {
+        assert!(bits.len() <= 64, "at most 64 patterns per plane word");
+        let mut p = Planes::ALL_X;
+        for (i, b) in bits.iter().enumerate() {
+            match b {
+                Bit::Zero => {
+                    p.one &= !(1 << i);
+                }
+                Bit::One => {
+                    p.zero &= !(1 << i);
+                }
+                Bit::X => {}
+            }
+        }
+        p
+    }
+
+    /// Extracts pattern `p` as a scalar bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 64`.
+    pub fn bit(self, p: usize) -> Bit {
+        assert!(p < 64);
+        let z = self.zero >> p & 1 == 1;
+        let o = self.one >> p & 1 == 1;
+        match (z, o) {
+            (true, false) => Bit::Zero,
+            (false, true) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+
+    /// Mask of patterns whose value is definite (not `X`).
+    pub fn definite_mask(self) -> u64 {
+        !(self.zero & self.one)
+    }
+
+    /// Three-valued NOT.
+    #[inline]
+    pub fn not(self) -> Planes {
+        Planes {
+            zero: self.one,
+            one: self.zero,
+        }
+    }
+
+    /// Three-valued AND.
+    #[inline]
+    pub fn and(self, rhs: Planes) -> Planes {
+        Planes {
+            zero: self.zero | rhs.zero,
+            one: self.one & rhs.one,
+        }
+    }
+
+    /// Three-valued OR.
+    #[inline]
+    pub fn or(self, rhs: Planes) -> Planes {
+        Planes {
+            zero: self.zero & rhs.zero,
+            one: self.one | rhs.one,
+        }
+    }
+
+    /// Three-valued XOR.
+    #[inline]
+    pub fn xor(self, rhs: Planes) -> Planes {
+        Planes {
+            zero: (self.zero & rhs.zero) | (self.one & rhs.one),
+            one: (self.zero & rhs.one) | (self.one & rhs.zero),
+        }
+    }
+}
+
+/// Evaluates one gate over plane-encoded fanins.
+pub(crate) fn eval_gate_planes(kind: GateKind, fanins: &[Planes]) -> Planes {
+    match kind {
+        GateKind::Input | GateKind::Dff => Planes::ALL_X,
+        GateKind::Const0 => Planes::ALL_ZERO,
+        GateKind::Const1 => Planes::ALL_ONE,
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].not(),
+        GateKind::And => fanins.iter().copied().fold(Planes::ALL_ONE, Planes::and),
+        GateKind::Nand => fanins
+            .iter()
+            .copied()
+            .fold(Planes::ALL_ONE, Planes::and)
+            .not(),
+        GateKind::Or => fanins.iter().copied().fold(Planes::ALL_ZERO, Planes::or),
+        GateKind::Nor => fanins
+            .iter()
+            .copied()
+            .fold(Planes::ALL_ZERO, Planes::or)
+            .not(),
+        GateKind::Xor => fanins.iter().copied().fold(Planes::ALL_ZERO, Planes::xor),
+        GateKind::Xnor => fanins
+            .iter()
+            .copied()
+            .fold(Planes::ALL_ZERO, Planes::xor)
+            .not(),
+    }
+}
+
+/// Packs up to 64 consecutive cubes (starting at `first`) into per-pin
+/// plane words: result`[pin]` holds pattern `first + p` in bit `p`.
+///
+/// # Panics
+///
+/// Panics if `first >= set.len()`.
+pub fn pack_patterns(set: &CubeSet, first: usize) -> (Vec<Planes>, usize) {
+    assert!(first < set.len(), "first pattern out of range");
+    let count = (set.len() - first).min(64);
+    let mut planes = vec![Planes::ALL_X; set.width()];
+    for p in 0..count {
+        let cube = set.cube(first + p);
+        for (pin, bit) in cube.iter().enumerate() {
+            match bit {
+                Bit::Zero => planes[pin].one &= !(1 << p),
+                Bit::One => planes[pin].zero &= !(1 << p),
+                Bit::X => {}
+            }
+        }
+    }
+    (planes, count)
+}
+
+/// 64-way bit-parallel simulator over a combinational view.
+///
+/// Semantically identical to running [`CombSim`](crate::CombSim) 64 times
+/// (property-tested equivalence) but roughly 64× faster, which is what
+/// makes fault simulation and whole-sequence toggle counting practical on
+/// the large ITC'99-class circuits.
+#[derive(Debug)]
+pub struct PlaneSim<'a> {
+    view: &'a CombView<'a>,
+    values: Vec<Planes>,
+    fanin_buf: Vec<Planes>,
+}
+
+impl<'a> PlaneSim<'a> {
+    /// Creates a simulator for `view`.
+    pub fn new(view: &'a CombView<'a>) -> PlaneSim<'a> {
+        PlaneSim {
+            view,
+            values: vec![Planes::ALL_X; view.netlist().signal_count()],
+            fanin_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// Simulates 64 patterns at once; `inputs[i]` carries view pin `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongInputCount`] on pin-count mismatch.
+    pub fn simulate(&mut self, inputs: &[Planes]) -> Result<(), SimError> {
+        if inputs.len() != self.view.input_count() {
+            return Err(SimError::WrongInputCount {
+                expected: self.view.input_count(),
+                found: inputs.len(),
+            });
+        }
+        let netlist = self.view.netlist();
+        for &id in self.view.levels().order() {
+            let sig = netlist.signal(id);
+            let value = match sig.kind() {
+                GateKind::Input | GateKind::Dff => {
+                    let pin = self
+                        .view
+                        .input_index(id)
+                        .expect("sources are view inputs");
+                    inputs[pin]
+                }
+                kind => {
+                    self.fanin_buf.clear();
+                    for f in sig.fanins() {
+                        self.fanin_buf.push(self.values[f.index()]);
+                    }
+                    eval_gate_planes(kind, &self.fanin_buf)
+                }
+            };
+            self.values[id.index()] = value;
+        }
+        Ok(())
+    }
+
+    /// Plane word of a signal after the last simulate call.
+    pub fn value(&self, id: SignalId) -> Planes {
+        self.values[id.index()]
+    }
+
+    /// All signal plane words (indexed by `SignalId`).
+    pub fn values(&self) -> &[Planes] {
+        &self.values
+    }
+
+    /// The view this simulator runs on.
+    pub fn view(&self) -> &'a CombView<'a> {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CombSim;
+    use dpfill_netlist::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn plane_encoding_round_trip() {
+        let bits = [Bit::Zero, Bit::One, Bit::X, Bit::One];
+        let p = Planes::from_bits(&bits);
+        for (i, b) in bits.iter().enumerate() {
+            assert_eq!(p.bit(i), *b);
+        }
+        // Unspecified patterns default to X.
+        assert_eq!(p.bit(63), Bit::X);
+    }
+
+    #[test]
+    fn plane_ops_match_scalar_ops() {
+        for a in Bit::ALL {
+            for b in Bit::ALL {
+                let pa = Planes::from_bits(&[a]);
+                let pb = Planes::from_bits(&[b]);
+                assert_eq!(pa.and(pb).bit(0), a & b, "{a} & {b}");
+                assert_eq!(pa.or(pb).bit(0), a | b, "{a} | {b}");
+                assert_eq!(pa.xor(pb).bit(0), a ^ b, "{a} ^ {b}");
+                assert_eq!(pa.not().bit(0), !a);
+            }
+        }
+    }
+
+    #[test]
+    fn definite_mask() {
+        let p = Planes::from_bits(&[Bit::Zero, Bit::X, Bit::One]);
+        assert_eq!(p.definite_mask() & 0b111, 0b101);
+    }
+
+    fn random_netlist(seed: u64) -> dpfill_netlist::Netlist {
+        // Small random circuit exercised against the scalar simulator.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetlistBuilder::new("rnd");
+        let n_inputs = 5;
+        for i in 0..n_inputs {
+            b.input(format!("i{i}"));
+        }
+        let mut names: Vec<String> = (0..n_inputs).map(|i| format!("i{i}")).collect();
+        for g in 0..30 {
+            let kind = match rng.gen_range(0..8) {
+                0 => GateKind::And,
+                1 => GateKind::Nand,
+                2 => GateKind::Or,
+                3 => GateKind::Nor,
+                4 => GateKind::Xor,
+                5 => GateKind::Xnor,
+                6 => GateKind::Not,
+                _ => GateKind::Buf,
+            };
+            let fanin_count = if matches!(kind, GateKind::Not | GateKind::Buf) {
+                1
+            } else {
+                rng.gen_range(2..4)
+            };
+            let fanins: Vec<&str> = (0..fanin_count)
+                .map(|_| names[rng.gen_range(0..names.len())].as_str())
+                .collect();
+            let name = format!("g{g}");
+            b.gate(name.clone(), kind, &fanins).unwrap();
+            names.push(name);
+        }
+        b.output("g29");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plane_sim_matches_scalar_sim() {
+        let netlist = random_netlist(17);
+        let view = CombView::new(&netlist);
+        let mut scalar = CombSim::new(&view);
+        let mut plane = PlaneSim::new(&view);
+        let mut rng = StdRng::seed_from_u64(3);
+
+        // 64 random 3-valued input vectors.
+        let vectors: Vec<Vec<Bit>> = (0..64)
+            .map(|_| {
+                (0..view.input_count())
+                    .map(|_| match rng.gen_range(0..3) {
+                        0 => Bit::Zero,
+                        1 => Bit::One,
+                        _ => Bit::X,
+                    })
+                    .collect()
+            })
+            .collect();
+        let inputs: Vec<Planes> = (0..view.input_count())
+            .map(|pin| {
+                let col: Vec<Bit> = vectors.iter().map(|v| v[pin]).collect();
+                Planes::from_bits(&col)
+            })
+            .collect();
+        plane.simulate(&inputs).unwrap();
+
+        for (p, v) in vectors.iter().enumerate() {
+            scalar.simulate(v).unwrap();
+            for (id, _) in netlist.iter() {
+                assert_eq!(
+                    plane.value(id).bit(p),
+                    scalar.value(id),
+                    "pattern {p}, signal {}",
+                    netlist.signal(id).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_patterns_respects_offsets() {
+        let set = CubeSet::parse_rows(&["0X", "1X", "X1"]).unwrap();
+        let (planes, count) = pack_patterns(&set, 1);
+        assert_eq!(count, 2);
+        assert_eq!(planes.len(), 2);
+        assert_eq!(planes[0].bit(0), Bit::One); // cube 1, pin 0
+        assert_eq!(planes[0].bit(1), Bit::X); // cube 2, pin 0
+        assert_eq!(planes[1].bit(1), Bit::One); // cube 2, pin 1
+    }
+}

@@ -1,0 +1,281 @@
+//! Circuit toggle counting over an ordered pattern sequence.
+//!
+//! Peak *circuit* power (paper Table VI) is driven by how many gates
+//! switch between consecutive patterns, weighted by the capacitance each
+//! gate drives. This module simulates the whole (filled) pattern sequence
+//! with the 64-way [`PlaneSim`] and reports, per launch-capture
+//! transition, the unweighted toggle count and the weighted switched
+//! capacitance.
+//!
+//! The key assumption (paper §III) is the state-preserving DFT scheme:
+//! the combinational core sees pattern `j` and then pattern `j+1`, so the
+//! toggles of transition `j` are exactly the signals whose values differ
+//! between the two simulations.
+
+use dpfill_cubes::CubeSet;
+use dpfill_netlist::CombView;
+
+use crate::planes::{pack_patterns, PlaneSim};
+use crate::SimError;
+
+/// Per-transition toggle activity of a pattern sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ToggleReport {
+    /// `per_transition[j]` = number of signals that switch between
+    /// pattern `j` and `j+1`.
+    pub per_transition: Vec<u64>,
+    /// `weighted[j]` = sum of `weights[s]` over switching signals — the
+    /// switched capacitance when weights are capacitances.
+    pub weighted: Vec<f64>,
+    /// `per_signal[s]` = number of transitions at which signal `s`
+    /// switches (used for average-power ablations).
+    pub per_signal: Vec<u64>,
+}
+
+impl ToggleReport {
+    /// The peak unweighted toggle count over all transitions.
+    pub fn peak_toggles(&self) -> u64 {
+        self.per_transition.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The peak weighted activity over all transitions.
+    pub fn peak_weighted(&self) -> f64 {
+        self.weighted.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total toggles across the sequence.
+    pub fn total_toggles(&self) -> u64 {
+        self.per_transition.iter().sum()
+    }
+
+    /// Index of the peak transition (first one if tied); `None` for
+    /// sequences with fewer than two patterns.
+    pub fn peak_transition(&self) -> Option<usize> {
+        let peak = self.peak_toggles();
+        self.per_transition.iter().position(|&t| t == peak)
+    }
+}
+
+/// Simulates the filled pattern sequence and counts circuit toggles.
+///
+/// `weights[s]` is the capacitance (or any weight) attributed to signal
+/// `s`; pass `None` to weigh every signal 1.0.
+///
+/// # Errors
+///
+/// * [`SimError::WrongInputCount`] — pattern width ≠ view pin count;
+/// * [`SimError::UnspecifiedInput`] — a pattern still contains `X`;
+/// * [`SimError::WrongWeightCount`] — weight slice length ≠ signal count.
+pub fn toggle_report(
+    view: &CombView<'_>,
+    patterns: &CubeSet,
+    weights: Option<&[f64]>,
+) -> Result<ToggleReport, SimError> {
+    let signal_count = view.netlist().signal_count();
+    if patterns.width() != view.input_count() {
+        return Err(SimError::WrongInputCount {
+            expected: view.input_count(),
+            found: patterns.width(),
+        });
+    }
+    if let Some(w) = weights {
+        if w.len() != signal_count {
+            return Err(SimError::WrongWeightCount {
+                expected: signal_count,
+                found: w.len(),
+            });
+        }
+    }
+    for (pi, cube) in patterns.iter().enumerate() {
+        if let Some(pin) = cube.iter().position(|b| b.is_x()) {
+            return Err(SimError::UnspecifiedInput { pattern: pi, pin });
+        }
+    }
+
+    let n = patterns.len();
+    let transitions = n.saturating_sub(1);
+    let mut report = ToggleReport {
+        per_transition: vec![0u64; transitions],
+        weighted: vec![0f64; transitions],
+        per_signal: vec![0u64; signal_count],
+    };
+    if transitions == 0 {
+        return Ok(report);
+    }
+
+    let mut sim = PlaneSim::new(view);
+    // Process overlapping blocks of 64 patterns: a block starting at
+    // `first` covers transitions `first .. first + count - 1`.
+    let mut first = 0usize;
+    while first < n - 1 {
+        let (inputs, count) = pack_patterns(patterns, first);
+        sim.simulate(&inputs)?;
+        let block_transitions = count - 1;
+        let mask: u64 = if block_transitions >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << block_transitions) - 1
+        };
+        for (s, planes) in sim.values().iter().enumerate() {
+            // Patterns are fully specified, so `one` is the value plane.
+            let vals = planes.one;
+            let diff = (vals ^ (vals >> 1)) & mask;
+            if diff == 0 {
+                continue;
+            }
+            report.per_signal[s] += diff.count_ones() as u64;
+            let w = weights.map_or(1.0, |w| w[s]);
+            let mut d = diff;
+            while d != 0 {
+                let p = d.trailing_zeros() as usize;
+                report.per_transition[first + p] += 1;
+                report.weighted[first + p] += w;
+                d &= d - 1;
+            }
+        }
+        first += block_transitions;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::{CubeSet, TestCube};
+    use dpfill_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn inverter_chain(len: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        b.input("i");
+        let mut prev = "i".to_owned();
+        for k in 0..len {
+            let name = format!("n{k}");
+            b.gate(name.clone(), GateKind::Not, &[prev.as_str()]).unwrap();
+            prev = name;
+        }
+        b.output(&prev);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_toggles_whole_circuit_when_input_flips() {
+        let n = inverter_chain(5);
+        let view = CombView::new(&n);
+        let patterns = CubeSet::parse_rows(&["0", "1", "1", "0"]).unwrap();
+        let r = toggle_report(&view, &patterns, None).unwrap();
+        // Transition 0: input + 5 inverters toggle = 6 signals.
+        assert_eq!(r.per_transition, vec![6, 0, 6]);
+        assert_eq!(r.peak_toggles(), 6);
+        assert_eq!(r.total_toggles(), 12);
+        assert_eq!(r.peak_transition(), Some(0));
+    }
+
+    #[test]
+    fn weighted_counts_scale() {
+        let n = inverter_chain(2);
+        let view = CombView::new(&n);
+        let patterns = CubeSet::parse_rows(&["0", "1"]).unwrap();
+        let weights = vec![2.0; n.signal_count()];
+        let r = toggle_report(&view, &patterns, Some(&weights)).unwrap();
+        assert_eq!(r.per_transition, vec![3]);
+        assert!((r.weighted[0] - 6.0).abs() < 1e-12);
+        assert!((r.peak_weighted() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_x_patterns() {
+        let n = inverter_chain(2);
+        let view = CombView::new(&n);
+        let patterns = CubeSet::parse_rows(&["0", "X"]).unwrap();
+        assert_eq!(
+            toggle_report(&view, &patterns, None).unwrap_err(),
+            SimError::UnspecifiedInput { pattern: 1, pin: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_width_and_weights() {
+        let n = inverter_chain(2);
+        let view = CombView::new(&n);
+        let wrong_width = CubeSet::parse_rows(&["01", "10"]).unwrap();
+        assert!(matches!(
+            toggle_report(&view, &wrong_width, None),
+            Err(SimError::WrongInputCount { .. })
+        ));
+        let patterns = CubeSet::parse_rows(&["0", "1"]).unwrap();
+        let short_weights = vec![1.0; 1];
+        assert!(matches!(
+            toggle_report(&view, &patterns, Some(&short_weights)),
+            Err(SimError::WrongWeightCount { .. })
+        ));
+    }
+
+    #[test]
+    fn single_pattern_no_transitions() {
+        let n = inverter_chain(3);
+        let view = CombView::new(&n);
+        let patterns = CubeSet::parse_rows(&["1"]).unwrap();
+        let r = toggle_report(&view, &patterns, None).unwrap();
+        assert!(r.per_transition.is_empty());
+        assert_eq!(r.peak_toggles(), 0);
+        assert_eq!(r.peak_transition(), None);
+    }
+
+    #[test]
+    fn long_sequence_crosses_block_boundaries() {
+        // >64 patterns to exercise the overlapping-block path.
+        let n = inverter_chain(1);
+        let view = CombView::new(&n);
+        let mut set = CubeSet::new(1);
+        for j in 0..200 {
+            let bit = if j % 2 == 0 { "0" } else { "1" };
+            set.push(bit.parse::<TestCube>().unwrap()).unwrap();
+        }
+        let r = toggle_report(&view, &set, None).unwrap();
+        assert_eq!(r.per_transition.len(), 199);
+        // Every transition flips the input and the inverter: 2 toggles.
+        assert!(r.per_transition.iter().all(|&t| t == 2));
+        assert_eq!(r.per_signal, vec![199, 199]);
+    }
+
+    #[test]
+    fn matches_scalar_recount() {
+        use crate::CombSim;
+        use dpfill_cubes::Bit;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut b = NetlistBuilder::new("mix");
+        b.input("a");
+        b.input("b");
+        b.input("c");
+        b.gate("g0", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("g1", GateKind::Xor, &["g0", "c"]).unwrap();
+        b.gate("g2", GateKind::Nor, &["g1", "a"]).unwrap();
+        b.output("g2");
+        let n = b.build().unwrap();
+        let view = CombView::new(&n);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut set = CubeSet::new(3);
+        for _ in 0..150 {
+            let cube: TestCube = (0..3).map(|_| Bit::from_bool(rng.gen_bool(0.5))).collect();
+            set.push(cube).unwrap();
+        }
+        let r = toggle_report(&view, &set, None).unwrap();
+
+        // Scalar recount.
+        let mut sim = CombSim::new(&view);
+        let mut prev: Option<Vec<Bit>> = None;
+        for (j, cube) in set.iter().enumerate() {
+            let bits: Vec<Bit> = cube.iter().collect();
+            sim.simulate(&bits).unwrap();
+            let vals = sim.values().to_vec();
+            if let Some(p) = prev {
+                let toggles = p.iter().zip(&vals).filter(|(a, b)| a != b).count() as u64;
+                assert_eq!(r.per_transition[j - 1], toggles, "transition {}", j - 1);
+            }
+            prev = Some(vals);
+        }
+    }
+}

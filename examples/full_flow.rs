@@ -1,0 +1,82 @@
+//! The paper's full experimental flow on one circuit, end to end:
+//! synthetic ITC'99-class netlist → PODEM ATPG → ordering + X-fill →
+//! scan application → peak power, comparing the proposed technique to
+//! the XStat baseline.
+//!
+//! ```sh
+//! cargo run --release --example full_flow [benchmark]   # default b04
+//! ```
+
+use dpfill::atpg::{generate_tests, AtpgConfig};
+use dpfill::circuits::itc99;
+use dpfill::core::Technique;
+use dpfill::cubes::peak_toggles;
+use dpfill::netlist::{CombView, NetlistStats};
+use dpfill::power::{peak_power, CapacitanceModel, PowerConfig};
+use dpfill::scan::{CaptureScheme, ScanChains, ScanSchedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "b04".to_owned());
+    let profile = itc99(&name).ok_or("unknown benchmark (use b01..b22)")?;
+
+    // 1. "Synthesis": generate the benchmark-shaped netlist.
+    let netlist = profile.generate();
+    println!("{}", NetlistStats::of(&netlist));
+
+    // 2. "TetraMax": PODEM ATPG with fault dropping and compaction.
+    let atpg = generate_tests(
+        &netlist,
+        &AtpgConfig {
+            compaction: true,
+            max_faults: Some(20_000),
+            ..AtpgConfig::default()
+        },
+    );
+    println!(
+        "ATPG: {} cubes, {:.1}% X, coverage {:.1}% ({} PODEM calls, {} aborted)",
+        atpg.cubes.len(),
+        atpg.cubes.x_percent(),
+        atpg.stats.coverage_percent(),
+        atpg.stats.podem_calls,
+        atpg.stats.aborted,
+    );
+
+    // 3. Ordering + filling: XStat [22] vs the proposed technique.
+    let xstat = Technique::xstat().evaluate(&atpg.cubes);
+    let proposed = Technique::proposed().evaluate(&atpg.cubes);
+    println!("\npeak input toggles:");
+    println!("  {:20} {}", Technique::xstat().label(), xstat.peak);
+    println!("  {:20} {}", Technique::proposed().label(), proposed.peak);
+
+    // 4. Scan application under the state-preserving DFT scheme: the
+    //    schedule's capture peak equals the pattern-sequence peak.
+    let chains = ScanChains::single(&netlist)?;
+    let schedule = ScanSchedule::new(&chains, &proposed.filled, CaptureScheme::Los)?;
+    println!(
+        "\nLOS schedule: {} cycles ({} shift/pattern), peak comb toggles {}",
+        schedule.cycle_count(),
+        schedule.shift_len(),
+        schedule.peak_comb_toggles()
+    );
+    assert_eq!(
+        schedule.peak_comb_toggles(),
+        peak_toggles(&proposed.filled)?,
+        "paper §III: scan peak == pattern-sequence peak"
+    );
+
+    // 5. "SoC Encounter": capacitance model + peak circuit power.
+    let power_cfg = PowerConfig::default();
+    let caps = CapacitanceModel::of(&netlist, &power_cfg);
+    let view = CombView::new(&netlist);
+    let p_xstat = peak_power(&view, &xstat.filled, &caps, &power_cfg)?;
+    let p_proposed = peak_power(&view, &proposed.filled, &caps, &power_cfg)?;
+    println!("\npeak circuit power:");
+    println!("  {:20} {:.1} uW", Technique::xstat().label(), p_xstat.peak_uw);
+    println!(
+        "  {:20} {:.1} uW ({:+.1}%)",
+        Technique::proposed().label(),
+        p_proposed.peak_uw,
+        100.0 * (p_proposed.peak_uw - p_xstat.peak_uw) / p_xstat.peak_uw
+    );
+    Ok(())
+}

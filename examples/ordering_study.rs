@@ -1,0 +1,63 @@
+//! Study of the paper's Algorithm 3 (I-ordering): how the interleave
+//! factor `k` trades off against the optimal bottleneck, and how the
+//! iteration count scales with log(n) — the data behind Fig 2(a)/(b).
+//!
+//! ```sh
+//! cargo run --release --example ordering_study
+//! ```
+
+use dpfill::core::fill::{DpFill, FillStrategy};
+use dpfill::core::ordering::{IOrdering, OrderingMethod};
+use dpfill::cubes::gen::CubeProfile;
+use dpfill::cubes::peak_toggles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // X-rich cube sets of growing size (ATPG-shaped via the profile
+    // generator).
+    println!("n      log2(n)  iterations  chosen k  bottleneck");
+    println!("--------------------------------------------------");
+    for n in [32usize, 64, 128, 256, 512] {
+        let cubes = CubeProfile::new(120, n)
+            .x_percent(85.0)
+            .decay_ratio(64.0)
+            .regime_changes(n / 32)
+            .generate(0xA11CE + n as u64);
+        let trace = IOrdering::new().order_with_trace(&cubes);
+        let best = trace.bottleneck_values.iter().min().copied().unwrap_or(0);
+        println!(
+            "{:<6} {:<8.1} {:<11} {:<9} {}",
+            n,
+            (n as f64).log2(),
+            trace.iterations(),
+            trace.chosen_k,
+            best
+        );
+    }
+
+    // One detailed trace: bottleneck vs k (Fig 2(a) shape).
+    let cubes = CubeProfile::new(120, 256)
+        .x_percent(85.0)
+        .decay_ratio(64.0)
+        .regime_changes(8)
+        .generate(0xF16_2A);
+    let trace = IOrdering::new().order_with_trace(&cubes);
+    println!("\nFig 2(a)-style sweep (n = 256):");
+    for (k, v) in trace.k_values.iter().zip(&trace.bottleneck_values) {
+        println!("  k = {k:<3} bottleneck = {v}");
+    }
+
+    // Show the end-to-end gain over the other orderings.
+    println!("\nDP-fill peak under each ordering (n = 256):");
+    for method in [
+        OrderingMethod::Tool,
+        OrderingMethod::XStat,
+        OrderingMethod::Isa(7),
+        OrderingMethod::Interleaved,
+    ] {
+        let order = method.order(&cubes);
+        let reordered = cubes.reordered(&order)?;
+        let peak = peak_toggles(&DpFill::new().fill(&reordered))?;
+        println!("  {:12} -> {}", method.label(), peak);
+    }
+    Ok(())
+}

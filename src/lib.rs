@@ -1,0 +1,48 @@
+//! **dpfill** — a full reproduction of *"DP-fill: A Dynamic Programming
+//! approach to X-filling for minimizing peak test power in scan tests"*
+//! (Trinadh et al., DATE 2015), together with every substrate the paper
+//! relies on: a `.bench` netlist stack, three-valued and bit-parallel
+//! simulation, PODEM ATPG with fault dropping, scan-chain DFT modeling,
+//! and a wire-load power model.
+//!
+//! This facade crate re-exports the workspace members under friendly
+//! names; depend on the individual `dpfill-*` crates directly if you
+//! only need one layer.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `dpfill-core` | DP-fill, BCP, fills, orderings (the paper's contribution) |
+//! | [`cubes`] | `dpfill-cubes` | test-cube matrices, distances, stretch statistics |
+//! | [`netlist`] | `dpfill-netlist` | `.bench` parser, gate graph, levelization |
+//! | [`sim`] | `dpfill-sim` | 3-valued + 64-way bit-parallel simulation |
+//! | [`atpg`] | `dpfill-atpg` | PODEM, fault simulation, compaction |
+//! | [`scan`] | `dpfill-scan` | scan chains, LOS/LOC schedules, WTM |
+//! | [`power`] | `dpfill-power` | capacitance model, peak power |
+//! | [`circuits`] | `dpfill-circuits` | ITC'99 profiles + synthetic generator |
+//! | [`harness`] | `dpfill-harness` | the paper's tables and figures |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpfill::core::fill::{DpFill, FillStrategy};
+//! use dpfill::core::ordering::{IOrdering, OrderingStrategy};
+//! use dpfill::cubes::CubeSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cubes = CubeSet::parse_rows(&["0XXX1", "X1XXX", "1XXX0", "XX0XX"])?;
+//! let order = IOrdering::new().order(&cubes);
+//! let report = DpFill::new().run(&cubes.reordered(&order)?);
+//! assert_eq!(report.peak, report.lower_bound); // optimal, certified
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dpfill_atpg as atpg;
+pub use dpfill_circuits as circuits;
+pub use dpfill_core as core;
+pub use dpfill_cubes as cubes;
+pub use dpfill_harness as harness;
+pub use dpfill_netlist as netlist;
+pub use dpfill_power as power;
+pub use dpfill_scan as scan;
+pub use dpfill_sim as sim;

@@ -1,0 +1,103 @@
+//! Cross-crate integration: circuit generation → ATPG → ordering →
+//! filling → verification that detection is preserved and the fill is
+//! optimal.
+
+use dpfill::atpg::{generate_tests, AtpgConfig, Fault, FaultSimulator};
+use dpfill::circuits::{c17, itc99, scan_toy};
+use dpfill::core::fill::{DpFill, FillMethod};
+use dpfill::core::ordering::OrderingMethod;
+use dpfill::core::Technique;
+use dpfill::cubes::{peak_toggles, CubeSet};
+use dpfill::netlist::CombView;
+
+/// Re-checks with the fault simulator that a *filled, reordered* pattern
+/// set still detects every fault the ATPG claimed.
+fn assert_detection_preserved(netlist: &dpfill::netlist::Netlist, patterns: &CubeSet) {
+    let view = CombView::new(netlist);
+    let mut fsim = FaultSimulator::new(&view);
+    let faults: Vec<Fault> =
+        dpfill::atpg::collapse_faults(netlist, &dpfill::atpg::fault_list(netlist));
+    let mut detected = vec![false; faults.len()];
+    fsim.detect(patterns, &faults, &mut detected)
+        .expect("patterns are filled");
+    // The ATPG run reports its coverage; the filled pattern set must
+    // reach at least that many detections (fills only specialize cubes).
+    let atpg = generate_tests(netlist, &AtpgConfig::default());
+    let reached = detected.iter().filter(|&&d| d).count();
+    assert!(
+        reached >= atpg.stats.detected,
+        "filled patterns detect {reached} < ATPG's {}",
+        atpg.stats.detected
+    );
+}
+
+#[test]
+fn c17_full_pipeline_preserves_detection() {
+    let netlist = c17();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    assert!((atpg.stats.coverage_percent() - 100.0).abs() < 1e-9);
+
+    for technique in [
+        Technique::proposed(),
+        Technique::xstat(),
+        Technique::adj_fill(),
+        Technique::new(OrderingMethod::Tool, FillMethod::Zero),
+    ] {
+        let result = technique.evaluate(&atpg.cubes);
+        assert!(result.filled.is_fully_specified());
+        assert_detection_preserved(&netlist, &result.filled);
+    }
+}
+
+#[test]
+fn scan_toy_pipeline_with_sequential_core() {
+    let netlist = scan_toy();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    assert!(!atpg.cubes.is_empty());
+    assert_eq!(atpg.cubes.width(), netlist.scan_width());
+
+    let result = Technique::proposed().evaluate(&atpg.cubes);
+    assert_detection_preserved(&netlist, &result.filled);
+}
+
+#[test]
+fn generated_benchmark_pipeline_is_optimal_per_ordering() {
+    let profile = itc99("b03").expect("known benchmark");
+    let netlist = profile.generate();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    let cubes = atpg.cubes;
+    assert!(cubes.x_percent() > 30.0, "b03 cubes should be X-rich");
+
+    for ordering in [
+        OrderingMethod::Tool,
+        OrderingMethod::XStat,
+        OrderingMethod::Interleaved,
+    ] {
+        let order = ordering.order(&cubes);
+        let reordered = cubes.reordered(&order).expect("permutation");
+        let report = DpFill::new().run(&reordered);
+        // Certificate: measured peak == certified lower bound.
+        assert_eq!(report.peak as usize, peak_toggles(&report.filled).unwrap());
+        assert_eq!(report.peak, report.lower_bound);
+        // DP dominates the other fills under this ordering.
+        for method in FillMethod::TABLE_COLUMNS {
+            let peak = peak_toggles(&method.fill(&reordered)).unwrap();
+            assert!(
+                report.peak as usize <= peak,
+                "{:?}: DP {} vs {} {peak}",
+                ordering,
+                report.peak,
+                method.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn atpg_cubes_survive_round_trip_through_pattern_files() {
+    let netlist = c17();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    let text = dpfill::cubes::format::patterns_to_string(&atpg.cubes, Some("c17 cubes"));
+    let back = dpfill::cubes::format::parse_patterns(&text).expect("round trip");
+    assert_eq!(back, atpg.cubes);
+}

@@ -1,0 +1,85 @@
+//! Reproduction-level integration tests: the paper's headline claims
+//! hold on the harness's own data path (smoke subset for speed; the
+//! full suite runs through `dpfill-repro` / EXPERIMENTS.md).
+
+use dpfill::harness::experiments::{fig1, fig2a, fills_table, table1, table5};
+use dpfill::harness::{prepare_suite, FlowConfig};
+use dpfill_core::ordering::OrderingMethod;
+
+#[test]
+fn fig1_gap_reproduces() {
+    let (r, _) = fig1();
+    assert_eq!(r.dp_peak, 2, "paper's optimum");
+    assert_eq!(r.xstat_peak, 3, "paper's XStat result");
+}
+
+#[test]
+fn dp_fill_column_dominates_all_tables() {
+    let cfg = FlowConfig::smoke();
+    let prepared = prepare_suite(&cfg);
+    assert!(prepared.len() >= 5);
+    for ordering in [
+        OrderingMethod::Tool,
+        OrderingMethod::XStat,
+        OrderingMethod::Interleaved,
+    ] {
+        let (rows, _) = fills_table(&prepared, ordering, "test");
+        for row in &rows {
+            assert!(
+                row.dp_peak() <= row.best_existing(),
+                "{}: DP not minimal under {:?}",
+                row.ckt,
+                ordering
+            );
+        }
+    }
+}
+
+#[test]
+fn x_density_tracks_paper_direction() {
+    // Bigger circuits have more X — the monotone trend behind Table I's
+    // "X-filling is effective for large circuits" argument.
+    let cfg = FlowConfig::smoke();
+    let prepared = prepare_suite(&cfg);
+    let (rows, _) = table1(&prepared, &cfg);
+    let small = rows
+        .iter()
+        .find(|r| r.ckt == "b01")
+        .expect("b01 in smoke set");
+    let large = rows
+        .iter()
+        .find(|r| r.ckt == "b03" || r.ckt == "b10")
+        .expect("an X-rich circuit in smoke set");
+    assert!(
+        small.measured_x < large.measured_x,
+        "b01 ({:.1}%) should be far less X-rich than {} ({:.1}%)",
+        small.measured_x,
+        large.ckt,
+        large.measured_x
+    );
+}
+
+#[test]
+fn proposed_technique_wins_in_aggregate() {
+    let cfg = FlowConfig::smoke();
+    let prepared = prepare_suite(&cfg);
+    let (rows, _) = table5(&prepared, cfg.seed);
+    let sum_tool: u64 = rows.iter().map(|r| r.tool_best).sum();
+    let sum_proposed: u64 = rows.iter().map(|r| r.proposed).sum();
+    assert!(sum_proposed <= sum_tool);
+}
+
+#[test]
+fn i_ordering_iterations_stay_logarithmic() {
+    let cfg = FlowConfig::smoke();
+    let prepared = prepare_suite(&cfg);
+    let (rows, _) = fig2a(&prepared);
+    for r in &rows {
+        assert!(
+            r.trace.len() <= 24,
+            "{}: {} iterations is not O(log n)",
+            r.ckt,
+            r.trace.len()
+        );
+    }
+}

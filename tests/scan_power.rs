@@ -1,0 +1,85 @@
+//! Cross-crate integration: scan application and power estimation agree
+//! with the paper's §III reduction — peak capture power is driven by the
+//! pattern-sequence Hamming peak, and DP-fill lowers both.
+
+use dpfill::atpg::{generate_tests, AtpgConfig};
+use dpfill::circuits::itc99;
+use dpfill::core::fill::FillMethod;
+use dpfill::core::Technique;
+use dpfill::cubes::peak_toggles;
+use dpfill::netlist::CombView;
+use dpfill::power::{peak_power, CapacitanceModel, PowerConfig};
+use dpfill::scan::{shift_power_profile, CaptureScheme, ScanChains, ScanSchedule};
+
+#[test]
+fn scan_schedule_peak_matches_pattern_peak() {
+    let profile = itc99("b06").expect("known benchmark");
+    let netlist = profile.generate();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    let filled = Technique::proposed().evaluate(&atpg.cubes).filled;
+
+    let chains = ScanChains::single(&netlist).expect("sequential design");
+    for scheme in [CaptureScheme::Los, CaptureScheme::Loc] {
+        let schedule = ScanSchedule::new(&chains, &filled, scheme).expect("widths match");
+        assert_eq!(
+            schedule.peak_comb_toggles(),
+            peak_toggles(&filled).unwrap(),
+            "{scheme:?}: §III reduction violated"
+        );
+    }
+}
+
+#[test]
+fn dp_fill_lowers_peak_power_not_just_toggles() {
+    let profile = itc99("b08").expect("known benchmark");
+    let netlist = profile.generate();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    let view = CombView::new(&netlist);
+    let cfg = PowerConfig::default();
+    let caps = CapacitanceModel::of(&netlist, &cfg);
+
+    let dp = Technique::proposed().evaluate(&atpg.cubes).filled;
+    let zero = FillMethod::Zero.fill(&atpg.cubes);
+    let p_dp = peak_power(&view, &dp, &caps, &cfg).unwrap();
+    let p_zero = peak_power(&view, &zero, &caps, &cfg).unwrap();
+    assert!(
+        p_dp.peak_uw <= p_zero.peak_uw * 1.05,
+        "DP {} uW should not exceed 0-fill {} uW",
+        p_dp.peak_uw,
+        p_zero.peak_uw
+    );
+    assert!(p_dp.peak_uw > 0.0);
+}
+
+#[test]
+fn multi_chain_configurations_shift_less_per_pattern() {
+    let profile = itc99("b03").expect("known benchmark");
+    let netlist = profile.generate();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    let filled = FillMethod::Adj.fill(&atpg.cubes);
+
+    let one = ScanChains::single(&netlist).unwrap();
+    let four = ScanChains::balanced(&netlist, 4).unwrap();
+    assert!(four.max_length() < one.max_length());
+
+    // Shift power exists and is finite under both configurations.
+    let p1: u64 = shift_power_profile(&one, &filled).unwrap().iter().sum();
+    let p4: u64 = shift_power_profile(&four, &filled).unwrap().iter().sum();
+    assert!(p4 <= p1, "splitting chains must not increase total WTM");
+}
+
+#[test]
+fn los_schedule_cycle_accounting() {
+    let profile = itc99("b01").expect("known benchmark");
+    let netlist = profile.generate();
+    let atpg = generate_tests(&netlist, &AtpgConfig::default());
+    let filled = FillMethod::Mt.fill(&atpg.cubes);
+    let chains = ScanChains::single(&netlist).unwrap();
+    let schedule = ScanSchedule::new(&chains, &filled, CaptureScheme::Los).unwrap();
+    // LOS: shift_len cycles per pattern (launch is the last shift) plus
+    // one capture each.
+    assert_eq!(
+        schedule.cycle_count(),
+        filled.len() * (schedule.shift_len() + 1)
+    );
+}

@@ -1,0 +1,82 @@
+//! Integration test for the library path behind the `dpfill-xfill`
+//! CLI: pattern file in → ordered, filled pattern file out, peak
+//! improved, detection-relevant care bits intact.
+
+use dpfill::core::fill::FillMethod;
+use dpfill::core::ordering::OrderingMethod;
+use dpfill::cubes::{format, peak_toggles, CubeSet};
+
+const INPUT: &str = "\
+# cube dump from some ATPG
+0XX1XXXX0X
+XX1XXX0XXX
+1XXXX0XX1X
+XXX0XXXX0X
+X1XXXXXX1X
+XXXX1XX0XX
+0XXXXX1XXX
+XX0XXXXXX1
+";
+
+#[test]
+fn file_to_file_flow() {
+    let cubes = format::parse_patterns(INPUT).expect("valid pattern file");
+    assert_eq!(cubes.len(), 8);
+    assert_eq!(cubes.width(), 10);
+
+    // keep + 0-fill is the "as-given" baseline the CLI reports.
+    let baseline = peak_toggles(&FillMethod::Zero.fill(&cubes)).unwrap();
+
+    // interleave + dp is the CLI default.
+    let order = OrderingMethod::Interleaved.order(&cubes);
+    let ordered = cubes.reordered(&order).unwrap();
+    let filled = FillMethod::Dp.fill(&ordered);
+    assert!(CubeSet::is_filling_of(&filled, &ordered));
+    let improved = peak_toggles(&filled).unwrap();
+    assert!(
+        improved <= baseline,
+        "default pipeline must not lose to 0-fill: {improved} vs {baseline}"
+    );
+
+    // And the output round-trips through the pattern format with the
+    // header the CLI writes.
+    let text = format::patterns_to_string(&filled, Some("filled by dpfill-xfill"));
+    let back = format::parse_patterns(&text).unwrap();
+    assert_eq!(back, filled);
+    assert!(back.is_fully_specified());
+}
+
+#[test]
+fn every_cli_fill_choice_is_legal() {
+    let cubes = format::parse_patterns(INPUT).unwrap();
+    for fill in [
+        FillMethod::Dp,
+        FillMethod::B,
+        FillMethod::XStat,
+        FillMethod::Adj,
+        FillMethod::Mt,
+        FillMethod::Zero,
+        FillMethod::One,
+        FillMethod::Random(0xF111),
+    ] {
+        let filled = fill.fill(&cubes);
+        assert!(
+            CubeSet::is_filling_of(&filled, &cubes),
+            "{} violated the contract",
+            fill.label()
+        );
+    }
+}
+
+#[test]
+fn every_cli_order_choice_is_a_permutation() {
+    let cubes = format::parse_patterns(INPUT).unwrap();
+    for order in [
+        OrderingMethod::Interleaved,
+        OrderingMethod::XStat,
+        OrderingMethod::Isa(0x15A),
+    ] {
+        let perm = order.order(&cubes);
+        assert!(dpfill::core::ordering::is_permutation(&perm, cubes.len()));
+    }
+}
