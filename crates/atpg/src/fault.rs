@@ -174,9 +174,7 @@ mod tests {
         let collapsed = collapse_faults(&n, &fault_list(&n));
         // Everything collapses onto the primary input.
         assert_eq!(collapsed.len(), 2);
-        assert!(collapsed
-            .iter()
-            .all(|f| f.signal == n.find("a").unwrap()));
+        assert!(collapsed.iter().all(|f| f.signal == n.find("a").unwrap()));
     }
 
     #[test]

@@ -7,7 +7,9 @@ use rand::{Rng, SeedableRng};
 use dpfill_cubes::{Bit, CubeSet, TestCube};
 use dpfill_netlist::{CombView, Netlist};
 
-use crate::{collapse_faults, compact, fault_list, AtpgConfig, FaultSimulator, Podem, PodemOutcome};
+use crate::{
+    collapse_faults, compact, fault_list, AtpgConfig, FaultSimulator, Podem, PodemOutcome,
+};
 
 /// Coverage and effort statistics of one ATPG run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

@@ -187,8 +187,7 @@ impl<'a> Podem<'a> {
             if !sig.kind().is_logic() {
                 continue;
             }
-            let out_unknown =
-                self.good[id.index()].is_x() || self.faulty[id.index()].is_x();
+            let out_unknown = self.good[id.index()].is_x() || self.faulty[id.index()].is_x();
             if !out_unknown {
                 continue;
             }
@@ -240,8 +239,12 @@ impl<'a> Podem<'a> {
                     val = !val;
                     sig = s.fanins()[0];
                 }
-                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor
-                | GateKind::Xor | GateKind::Xnor => {
+                GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor => {
                     let target = if s.kind().is_inverting() { !val } else { val };
                     let x_input = s
                         .fanins()
@@ -334,7 +337,8 @@ G23 = NAND(G16, G19)
         for i in 0..4 {
             b.input(format!("i{i}"));
         }
-        b.gate("z", GateKind::Or, &["i0", "i1", "i2", "i3"]).unwrap();
+        b.gate("z", GateKind::Or, &["i0", "i1", "i2", "i3"])
+            .unwrap();
         b.output("z");
         let n = b.build().unwrap();
         let view = CombView::new(&n);
@@ -379,7 +383,10 @@ G23 = NAND(G16, G19)
         let view = CombView::new(&n);
         let mut podem = Podem::new(&view, 64);
         let z = n.find("z").unwrap();
-        assert_eq!(podem.run(Fault::new(z, StuckAt::One)), PodemOutcome::Untestable);
+        assert_eq!(
+            podem.run(Fault::new(z, StuckAt::One)),
+            PodemOutcome::Untestable
+        );
         // z s-a-0 is testable (any input value).
         assert!(podem.run(Fault::new(z, StuckAt::Zero)).cube().is_some());
     }

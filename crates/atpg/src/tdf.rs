@@ -136,13 +136,11 @@ impl<'a> LosTdfGenerator<'a> {
         // Check the initialization: V1 must drive the site to the
         // initial value under 3-valued simulation.
         let inputs: Vec<Bit> = init.iter().collect();
-        self.sim
-            .simulate(&inputs)
-            .expect("cube width matches view");
+        self.sim.simulate(&inputs).expect("cube width matches view");
         let site_value = self.sim.value(site);
-        if site_value == transition.initial_value() {
-            TdfOutcome::Pair { init, launch }
-        } else if site_value.is_x() && self.try_justify(&mut init, site, transition) {
+        if site_value == transition.initial_value()
+            || (site_value.is_x() && self.try_justify(&mut init, site, transition))
+        {
             TdfOutcome::Pair { init, launch }
         } else {
             TdfOutcome::ShiftConflict
@@ -159,9 +157,7 @@ impl<'a> LosTdfGenerator<'a> {
         site: dpfill_netlist::SignalId,
         transition: Transition,
     ) -> bool {
-        let free_pins: Vec<usize> = (0..init.width())
-            .filter(|&p| init[p].is_x())
-            .collect();
+        let free_pins: Vec<usize> = (0..init.width()).filter(|&p| init[p].is_x()).collect();
         for &pin in &free_pins {
             for value in [Bit::Zero, Bit::One] {
                 init.set(pin, value);
@@ -180,10 +176,7 @@ impl<'a> LosTdfGenerator<'a> {
 /// Generates LOS pairs for every signal's rising and falling transition
 /// and returns the initialization cubes (the pattern list the X-filling
 /// experiments consume) plus pairing statistics.
-pub fn generate_los_tests(
-    netlist: &Netlist,
-    backtrack_limit: usize,
-) -> (CubeSet, TdfStats) {
+pub fn generate_los_tests(netlist: &Netlist, backtrack_limit: usize) -> (CubeSet, TdfStats) {
     let view = CombView::new(netlist);
     let mut generator = LosTdfGenerator::new(&view, backtrack_limit);
     let mut cubes = CubeSet::new(view.input_count());

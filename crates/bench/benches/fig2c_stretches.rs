@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use dpfill_core::ordering::OrderingMethod;
 use dpfill_cubes::gen::CubeProfile;
+use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
 use dpfill_cubes::stretch::StretchStats;
 
 fn bench(c: &mut Criterion) {
@@ -25,7 +26,8 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let order = ordering.order(&cubes);
                 let reordered = cubes.reordered(&order).unwrap();
-                let stats = StretchStats::of_matrix(&reordered.to_pin_matrix());
+                let packed = PackedMatrix::from_packed_set(&PackedCubeSet::from(&reordered));
+                let stats = StretchStats::of_packed(&packed);
                 criterion::black_box(stats.total_stretches())
             })
         });

@@ -1,7 +1,17 @@
-//! Micro-benchmarks of the core algorithms: Algorithm 1 (DP lower
-//! bound), Algorithm 2 (greedy coloring), the generalized EDF solver,
-//! PODEM, fault simulation and the bit-parallel simulator — plus the
-//! ablation pair paper-exact vs baseline-aware DP-fill.
+//! Micro-benchmarks of the core algorithms: the packed two-plane kernels
+//! against their scalar references, Algorithm 1 (DP lower bound),
+//! Algorithm 2 (greedy coloring), the generalized EDF solver, PODEM,
+//! fault simulation and the bit-parallel simulator — plus the ablation
+//! pair paper-exact vs baseline-aware DP-fill.
+//!
+//! The `packed_kernels` group is the PR-1 acceptance benchmark: run
+//!
+//! ```sh
+//! CRITERION_JSON=BENCH_pr1.json cargo bench -p dpfill-bench \
+//!     --bench micro_algorithms -- packed_kernels
+//! ```
+//!
+//! to refresh the committed `BENCH_pr1.json` baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -10,11 +20,63 @@ use rand::{Rng, SeedableRng};
 use dpfill_atpg::{fault_list, generate_tests, AtpgConfig, FaultSimulator, Podem};
 use dpfill_circuits::itc99;
 use dpfill_core::bcp::BcpInstance;
-use dpfill_core::fill::{DpFill, DpMode};
+use dpfill_core::fill::{DpFill, DpMode, FillStrategy, MtFill};
 use dpfill_core::Interval;
-use dpfill_cubes::gen::CubeProfile;
+use dpfill_cubes::gen::{random_cube_set, CubeProfile};
+use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
+use dpfill_cubes::stretch::StretchStats;
+use dpfill_cubes::{
+    peak_toggles, peak_toggles_scalar, toggle_profile, toggle_profile_scalar, PinMatrix,
+};
 use dpfill_netlist::CombView;
 use dpfill_sim::{pack_patterns, PlaneSim};
+
+/// The PR-1 acceptance benchmark: packed popcount kernels vs the scalar
+/// reference walks on a 1024-pin × 1024-cube random cube set at 0.5
+/// X-density.
+fn bench_packed_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packed_kernels");
+    group.sample_size(20);
+    let cubes = random_cube_set(1024, 1024, 0.5, 0xD0E5);
+    let packed = PackedCubeSet::from(&cubes);
+    let matrix = PackedMatrix::from_packed_set(&packed);
+    let pin_matrix = PinMatrix::from_cube_set_scalar(&cubes);
+
+    group.bench_function("peak_toggles/packed/1024x1024", |b| {
+        b.iter(|| criterion::black_box(packed.peak_toggles()))
+    });
+    group.bench_function("peak_toggles/scalar/1024x1024", |b| {
+        b.iter(|| criterion::black_box(peak_toggles_scalar(&cubes).unwrap()))
+    });
+    group.bench_function("peak_toggles/public_pack_and_count/1024x1024", |b| {
+        b.iter(|| criterion::black_box(peak_toggles(&cubes).unwrap()))
+    });
+    group.bench_function("toggle_profile/packed/1024x1024", |b| {
+        b.iter(|| criterion::black_box(packed.toggle_profile().len()))
+    });
+    group.bench_function("toggle_profile/scalar/1024x1024", |b| {
+        b.iter(|| criterion::black_box(toggle_profile_scalar(&cubes).unwrap().len()))
+    });
+    group.bench_function("toggle_profile/public_pack_and_count/1024x1024", |b| {
+        b.iter(|| criterion::black_box(toggle_profile(&cubes).unwrap().len()))
+    });
+    group.bench_function("transpose/word_blocked/1024x1024", |b| {
+        b.iter(|| criterion::black_box(PackedMatrix::from_packed_set(&packed).rows()))
+    });
+    group.bench_function("transpose/scalar_scatter/1024x1024", |b| {
+        b.iter(|| criterion::black_box(PinMatrix::from_cube_set_scalar(&cubes).rows()))
+    });
+    group.bench_function("stretch_scan/packed/1024x1024", |b| {
+        b.iter(|| criterion::black_box(StretchStats::of_packed(&matrix).total_stretches()))
+    });
+    group.bench_function("stretch_scan/scalar/1024x1024", |b| {
+        b.iter(|| criterion::black_box(StretchStats::of_matrix(&pin_matrix).total_stretches()))
+    });
+    group.bench_function("mt_fill/packed_pipeline/1024x1024", |b| {
+        b.iter(|| criterion::black_box(MtFill.fill(&cubes).len()))
+    });
+    group.finish();
+}
 
 fn random_instance(colors: usize, k: usize, seed: u64) -> BcpInstance {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -80,7 +142,9 @@ fn bench_atpg(c: &mut Criterion) {
     group.bench_function("full_atpg/b03", |b| {
         b.iter(|| {
             criterion::black_box(
-                generate_tests(&netlist, &AtpgConfig::default()).stats.detected,
+                generate_tests(&netlist, &AtpgConfig::default())
+                    .stats
+                    .detected,
             )
         })
     });
@@ -120,6 +184,7 @@ fn bench_simulation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_packed_kernels,
     bench_bcp,
     bench_dp_fill_ablation,
     bench_atpg,

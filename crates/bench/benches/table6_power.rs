@@ -27,18 +27,12 @@ fn bench(c: &mut Criterion) {
     let view = CombView::new(&netlist);
     let filled = Technique::proposed().evaluate(&cubes).filled;
     group.bench_function("b08/peak_power_proposed", |b| {
-        b.iter(|| {
-            criterion::black_box(
-                peak_power(&view, &filled, &caps, &cfg).unwrap().peak_uw,
-            )
-        })
+        b.iter(|| criterion::black_box(peak_power(&view, &filled, &caps, &cfg).unwrap().peak_uw))
     });
 
     let xstat = Technique::xstat().evaluate(&cubes).filled;
     group.bench_function("b08/peak_power_xstat", |b| {
-        b.iter(|| {
-            criterion::black_box(peak_power(&view, &xstat, &caps, &cfg).unwrap().peak_uw)
-        })
+        b.iter(|| criterion::black_box(peak_power(&view, &xstat, &caps, &cfg).unwrap().peak_uw))
     });
     group.finish();
 }

@@ -40,7 +40,10 @@ impl GeneratorConfig {
     ///
     /// Panics if the config has no sources (`pis + ffs == 0`).
     pub fn generate(&self) -> Netlist {
-        assert!(self.pis + self.ffs > 0, "generator needs at least one source");
+        assert!(
+            self.pis + self.ffs > 0,
+            "generator needs at least one source"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut b = NetlistBuilder::new(self.name);
 
@@ -213,11 +216,7 @@ mod tests {
         let n = config(200).generate();
         for (id, sig) in n.iter() {
             if sig.kind() != GateKind::Dff {
-                assert!(
-                    n.fanout_count(id) > 0,
-                    "signal {} dangles",
-                    sig.name()
-                );
+                assert!(n.fanout_count(id) > 0, "signal {} dangles", sig.name());
             }
         }
     }

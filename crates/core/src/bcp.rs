@@ -63,12 +63,12 @@ impl fmt::Display for BcpError {
             BcpError::IntervalOutOfRange {
                 interval,
                 num_colors,
-            } => write!(
-                f,
-                "interval {interval} exceeds color range 0..{num_colors}"
-            ),
+            } => write!(f, "interval {interval} exceeds color range 0..{num_colors}"),
             BcpError::BaselineLengthMismatch { expected, found } => {
-                write!(f, "baseline length {found} does not match {expected} colors")
+                write!(
+                    f,
+                    "baseline length {found} does not match {expected} colors"
+                )
             }
             BcpError::InvalidColoring(msg) => write!(f, "invalid coloring: {msg}"),
             BcpError::Infeasible { peak } => {
@@ -346,8 +346,8 @@ impl BcpInstance {
         // Min-heap ordered by interval end (the deadline).
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(k);
         let mut assigned = 0usize;
-        for t in 0..c {
-            for &idx in &by_start[t] {
+        for (t, starters) in by_start.iter().enumerate() {
+            for &idx in starters {
                 heap.push(Reverse((self.intervals[idx as usize].end(), idx)));
             }
             let quota = capacity(t);
@@ -442,7 +442,10 @@ impl BcpInstance {
         let lb = self.lower_bound_paper();
         let coloring = self.color_greedy_paper(lb)?;
         let peak = self.verify(&coloring)?;
-        debug_assert_eq!(peak.intervals_only, lb, "greedy must meet Algorithm 1's bound");
+        debug_assert_eq!(
+            peak.intervals_only, lb,
+            "greedy must meet Algorithm 1's bound"
+        );
         Ok(BcpSolution {
             coloring,
             lower_bound: lb,
@@ -453,12 +456,7 @@ impl BcpInstance {
     /// Exhaustive minimum peak (with baseline) — O(∏ len(interval)).
     /// Only for tiny instances in tests and validation.
     pub fn brute_force_min_peak(&self) -> u64 {
-        fn rec(
-            instance: &BcpInstance,
-            idx: usize,
-            load: &mut Vec<u64>,
-            best: &mut u64,
-        ) {
+        fn rec(instance: &BcpInstance, idx: usize, load: &mut Vec<u64>, best: &mut u64) {
             if idx == instance.intervals.len() {
                 let peak = load
                     .iter()
@@ -534,9 +532,7 @@ mod tests {
         let mut inst = BcpInstance::new(0);
         assert_eq!(inst.lower_bound(), 0);
         assert!(inst.solve().is_ok());
-        assert!(inst
-            .add_interval(Interval::new(0, 0))
-            .is_err());
+        assert!(inst.add_interval(Interval::new(0, 0)).is_err());
     }
 
     #[test]
@@ -570,16 +566,9 @@ mod tests {
     fn window_density_bound() {
         // Window [1,2] holds 5 intervals over 2 colors -> LB 3 even
         // though each single color only "sees" fewer forced intervals.
-        let inst = instance(
-            5,
-            &[(1, 2), (1, 2), (1, 1), (2, 2), (1, 2)],
-        );
+        let inst = instance(5, &[(1, 2), (1, 2), (1, 1), (2, 2), (1, 2)]);
         assert_eq!(inst.lower_bound_paper(), 3);
-        assert_eq!(
-            inst.lower_bound_naive(false),
-            3,
-            "naive disagrees with DP"
-        );
+        assert_eq!(inst.lower_bound_naive(false), 3, "naive disagrees with DP");
         let sol = inst.solve_paper().unwrap();
         assert_eq!(sol.peak.intervals_only, 3);
         assert_eq!(inst.brute_force_min_peak(), 3);
@@ -693,7 +682,8 @@ mod tests {
     #[test]
     fn generalized_solver_matches_brute_force() {
         // A handful of hand-rolled small instances with baselines.
-        let cases: Vec<(usize, Vec<(u32, u32)>, Vec<u64>)> = vec![
+        type Case = (usize, Vec<(u32, u32)>, Vec<u64>);
+        let cases: Vec<Case> = vec![
             (3, vec![(0, 1), (1, 2), (0, 2)], vec![1, 0, 2]),
             (4, vec![(0, 3), (1, 2), (2, 3), (0, 0)], vec![0, 2, 0, 1]),
             (2, vec![(0, 1), (0, 1), (1, 1)], vec![3, 0]),

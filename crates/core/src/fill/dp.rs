@@ -1,11 +1,46 @@
 //! DP-fill: the paper's optimal X-filling algorithm.
 
+use std::error::Error;
+use std::fmt;
+
 use dpfill_cubes::CubeSet;
 
-use crate::bcp::BcpSolution;
+use crate::bcp::{BcpError, BcpSolution};
 use crate::mapping::MatrixMapping;
 
 use super::FillStrategy;
+
+/// Typed failure from DP-fill's internal BCP solve.
+///
+/// [`MatrixMapping`] always produces instances the solvers can color at
+/// their lower bound (Hall's condition holds for unit jobs with interval
+/// windows — see `mapping_instances_are_always_solvable` in the tests),
+/// so this error is unreachable through the public entry points unless
+/// that invariant is broken by a solver bug. It exists so wide-input
+/// callers can handle the condition instead of unwinding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DpFillError {
+    /// The underlying solver error.
+    pub source: BcpError,
+    /// Shape of the offending input (`cubes`, `pins`).
+    pub shape: (usize, usize),
+}
+
+impl fmt::Display for DpFillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DP-fill failed on a {}x{} cube set: {}",
+            self.shape.0, self.shape.1, self.source
+        )
+    }
+}
+
+impl Error for DpFillError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Which BCP solver DP-fill runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -81,29 +116,48 @@ impl DpFill {
     }
 
     /// Fills `cubes` and returns the full report (filled set, peak,
-    /// optimality certificate).
+    /// optimality certificate), propagating solver failures as a typed
+    /// [`DpFillError`] instead of panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Never panics on well-formed cube sets; the internal solvers are
-    /// total for instances produced by [`MatrixMapping`].
-    pub fn run(&self, cubes: &CubeSet) -> DpFillReport {
+    /// Returns [`DpFillError`] if the internal BCP solve fails. This is
+    /// unreachable for instances produced by [`MatrixMapping`] (the
+    /// documented invariant, exercised by the randomized totality test);
+    /// it exists so production callers on untrusted or very wide inputs
+    /// degrade gracefully.
+    pub fn try_run(&self, cubes: &CubeSet) -> Result<DpFillReport, DpFillError> {
         let mapping = MatrixMapping::analyze(cubes);
         let instance = mapping.instance();
         let solution = match self.mode {
             DpMode::Exact => instance.solve(),
             DpMode::PaperExact => instance.solve_paper(),
         }
-        .expect("mapping-produced instances are always solvable");
+        .map_err(|source| DpFillError {
+            source,
+            shape: (cubes.len(), cubes.width()),
+        })?;
         let filled = mapping.apply_coloring(&solution.coloring);
-        DpFillReport {
+        Ok(DpFillReport {
             peak: solution.peak.with_baseline,
             lower_bound: solution.lower_bound,
             interval_count: instance.intervals().len(),
             forced_toggles: mapping.forced_total(),
             solution,
             filled,
-        }
+        })
+    }
+
+    /// Infallible convenience wrapper over [`DpFill::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the [`MatrixMapping`] solvability invariant is
+    /// broken (a solver bug); use [`DpFill::try_run`] to handle that
+    /// condition as a value instead.
+    pub fn run(&self, cubes: &CubeSet) -> DpFillReport {
+        self.try_run(cubes)
+            .unwrap_or_else(|e| panic!("DP-fill invariant violated: {e}"))
     }
 }
 
@@ -219,5 +273,38 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(DpFill::new().name(), "DP-fill");
+    }
+
+    #[test]
+    fn mapping_instances_are_always_solvable() {
+        // The documented totality invariant behind `run`: whatever the
+        // shape or X structure — including widths beyond one plane word
+        // and all-X sets — `try_run` must return Ok in both modes.
+        for seed in 0..20u64 {
+            let width = 1 + (seed as usize * 17) % 140;
+            let count = 1 + (seed as usize * 7) % 40;
+            let density = [0.0, 0.3, 0.5, 0.8, 1.0][seed as usize % 5];
+            let cubes = random_cube_set(width, count, density, seed);
+            for mode in [DpMode::Exact, DpMode::PaperExact] {
+                let report = DpFill::with_mode(mode)
+                    .try_run(&cubes)
+                    .unwrap_or_else(|e| panic!("seed {seed} {mode:?}: {e}"));
+                assert!(CubeSet::is_filling_of(&report.filled, &cubes));
+            }
+        }
+    }
+
+    #[test]
+    fn error_type_is_displayable_and_sourced() {
+        use std::error::Error as _;
+        let err = DpFillError {
+            source: crate::bcp::BcpError::Infeasible { peak: 3 },
+            shape: (10, 20),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("10x20") && msg.contains("peak 3"), "{msg}");
+        assert!(err.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpFillError>();
     }
 }

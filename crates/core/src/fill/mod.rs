@@ -21,7 +21,7 @@ mod simple;
 mod xstat;
 
 pub use bfill::BFill;
-pub use dp::{DpFill, DpFillReport, DpMode};
+pub use dp::{DpFill, DpFillError, DpFillReport, DpMode};
 pub use simple::{AdjFill, MtFill, OneFill, RandomFill, ZeroFill};
 pub use xstat::XStatFill;
 

@@ -1,8 +1,12 @@
-//! Constant, random and adjacent fills.
+//! Constant, random and adjacent fills, all running on the packed
+//! two-plane representation: constants are whole-word mask writes,
+//! random fill blends one random word per 64 pins, and the MT/Adj run
+//! fills are mask splices over the care plane.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
 use dpfill_cubes::{Bit, CubeSet};
 
 use super::FillStrategy;
@@ -36,15 +40,11 @@ impl FillStrategy for OneFill {
 }
 
 fn fill_constant(cubes: &CubeSet, value: Bit) -> CubeSet {
-    let mut out = cubes.clone();
-    for cube in out.cubes_mut() {
-        for b in cube.bits_mut() {
-            if b.is_x() {
-                *b = value;
-            }
-        }
+    let mut packed = PackedCubeSet::from(cubes);
+    for cube in packed.cubes_mut() {
+        cube.fill_x_with(value);
     }
-    out
+    packed.to_cube_set()
 }
 
 /// Fills every `X` with an independent fair random bit (seeded, so runs
@@ -74,15 +74,12 @@ impl FillStrategy for RandomFill {
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut out = cubes.clone();
-        for cube in out.cubes_mut() {
-            for b in cube.bits_mut() {
-                if b.is_x() {
-                    *b = Bit::from_bool(rng.gen_bool(0.5));
-                }
-            }
+        let mut packed = PackedCubeSet::from(cubes);
+        for cube in packed.cubes_mut() {
+            // One random word covers 64 pins; the blend keeps care bits.
+            cube.fill_x_from_words(|_| rng.next_u64());
         }
-        out
+        packed.to_cube_set()
     }
 }
 
@@ -101,33 +98,11 @@ impl FillStrategy for MtFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut matrix = cubes.to_pin_matrix();
+        let mut matrix = PackedMatrix::from_packed_set(&PackedCubeSet::from(cubes));
         for r in 0..matrix.rows() {
-            let row = matrix.row_mut(r);
-            let first_care = row.iter().position(|b| b.is_care());
-            match first_care {
-                None => {
-                    for b in row.iter_mut() {
-                        *b = Bit::Zero;
-                    }
-                }
-                Some(fc) => {
-                    let lead = row[fc];
-                    for b in row[..fc].iter_mut() {
-                        *b = lead;
-                    }
-                    let mut last = lead;
-                    for b in row[fc..].iter_mut() {
-                        if b.is_x() {
-                            *b = last;
-                        } else {
-                            last = *b;
-                        }
-                    }
-                }
-            }
+            matrix.row_mut(r).fill_runs_copy_left(Bit::Zero);
         }
-        matrix.to_cube_set()
+        matrix.to_packed_set().to_cube_set()
     }
 }
 
@@ -145,33 +120,11 @@ impl FillStrategy for AdjFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut out = cubes.clone();
-        for cube in out.cubes_mut() {
-            let bits = cube.bits_mut();
-            let first_care = bits.iter().position(|b| b.is_care());
-            match first_care {
-                None => {
-                    for b in bits.iter_mut() {
-                        *b = Bit::Zero;
-                    }
-                }
-                Some(fc) => {
-                    let lead = bits[fc];
-                    for b in bits[..fc].iter_mut() {
-                        *b = lead;
-                    }
-                    let mut last = lead;
-                    for b in bits[fc..].iter_mut() {
-                        if b.is_x() {
-                            *b = last;
-                        } else {
-                            last = *b;
-                        }
-                    }
-                }
-            }
+        let mut packed = PackedCubeSet::from(cubes);
+        for cube in packed.cubes_mut() {
+            cube.fill_runs_copy_left(Bit::Zero);
         }
-        out
+        packed.to_cube_set()
     }
 }
 

@@ -1,5 +1,9 @@
-//! The XStat two-phase fill (Trinadh et al. [22]).
+//! The XStat two-phase fill (Trinadh et al. [22]), running on the packed
+//! two-plane matrix: phase 1 splices every stretch with word masks,
+//! phase 2 counts definite toggles with the word-level adjacent-conflict
+//! scan.
 
+use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
 use dpfill_cubes::stretch::{RowStretches, Stretch};
 use dpfill_cubes::{Bit, CubeSet};
 
@@ -29,71 +33,44 @@ impl FillStrategy for XStatFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut matrix = cubes.to_pin_matrix();
+        let mut matrix = PackedMatrix::from_packed_set(&PackedCubeSet::from(cubes));
         let cols = matrix.cols();
         let transitions = cols.saturating_sub(1);
         // Pending phase-2 decisions: (row, x_col, left_value).
         let mut pending: Vec<(usize, usize, Bit)> = Vec::new();
 
         for row in 0..matrix.rows() {
-            let stretches = RowStretches::analyze(matrix.row(row));
+            let stretches = RowStretches::analyze_packed(matrix.row(row));
+            let r = matrix.row_mut(row);
             for s in stretches.stretches() {
+                if s.splice_safe(r, cols) {
+                    continue;
+                }
                 match *s {
-                    Stretch::AllX => {
-                        for col in 0..cols {
-                            matrix.set(row, col, Bit::Zero);
-                        }
-                    }
-                    Stretch::Leading { first_care } => {
-                        let v = matrix.bit(row, first_care);
-                        for col in 0..first_care {
-                            matrix.set(row, col, v);
-                        }
-                    }
-                    Stretch::Trailing { last_care } => {
-                        let v = matrix.bit(row, last_care);
-                        for col in last_care + 1..cols {
-                            matrix.set(row, col, v);
-                        }
-                    }
-                    Stretch::SameValue { left, right, value } => {
-                        for col in left + 1..right {
-                            matrix.set(row, col, value);
-                        }
-                    }
                     Stretch::Transition {
                         left,
                         right,
                         left_value,
                     } => {
-                        // Phase 1: fill toward the middle, keep one X at
-                        // the midpoint column.
+                        // Phase 1: splice toward the middle, keep one X
+                        // at the midpoint column.
                         let mid = (left + right) / 2;
                         let mid = mid.clamp(left + 1, right - 1);
-                        let right_value = !left_value;
-                        for col in left + 1..mid {
-                            matrix.set(row, col, left_value);
-                        }
-                        for col in mid + 1..right {
-                            matrix.set(row, col, right_value);
-                        }
+                        r.fill_range(left + 1, mid, left_value);
+                        r.fill_range(mid + 1, right, !left_value);
                         pending.push((row, mid, left_value));
                     }
                     Stretch::ForcedToggle { .. } => {}
+                    _ => unreachable!("safe stretches handled by splice_safe"),
                 }
             }
         }
 
-        // Phase 2: count all definite toggles, then resolve middles
-        // greedily.
+        // Phase 2: count all definite toggles (the middles are still X,
+        // so they do not count), then resolve middles greedily.
         let mut load = vec![0u64; transitions];
         for row in 0..matrix.rows() {
-            let r = matrix.row(row);
-            for t in 0..transitions {
-                if r[t].conflicts(r[t + 1]) {
-                    load[t] += 1;
-                }
-            }
+            matrix.row(row).for_each_adjacent_conflict(|t| load[t] += 1);
         }
         // Lightest-neighbourhood decisions first (the "statistical"
         // ordering: constrained middles with one heavy side decided while
@@ -107,15 +84,15 @@ impl FillStrategy for XStatFill {
             let left_t = col - 1; // toggle if X takes the right value
             let right_t = col; // toggle if X takes the left value
             if load[left_t] < load[right_t] {
-                matrix.set(row, col, !left_value);
+                matrix.row_mut(row).set(col, !left_value);
                 load[left_t] += 1;
             } else {
-                matrix.set(row, col, left_value);
+                matrix.row_mut(row).set(col, left_value);
                 load[right_t] += 1;
             }
         }
         debug_assert_eq!(matrix.x_count(), 0);
-        matrix.to_cube_set()
+        matrix.to_packed_set().to_cube_set()
     }
 }
 
@@ -159,10 +136,8 @@ mod tests {
         // middles; DP-fill can do strictly better on a crafted matrix.
         // Rows chosen so every stretch middle collides on the same
         // transition while DP can spread them.
-        let cubes = CubeSet::parse_rows(&[
-            "000", "XXX", "X0X", "111", "0X1", "XX1", "X11",
-        ])
-        .unwrap();
+        let cubes =
+            CubeSet::parse_rows(&["000", "XXX", "X0X", "111", "0X1", "XX1", "X11"]).unwrap();
         let xstat = peak_toggles(&XStatFill.fill(&cubes)).unwrap();
         let dp = peak_toggles(&DpFill::new().fill(&cubes)).unwrap();
         assert!(dp <= xstat, "dp {dp} must never exceed xstat {xstat}");

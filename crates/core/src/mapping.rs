@@ -1,20 +1,23 @@
 //! Mapping between test-cube matrices and BCP instances (paper §V-C/V-D).
 //!
-//! [`MatrixMapping::analyze`] walks every pin row of the matrix `A`
-//! (pins × cubes) and:
+//! [`MatrixMapping::analyze`] packs the cube set into the two-plane
+//! representation, transposes it with the word-blocked bit transpose, and
+//! walks every pin row with the `trailing_zeros` stretch scanner:
 //!
 //! * pre-fills the *safe* don't-cares — leading/trailing runs, `v X…X v`
-//!   runs and all-`X` rows — which provably never need a toggle;
+//!   runs and all-`X` rows — as whole-word mask splices (they provably
+//!   never need a toggle);
 //! * emits one BCP [`Interval`] per `v X…X w` transition stretch (the one
 //!   unavoidable toggle whose position is free);
 //! * tallies *forced toggles* (adjacent opposite care bits) into the
 //!   instance baseline.
 //!
 //! [`MatrixMapping::apply_coloring`] then reconstructs the filled matrix
-//! from a BCP coloring: an interval colored `j` fills its stretch with the
-//! left value through column `j` and the right value from column `j+1`
-//! (paper §V-D).
+//! from a BCP coloring: an interval colored `j` splices its stretch with
+//! the left value through column `j` and the right value from column
+//! `j+1` (paper §V-D), and the result transposes back to cubes.
 
+use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
 use dpfill_cubes::stretch::{RowStretches, Stretch};
 use dpfill_cubes::{Bit, CubeSet, PinMatrix};
 
@@ -38,7 +41,7 @@ pub struct IntervalSite {
 /// forced toggles tallied.
 #[derive(Clone, Debug)]
 pub struct MatrixMapping {
-    prefilled: PinMatrix,
+    prefilled: PackedMatrix,
     instance: BcpInstance,
     sites: Vec<IntervalSite>,
 }
@@ -46,42 +49,29 @@ pub struct MatrixMapping {
 impl MatrixMapping {
     /// Analyzes a cube set (columns = cubes) per the paper's mapping.
     pub fn analyze(cubes: &CubeSet) -> MatrixMapping {
-        Self::analyze_matrix(cubes.to_pin_matrix())
+        Self::analyze_packed(PackedMatrix::from_packed_set(&PackedCubeSet::from(cubes)))
     }
 
-    /// Analyzes an already-transposed matrix.
-    pub fn analyze_matrix(mut matrix: PinMatrix) -> MatrixMapping {
+    /// Analyzes an already-transposed scalar matrix.
+    pub fn analyze_matrix(matrix: PinMatrix) -> MatrixMapping {
+        Self::analyze_packed(PackedMatrix::from_pin_matrix(&matrix))
+    }
+
+    /// Analyzes an already-packed matrix.
+    pub fn analyze_packed(mut matrix: PackedMatrix) -> MatrixMapping {
         let num_colors = matrix.cols().saturating_sub(1);
+        let cols = matrix.cols();
         let mut instance = BcpInstance::new(num_colors);
         let mut sites = Vec::new();
 
         for row in 0..matrix.rows() {
-            let stretches = RowStretches::analyze(matrix.row(row));
+            let stretches = RowStretches::analyze_packed(matrix.row(row));
+            let r = matrix.row_mut(row);
             for s in stretches.stretches() {
+                if s.splice_safe(r, cols) {
+                    continue;
+                }
                 match *s {
-                    Stretch::AllX => {
-                        // Any constant works; zero by convention.
-                        for col in 0..matrix.cols() {
-                            matrix.set(row, col, Bit::Zero);
-                        }
-                    }
-                    Stretch::Leading { first_care } => {
-                        let v = matrix.bit(row, first_care);
-                        for col in 0..first_care {
-                            matrix.set(row, col, v);
-                        }
-                    }
-                    Stretch::Trailing { last_care } => {
-                        let v = matrix.bit(row, last_care);
-                        for col in last_care + 1..matrix.cols() {
-                            matrix.set(row, col, v);
-                        }
-                    }
-                    Stretch::SameValue { left, right, value } => {
-                        for col in left + 1..right {
-                            matrix.set(row, col, value);
-                        }
-                    }
                     Stretch::Transition {
                         left,
                         right,
@@ -103,6 +93,7 @@ impl MatrixMapping {
                     Stretch::ForcedToggle { col } => {
                         instance.add_baseline(col, 1);
                     }
+                    _ => unreachable!("safe stretches handled by splice_safe"),
                 }
             }
         }
@@ -123,9 +114,9 @@ impl MatrixMapping {
         &self.sites
     }
 
-    /// The matrix with all safe fills applied; only transition stretches
-    /// still hold `X`.
-    pub fn prefilled(&self) -> &PinMatrix {
+    /// The packed matrix with all safe fills applied; only transition
+    /// stretches still hold `X`.
+    pub fn prefilled(&self) -> &PackedMatrix {
         &self.prefilled
     }
 
@@ -135,7 +126,8 @@ impl MatrixMapping {
     }
 
     /// Reconstructs the fully filled matrix from a coloring
-    /// (paper §V-D) and returns it as a cube set.
+    /// (paper §V-D) and returns it as a cube set. Each stretch is written
+    /// as two mask splices on its packed row.
     ///
     /// # Panics
     ///
@@ -157,16 +149,12 @@ impl MatrixMapping {
                 site.left,
                 site.right
             );
-            let right_value = !site.left_value;
-            for col in site.left + 1..=j {
-                matrix.set(site.row, col, site.left_value);
-            }
-            for col in j + 1..site.right {
-                matrix.set(site.row, col, right_value);
-            }
+            let row = matrix.row_mut(site.row);
+            row.fill_range(site.left + 1, j + 1, site.left_value);
+            row.fill_range(j + 1, site.right, !site.left_value);
         }
         debug_assert_eq!(matrix.x_count(), 0, "all X bits must be filled");
-        matrix.to_cube_set()
+        matrix.to_packed_set().to_cube_set()
     }
 }
 
@@ -267,9 +255,7 @@ mod tests {
 
     #[test]
     fn peak_of_filled_matrix_matches_bcp_peak() {
-        let cubes = set(&[
-            "0X1X0", "1XX00", "X01XX", "0XXX1", "10X0X", "XX10X",
-        ]);
+        let cubes = set(&["0X1X0", "1XX00", "X01XX", "0XXX1", "10X0X", "XX10X"]);
         let m = MatrixMapping::analyze(&cubes);
         let sol = m.instance().solve().unwrap();
         let filled = m.apply_coloring(&sol.coloring);
@@ -288,5 +274,32 @@ mod tests {
         assert!(m.instance().intervals().is_empty());
         let filled = m.apply_coloring(&m.instance().solve().unwrap().coloring);
         assert!(filled.is_fully_specified());
+    }
+
+    #[test]
+    fn scalar_and_packed_entry_points_agree() {
+        let cubes = set(&["0X1X0", "1XX00", "X01XX", "0XXX1"]);
+        let from_set = MatrixMapping::analyze(&cubes);
+        let from_scalar = MatrixMapping::analyze_matrix(PinMatrix::from_cube_set_scalar(&cubes));
+        assert_eq!(from_set.instance(), from_scalar.instance());
+        assert_eq!(from_set.sites(), from_scalar.sites());
+        assert_eq!(from_set.prefilled(), from_scalar.prefilled());
+    }
+
+    #[test]
+    fn wide_rows_splice_across_word_boundaries() {
+        // A single pin whose transition stretch spans several 64-bit
+        // words of the packed row: 0 X^200 1.
+        let mut rows: Vec<String> = vec!["0".into()];
+        rows.extend(std::iter::repeat_n("X".to_string(), 200));
+        rows.push("1".into());
+        let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+        let cubes = CubeSet::parse_rows(&refs).unwrap();
+        let m = MatrixMapping::analyze(&cubes);
+        assert_eq!(m.instance().intervals().len(), 1);
+        let sol = m.instance().solve().unwrap();
+        let filled = m.apply_coloring(&sol.coloring);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+        assert_eq!(peak_toggles(&filled).unwrap(), 1);
     }
 }

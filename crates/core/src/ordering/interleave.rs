@@ -54,9 +54,7 @@ impl IOrdering {
 
     /// I-ordering that additionally caps `k` (useful for sweeps).
     pub fn with_max_k(max_k: usize) -> IOrdering {
-        IOrdering {
-            max_k: Some(max_k),
-        }
+        IOrdering { max_k: Some(max_k) }
     }
 
     /// Builds the interleaved schedule for a fixed `k` over cubes sorted
@@ -140,9 +138,7 @@ pub(crate) fn bottleneck_value(cubes: &CubeSet, order: &[usize]) -> u64 {
     let reordered = cubes
         .reordered(order)
         .expect("schedule is a permutation by construction");
-    MatrixMapping::analyze(&reordered)
-        .instance()
-        .lower_bound()
+    MatrixMapping::analyze(&reordered).instance().lower_bound()
 }
 
 impl OrderingStrategy for IOrdering {
@@ -185,10 +181,7 @@ mod tests {
             let sorted: Vec<usize> = (0..n).collect();
             for k in 1..n.max(2) {
                 let s = IOrdering::schedule_for_k(&sorted, k);
-                assert!(
-                    is_permutation(&s, n),
-                    "n={n} k={k} produced {s:?}"
-                );
+                assert!(is_permutation(&s, n), "n={n} k={k} produced {s:?}");
             }
         }
     }

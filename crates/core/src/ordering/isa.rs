@@ -161,8 +161,8 @@ impl OrderingStrategy for IsaOrdering {
                 state.swap(lo, hi);
             }
             let after = State::cost(state.peak, state.total, n);
-            let accept = after <= before
-                || rng.gen_bool(((before - after) / temp).exp().clamp(0.0, 1.0));
+            let accept =
+                after <= before || rng.gen_bool(((before - after) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 if after < best_cost {
                     best_cost = after;
@@ -240,10 +240,7 @@ mod tests {
         state.swap(0, 11);
         let dist: Vec<u32> = (0..filled.len() - 1)
             .map(|j| {
-                hamming_distance(
-                    filled.cube(state.perm[j]),
-                    filled.cube(state.perm[j + 1]),
-                ) as u32
+                hamming_distance(filled.cube(state.perm[j]), filled.cube(state.perm[j + 1])) as u32
             })
             .collect();
         assert_eq!(state.dist, dist);

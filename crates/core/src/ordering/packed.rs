@@ -1,66 +1,42 @@
-//! Bit-packed cube representation for fast pairwise distances.
+//! Bit-packed cube view for fast pairwise distances — a thin ordering
+//! façade over [`dpfill_cubes::packed::PackedCubeSet`].
 
-use dpfill_cubes::{Bit, CubeSet};
+use dpfill_cubes::packed::PackedCubeSet;
+use dpfill_cubes::CubeSet;
 
-/// Cubes packed into care-bit masks: per cube, a `ones` mask (pins
-/// specified 1) and a `zeros` mask (pins specified 0), 64 pins per word.
+/// Cubes packed into two-plane (care, value) words, 64 pins per word.
 ///
 /// Conflict distance — the number of pins where two cubes carry opposite
-/// care bits — becomes a handful of `popcount`s, which is what makes the
-/// O(n²) nearest-neighbour and annealing orderings practical at ITC'99
-/// widths (b19: 6 666 pins ⇒ 105 words per cube).
+/// care bits — becomes `popcount((a.val ^ b.val) & a.care & b.care)` per
+/// word, which is what makes the O(n²) nearest-neighbour and annealing
+/// orderings practical at ITC'99 widths (b19: 6 666 pins ⇒ 105 words per
+/// cube).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PackedCubes {
-    width: usize,
-    words: usize,
-    ones: Vec<u64>,  // cube-major: ones[cube * words + w]
-    zeros: Vec<u64>,
+    set: PackedCubeSet,
 }
 
 impl PackedCubes {
     /// Packs a cube set.
     pub fn pack(set: &CubeSet) -> PackedCubes {
-        let width = set.width();
-        let words = width.div_ceil(64).max(1);
-        let n = set.len();
-        let mut ones = vec![0u64; n * words];
-        let mut zeros = vec![0u64; n * words];
-        for (ci, cube) in set.iter().enumerate() {
-            let base = ci * words;
-            for (pin, bit) in cube.iter().enumerate() {
-                let (w, b) = (pin / 64, pin % 64);
-                match bit {
-                    Bit::One => ones[base + w] |= 1 << b,
-                    Bit::Zero => zeros[base + w] |= 1 << b,
-                    Bit::X => {}
-                }
-            }
-        }
         PackedCubes {
-            width,
-            words,
-            ones,
-            zeros,
+            set: PackedCubeSet::from(set),
         }
     }
 
     /// Number of cubes packed.
     pub fn len(&self) -> usize {
-        if self.words == 0 {
-            0
-        } else {
-            self.ones.len() / self.words
-        }
+        self.set.len()
     }
 
     /// `true` when no cubes are packed.
     pub fn is_empty(&self) -> bool {
-        self.ones.is_empty()
+        self.set.is_empty()
     }
 
     /// Cube width in pins.
     pub fn width(&self) -> usize {
-        self.width
+        self.set.width()
     }
 
     /// Conflict distance between cubes `a` and `b`: pins where one is a
@@ -71,23 +47,12 @@ impl PackedCubes {
     ///
     /// Panics if an index is out of range.
     pub fn conflict(&self, a: usize, b: usize) -> usize {
-        let (ab, bb) = (a * self.words, b * self.words);
-        let mut d = 0u32;
-        for w in 0..self.words {
-            d += (self.ones[ab + w] & self.zeros[bb + w]).count_ones();
-            d += (self.zeros[ab + w] & self.ones[bb + w]).count_ones();
-        }
-        d as usize
+        self.set.cube(a).hamming(self.set.cube(b))
     }
 
     /// Number of care bits of cube `a`.
     pub fn care_count(&self, a: usize) -> usize {
-        let base = a * self.words;
-        let mut c = 0u32;
-        for w in 0..self.words {
-            c += (self.ones[base + w] | self.zeros[base + w]).count_ones();
-        }
-        c as usize
+        self.set.cube(a).care_count()
     }
 }
 

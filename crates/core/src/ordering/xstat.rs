@@ -46,7 +46,7 @@ impl OrderingStrategy for XStatOrdering {
                 }
                 let d = packed.conflict(current, cand);
                 let key = (d, usize::MAX - care[cand], cand);
-                if best.map_or(true, |b| key < b) {
+                if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
             }

@@ -22,14 +22,15 @@ use crate::CubeError;
 /// assert!(Bit::X.is_x());
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
 pub enum Bit {
     /// Logic zero.
-    Zero,
+    Zero = 0,
     /// Logic one.
-    One,
+    One = 1,
     /// Don't-care / unknown.
     #[default]
-    X,
+    X = 2,
 }
 
 impl Bit {
@@ -102,10 +103,7 @@ impl Bit {
     /// what creates unavoidable ("forced") toggles.
     #[inline]
     pub fn conflicts(self, rhs: Bit) -> bool {
-        matches!(
-            (self, rhs),
-            (Bit::Zero, Bit::One) | (Bit::One, Bit::Zero)
-        )
+        matches!((self, rhs), (Bit::Zero, Bit::One) | (Bit::One, Bit::Zero))
     }
 
     /// Intersection of two cube bits: equal bits stay, `X` yields to a care

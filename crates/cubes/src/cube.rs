@@ -223,9 +223,10 @@ impl FromStr for TestCube {
 
     /// Parses a cube from a `01X-` string, e.g. `"0X1X"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        s.chars().map(Bit::from_char).collect::<Result<_, _>>().map(
-            |bits: Vec<Bit>| TestCube { bits },
-        )
+        s.chars()
+            .map(Bit::from_char)
+            .collect::<Result<_, _>>()
+            .map(|bits: Vec<Bit>| TestCube { bits })
     }
 }
 

@@ -1,11 +1,22 @@
 //! Distances between cubes and toggle metrics over pattern sequences.
+//!
+//! The public kernels run on the bit-packed two-plane representation
+//! ([`crate::packed`]): `hd(T_j, T_{j+1})` is one XOR+AND+popcount pass
+//! per 64 pins. The `*_scalar` functions retain the original per-bit
+//! walks as executable reference implementations; differential tests
+//! assert both paths agree bit-for-bit.
 
+use crate::packed::{pack_word, PackedCubeSet};
 use crate::{CubeError, CubeSet, TestCube};
 
 /// Hamming distance between two **fully specified** patterns, counting `X`
 /// pessimistically: a pair involving an `X` on either side counts as *no*
 /// toggle (the filling algorithm will decide it later). For the paper's
 /// objective this function is applied after filling, where no `X` remains.
+///
+/// Runs on words: each 64-bit chunk is packed into (care, value) planes
+/// on the stack and reduced with `popcount((a.val ^ b.val) & a.care &
+/// b.care)`.
 ///
 /// # Example
 ///
@@ -21,6 +32,29 @@ use crate::{CubeError, CubeSet, TestCube};
 ///
 /// Panics if the cubes have different widths.
 pub fn hamming_distance(a: &TestCube, b: &TestCube) -> usize {
+    assert_eq!(
+        a.width(),
+        b.width(),
+        "hamming distance requires equal widths"
+    );
+    a.bits()
+        .chunks(64)
+        .zip(b.bits().chunks(64))
+        .map(|(ca, cb)| {
+            let (care_a, val_a) = pack_word(ca);
+            let (care_b, val_b) = pack_word(cb);
+            ((val_a ^ val_b) & care_a & care_b).count_ones() as usize
+        })
+        .sum()
+}
+
+/// The original per-bit Hamming walk, kept as the reference
+/// implementation for differential tests and benchmarks.
+///
+/// # Panics
+///
+/// Panics if the cubes have different widths.
+pub fn hamming_distance_scalar(a: &TestCube, b: &TestCube) -> usize {
     assert_eq!(
         a.width(),
         b.width(),
@@ -44,6 +78,10 @@ pub fn conflict_distance(a: &TestCube, b: &TestCube) -> usize {
 /// Per-transition toggle counts for an ordered pattern sequence:
 /// element `j` is `hd(T_j, T_{j+1})`, so the result has `n - 1` entries.
 ///
+/// Packs the set once, then reduces each adjacent pair with popcounts
+/// (see [`PackedCubeSet::toggle_profile`] for the packed-native kernel
+/// when the data already lives packed).
+///
 /// # Errors
 ///
 /// Returns [`CubeError::EmptySet`] for an empty set.
@@ -51,10 +89,23 @@ pub fn toggle_profile(set: &CubeSet) -> Result<Vec<usize>, CubeError> {
     if set.is_empty() {
         return Err(CubeError::EmptySet);
     }
+    Ok(PackedCubeSet::from(set).toggle_profile())
+}
+
+/// Reference per-bit toggle profile (differential-test twin of
+/// [`toggle_profile`]).
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set.
+pub fn toggle_profile_scalar(set: &CubeSet) -> Result<Vec<usize>, CubeError> {
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
     Ok(set
         .cubes()
         .windows(2)
-        .map(|w| hamming_distance(&w[0], &w[1]))
+        .map(|w| hamming_distance_scalar(&w[0], &w[1]))
         .collect())
 }
 
@@ -65,13 +116,41 @@ pub fn toggle_profile(set: &CubeSet) -> Result<Vec<usize>, CubeError> {
 ///
 /// Returns [`CubeError::EmptySet`] for an empty set.
 pub fn peak_toggles(set: &CubeSet) -> Result<usize, CubeError> {
-    Ok(toggle_profile(set)?.into_iter().max().unwrap_or(0))
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
+    Ok(PackedCubeSet::from(set).peak_toggles())
+}
+
+/// Reference per-bit peak (differential-test twin of [`peak_toggles`]).
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set.
+pub fn peak_toggles_scalar(set: &CubeSet) -> Result<usize, CubeError> {
+    Ok(toggle_profile_scalar(set)?.into_iter().max().unwrap_or(0))
 }
 
 /// Total toggles across the sequence (the *average power* proxy, reported
 /// alongside the peak in the extension experiments).
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set.
 pub fn total_toggles(set: &CubeSet) -> Result<usize, CubeError> {
-    Ok(toggle_profile(set)?.into_iter().sum())
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
+    Ok(PackedCubeSet::from(set).total_toggles())
+}
+
+/// Reference per-bit total (differential-test twin of [`total_toggles`]).
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set.
+pub fn total_toggles_scalar(set: &CubeSet) -> Result<usize, CubeError> {
+    Ok(toggle_profile_scalar(set)?.into_iter().sum())
 }
 
 #[cfg(test)]
@@ -113,11 +192,47 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "equal widths")]
+    fn scalar_hamming_panics_on_width_mismatch() {
+        let a: TestCube = "01".parse().unwrap();
+        let b: TestCube = "010".parse().unwrap();
+        let _ = hamming_distance_scalar(&a, &b);
+    }
+
+    #[test]
     fn profile_and_peak() {
         let set = set_of(&["000", "011", "010", "101"]);
         assert_eq!(toggle_profile(&set).unwrap(), vec![2, 1, 3]);
         assert_eq!(peak_toggles(&set).unwrap(), 3);
         assert_eq!(total_toggles(&set).unwrap(), 6);
+    }
+
+    #[test]
+    fn packed_and_scalar_paths_agree() {
+        for seed in 0..8u64 {
+            // Widths straddling the word boundary, including sparse sets.
+            let width = 60 + (seed as usize) * 13; // 60..151
+            let set = crate::gen::random_cube_set(width, 20, 0.5, seed);
+            assert_eq!(
+                toggle_profile(&set).unwrap(),
+                toggle_profile_scalar(&set).unwrap(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                peak_toggles(&set).unwrap(),
+                peak_toggles_scalar(&set).unwrap()
+            );
+            assert_eq!(
+                total_toggles(&set).unwrap(),
+                total_toggles_scalar(&set).unwrap()
+            );
+            for w in set.cubes().windows(2) {
+                assert_eq!(
+                    hamming_distance(&w[0], &w[1]),
+                    hamming_distance_scalar(&w[0], &w[1])
+                );
+            }
+        }
     }
 
     #[test]
@@ -131,6 +246,9 @@ mod tests {
     fn empty_set_is_an_error() {
         let set = CubeSet::new(4);
         assert_eq!(peak_toggles(&set), Err(CubeError::EmptySet));
+        assert_eq!(peak_toggles_scalar(&set), Err(CubeError::EmptySet));
+        assert_eq!(total_toggles(&set), Err(CubeError::EmptySet));
+        assert_eq!(toggle_profile(&set), Err(CubeError::EmptySet));
     }
 
     #[test]
@@ -139,10 +257,7 @@ mod tests {
         let a: TestCube = "0000".parse().unwrap();
         let b: TestCube = "0110".parse().unwrap();
         let c: TestCube = "1111".parse().unwrap();
-        assert!(
-            hamming_distance(&a, &c)
-                <= hamming_distance(&a, &b) + hamming_distance(&b, &c)
-        );
+        assert!(hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c));
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl CubeProfile {
     ///
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn flip_probability(mut self, p: f64) -> CubeProfile {
-        assert!((0.0..=1.0).contains(&p), "flip_probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip_probability must be in [0,1]"
+        );
         self.flip_probability = p;
         self
     }
@@ -180,8 +183,8 @@ impl CubeProfile {
         let mut hot = vec![false; self.width];
         // Spread hot pins deterministically across the width, then shuffle
         // their identity with the rng so different seeds differ.
-        for h in 0..hot_count {
-            hot[h] = true;
+        for h in hot.iter_mut().take(hot_count) {
+            *h = true;
         }
         for i in (1..self.width).rev() {
             let j = rng.gen_range(0..=i);
@@ -190,8 +193,7 @@ impl CubeProfile {
         // Solve for the base probability so the *capped* expectation hits
         // the target: hot pins saturate at probability 1, so a closed form
         // over-shoots; a short fixed-point iteration converges fast.
-        let denom =
-            self.hot_weight * hot_count as f64 + (self.width - hot_count) as f64;
+        let denom = self.hot_weight * hot_count as f64 + (self.width - hot_count) as f64;
         let mut base = if denom > 0.0 {
             (care_target * self.width as f64 / denom).min(1.0)
         } else {
@@ -199,8 +201,7 @@ impl CubeProfile {
         };
         for _ in 0..16 {
             let hot_p = (base * self.hot_weight).min(1.0);
-            let achieved = (hot_p * hot_count as f64
-                + base * (self.width - hot_count) as f64)
+            let achieved = (hot_p * hot_count as f64 + base * (self.width - hot_count) as f64)
                 / (self.width.max(1)) as f64;
             if achieved <= 0.0 || (achieved - care_target).abs() < 1e-6 {
                 break;
@@ -345,7 +346,10 @@ mod tests {
         densities.sort_unstable();
         let low = densities[m.rows() / 10];
         let high = densities[m.rows() - 1 - m.rows() / 10];
-        assert!(high >= low.saturating_mul(2).max(low + 3), "low={low} high={high}");
+        assert!(
+            high >= low.saturating_mul(2).max(low + 3),
+            "low={low} high={high}"
+        );
     }
 
     #[test]
@@ -366,10 +370,8 @@ mod decay_tests {
             .decay_ratio(6.0)
             .generate(17);
         let counts = set.x_counts();
-        let first_avg: f64 =
-            counts[..5].iter().sum::<usize>() as f64 / 5.0;
-        let last_avg: f64 =
-            counts[counts.len() - 5..].iter().sum::<usize>() as f64 / 5.0;
+        let first_avg: f64 = counts[..5].iter().sum::<usize>() as f64 / 5.0;
+        let last_avg: f64 = counts[counts.len() - 5..].iter().sum::<usize>() as f64 / 5.0;
         // Early cubes are denser (fewer X).
         assert!(
             first_avg + 10.0 < last_avg,
@@ -387,8 +389,7 @@ mod decay_tests {
             .generate(17);
         let counts = set.x_counts();
         let first_avg: f64 = counts[..10].iter().sum::<usize>() as f64 / 10.0;
-        let last_avg: f64 =
-            counts[counts.len() - 10..].iter().sum::<usize>() as f64 / 10.0;
+        let last_avg: f64 = counts[counts.len() - 10..].iter().sum::<usize>() as f64 / 10.0;
         assert!((first_avg - last_avg).abs() < 15.0);
     }
 

@@ -12,6 +12,9 @@
 //!   and reordering;
 //! * [`PinMatrix`] — the transposed row-major view (one row per pin) that
 //!   X-filling algorithms operate on;
+//! * [`packed`] — the bit-packed two-plane backing store ([`PackedBits`],
+//!   [`PackedCubeSet`], [`PackedMatrix`]) behind the popcount kernels and
+//!   the word-blocked transpose;
 //! * [`stretch`] — classification of the X-runs ("stretches") inside a row,
 //!   the raw material of the paper's interval mapping and of Fig 2(c);
 //! * [`gen`] — seeded random cube generators used for tests and for the
@@ -40,14 +43,18 @@ mod error;
 pub mod format;
 pub mod gen;
 mod matrix;
+pub mod packed;
 mod set;
 pub mod stretch;
 
 pub use bit::Bit;
 pub use cube::TestCube;
 pub use distance::{
-    conflict_distance, hamming_distance, peak_toggles, toggle_profile, total_toggles,
+    conflict_distance, hamming_distance, hamming_distance_scalar, peak_toggles,
+    peak_toggles_scalar, toggle_profile, toggle_profile_scalar, total_toggles,
+    total_toggles_scalar,
 };
 pub use error::CubeError;
 pub use matrix::PinMatrix;
+pub use packed::{PackedBits, PackedCubeSet, PackedMatrix};
 pub use set::CubeSet;

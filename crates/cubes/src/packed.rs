@@ -1,0 +1,977 @@
+//! Bit-packed two-plane storage for cubes and pin matrices.
+//!
+//! Every hot kernel of the DP-fill pipeline — Hamming/toggle profiling,
+//! the pin-matrix transpose, §V-C stretch scanning and the fills — walks
+//! bits. Packing 64 three-valued bits into two `u64` *planes* turns those
+//! walks into word ops:
+//!
+//! * **care plane** — bit `i` set ⇔ position `i` carries a care bit;
+//! * **value plane** — bit `i` holds the care value (`0` where `X`).
+//!
+//! The paper's metric `hd(T_j, T_{j+1})` then becomes
+//! `popcount((a.val ^ b.val) & a.care & b.care)` per word, the transpose
+//! becomes 64×64 bit-block swaps, and stretch scanning becomes
+//! `trailing_zeros` hops over the care plane. Three types cover the
+//! pipeline:
+//!
+//! * [`PackedBits`] — one packed row (a cube over pins, or a pin row over
+//!   cubes) with word kernels and mask-splice fills;
+//! * [`PackedCubeSet`] — the pattern sequence `T1..Tn`, one [`PackedBits`]
+//!   per cube, with popcount toggle kernels;
+//! * [`PackedMatrix`] — the transposed pins × cubes view, produced by a
+//!   word-blocked bit transpose.
+//!
+//! Invariants maintained by every operation (so derived equality is
+//! structural equality): `val & !care == 0`, and bits past `len` are zero
+//! in both planes.
+
+use crate::{Bit, CubeSet, PinMatrix, TestCube};
+
+/// Number of positions per plane word.
+const WORD: usize = 64;
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD)
+}
+
+/// Mask of the live bits in the last word of a `len`-bit plane.
+#[inline]
+fn tail_mask(len: usize) -> u64 {
+    match len % WORD {
+        0 => u64::MAX,
+        r => (1u64 << r) - 1,
+    }
+}
+
+/// A packed vector of three-valued bits: a care plane and a value plane.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_cubes::packed::PackedBits;
+/// use dpfill_cubes::Bit;
+///
+/// let row: PackedBits = "0XX1".parse::<dpfill_cubes::TestCube>().unwrap().bits().into();
+/// assert_eq!(row.len(), 4);
+/// assert_eq!(row.x_count(), 2);
+/// assert_eq!(row.get(3), Bit::One);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct PackedBits {
+    len: usize,
+    care: Vec<u64>,
+    val: Vec<u64>,
+}
+
+impl PackedBits {
+    /// An all-`X` vector of `len` bits.
+    pub fn all_x(len: usize) -> PackedBits {
+        PackedBits {
+            len,
+            care: vec![0; words_for(len)],
+            val: vec![0; words_for(len)],
+        }
+    }
+
+    /// Packs a scalar bit slice.
+    pub fn from_bits(bits: &[Bit]) -> PackedBits {
+        let mut p = PackedBits::all_x(bits.len());
+        for (chunk, (cw, vw)) in bits
+            .chunks(WORD)
+            .zip(p.care.iter_mut().zip(p.val.iter_mut()))
+        {
+            let (c, v) = pack_word(chunk);
+            *cw = c;
+            *vw = v;
+        }
+        p
+    }
+
+    /// Unpacks to a scalar bit vector (branchless table decode).
+    pub fn to_bits(&self) -> Vec<Bit> {
+        // Indexed by (!care << 1 | val): care-1 -> One, care-0 -> Zero,
+        // no-care -> X (val is 0 there by canonicality).
+        const DECODE: [Bit; 4] = [Bit::Zero, Bit::One, Bit::X, Bit::X];
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            let (w, b) = (i / WORD, i % WORD);
+            let key = (!self.care[w] >> b & 1) << 1 | (self.val[w] >> b & 1);
+            out.push(DECODE[key as usize]);
+        }
+        out
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector has no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The care plane (bit set ⇔ care position).
+    #[inline]
+    pub fn care_words(&self) -> &[u64] {
+        &self.care
+    }
+
+    /// The value plane (`0` wherever the care bit is clear).
+    #[inline]
+    pub fn value_words(&self) -> &[u64] {
+        &self.val
+    }
+
+    /// Bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Bit {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        let (w, b) = (i / WORD, i % WORD);
+        if self.care[w] >> b & 1 == 0 {
+            Bit::X
+        } else if self.val[w] >> b & 1 == 1 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: Bit) {
+        assert!(i < self.len, "bit {i} out of range 0..{}", self.len);
+        let (w, b) = (i / WORD, i % WORD);
+        let mask = 1u64 << b;
+        match value {
+            Bit::X => {
+                self.care[w] &= !mask;
+                self.val[w] &= !mask;
+            }
+            Bit::Zero => {
+                self.care[w] |= mask;
+                self.val[w] &= !mask;
+            }
+            Bit::One => {
+                self.care[w] |= mask;
+                self.val[w] |= mask;
+            }
+        }
+    }
+
+    /// Number of care bits (one `popcount` per word).
+    pub fn care_count(&self) -> usize {
+        self.care.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of `X` bits.
+    pub fn x_count(&self) -> usize {
+        self.len - self.care_count()
+    }
+
+    /// Column of the first care bit, if any (`trailing_zeros` hop).
+    pub fn first_care(&self) -> Option<usize> {
+        self.care
+            .iter()
+            .enumerate()
+            .find_map(|(w, &cw)| (cw != 0).then(|| w * WORD + cw.trailing_zeros() as usize))
+    }
+
+    /// Column of the last care bit, if any (`leading_zeros` hop).
+    pub fn last_care(&self) -> Option<usize> {
+        self.care.iter().enumerate().rev().find_map(|(w, &cw)| {
+            (cw != 0).then(|| w * WORD + (WORD - 1 - cw.leading_zeros() as usize))
+        })
+    }
+
+    /// Iterates over `(position, value)` of every care bit, skipping `X`
+    /// runs in word-sized hops.
+    pub fn care_positions(&self) -> CarePositions<'_> {
+        CarePositions {
+            bits: self,
+            word: 0,
+            mask: self.care.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The paper's `hd`: positions where both vectors carry opposite care
+    /// bits — `popcount((a.val ^ b.val) & a.care & b.care)` per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &PackedBits) -> usize {
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal widths"
+        );
+        self.val
+            .iter()
+            .zip(&other.val)
+            .zip(self.care.iter().zip(&other.care))
+            .map(|((&va, &vb), (&ca, &cb))| ((va ^ vb) & ca & cb).count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` when no position carries opposite care bits.
+    pub fn is_compatible(&self, other: &PackedBits) -> bool {
+        self.len == other.len
+            && self
+                .val
+                .iter()
+                .zip(&other.val)
+                .zip(self.care.iter().zip(&other.care))
+                .all(|((&va, &vb), (&ca, &cb))| (va ^ vb) & ca & cb == 0)
+    }
+
+    /// Overwrites columns `[lo, hi)` with the care value `value` — the
+    /// mask-splice primitive behind the word-level fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= self.len()`.
+    pub fn fill_range(&mut self, lo: usize, hi: usize, value: Bit) {
+        assert!(lo <= hi && hi <= self.len, "range {lo}..{hi} out of bounds");
+        if lo == hi {
+            return;
+        }
+        let (first_w, last_w) = (lo / WORD, (hi - 1) / WORD);
+        for w in first_w..=last_w {
+            let from = if w == first_w { lo % WORD } else { 0 };
+            let until = if w == last_w {
+                (hi - 1) % WORD + 1
+            } else {
+                WORD
+            };
+            let mask = span_mask(from, until);
+            match value {
+                Bit::X => {
+                    self.care[w] &= !mask;
+                    self.val[w] &= !mask;
+                }
+                Bit::Zero => {
+                    self.care[w] |= mask;
+                    self.val[w] &= !mask;
+                }
+                Bit::One => {
+                    self.care[w] |= mask;
+                    self.val[w] |= mask;
+                }
+            }
+        }
+    }
+
+    /// Fills every remaining `X` with the care value `value` in
+    /// whole-word writes; filling with `X` is a no-op.
+    pub fn fill_x_with(&mut self, value: Bit) {
+        let Some(fill_one) = value.to_bool() else {
+            return;
+        };
+        let tail = tail_mask(self.len);
+        let n = self.care.len();
+        for (w, (cw, vw)) in self.care.iter_mut().zip(self.val.iter_mut()).enumerate() {
+            let live = if w + 1 == n { tail } else { u64::MAX };
+            let x = !*cw & live;
+            if fill_one {
+                *vw |= x;
+            }
+            *cw |= x;
+        }
+    }
+
+    /// Fills every `X` with the word `fill` restricted to the X
+    /// positions — the whole-word primitive behind the packed R-fill.
+    /// `fill_for_word(w)` supplies 64 random bits for word `w`.
+    pub fn fill_x_from_words(&mut self, mut fill_for_word: impl FnMut(usize) -> u64) {
+        let tail = tail_mask(self.len);
+        let n = self.care.len();
+        for (w, (cw, vw)) in self.care.iter_mut().zip(self.val.iter_mut()).enumerate() {
+            let live = if w + 1 == n { tail } else { u64::MAX };
+            let x = !*cw & live;
+            *vw |= fill_for_word(w) & x;
+            *cw |= x;
+        }
+    }
+
+    /// Calls `f(t)` for every transition `t` (between positions `t` and
+    /// `t+1`) where both positions carry opposite care bits — the
+    /// word-level scan behind per-transition toggle loads. One
+    /// XOR+AND+`trailing_zeros` pass per word.
+    pub fn for_each_adjacent_conflict(&self, mut f: impl FnMut(usize)) {
+        if self.len < 2 {
+            return;
+        }
+        let n = self.care.len();
+        for w in 0..n {
+            let carry_c = if w + 1 < n { self.care[w + 1] << 63 } else { 0 };
+            let carry_v = if w + 1 < n { self.val[w + 1] << 63 } else { 0 };
+            let c2 = self.care[w] >> 1 | carry_c;
+            let v2 = self.val[w] >> 1 | carry_v;
+            // Canonical tails (zero care past `len`) keep phantom
+            // transitions out of the mask.
+            let mut m = (self.val[w] ^ v2) & self.care[w] & c2;
+            while m != 0 {
+                f(w * WORD + m.trailing_zeros() as usize);
+                m &= m - 1;
+            }
+        }
+    }
+
+    /// MT/Adj-style run fill, entirely by mask splices: every `X` run
+    /// copies the care value to its left, a leading run copies the first
+    /// care value, and an all-`X` vector becomes all `default`.
+    ///
+    /// This reproduces MT-fill semantics bit-for-bit along a pin row,
+    /// and Adj-fill semantics along a cube.
+    pub fn fill_runs_copy_left(&mut self, default: Bit) {
+        let Some(first) = self.first_care() else {
+            self.fill_range(0, self.len, default);
+            return;
+        };
+        let first_value = self.get(first);
+        self.fill_range(0, first, first_value);
+        let mut prev: Option<(usize, Bit)> = None;
+        // Collect splices first: care_positions borrows self immutably.
+        let mut splices: Vec<(usize, usize, Bit)> = Vec::new();
+        for (pos, value) in self.care_positions() {
+            if let Some((p, pv)) = prev {
+                if pos > p + 1 {
+                    splices.push((p + 1, pos, pv));
+                }
+            }
+            prev = Some((pos, value));
+        }
+        if let Some((p, pv)) = prev {
+            if p + 1 < self.len {
+                splices.push((p + 1, self.len, pv));
+            }
+        }
+        for (lo, hi, v) in splices {
+            self.fill_range(lo, hi, v);
+        }
+    }
+}
+
+/// Iterator over the care positions of a [`PackedBits`].
+#[derive(Clone, Debug)]
+pub struct CarePositions<'a> {
+    bits: &'a PackedBits,
+    word: usize,
+    mask: u64,
+}
+
+impl Iterator for CarePositions<'_> {
+    type Item = (usize, Bit);
+
+    fn next(&mut self) -> Option<(usize, Bit)> {
+        while self.mask == 0 {
+            self.word += 1;
+            if self.word >= self.bits.care.len() {
+                return None;
+            }
+            self.mask = self.bits.care[self.word];
+        }
+        let b = self.mask.trailing_zeros() as usize;
+        self.mask &= self.mask - 1;
+        let pos = self.word * WORD + b;
+        let value = Bit::from_bool(self.bits.val[self.word] >> b & 1 == 1);
+        Some((pos, value))
+    }
+}
+
+impl From<&[Bit]> for PackedBits {
+    fn from(bits: &[Bit]) -> PackedBits {
+        PackedBits::from_bits(bits)
+    }
+}
+
+impl From<&TestCube> for PackedBits {
+    fn from(cube: &TestCube) -> PackedBits {
+        PackedBits::from_bits(cube.bits())
+    }
+}
+
+/// Packs up to 64 scalar bits into `(care, value)` planes.
+///
+/// Branchless: the enum discriminants (`Zero = 0`, `One = 1`, `X = 2`)
+/// turn into plane bits with two shifts per element, which keeps the
+/// pack leg of the one-shot public kernels out of the branch predictor.
+#[inline]
+pub fn pack_word(bits: &[Bit]) -> (u64, u64) {
+    debug_assert!(bits.len() <= WORD);
+    let mut care = 0u64;
+    let mut val = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        let d = b as u64; // Zero=0, One=1, X=2
+        care |= ((d >> 1) ^ 1) << i;
+        val |= (d & 1) << i;
+    }
+    (care, val)
+}
+
+/// A packed pattern sequence: one [`PackedBits`] per cube, all of one
+/// width. The popcount backing store of [`CubeSet`].
+///
+/// # Example
+///
+/// ```
+/// use dpfill_cubes::packed::PackedCubeSet;
+/// use dpfill_cubes::CubeSet;
+///
+/// let set = CubeSet::parse_rows(&["0101", "0011", "XX11"]).unwrap();
+/// let packed = PackedCubeSet::from_cube_set(&set);
+/// assert_eq!(packed.toggle_profile(), vec![2, 0]);
+/// assert_eq!(packed.peak_toggles(), 2);
+/// assert_eq!(packed.to_cube_set(), set);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PackedCubeSet {
+    width: usize,
+    cubes: Vec<PackedBits>,
+}
+
+impl PackedCubeSet {
+    /// An empty set of the given width.
+    pub fn new(width: usize) -> PackedCubeSet {
+        PackedCubeSet {
+            width,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Packs a scalar cube set.
+    pub fn from_cube_set(set: &CubeSet) -> PackedCubeSet {
+        PackedCubeSet {
+            width: set.width(),
+            cubes: set.iter().map(PackedBits::from).collect(),
+        }
+    }
+
+    /// Unpacks to the scalar representation.
+    pub fn to_cube_set(&self) -> CubeSet {
+        let mut set = CubeSet::new(self.width);
+        for cube in &self.cubes {
+            set.push(TestCube::new(cube.to_bits()))
+                .expect("packed cubes share the set width");
+        }
+        set
+    }
+
+    /// Cube width in pins.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cubes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// `true` when the set holds no cubes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The packed cubes in order.
+    #[inline]
+    pub fn cubes(&self) -> &[PackedBits] {
+        &self.cubes
+    }
+
+    /// Mutable access for word-level fills.
+    #[inline]
+    pub fn cubes_mut(&mut self) -> &mut [PackedBits] {
+        &mut self.cubes
+    }
+
+    /// Cube at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn cube(&self, index: usize) -> &PackedBits {
+        &self.cubes[index]
+    }
+
+    /// Appends a packed cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width differs from the set width.
+    pub fn push(&mut self, cube: PackedBits) {
+        assert_eq!(cube.len(), self.width, "cube width mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Per-transition toggle counts `hd(T_j, T_{j+1})` — one
+    /// XOR+AND+popcount pass per adjacent pair.
+    pub fn toggle_profile(&self) -> Vec<usize> {
+        self.cubes.windows(2).map(|w| w[0].hamming(&w[1])).collect()
+    }
+
+    /// Peak toggles `max_j hd(T_j, T_{j+1})`; `0` for fewer than two
+    /// cubes.
+    pub fn peak_toggles(&self) -> usize {
+        self.cubes
+            .windows(2)
+            .map(|w| w[0].hamming(&w[1]))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total toggles across the sequence.
+    pub fn total_toggles(&self) -> usize {
+        self.cubes.windows(2).map(|w| w[0].hamming(&w[1])).sum()
+    }
+
+    /// Total number of `X` bits.
+    pub fn x_count(&self) -> usize {
+        self.cubes.iter().map(PackedBits::x_count).sum()
+    }
+}
+
+impl From<&CubeSet> for PackedCubeSet {
+    fn from(set: &CubeSet) -> PackedCubeSet {
+        PackedCubeSet::from_cube_set(set)
+    }
+}
+
+/// Transposes a 64×64 bit matrix in place: afterwards bit `j` of word
+/// `i` is the old bit `i` of word `j`.
+///
+/// Recursive block-swap (Hacker's Delight 7-3, adapted to LSB-first bit
+/// order on both axes): at stride `j` the high-`j` sub-block of `a[k]`
+/// swaps with the low-`j` sub-block of `a[k | j]`.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// The packed pins × cubes matrix: row `p` holds pin `p`'s value across
+/// the ordered cubes. Built from a [`PackedCubeSet`] by a word-blocked
+/// 64×64 bit transpose of each plane.
+///
+/// # Example
+///
+/// ```
+/// use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
+/// use dpfill_cubes::{Bit, CubeSet};
+///
+/// let set = CubeSet::parse_rows(&["0X", "1X", "X1"]).unwrap();
+/// let m = PackedMatrix::from_packed_set(&PackedCubeSet::from(&set));
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.row(0).to_bits(), vec![Bit::Zero, Bit::One, Bit::X]);
+/// assert_eq!(m.to_packed_set().to_cube_set(), set);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<PackedBits>,
+}
+
+impl PackedMatrix {
+    /// An all-`X` matrix of `rows` pins × `cols` cubes.
+    pub fn all_x(rows: usize, cols: usize) -> PackedMatrix {
+        PackedMatrix {
+            rows,
+            cols,
+            data: (0..rows).map(|_| PackedBits::all_x(cols)).collect(),
+        }
+    }
+
+    /// Word-blocked transpose of a packed cube set into the row-per-pin
+    /// view: both planes are carved into 64×64 tiles and flipped with
+    /// [`transpose64`], so the cost is `rows·cols/64` word ops instead of
+    /// `rows·cols` bit scatters.
+    pub fn from_packed_set(set: &PackedCubeSet) -> PackedMatrix {
+        let rows = set.width();
+        let cols = set.len();
+        let mut m = PackedMatrix::all_x(rows, cols);
+        let mut care_tile = [0u64; 64];
+        let mut val_tile = [0u64; 64];
+        for pin_block in 0..words_for(rows) {
+            for cube_block in 0..words_for(cols) {
+                let cube_lo = cube_block * WORD;
+                let cube_hi = (cube_lo + WORD).min(cols);
+                for (t, cube_idx) in (cube_lo..cube_hi).enumerate() {
+                    let cube = &set.cubes[cube_idx];
+                    care_tile[t] = cube.care[pin_block];
+                    val_tile[t] = cube.val[pin_block];
+                }
+                for t in cube_hi - cube_lo..64 {
+                    care_tile[t] = 0;
+                    val_tile[t] = 0;
+                }
+                transpose64(&mut care_tile);
+                transpose64(&mut val_tile);
+                let pin_lo = pin_block * WORD;
+                let pin_hi = (pin_lo + WORD).min(rows);
+                for (t, pin_idx) in (pin_lo..pin_hi).enumerate() {
+                    m.data[pin_idx].care[cube_block] = care_tile[t];
+                    m.data[pin_idx].val[cube_block] = val_tile[t];
+                }
+            }
+        }
+        m
+    }
+
+    /// Inverse word-blocked transpose back to the cube-major view.
+    pub fn to_packed_set(&self) -> PackedCubeSet {
+        let mut set = PackedCubeSet {
+            width: self.rows,
+            cubes: (0..self.cols)
+                .map(|_| PackedBits::all_x(self.rows))
+                .collect(),
+        };
+        let mut care_tile = [0u64; 64];
+        let mut val_tile = [0u64; 64];
+        for cube_block in 0..words_for(self.cols) {
+            for pin_block in 0..words_for(self.rows) {
+                let pin_lo = pin_block * WORD;
+                let pin_hi = (pin_lo + WORD).min(self.rows);
+                for (t, pin_idx) in (pin_lo..pin_hi).enumerate() {
+                    care_tile[t] = self.data[pin_idx].care[cube_block];
+                    val_tile[t] = self.data[pin_idx].val[cube_block];
+                }
+                for t in pin_hi - pin_lo..64 {
+                    care_tile[t] = 0;
+                    val_tile[t] = 0;
+                }
+                transpose64(&mut care_tile);
+                transpose64(&mut val_tile);
+                let cube_lo = cube_block * WORD;
+                let cube_hi = (cube_lo + WORD).min(self.cols);
+                for (t, cube_idx) in (cube_lo..cube_hi).enumerate() {
+                    set.cubes[cube_idx].care[pin_block] = care_tile[t];
+                    set.cubes[cube_idx].val[pin_block] = val_tile[t];
+                }
+            }
+        }
+        set
+    }
+
+    /// Packs a scalar [`PinMatrix`].
+    pub fn from_pin_matrix(matrix: &PinMatrix) -> PackedMatrix {
+        PackedMatrix {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            data: (0..matrix.rows())
+                .map(|r| PackedBits::from_bits(matrix.row(r)))
+                .collect(),
+        }
+    }
+
+    /// Unpacks to the scalar [`PinMatrix`].
+    pub fn to_pin_matrix(&self) -> PinMatrix {
+        let mut m = PinMatrix::all_x(self.rows, self.cols);
+        for (r, row) in self.data.iter().enumerate() {
+            for (pos, value) in row.care_positions() {
+                m.set(r, pos, value);
+            }
+        }
+        m
+    }
+
+    /// Number of pins (rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of cubes (columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Packed row for pin `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &PackedBits {
+        &self.data[row]
+    }
+
+    /// Mutable packed row (for mask-splice fills).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut PackedBits {
+        &mut self.data[row]
+    }
+
+    /// Iterates over the packed rows.
+    pub fn iter_rows(&self) -> std::slice::Iter<'_, PackedBits> {
+        self.data.iter()
+    }
+
+    /// Number of `X` bits left in the matrix.
+    pub fn x_count(&self) -> usize {
+        self.data.iter().map(PackedBits::x_count).sum()
+    }
+}
+
+/// Mask with bits `[from, until)` set (`until <= 64`).
+#[inline]
+fn span_mask(from: usize, until: usize) -> u64 {
+    debug_assert!(from <= until && until <= WORD);
+    let hi = if until == WORD {
+        u64::MAX
+    } else {
+        (1u64 << until) - 1
+    };
+    let lo = (1u64 << from) - 1;
+    hi & !lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_cube_set;
+
+    fn bits(s: &str) -> Vec<Bit> {
+        s.chars().map(|c| Bit::from_char(c).unwrap()).collect()
+    }
+
+    #[test]
+    fn round_trip_all_lengths_near_word_boundary() {
+        for len in [0, 1, 63, 64, 65, 127, 128, 130] {
+            let set = random_cube_set(len, 3, 0.5, len as u64);
+            for cube in set.iter() {
+                let packed = PackedBits::from(cube);
+                assert_eq!(packed.to_bits(), cube.bits(), "len {len}");
+                assert_eq!(packed.x_count(), cube.x_count());
+            }
+        }
+    }
+
+    #[test]
+    fn get_set_agree_with_scalar() {
+        let mut packed = PackedBits::all_x(70);
+        packed.set(0, Bit::Zero);
+        packed.set(63, Bit::One);
+        packed.set(64, Bit::One);
+        packed.set(69, Bit::Zero);
+        assert_eq!(packed.get(0), Bit::Zero);
+        assert_eq!(packed.get(63), Bit::One);
+        assert_eq!(packed.get(64), Bit::One);
+        assert_eq!(packed.get(69), Bit::Zero);
+        assert_eq!(packed.get(1), Bit::X);
+        packed.set(63, Bit::X);
+        assert_eq!(packed.get(63), Bit::X);
+        assert_eq!(packed.x_count(), 70 - 3);
+    }
+
+    #[test]
+    fn hamming_matches_scalar() {
+        for seed in 0..6u64 {
+            let set = random_cube_set(130, 6, 0.5, seed);
+            for i in 0..set.len() {
+                for j in 0..set.len() {
+                    let a = PackedBits::from(set.cube(i));
+                    let b = PackedBits::from(set.cube(j));
+                    let scalar = set
+                        .cube(i)
+                        .iter()
+                        .zip(set.cube(j).iter())
+                        .filter(|(x, y)| x.conflicts(*y))
+                        .count();
+                    assert_eq!(a.hamming(&b), scalar, "seed {seed} cubes {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn care_positions_skip_x_runs() {
+        let mut p = PackedBits::all_x(67);
+        p.set(2, Bit::Zero);
+        p.set(64, Bit::One);
+        let positions: Vec<(usize, Bit)> = p.care_positions().collect();
+        assert_eq!(positions, vec![(2, Bit::Zero), (64, Bit::One)]);
+        assert_eq!(p.first_care(), Some(2));
+        assert_eq!(p.last_care(), Some(64));
+        assert_eq!(PackedBits::all_x(5).first_care(), None);
+        assert_eq!(PackedBits::all_x(5).last_care(), None);
+    }
+
+    #[test]
+    fn fill_range_spans_word_boundaries() {
+        let mut p = PackedBits::all_x(130);
+        p.fill_range(60, 70, Bit::One);
+        p.fill_range(0, 2, Bit::Zero);
+        p.fill_range(128, 130, Bit::One);
+        for i in 0..130 {
+            let want = if (60..70).contains(&i) || i >= 128 {
+                Bit::One
+            } else if i < 2 {
+                Bit::Zero
+            } else {
+                Bit::X
+            };
+            assert_eq!(p.get(i), want, "bit {i}");
+        }
+        // Splicing X back out also works.
+        p.fill_range(60, 70, Bit::X);
+        assert_eq!(p.get(65), Bit::X);
+    }
+
+    #[test]
+    fn fill_x_with_leaves_care_bits() {
+        let mut p = PackedBits::from_bits(&bits("0XX1"));
+        p.fill_x_with(Bit::One);
+        assert_eq!(p.to_bits(), bits("0111"));
+        let mut q = PackedBits::from_bits(&bits("0XX1"));
+        q.fill_x_with(Bit::Zero);
+        assert_eq!(q.to_bits(), bits("0001"));
+    }
+
+    #[test]
+    fn fill_runs_copy_left_matches_mt_semantics() {
+        let mut p = PackedBits::from_bits(&bits("XX0XX1XXX0XX"));
+        p.fill_runs_copy_left(Bit::Zero);
+        assert_eq!(
+            p.to_bits(),
+            bits("000001111000"),
+            "leading copies first care, runs copy left, trailing copies last"
+        );
+        let mut all_x = PackedBits::all_x(5);
+        all_x.fill_runs_copy_left(Bit::Zero);
+        assert_eq!(all_x.to_bits(), bits("00000"));
+    }
+
+    #[test]
+    fn transpose64_is_involutive_and_correct() {
+        let mut a = [0u64; 64];
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (1 << (i % 64));
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (i, &row) in a.iter().enumerate() {
+            for (j, &col) in orig.iter().enumerate() {
+                assert_eq!(row >> j & 1, col >> i & 1, "({i},{j})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn matrix_transpose_round_trips_odd_shapes() {
+        for (w, n, seed) in [
+            (1, 1, 1u64),
+            (5, 3, 2),
+            (64, 64, 3),
+            (65, 63, 4),
+            (130, 70, 5),
+            (200, 129, 6),
+        ] {
+            let set = random_cube_set(w, n, 0.6, seed);
+            let packed = PackedCubeSet::from(&set);
+            let m = PackedMatrix::from_packed_set(&packed);
+            assert_eq!(m.rows(), w);
+            assert_eq!(m.cols(), n);
+            assert_eq!(m.to_packed_set(), packed, "{w}x{n}");
+            assert_eq!(m.to_packed_set().to_cube_set(), set);
+            // Agrees with the scalar transpose.
+            let scalar = set.to_pin_matrix();
+            assert_eq!(m.to_pin_matrix(), scalar, "{w}x{n} vs scalar");
+            assert_eq!(PackedMatrix::from_pin_matrix(&scalar), m);
+        }
+    }
+
+    #[test]
+    fn packed_set_toggle_kernels_match_docs() {
+        let set = CubeSet::parse_rows(&["000", "011", "010", "101"]).unwrap();
+        let packed = PackedCubeSet::from(&set);
+        assert_eq!(packed.toggle_profile(), vec![2, 1, 3]);
+        assert_eq!(packed.peak_toggles(), 3);
+        assert_eq!(packed.total_toggles(), 6);
+        assert_eq!(packed.x_count(), 0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let set = PackedCubeSet::new(4);
+        assert!(set.is_empty());
+        assert_eq!(set.peak_toggles(), 0);
+        let m = PackedMatrix::from_packed_set(&set);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 0);
+        let back = m.to_packed_set();
+        assert_eq!(back.width(), 4);
+        assert!(back.is_empty());
+
+        let zero_width = PackedMatrix::all_x(0, 0);
+        assert_eq!(zero_width.x_count(), 0);
+        assert!(zero_width.to_packed_set().is_empty());
+    }
+
+    #[test]
+    fn adjacent_conflict_scan_matches_scalar() {
+        for seed in 0..8u64 {
+            let len = 60 + seed as usize * 13;
+            let set = random_cube_set(1, len, 0.5, seed);
+            let m = set.to_pin_matrix();
+            let row = m.row(0);
+            let mut scalar = Vec::new();
+            for t in 0..len.saturating_sub(1) {
+                if row[t].conflicts(row[t + 1]) {
+                    scalar.push(t);
+                }
+            }
+            let mut packed_hits = Vec::new();
+            PackedBits::from_bits(row).for_each_adjacent_conflict(|t| packed_hits.push(t));
+            assert_eq!(packed_hits, scalar, "seed {seed} len {len}");
+        }
+        // Degenerate lengths.
+        PackedBits::all_x(0).for_each_adjacent_conflict(|_| panic!("no transitions"));
+        PackedBits::all_x(1).for_each_adjacent_conflict(|_| panic!("no transitions"));
+    }
+
+    #[test]
+    fn compatibility_and_canonical_equality() {
+        let a = PackedBits::from_bits(&bits("0X1X"));
+        let b = PackedBits::from_bits(&bits("0XX1"));
+        let c = PackedBits::from_bits(&bits("1XXX"));
+        assert!(a.is_compatible(&b));
+        assert!(!a.is_compatible(&c));
+        // Setting a bit to X restores exact equality with a fresh pack.
+        let mut d = a.clone();
+        d.set(2, Bit::X);
+        assert_eq!(d, PackedBits::from_bits(&bits("0XXX")));
+    }
+}

@@ -19,6 +19,7 @@
 //! different test-vector orderings; [`StretchStats`] reproduces those
 //! numbers.
 
+use crate::packed::{PackedBits, PackedMatrix};
 use crate::{Bit, PinMatrix};
 
 /// One classified feature of a pin row.
@@ -66,6 +67,34 @@ pub enum Stretch {
 }
 
 impl Stretch {
+    /// Applies the *safe* fill for this stretch to a packed row as a
+    /// mask splice and returns `true`: leading/trailing runs copy the
+    /// nearest care value, `v X…X v` runs copy `v`, all-`X` rows become
+    /// zero. [`Stretch::Transition`] and [`Stretch::ForcedToggle`] are
+    /// *not* safe — the caller must handle them — and return `false`
+    /// untouched.
+    ///
+    /// Shared by the BCP matrix mapping and the XStat phase-1 fill so
+    /// the splice boundaries live in exactly one place.
+    pub fn splice_safe(&self, row: &mut PackedBits, cols: usize) -> bool {
+        match *self {
+            Stretch::AllX => row.fill_range(0, cols, Bit::Zero),
+            Stretch::Leading { first_care } => {
+                let v = row.get(first_care);
+                row.fill_range(0, first_care, v);
+            }
+            Stretch::Trailing { last_care } => {
+                let v = row.get(last_care);
+                row.fill_range(last_care + 1, cols, v);
+            }
+            Stretch::SameValue { left, right, value } => {
+                row.fill_range(left + 1, right, value);
+            }
+            Stretch::Transition { .. } | Stretch::ForcedToggle { .. } => return false,
+        }
+        true
+    }
+
     /// Number of `X` bits covered by this stretch (`0` for forced toggles).
     pub fn x_len(&self, row_len: usize) -> usize {
         match *self {
@@ -136,6 +165,58 @@ impl RowStretches {
         RowStretches { stretches }
     }
 
+    /// Analyzes one packed pin row, hopping between care bits with
+    /// `trailing_zeros` over the care plane instead of matching every
+    /// element. Produces exactly the stretches of [`RowStretches::analyze`]
+    /// on the unpacked row (differential-tested).
+    pub fn analyze_packed(row: &PackedBits) -> RowStretches {
+        let n = row.len();
+        let mut stretches = Vec::new();
+        let mut prev: Option<(usize, Bit)> = None;
+        for (pos, value) in row.care_positions() {
+            match prev {
+                None => {
+                    if pos > 0 {
+                        stretches.push(Stretch::Leading { first_care: pos });
+                    }
+                }
+                Some((left, lv)) => {
+                    if pos == left + 1 {
+                        if lv.conflicts(value) {
+                            stretches.push(Stretch::ForcedToggle { col: left });
+                        }
+                    } else if lv == value {
+                        stretches.push(Stretch::SameValue {
+                            left,
+                            right: pos,
+                            value: lv,
+                        });
+                    } else {
+                        stretches.push(Stretch::Transition {
+                            left,
+                            right: pos,
+                            left_value: lv,
+                        });
+                    }
+                }
+            }
+            prev = Some((pos, value));
+        }
+        match prev {
+            None => {
+                if n > 0 {
+                    stretches.push(Stretch::AllX);
+                }
+            }
+            Some((last, _)) => {
+                if last + 1 < n {
+                    stretches.push(Stretch::Trailing { last_care: last });
+                }
+            }
+        }
+        RowStretches { stretches }
+    }
+
     /// The classified stretches in order.
     pub fn stretches(&self) -> &[Stretch] {
         &self.stretches
@@ -173,6 +254,61 @@ pub struct StretchStats {
     forced_toggles: usize,
 }
 
+/// Shared per-row aggregation behind [`StretchStats::of_matrix`] and
+/// [`StretchStats::of_packed`].
+#[derive(Default)]
+struct StatsAccumulator {
+    histogram: [usize; LENGTH_BUCKETS.len()],
+    total: usize,
+    xsum: usize,
+    max_len: usize,
+    transitions: usize,
+    forced: usize,
+}
+
+impl StatsAccumulator {
+    fn add_row(&mut self, rs: &RowStretches, row_len: usize) {
+        for s in rs.stretches() {
+            match s {
+                Stretch::ForcedToggle { .. } => self.forced += 1,
+                _ => {
+                    let len = s.x_len(row_len);
+                    if len == 0 {
+                        continue;
+                    }
+                    self.total += 1;
+                    self.xsum += len;
+                    self.max_len = self.max_len.max(len);
+                    if matches!(s, Stretch::Transition { .. }) {
+                        self.transitions += 1;
+                    }
+                    let bucket = LENGTH_BUCKETS
+                        .iter()
+                        .position(|&(lo, hi)| len >= lo && len <= hi)
+                        .expect("buckets cover all positive lengths");
+                    self.histogram[bucket] += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> StretchStats {
+        StretchStats {
+            histogram: self.histogram.to_vec(),
+            total_stretches: self.total,
+            total_x_bits: self.xsum,
+            max_len: self.max_len,
+            mean_len: if self.total == 0 {
+                0.0
+            } else {
+                self.xsum as f64 / self.total as f64
+            },
+            transition_stretches: self.transitions,
+            forced_toggles: self.forced,
+        }
+    }
+}
+
 /// Bucket boundaries used for the Fig 2(c) histogram: stretch lengths
 /// `1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, >64`.
 pub const LENGTH_BUCKETS: [(usize, usize); 8] = [
@@ -191,50 +327,22 @@ impl StretchStats {
     /// trailing, same-value and transition stretches all count (they are
     /// all "don't-care stretches"); forced toggles are tallied separately.
     pub fn of_matrix(matrix: &PinMatrix) -> StretchStats {
-        let mut histogram = vec![0usize; LENGTH_BUCKETS.len()];
-        let mut total = 0usize;
-        let mut xsum = 0usize;
-        let mut max_len = 0usize;
-        let mut transitions = 0usize;
-        let mut forced = 0usize;
+        let mut acc = StatsAccumulator::default();
         for row in matrix.iter_rows() {
-            let rs = RowStretches::analyze(row);
-            for s in rs.stretches() {
-                match s {
-                    Stretch::ForcedToggle { .. } => forced += 1,
-                    _ => {
-                        let len = s.x_len(row.len());
-                        if len == 0 {
-                            continue;
-                        }
-                        total += 1;
-                        xsum += len;
-                        max_len = max_len.max(len);
-                        if matches!(s, Stretch::Transition { .. }) {
-                            transitions += 1;
-                        }
-                        let bucket = LENGTH_BUCKETS
-                            .iter()
-                            .position(|&(lo, hi)| len >= lo && len <= hi)
-                            .expect("buckets cover all positive lengths");
-                        histogram[bucket] += 1;
-                    }
-                }
-            }
+            acc.add_row(&RowStretches::analyze(row), row.len());
         }
-        StretchStats {
-            histogram,
-            total_stretches: total,
-            total_x_bits: xsum,
-            max_len,
-            mean_len: if total == 0 {
-                0.0
-            } else {
-                xsum as f64 / total as f64
-            },
-            transition_stretches: transitions,
-            forced_toggles: forced,
+        acc.finish()
+    }
+
+    /// Computes the same statistics over a packed matrix using the
+    /// `trailing_zeros` scanner — the fast path when the data already
+    /// lives in the two-plane representation.
+    pub fn of_packed(matrix: &PackedMatrix) -> StretchStats {
+        let mut acc = StatsAccumulator::default();
+        for row in matrix.iter_rows() {
+            acc.add_row(&RowStretches::analyze_packed(row), row.len());
         }
+        acc.finish()
     }
 
     /// Histogram bucket counts aligned with [`LENGTH_BUCKETS`].
@@ -333,7 +441,10 @@ mod tests {
     fn forced_toggle_detected() {
         let rs = RowStretches::analyze(&row("01X0"));
         assert_eq!(rs.forced_count(), 1);
-        assert!(matches!(rs.stretches()[0], Stretch::ForcedToggle { col: 0 }));
+        assert!(matches!(
+            rs.stretches()[0],
+            Stretch::ForcedToggle { col: 0 }
+        ));
         // 1 X 0 is a transition stretch.
         assert_eq!(rs.transition_count(), 1);
     }
@@ -343,7 +454,10 @@ mod tests {
         let rs = RowStretches::analyze(&row("0011"));
         // Only the forced toggle between columns 1 and 2.
         assert_eq!(rs.stretches().len(), 1);
-        assert!(matches!(rs.stretches()[0], Stretch::ForcedToggle { col: 1 }));
+        assert!(matches!(
+            rs.stretches()[0],
+            Stretch::ForcedToggle { col: 1 }
+        ));
     }
 
     #[test]
@@ -363,8 +477,14 @@ mod tests {
     fn single_care_bit_row() {
         let rs = RowStretches::analyze(&row("XX1X"));
         assert_eq!(rs.stretches().len(), 2);
-        assert!(matches!(rs.stretches()[0], Stretch::Leading { first_care: 2 }));
-        assert!(matches!(rs.stretches()[1], Stretch::Trailing { last_care: 2 }));
+        assert!(matches!(
+            rs.stretches()[0],
+            Stretch::Leading { first_care: 2 }
+        ));
+        assert!(matches!(
+            rs.stretches()[1],
+            Stretch::Trailing { last_care: 2 }
+        ));
     }
 
     #[test]
@@ -401,10 +521,54 @@ mod tests {
     }
 
     #[test]
+    fn packed_scanner_matches_scalar_analyze() {
+        use crate::packed::PackedBits;
+        let rows = ["XX0XX0X1X1X1XX", "01X0", "0011", "XXXX", "XX1X", "0", "X"];
+        for r in rows {
+            let bits = row(r);
+            let packed = PackedBits::from_bits(&bits);
+            assert_eq!(
+                RowStretches::analyze_packed(&packed),
+                RowStretches::analyze(&bits),
+                "row {r}"
+            );
+        }
+        // Random rows straddling word boundaries.
+        for seed in 0..10u64 {
+            let set = crate::gen::random_cube_set(1, 70 + seed as usize * 13, 0.7, seed);
+            let m = set.to_pin_matrix();
+            let bits = m.row(0);
+            assert_eq!(
+                RowStretches::analyze_packed(&PackedBits::from_bits(bits)),
+                RowStretches::analyze(bits),
+                "seed {seed}"
+            );
+        }
+        assert_eq!(
+            RowStretches::analyze_packed(&PackedBits::all_x(0)),
+            RowStretches::analyze(&[])
+        );
+    }
+
+    #[test]
+    fn packed_stats_match_scalar_stats() {
+        use crate::packed::{PackedCubeSet, PackedMatrix};
+        for seed in 0..4u64 {
+            let set = crate::gen::random_cube_set(90, 70, 0.75, seed);
+            let scalar = StretchStats::of_matrix(&set.to_pin_matrix());
+            let packed =
+                StretchStats::of_packed(&PackedMatrix::from_packed_set(&PackedCubeSet::from(&set)));
+            assert_eq!(scalar, packed, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn buckets_cover_all_lengths() {
         for len in 1..200usize {
             assert!(
-                LENGTH_BUCKETS.iter().any(|&(lo, hi)| len >= lo && len <= hi),
+                LENGTH_BUCKETS
+                    .iter()
+                    .any(|&(lo, hi)| len >= lo && len <= hi),
                 "length {len} not covered"
             );
         }

@@ -1,0 +1,161 @@
+//! Differential property tests: the packed two-plane kernels must agree
+//! bit-for-bit with the retained scalar reference implementations —
+//! including widths that are not multiples of 64, all-X rows, and
+//! fully-specified rows.
+
+use dpfill_cubes::gen::random_cube_set;
+use dpfill_cubes::packed::{PackedBits, PackedCubeSet, PackedMatrix};
+use dpfill_cubes::stretch::{RowStretches, StretchStats};
+use dpfill_cubes::{
+    hamming_distance, hamming_distance_scalar, peak_toggles, peak_toggles_scalar, toggle_profile,
+    toggle_profile_scalar, total_toggles, total_toggles_scalar, Bit, CubeSet, PinMatrix, TestCube,
+};
+use proptest::prelude::*;
+
+fn arb_bit() -> impl Strategy<Value = Bit> {
+    prop_oneof![
+        1 => Just(Bit::Zero),
+        1 => Just(Bit::One),
+        2 => Just(Bit::X),
+    ]
+}
+
+/// Widths deliberately straddling the word boundary: 1..=200 covers
+/// sub-word, exact-word (64, 128) and multi-word shapes.
+fn arb_cube_set() -> impl Strategy<Value = CubeSet> {
+    (1usize..=200, 1usize..=12).prop_flat_map(|(width, count)| {
+        proptest::collection::vec(proptest::collection::vec(arb_bit(), width), count).prop_map(
+            |rows| {
+                CubeSet::from_cubes(rows.into_iter().map(TestCube::new)).expect("uniform widths")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamming_packed_equals_scalar(set in arb_cube_set()) {
+        for w in set.cubes().windows(2) {
+            prop_assert_eq!(
+                hamming_distance(&w[0], &w[1]),
+                hamming_distance_scalar(&w[0], &w[1])
+            );
+        }
+        // Packed-native operands agree too.
+        let packed = PackedCubeSet::from(&set);
+        for i in 1..set.len() {
+            prop_assert_eq!(
+                packed.cube(i - 1).hamming(packed.cube(i)),
+                hamming_distance_scalar(set.cube(i - 1), set.cube(i))
+            );
+        }
+    }
+
+    #[test]
+    fn toggle_kernels_packed_equal_scalar(set in arb_cube_set()) {
+        prop_assert_eq!(
+            toggle_profile(&set).unwrap(),
+            toggle_profile_scalar(&set).unwrap()
+        );
+        prop_assert_eq!(
+            peak_toggles(&set).unwrap(),
+            peak_toggles_scalar(&set).unwrap()
+        );
+        prop_assert_eq!(
+            total_toggles(&set).unwrap(),
+            total_toggles_scalar(&set).unwrap()
+        );
+        let packed = PackedCubeSet::from(&set);
+        prop_assert_eq!(packed.toggle_profile(), toggle_profile_scalar(&set).unwrap());
+    }
+
+    #[test]
+    fn pin_matrix_word_blocked_transpose_equals_scalar(set in arb_cube_set()) {
+        let scalar = PinMatrix::from_cube_set_scalar(&set);
+        // The public constructor (packed above the cutoff).
+        prop_assert_eq!(&PinMatrix::from_cube_set(&set), &scalar);
+        // The packed transpose and its inverse, explicitly.
+        let packed = PackedMatrix::from_packed_set(&PackedCubeSet::from(&set));
+        prop_assert_eq!(&packed.to_pin_matrix(), &scalar);
+        prop_assert_eq!(packed.to_packed_set().to_cube_set(), set);
+    }
+
+    #[test]
+    fn stretch_classification_packed_equals_scalar(row in proptest::collection::vec(arb_bit(), 1..200)) {
+        let packed = PackedBits::from_bits(&row);
+        prop_assert_eq!(
+            RowStretches::analyze_packed(&packed),
+            RowStretches::analyze(&row)
+        );
+    }
+
+    #[test]
+    fn stretch_stats_packed_equal_scalar(set in arb_cube_set()) {
+        let scalar = StretchStats::of_matrix(&set.to_pin_matrix());
+        let packed = StretchStats::of_packed(&PackedMatrix::from_packed_set(
+            &PackedCubeSet::from(&set),
+        ));
+        prop_assert_eq!(scalar, packed);
+    }
+
+    #[test]
+    fn packed_bits_round_trip(row in proptest::collection::vec(arb_bit(), 0..200)) {
+        let packed = PackedBits::from_bits(&row);
+        prop_assert_eq!(packed.to_bits(), row.clone());
+        prop_assert_eq!(packed.len(), row.len());
+        prop_assert_eq!(
+            packed.x_count(),
+            row.iter().filter(|b| b.is_x()).count()
+        );
+        for (i, &b) in row.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), b);
+        }
+    }
+}
+
+/// Deterministic seeded sweeps over the shapes the proptest generator is
+/// unlikely to hit: exact word multiples, all-X and zero-X densities.
+#[test]
+fn seeded_edge_shape_sweep() {
+    for &width in &[1usize, 63, 64, 65, 127, 128, 129, 192] {
+        for &density in &[0.0, 0.5, 1.0] {
+            let seed = width as u64 * 31 + (density * 10.0) as u64;
+            let set = random_cube_set(width, 9, density, seed);
+            assert_eq!(
+                toggle_profile(&set).unwrap(),
+                toggle_profile_scalar(&set).unwrap(),
+                "width {width} density {density}"
+            );
+            assert_eq!(
+                PinMatrix::from_cube_set(&set),
+                PinMatrix::from_cube_set_scalar(&set)
+            );
+            let m = PackedMatrix::from_packed_set(&PackedCubeSet::from(&set));
+            for r in 0..m.rows() {
+                let scalar_row: Vec<Bit> = (0..m.cols()).map(|c| set.cube(c).bits()[r]).collect();
+                assert_eq!(
+                    RowStretches::analyze_packed(m.row(r)),
+                    RowStretches::analyze(&scalar_row),
+                    "width {width} density {density} row {r}"
+                );
+            }
+        }
+    }
+}
+
+/// An all-X cube set exercises the AllX stretch path and constant fill
+/// conventions end to end.
+#[test]
+fn all_x_rows_classified_and_counted() {
+    let set = random_cube_set(130, 7, 1.0, 3);
+    assert_eq!(set.x_count(), 130 * 7);
+    assert_eq!(peak_toggles(&set).unwrap(), 0);
+    assert_eq!(peak_toggles_scalar(&set).unwrap(), 0);
+    let m = PackedMatrix::from_packed_set(&PackedCubeSet::from(&set));
+    let stats = StretchStats::of_packed(&m);
+    assert_eq!(stats.total_stretches(), 130);
+    assert_eq!(stats.max_len(), 7);
+    assert_eq!(stats.transition_stretches(), 0);
+}

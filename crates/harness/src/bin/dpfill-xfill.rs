@@ -92,8 +92,9 @@ fn parse_args() -> Result<Options, String> {
 
 fn run(opts: &Options) -> Result<(), String> {
     let text = match &opts.input {
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
         None => {
             let mut buf = String::new();
             std::io::stdin()
@@ -138,8 +139,9 @@ fn run(opts: &Options) -> Result<(), String> {
     );
     let out_text = format::patterns_to_string(&filled, Some(&header));
     match &opts.output {
-        Some(path) => std::fs::write(path, out_text)
-            .map_err(|e| format!("cannot write {path}: {e}"))?,
+        Some(path) => {
+            std::fs::write(path, out_text).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
         None => print!("{out_text}"),
     }
     Ok(())

@@ -44,9 +44,7 @@ pub fn fig1() -> (Fig1Result, TextTable) {
     for col in 0..5 {
         let cube: dpfill_cubes::TestCube = rows
             .iter()
-            .map(|r| {
-                dpfill_cubes::Bit::from_char(r.as_bytes()[col] as char).expect("01X rows")
-            })
+            .map(|r| dpfill_cubes::Bit::from_char(r.as_bytes()[col] as char).expect("01X rows"))
             .collect();
         cubes.push(cube).expect("uniform widths");
     }
@@ -98,6 +96,6 @@ mod tests {
         // optimal peak.
         let (r, _) = fig1();
         assert!(r.dp_peak <= 3);
-        assert!(r.xstat_peak >= r.dp_peak + 1);
+        assert!(r.xstat_peak > r.dp_peak);
     }
 }

@@ -3,6 +3,7 @@
 //! under the three orderings.
 
 use dpfill_core::ordering::{IOrdering, OrderingMethod};
+use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
 use dpfill_cubes::stretch::{StretchStats, LENGTH_BUCKETS};
 
 use crate::flow::Prepared;
@@ -74,8 +75,7 @@ pub fn fig2b(prepared: &[Prepared]) -> (Vec<Fig2bRow>, TextTable) {
             iterations: trace.iterations(),
         });
     }
-    let mut table =
-        TextTable::new("Fig 2(b): optimum number of iterations vs log2(n)");
+    let mut table = TextTable::new("Fig 2(b): optimum number of iterations vs log2(n)");
     table.header(["Ckt", "n", "log2(n)", "iterations"]);
     for r in &rows {
         table.row([
@@ -109,7 +109,8 @@ pub fn fig2c(p: &Prepared) -> (Fig2cResult, TextTable) {
     for o in orderings {
         let order = o.order(&p.cubes);
         let reordered = p.cubes.reordered(&order).expect("permutation");
-        let s = StretchStats::of_matrix(&reordered.to_pin_matrix());
+        let packed = PackedMatrix::from_packed_set(&PackedCubeSet::from(&reordered));
+        let s = StretchStats::of_packed(&packed);
         stats.push((o.label().to_owned(), s));
     }
     let result = Fig2cResult {
@@ -179,9 +180,8 @@ mod tests {
         // Spreadable windows: stretches of length >= 3 (buckets 3-4 and
         // up) are the ones DP-fill can place toggles inside; I-ordering
         // must grow that population (the operative Fig 2(c) effect).
-        let spreadable = |s: &dpfill_cubes::stretch::StretchStats| -> usize {
-            s.histogram()[2..].iter().sum()
-        };
+        let spreadable =
+            |s: &dpfill_cubes::stretch::StretchStats| -> usize { s.histogram()[2..].iter().sum() };
         let tool = spreadable(&r.stats[0].1);
         let iorder = spreadable(&r.stats[2].1);
         assert!(

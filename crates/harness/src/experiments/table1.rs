@@ -38,7 +38,15 @@ pub fn table1(prepared: &[Prepared], _config: &FlowConfig) -> (Vec<Table1Row>, T
         });
     }
     let mut table = TextTable::new("Table I: X% of test cubes (paper vs measured)");
-    table.header(["Ckt", "PIs+FFs", "Gates", "Patterns", "X% paper", "X% measured", "source"]);
+    table.header([
+        "Ckt",
+        "PIs+FFs",
+        "Gates",
+        "Patterns",
+        "X% paper",
+        "X% measured",
+        "source",
+    ]);
     for r in &rows {
         table.row([
             r.ckt.clone(),

@@ -67,8 +67,18 @@ pub fn table5(prepared: &[Prepared], seed: u64) -> (Vec<Table5Row>, TextTable) {
         "Table V: peak input toggles, proposed I-ordering + DP-fill vs existing techniques",
     );
     table.header([
-        "Ckt", "Tool", "ISA", "Adj-fill", "XStat", "Proposed", "%Tool", "%ISA", "%Adj", "%XStat",
-        "paper(Tool)", "paper(Proposed)",
+        "Ckt",
+        "Tool",
+        "ISA",
+        "Adj-fill",
+        "XStat",
+        "Proposed",
+        "%Tool",
+        "%ISA",
+        "%Adj",
+        "%XStat",
+        "paper(Tool)",
+        "paper(Proposed)",
     ]);
     for r in &rows {
         table.row([
@@ -82,8 +92,12 @@ pub fn table5(prepared: &[Prepared], seed: u64) -> (Vec<Table5Row>, TextTable) {
             fmt_f64(r.improvement[1]),
             fmt_f64(r.improvement[2]),
             fmt_f64(r.improvement[3]),
-            r.paper.map(|p| p[0].to_string()).unwrap_or_else(|| "-".into()),
-            r.paper.map(|p| p[4].to_string()).unwrap_or_else(|| "-".into()),
+            r.paper
+                .map(|p| p[0].to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.paper
+                .map(|p| p[4].to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     (rows, table)

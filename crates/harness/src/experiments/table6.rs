@@ -62,12 +62,21 @@ pub fn table6(prepared: &[Prepared], seed: u64) -> (Vec<Table6Row>, TextTable) {
         });
     }
 
-    let mut table = TextTable::new(
-        "Table VI: peak circuit power (uW), proposed vs existing techniques",
-    );
+    let mut table =
+        TextTable::new("Table VI: peak circuit power (uW), proposed vs existing techniques");
     table.header([
-        "Ckt", "Tool", "ISA", "Adj-fill", "XStat", "Proposed", "%Tool", "%ISA", "%Adj",
-        "%XStat", "paper(Tool)", "paper(Proposed)",
+        "Ckt",
+        "Tool",
+        "ISA",
+        "Adj-fill",
+        "XStat",
+        "Proposed",
+        "%Tool",
+        "%ISA",
+        "%Adj",
+        "%XStat",
+        "paper(Tool)",
+        "paper(Proposed)",
     ]);
     for r in &rows {
         table.row([

@@ -75,7 +75,7 @@ impl Default for FlowConfig {
             source: CubeSource::Auto,
             subset: Subset::Full,
             atpg_gate_limit: 2_000,
-            seed: 0xD9F1_77,
+            seed: 0x00D9_F177,
             max_faults: Some(20_000),
         }
     }
@@ -214,7 +214,10 @@ mod tests {
         assert!(!Subset::Small.includes(5_400));
         assert!(Subset::Full.includes(146_500));
         let smoke = prepare_suite(&FlowConfig::smoke());
-        assert!(smoke.len() >= 5, "smoke suite has b01,b02,b03,b06,b08,b09,b10");
+        assert!(
+            smoke.len() >= 5,
+            "smoke suite has b01,b02,b03,b06,b08,b09,b10"
+        );
         assert!(smoke.iter().all(|p| p.profile.gates <= 250));
     }
 

@@ -20,9 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dpfill_core::ordering::OrderingMethod;
-use dpfill_harness::experiments::{
-    fig1, fig2a, fig2b, fig2c, fills_table, table1, table5, table6,
-};
+use dpfill_harness::experiments::{fig1, fig2a, fig2b, fig2c, fills_table, table1, table5, table6};
 use dpfill_harness::table::TextTable;
 use dpfill_harness::{prepare_suite, CubeSource, FlowConfig, Prepared, Subset};
 
@@ -34,8 +32,7 @@ struct Options {
 }
 
 const ALL_EXPERIMENTS: [&str; 10] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2a", "fig2b",
-    "fig2c",
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2a", "fig2b", "fig2c",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -80,9 +77,7 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--atpg-gate-limit needs an integer")?;
             }
             "--csv" => {
-                csv_dir = Some(PathBuf::from(
-                    args.next().ok_or("--csv needs a directory")?,
-                ));
+                csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?));
             }
             "--fig2c-ckt" => {
                 fig2c_ckt = Some(args.next().ok_or("--fig2c-ckt needs a name")?);

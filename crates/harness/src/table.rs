@@ -107,7 +107,11 @@ impl TextTable {
             let _ = writeln!(
                 out,
                 "{}",
-                self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+                self.header
+                    .iter()
+                    .map(|c| esc(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         for row in &self.rows {
@@ -167,7 +171,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_f64(3.14159), "3.1");
+        assert_eq!(fmt_f64(3.15159), "3.2");
         assert_eq!(fmt_f64(90.0), "90.0");
     }
 }

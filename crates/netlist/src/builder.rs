@@ -60,8 +60,7 @@ impl NetlistBuilder {
         q: impl Into<String>,
         d: impl Into<String>,
     ) -> Result<&mut Self, NetlistError> {
-        self.defs
-            .push((q.into(), GateKind::Dff, vec![d.into()]));
+        self.defs.push((q.into(), GateKind::Dff, vec![d.into()]));
         Ok(self)
     }
 
@@ -85,11 +84,8 @@ impl NetlistBuilder {
                 fanins: fanins.len(),
             });
         }
-        self.defs.push((
-            name,
-            kind,
-            fanins.iter().map(|s| (*s).to_owned()).collect(),
-        ));
+        self.defs
+            .push((name, kind, fanins.iter().map(|s| (*s).to_owned()).collect()));
         Ok(self)
     }
 

@@ -181,11 +181,7 @@ impl Netlist {
         self.outputs
             .iter()
             .copied()
-            .chain(
-                self.dffs
-                    .iter()
-                    .map(|ff| self.signal(*ff).fanins()[0]),
-            )
+            .chain(self.dffs.iter().map(|ff| self.signal(*ff).fanins()[0]))
             .collect()
     }
 

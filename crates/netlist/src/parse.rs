@@ -58,9 +58,9 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist, NetlistError> {
                 return Err(parse_err(line_no, "missing signal name before '='"));
             }
             let rhs = line[eq + 1..].trim();
-            let open = rhs.find('(').ok_or_else(|| {
-                parse_err(line_no, "expected GATE(fanin, ...) after '='")
-            })?;
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| parse_err(line_no, "expected GATE(fanin, ...) after '='"))?;
             if !rhs.ends_with(')') {
                 return Err(parse_err(line_no, "missing closing ')'"));
             }
@@ -84,9 +84,9 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Netlist, NetlistError> {
                 if fanins.len() != 1 {
                     return Err(parse_err(line_no, "DFF takes exactly one fanin"));
                 }
-                builder.dff(target, fanins[0]).map_err(|e| {
-                    parse_err(line_no, &e.to_string())
-                })?;
+                builder
+                    .dff(target, fanins[0])
+                    .map_err(|e| parse_err(line_no, &e.to_string()))?;
             } else {
                 builder
                     .gate(target, kind, &fanins)
@@ -116,7 +116,7 @@ fn parse_single_name(rest: &str, line_no: usize) -> Result<String, NetlistError>
         return Err(parse_err(line_no, "expected (name)"));
     }
     let name = rest[1..rest.len() - 1].trim();
-    if name.is_empty() || name.contains(|c: char| c == '(' || c == ')' || c == ',') {
+    if name.is_empty() || name.contains(['(', ')', ',']) {
         return Err(parse_err(line_no, "invalid signal name"));
     }
     Ok(name.to_owned())
@@ -245,10 +245,7 @@ G23 = NAND(G16, G19)
             "gibberish\n",
         ] {
             let text = format!("INPUT(a)\nINPUT(b)\n{bad}");
-            assert!(
-                parse_bench("bad", &text).is_err(),
-                "should reject: {bad:?}"
-            );
+            assert!(parse_bench("bad", &text).is_err(), "should reject: {bad:?}");
         }
     }
 

@@ -10,7 +10,10 @@ use proptest::prelude::*;
 /// Strategy: a random acyclic netlist described as (inputs, gate specs).
 fn arb_netlist() -> impl Strategy<Value = Netlist> {
     (2usize..6, 1usize..40).prop_flat_map(|(n_inputs, n_gates)| {
-        let gate = (0u8..8, proptest::collection::vec(any::<prop::sample::Index>(), 1..3));
+        let gate = (
+            0u8..8,
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..3),
+        );
         proptest::collection::vec(gate, n_gates).prop_map(move |specs| {
             let mut b = NetlistBuilder::new("arb");
             for i in 0..n_inputs {

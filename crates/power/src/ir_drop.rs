@@ -129,7 +129,7 @@ mod tests {
         b.input("i");
         for k in 0..width {
             b.gate(format!("n{k}"), GateKind::Not, &["i"]).unwrap();
-            b.output(&format!("n{k}"));
+            b.output(format!("n{k}"));
         }
         b.build().unwrap()
     }

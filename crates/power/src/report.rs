@@ -92,7 +92,8 @@ mod tests {
         let mut prev = "i".to_owned();
         for k in 0..len {
             let name = format!("n{k}");
-            b.gate(name.clone(), GateKind::Not, &[prev.as_str()]).unwrap();
+            b.gate(name.clone(), GateKind::Not, &[prev.as_str()])
+                .unwrap();
             prev = name;
         }
         b.output(&prev);

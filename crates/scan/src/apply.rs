@@ -72,7 +72,11 @@ impl ScanSchedule {
             let held = j.saturating_sub(1);
             for s in 0..shift_len {
                 let launch = s + 1 == shift_len && scheme == CaptureScheme::Los;
-                kinds.push(if launch { CycleKind::Launch } else { CycleKind::Shift });
+                kinds.push(if launch {
+                    CycleKind::Launch
+                } else {
+                    CycleKind::Shift
+                });
                 visible.push(held);
             }
             if scheme == CaptureScheme::Loc {

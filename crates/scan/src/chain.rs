@@ -26,7 +26,10 @@ impl fmt::Display for ScanError {
             ScanError::NoChains => write!(f, "chain count must be at least 1"),
             ScanError::NoFlipFlops => write!(f, "design has no flip-flops to stitch"),
             ScanError::WidthMismatch { expected, found } => {
-                write!(f, "pattern width {found} does not match scan width {expected}")
+                write!(
+                    f,
+                    "pattern width {found} does not match scan width {expected}"
+                )
             }
         }
     }
@@ -209,10 +212,7 @@ mod tests {
         let cube: dpfill_cubes::TestCube = "0101X1X".parse().unwrap();
         let vecs = chains.chain_vectors(&cube).unwrap();
         assert_eq!(vecs.len(), 1);
-        let s: String = vecs[0]
-            .iter()
-            .map(|b| b.to_char())
-            .collect();
+        let s: String = vecs[0].iter().map(|b| b.to_char()).collect();
         assert_eq!(s, "01X1X"); // FF pins 2..7
     }
 

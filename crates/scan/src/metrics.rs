@@ -26,10 +26,7 @@ pub fn wtm(chain_vector: &[Bit]) -> u64 {
 ///
 /// Returns [`ScanError::WidthMismatch`] when pattern width differs from
 /// the design's scan width.
-pub fn shift_power_profile(
-    chains: &ScanChains,
-    patterns: &CubeSet,
-) -> Result<Vec<u64>, ScanError> {
+pub fn shift_power_profile(chains: &ScanChains, patterns: &CubeSet) -> Result<Vec<u64>, ScanError> {
     let mut out = Vec::with_capacity(patterns.len());
     for cube in patterns {
         let vectors = chains.chain_vectors(cube)?;
@@ -106,6 +103,9 @@ mod tests {
             .unwrap()
             .iter()
             .sum();
-        assert!(adj < rnd, "Adj-fill ({adj}) should beat random ({rnd}) on WTM");
+        assert!(
+            adj < rnd,
+            "Adj-fill ({adj}) should beat random ({rnd}) on WTM"
+        );
     }
 }

@@ -84,6 +84,7 @@ impl Planes {
 
     /// Three-valued NOT.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // mirrors and/or/xor naming
     pub fn not(self) -> Planes {
         Planes {
             zero: self.one,
@@ -211,10 +212,7 @@ impl<'a> PlaneSim<'a> {
             let sig = netlist.signal(id);
             let value = match sig.kind() {
                 GateKind::Input | GateKind::Dff => {
-                    let pin = self
-                        .view
-                        .input_index(id)
-                        .expect("sources are view inputs");
+                    let pin = self.view.input_index(id).expect("sources are view inputs");
                     inputs[pin]
                 }
                 kind => {

@@ -68,7 +68,7 @@ proptest! {
         let view = CombView::new(&netlist);
         let width = view.input_count();
         // Derive patterns deterministically from the bit soup.
-        let n = (pattern_bits.len() / width.max(1)).max(2).min(80);
+        let n = (pattern_bits.len() / width.max(1)).clamp(2, 80);
         let mut set = CubeSet::new(width);
         for j in 0..n {
             let cube: TestCube = (0..width)
@@ -114,8 +114,8 @@ proptest! {
         let (planes, count) = pack_patterns(&set, 0);
         prop_assert_eq!(count, set.len().min(64));
         for p in 0..count {
-            for pin in 0..width {
-                prop_assert_eq!(planes[pin].bit(p), set.bit(p, pin));
+            for (pin, plane) in planes.iter().enumerate() {
+                prop_assert_eq!(plane.bit(p), set.bit(p, pin));
             }
         }
     }

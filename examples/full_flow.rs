@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p_xstat = peak_power(&view, &xstat.filled, &caps, &power_cfg)?;
     let p_proposed = peak_power(&view, &proposed.filled, &caps, &power_cfg)?;
     println!("\npeak circuit power:");
-    println!("  {:20} {:.1} uW", Technique::xstat().label(), p_xstat.peak_uw);
+    println!(
+        "  {:20} {:.1} uW",
+        Technique::xstat().label(),
+        p_xstat.peak_uw
+    );
     println!(
         "  {:20} {:.1} uW ({:+.1}%)",
         Technique::proposed().label(),

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .x_percent(85.0)
         .decay_ratio(64.0)
         .regime_changes(8)
-        .generate(0xF16_2A);
+        .generate(0x000F_162A);
     let trace = IOrdering::new().order_with_trace(&cubes);
     println!("\nFig 2(a)-style sweep (n = 256):");
     for (k, v) in trace.k_values.iter().zip(&trace.bottleneck_values) {

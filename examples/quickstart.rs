@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "0XXXXX1XXXXX",
         "XX0XXXXXX1XX",
     ])?;
-    println!("{} cubes, {} pins, {:.1}% X\n", cubes.len(), cubes.width(), cubes.x_percent());
+    println!(
+        "{} cubes, {} pins, {:.1}% X\n",
+        cubes.len(),
+        cubes.width(),
+        cubes.x_percent()
+    );
 
     // Baseline fills under the tool (as-given) ordering.
     println!("peak input toggles by fill (tool ordering):");

@@ -1,0 +1,293 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The container image has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`bench_function`/`finish`,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each bench is calibrated once, then run for
+//! `sample_size` wall-clock samples of enough iterations to be readable;
+//! the per-iteration **median** is reported. Set the environment variable
+//! `CRITERION_JSON=<path>` to also write every result as a JSON document
+//! (used to record the committed `BENCH_pr1.json` baselines).
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stub always materializes one input per measured batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Entry point handed to bench targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_bench(id.into(), sample_size, f);
+        self
+    }
+
+    /// Writes all recorded results as JSON to `CRITERION_JSON` (if set).
+    /// Called by [`criterion_main!`] after every group has run.
+    pub fn finalize() {
+        let results = RESULTS.lock().expect("results poisoned");
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"id\": {:?}, \"median_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{comma}\n",
+                r.id, r.median_ns, r.iters_per_sample, r.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("CRITERION_JSON={path}: {e}"));
+        file.write_all(out.as_bytes()).expect("write bench JSON");
+        eprintln!("wrote {} bench results to {path}", results.len());
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of wall-clock samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub budgets time per sample
+    /// internally.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; results are recorded eagerly).
+    pub fn finish(self) {}
+}
+
+/// The substring filter passed after `--` on the `cargo bench` command
+/// line (like real criterion's positional filter), if any.
+fn bench_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, mut f: F) {
+    if let Some(filter) = bench_filter() {
+        if !id.contains(&filter) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    let Some(result) = b.result else {
+        eprintln!("bench {id}: routine never called Bencher::iter");
+        return;
+    };
+    println!(
+        "bench {id:<60} {:>14} ns/iter  ({} samples x {} iters)",
+        format_ns(result.median_ns),
+        result.samples,
+        result.iters_per_sample,
+    );
+    RESULTS
+        .lock()
+        .expect("results poisoned")
+        .push(BenchResult { id, ..result });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.0}", ns)
+    }
+}
+
+/// Times closures handed to it by a bench routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<BenchResult>,
+}
+
+/// Total wall-clock budget per bench function; samples shrink to fit.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+/// Minimum time one sample should take for a readable measurement.
+const SAMPLE_FLOOR: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    /// Measures `routine` and records the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate with one warm-up call.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (SAMPLE_FLOOR.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let per_sample = once * iters as u32;
+        let samples = if per_sample.is_zero() {
+            self.sample_size
+        } else {
+            (BENCH_BUDGET.as_nanos() / per_sample.as_nanos().max(1))
+                .clamp(2, self.sample_size as u128) as usize
+        };
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result = Some(BenchResult {
+            id: String::new(),
+            median_ns: times[times.len() / 2],
+            iters_per_sample: iters,
+            samples,
+        });
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the per-call estimate.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        black_box(routine(setup()));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let samples = (BENCH_BUDGET.as_nanos() / once.as_nanos().max(1))
+            .clamp(2, self.sample_size as u128) as usize;
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result = Some(BenchResult {
+            id: String::new(),
+            median_ns: times[times.len() / 2],
+            iters_per_sample: 1,
+            samples,
+        });
+    }
+}
+
+/// Declares a bench group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_positive_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.id == "stub/spin").unwrap();
+        assert!(r.median_ns > 0.0);
+    }
+}
