@@ -7,9 +7,13 @@
 //! count — commercial ATPG flows do the same before handing patterns to
 //! the tester, which is why the paper's cube counts are compacted.
 
-use dpfill_cubes::{CubeSet, TestCube};
+use dpfill_cubes::packed::{PackedBits, PackedCubeSet};
+use dpfill_cubes::CubeSet;
 
-/// Greedily merges compatible cubes (first-fit in generation order).
+/// Greedily merges compatible cubes (first-fit in generation order),
+/// entirely on the packed planes: compatibility is a word-level
+/// conflict test and each merge is one OR per plane word
+/// ([`PackedBits::merge`]). The output rows stay packed.
 ///
 /// The result preserves detection: each output cube is the intersection
 /// of the input cubes merged into it, hence contained in each of them.
@@ -25,8 +29,8 @@ use dpfill_cubes::{CubeSet, TestCube};
 /// assert_eq!(compacted.len(), 2); // 0XX+X1X merge; 1XX conflicts
 /// ```
 pub fn compact(cubes: &CubeSet) -> CubeSet {
-    let mut slots: Vec<TestCube> = Vec::new();
-    for cube in cubes {
+    let mut slots: Vec<PackedBits> = Vec::new();
+    for cube in cubes.packed_cubes() {
         let mut merged = false;
         for slot in slots.iter_mut() {
             if let Some(m) = slot.merge(cube) {
@@ -39,12 +43,7 @@ pub fn compact(cubes: &CubeSet) -> CubeSet {
             slots.push(cube.clone());
         }
     }
-    let width = cubes.width();
-    let mut out = CubeSet::new(width);
-    for s in slots {
-        out.push(s).expect("slot width matches");
-    }
-    out
+    CubeSet::from_packed(PackedCubeSet::from_rows(cubes.width(), slots))
 }
 
 #[cfg(test)]
@@ -73,7 +72,7 @@ mod tests {
         // Every input cube must be contained in (refined by) some output.
         for cube in &cubes {
             assert!(
-                c.iter().any(|slot| slot.is_contained_in(cube)),
+                c.iter().any(|slot| slot.is_contained_in(&cube)),
                 "cube {cube} lost by compaction"
             );
         }

@@ -74,7 +74,7 @@ proptest! {
         prop_assert!(compacted.len() <= result.cubes.len());
         for cube in &result.cubes {
             prop_assert!(
-                compacted.iter().any(|slot| slot.is_contained_in(cube)),
+                compacted.iter().any(|slot| slot.is_contained_in(&cube)),
                 "cube {} lost", cube
             );
         }

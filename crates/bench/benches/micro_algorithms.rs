@@ -22,6 +22,9 @@ use dpfill_circuits::itc99;
 use dpfill_core::bcp::BcpInstance;
 use dpfill_core::fill::{DpFill, DpMode, FillStrategy, MtFill};
 use dpfill_core::Interval;
+use dpfill_cubes::format::{
+    parse_patterns, parse_patterns_scalar, patterns_to_string, read_patterns,
+};
 use dpfill_cubes::gen::{random_cube_set, CubeProfile};
 use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
 use dpfill_cubes::stretch::StretchStats;
@@ -74,6 +77,28 @@ fn bench_packed_kernels(c: &mut Criterion) {
     });
     group.bench_function("mt_fill/packed_pipeline/1024x1024", |b| {
         b.iter(|| criterion::black_box(MtFill.fill(&cubes).len()))
+    });
+    group.finish();
+}
+
+/// The PR-2 acceptance benchmark: the streaming pattern parser (chars
+/// packed straight into plane words, no per-cube `Vec<Bit>`) against the
+/// PR-1 scalar reference parser, on a 1024-cube × 1024-pin pattern file
+/// at 0.5 X-density. The acceptance bar is ≥2× parse throughput.
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.sample_size(20);
+    let cubes = random_cube_set(1024, 1024, 0.5, 0xD0E5);
+    let text = patterns_to_string(&cubes, Some("bench patterns"));
+
+    group.bench_function("parse_patterns/streaming/1024x1024", |b| {
+        b.iter(|| criterion::black_box(parse_patterns(&text).unwrap().len()))
+    });
+    group.bench_function("parse_patterns/scalar_reference/1024x1024", |b| {
+        b.iter(|| criterion::black_box(parse_patterns_scalar(&text).unwrap().len()))
+    });
+    group.bench_function("read_patterns/streaming_io/1024x1024", |b| {
+        b.iter(|| criterion::black_box(read_patterns(text.as_bytes()).unwrap().len()))
     });
     group.finish();
 }
@@ -185,6 +210,7 @@ fn bench_simulation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_packed_kernels,
+    bench_parse,
     bench_bcp,
     bench_dp_fill_ablation,
     bench_atpg,

@@ -224,7 +224,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .flat_map(|(ci, c)| {
-                    c.iter()
+                    c.into_iter()
                         .enumerate()
                         .filter(|(_, b)| b.is_x())
                         .map(move |(pi, _)| (ci, pi))
@@ -235,7 +235,7 @@ mod tests {
             }
             let mut best = usize::MAX;
             for mask in 0u32..(1 << x_positions.len()) {
-                let mut filled: Vec<TestCube> = cubes.iter().cloned().collect();
+                let mut filled: Vec<TestCube> = cubes.iter().collect();
                 for (bit, &(ci, pi)) in x_positions.iter().enumerate() {
                     filled[ci].set(pi, Bit::from_bool(mask >> bit & 1 == 1));
                 }

@@ -6,7 +6,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
+use dpfill_cubes::packed::PackedMatrix;
 use dpfill_cubes::{Bit, CubeSet};
 
 use super::FillStrategy;
@@ -40,11 +40,11 @@ impl FillStrategy for OneFill {
 }
 
 fn fill_constant(cubes: &CubeSet, value: Bit) -> CubeSet {
-    let mut packed = PackedCubeSet::from(cubes);
-    for cube in packed.cubes_mut() {
+    let mut filled = cubes.clone();
+    for cube in filled.packed_cubes_mut() {
         cube.fill_x_with(value);
     }
-    packed.to_cube_set()
+    filled
 }
 
 /// Fills every `X` with an independent fair random bit (seeded, so runs
@@ -74,12 +74,12 @@ impl FillStrategy for RandomFill {
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut packed = PackedCubeSet::from(cubes);
-        for cube in packed.cubes_mut() {
+        let mut filled = cubes.clone();
+        for cube in filled.packed_cubes_mut() {
             // One random word covers 64 pins; the blend keeps care bits.
             cube.fill_x_from_words(|_| rng.next_u64());
         }
-        packed.to_cube_set()
+        filled
     }
 }
 
@@ -98,11 +98,11 @@ impl FillStrategy for MtFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut matrix = PackedMatrix::from_packed_set(&PackedCubeSet::from(cubes));
+        let mut matrix = PackedMatrix::from_packed_set(cubes.as_packed());
         for r in 0..matrix.rows() {
             matrix.row_mut(r).fill_runs_copy_left(Bit::Zero);
         }
-        matrix.to_packed_set().to_cube_set()
+        CubeSet::from_packed(matrix.to_packed_set())
     }
 }
 
@@ -120,11 +120,11 @@ impl FillStrategy for AdjFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut packed = PackedCubeSet::from(cubes);
-        for cube in packed.cubes_mut() {
+        let mut filled = cubes.clone();
+        for cube in filled.packed_cubes_mut() {
             cube.fill_runs_copy_left(Bit::Zero);
         }
-        packed.to_cube_set()
+        filled
     }
 }
 

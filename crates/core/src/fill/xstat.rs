@@ -3,7 +3,7 @@
 //! phase 2 counts definite toggles with the word-level adjacent-conflict
 //! scan.
 
-use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
+use dpfill_cubes::packed::PackedMatrix;
 use dpfill_cubes::stretch::{RowStretches, Stretch};
 use dpfill_cubes::{Bit, CubeSet};
 
@@ -33,7 +33,7 @@ impl FillStrategy for XStatFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut matrix = PackedMatrix::from_packed_set(&PackedCubeSet::from(cubes));
+        let mut matrix = PackedMatrix::from_packed_set(cubes.as_packed());
         let cols = matrix.cols();
         let transitions = cols.saturating_sub(1);
         // Pending phase-2 decisions: (row, x_col, left_value).
@@ -92,7 +92,7 @@ impl FillStrategy for XStatFill {
             }
         }
         debug_assert_eq!(matrix.x_count(), 0);
-        matrix.to_packed_set().to_cube_set()
+        CubeSet::from_packed(matrix.to_packed_set())
     }
 }
 

@@ -17,7 +17,7 @@
 //! the left value through column `j` and the right value from column
 //! `j+1` (paper §V-D), and the result transposes back to cubes.
 
-use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
+use dpfill_cubes::packed::PackedMatrix;
 use dpfill_cubes::stretch::{RowStretches, Stretch};
 use dpfill_cubes::{Bit, CubeSet, PinMatrix};
 
@@ -48,8 +48,22 @@ pub struct MatrixMapping {
 
 impl MatrixMapping {
     /// Analyzes a cube set (columns = cubes) per the paper's mapping.
+    /// The set is already packed, so this is the word-blocked transpose
+    /// plus the `trailing_zeros` stretch scan — no scalar work.
     pub fn analyze(cubes: &CubeSet) -> MatrixMapping {
-        Self::analyze_packed(PackedMatrix::from_packed_set(&PackedCubeSet::from(cubes)))
+        Self::analyze_packed(PackedMatrix::from_packed_set(cubes.as_packed()))
+    }
+
+    /// Analyzes `cubes` *as seen through* the permutation `order`
+    /// without materializing a reordered set: the gather happens inside
+    /// the word-blocked transpose. This is the candidate-evaluation
+    /// kernel of the I-ordering's Algorithm 3 loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `order` is out of range.
+    pub fn analyze_reordered(cubes: &CubeSet, order: &[usize]) -> MatrixMapping {
+        Self::analyze_packed(PackedMatrix::from_reordered_set(cubes.as_packed(), order))
     }
 
     /// Analyzes an already-transposed scalar matrix.
@@ -154,7 +168,7 @@ impl MatrixMapping {
             row.fill_range(j + 1, site.right, !site.left_value);
         }
         debug_assert_eq!(matrix.x_count(), 0, "all X bits must be filled");
-        matrix.to_packed_set().to_cube_set()
+        CubeSet::from_packed(matrix.to_packed_set())
     }
 }
 
@@ -284,6 +298,17 @@ mod tests {
         assert_eq!(from_set.instance(), from_scalar.instance());
         assert_eq!(from_set.sites(), from_scalar.sites());
         assert_eq!(from_set.prefilled(), from_scalar.prefilled());
+    }
+
+    #[test]
+    fn reordered_analysis_matches_materialized_reorder() {
+        let cubes = set(&["0X1X0", "1XX00", "X01XX", "0XXX1", "10X0X", "XX10X"]);
+        let order = [2, 0, 3, 5, 1, 4];
+        let direct = MatrixMapping::analyze_reordered(&cubes, &order);
+        let via_set = MatrixMapping::analyze(&cubes.reordered(&order).unwrap());
+        assert_eq!(direct.instance(), via_set.instance());
+        assert_eq!(direct.sites(), via_set.sites());
+        assert_eq!(direct.prefilled(), via_set.prefilled());
     }
 
     #[test]

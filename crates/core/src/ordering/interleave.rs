@@ -134,11 +134,23 @@ impl IOrdering {
 
 /// The optimal bottleneck (DP-fill peak) of `cubes` under `order` — the
 /// candidate-evaluation step of Algorithm 3 and the y-axis of Fig 2(a).
+///
+/// Walks the packed rows natively: the permutation is gathered inside
+/// the word-blocked transpose ([`MatrixMapping::analyze_reordered`]), so
+/// no reordered cube set is ever materialized per candidate `k`.
 pub(crate) fn bottleneck_value(cubes: &CubeSet, order: &[usize]) -> u64 {
-    let reordered = cubes
-        .reordered(order)
-        .expect("schedule is a permutation by construction");
-    MatrixMapping::analyze(&reordered).instance().lower_bound()
+    // The gather-transpose would silently duplicate/drop cubes on a
+    // malformed schedule, so keep the loud permutation check the old
+    // `reordered(...).expect(...)` path provided — always on, since the
+    // O(n) scan is negligible next to the O(n·w) analysis it guards.
+    assert!(
+        crate::ordering::is_permutation(order, cubes.len()),
+        "schedule must be a permutation of 0..{}",
+        cubes.len()
+    );
+    MatrixMapping::analyze_reordered(cubes, order)
+        .instance()
+        .lower_bound()
 }
 
 impl OrderingStrategy for IOrdering {

@@ -240,7 +240,8 @@ mod tests {
         state.swap(0, 11);
         let dist: Vec<u32> = (0..filled.len() - 1)
             .map(|j| {
-                hamming_distance(filled.cube(state.perm[j]), filled.cube(state.perm[j + 1])) as u32
+                hamming_distance(&filled.cube(state.perm[j]), &filled.cube(state.perm[j + 1]))
+                    as u32
             })
             .collect();
         assert_eq!(state.dist, dist);

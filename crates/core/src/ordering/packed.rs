@@ -17,10 +17,11 @@ pub struct PackedCubes {
 }
 
 impl PackedCubes {
-    /// Packs a cube set.
+    /// Clones the set's packed backing store (the set is already packed;
+    /// no per-bit work happens here).
     pub fn pack(set: &CubeSet) -> PackedCubes {
         PackedCubes {
-            set: PackedCubeSet::from(set),
+            set: set.as_packed().clone(),
         }
     }
 
@@ -69,7 +70,7 @@ mod tests {
             for b in 0..set.len() {
                 assert_eq!(
                     packed.conflict(a, b),
-                    conflict_distance(set.cube(a), set.cube(b)),
+                    conflict_distance(&set.cube(a), &set.cube(b)),
                     "cubes {a},{b}"
                 );
             }
@@ -103,7 +104,7 @@ mod tests {
             for b in 0..4 {
                 assert_eq!(
                     packed.conflict(a, b),
-                    conflict_distance(set.cube(a), set.cube(b))
+                    conflict_distance(&set.cube(a), &set.cube(b))
                 );
             }
         }

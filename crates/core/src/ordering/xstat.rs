@@ -85,18 +85,18 @@ mod tests {
         let order = XStatOrdering.order(&cubes);
         let reordered = cubes.reordered(&order).unwrap();
         let peak_before: usize = (0..cubes.len() - 1)
-            .map(|j| conflict_distance(cubes.cube(j), cubes.cube(j + 1)))
+            .map(|j| conflict_distance(&cubes.cube(j), &cubes.cube(j + 1)))
             .max()
             .unwrap();
         let peak_after: usize = (0..reordered.len() - 1)
-            .map(|j| conflict_distance(reordered.cube(j), reordered.cube(j + 1)))
+            .map(|j| conflict_distance(&reordered.cube(j), &reordered.cube(j + 1)))
             .max()
             .unwrap();
         assert!(peak_after < peak_before);
         // The two clusters must be crossed exactly once: only one
         // expensive transition survives.
         let expensive = (0..reordered.len() - 1)
-            .filter(|&j| conflict_distance(reordered.cube(j), reordered.cube(j + 1)) > 4)
+            .filter(|&j| conflict_distance(&reordered.cube(j), &reordered.cube(j + 1)) > 4)
             .count();
         assert_eq!(expensive, 1, "clusters should be crossed once");
     }

@@ -1,7 +1,7 @@
 //! End-to-end ordering + filling pipelines — the "techniques" compared in
 //! the paper's Tables V and VI.
 
-use dpfill_cubes::{peak_toggles, toggle_profile, CubeSet};
+use dpfill_cubes::CubeSet;
 
 use crate::fill::FillMethod;
 use crate::ordering::OrderingMethod;
@@ -69,14 +69,16 @@ impl Technique {
     /// Panics on an empty cube set (there is no toggle profile to
     /// report); callers filter empty pattern sets earlier.
     pub fn evaluate(&self, cubes: &CubeSet) -> TechniqueResult {
+        assert!(!cubes.is_empty(), "cannot evaluate an empty cube set");
         let order = self.ordering.order(cubes);
         let reordered = cubes
             .reordered(&order)
             .expect("ordering strategies return permutations");
         let filled = self.fill.fill(&reordered);
         debug_assert!(CubeSet::is_filling_of(&filled, &reordered));
-        let peak = peak_toggles(&filled).expect("non-empty cube set");
-        let profile = toggle_profile(&filled).expect("non-empty cube set");
+        // Both metrics come straight off the filled set's packed planes.
+        let profile = filled.as_packed().toggle_profile();
+        let peak = profile.iter().copied().max().unwrap_or(0);
         TechniqueResult {
             order,
             filled,
@@ -88,7 +90,12 @@ impl Technique {
 
 /// Peak toggles of every fill under one ordering — one row of
 /// Tables II/III/IV.
+///
+/// The reorder clones packed rows once; each fill then splices words on
+/// its own copy of the planes and the peak is one popcount sweep — no
+/// scalar cube set is rebuilt per technique.
 pub fn sweep_fills(cubes: &CubeSet, ordering: OrderingMethod) -> Vec<(FillMethod, usize)> {
+    assert!(!cubes.is_empty(), "cannot sweep an empty cube set");
     let order = ordering.order(cubes);
     let reordered = cubes
         .reordered(&order)
@@ -97,7 +104,7 @@ pub fn sweep_fills(cubes: &CubeSet, ordering: OrderingMethod) -> Vec<(FillMethod
         .iter()
         .map(|&fill| {
             let filled = fill.fill(&reordered);
-            let peak = peak_toggles(&filled).expect("non-empty cube set");
+            let peak = filled.as_packed().peak_toggles();
             (fill, peak)
         })
         .collect()

@@ -6,17 +6,20 @@ use dpfill_core::fill::{
     AdjFill, BFill, DpFill, FillStrategy, MtFill, OneFill, XStatFill, ZeroFill,
 };
 use dpfill_cubes::gen::random_cube_set;
-use dpfill_cubes::{Bit, CubeSet};
+use dpfill_cubes::{Bit, CubeSet, TestCube};
 
-/// Scalar reference: fill every X with a constant.
+/// Scalar reference: decode every cube to the scalar view, fill every X
+/// with a constant, and re-pack through the compat boundary.
 fn constant_fill_reference(cubes: &CubeSet, value: Bit) -> CubeSet {
-    let mut out = cubes.clone();
-    for cube in out.cubes_mut() {
-        for b in cube.bits_mut() {
+    let mut out = CubeSet::new(cubes.width());
+    for cube in cubes {
+        let mut bits = cube.into_bits();
+        for b in &mut bits {
             if b.is_x() {
                 *b = value;
             }
         }
+        out.push(TestCube::new(bits)).expect("width preserved");
     }
     out
 }
@@ -57,9 +60,11 @@ fn mt_fill_reference(cubes: &CubeSet) -> CubeSet {
 }
 
 fn adj_fill_reference(cubes: &CubeSet) -> CubeSet {
-    let mut out = cubes.clone();
-    for cube in out.cubes_mut() {
-        copy_left_reference(cube.bits_mut());
+    let mut out = CubeSet::new(cubes.width());
+    for cube in cubes {
+        let mut bits = cube.into_bits();
+        copy_left_reference(&mut bits);
+        out.push(TestCube::new(bits)).expect("width preserved");
     }
     out
 }

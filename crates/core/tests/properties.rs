@@ -51,7 +51,7 @@ fn brute_force_min_peak(cubes: &CubeSet) -> usize {
         .iter()
         .enumerate()
         .flat_map(|(ci, c)| {
-            c.iter()
+            c.into_iter()
                 .enumerate()
                 .filter(|(_, b)| b.is_x())
                 .map(move |(pi, _)| (ci, pi))
@@ -60,7 +60,7 @@ fn brute_force_min_peak(cubes: &CubeSet) -> usize {
     assert!(x_positions.len() <= 16, "brute force capped at 2^16");
     let mut best = usize::MAX;
     for mask in 0u32..(1 << x_positions.len()) {
-        let mut filled: Vec<TestCube> = cubes.iter().cloned().collect();
+        let mut filled: Vec<TestCube> = cubes.iter().collect();
         for (bit, &(ci, pi)) in x_positions.iter().enumerate() {
             filled[ci].set(pi, Bit::from_bool(mask >> bit & 1 == 1));
         }

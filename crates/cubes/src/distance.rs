@@ -6,7 +6,7 @@
 //! walks as executable reference implementations; differential tests
 //! assert both paths agree bit-for-bit.
 
-use crate::packed::{pack_word, PackedCubeSet};
+use crate::packed::pack_word;
 use crate::{CubeError, CubeSet, TestCube};
 
 /// Hamming distance between two **fully specified** patterns, counting `X`
@@ -78,9 +78,8 @@ pub fn conflict_distance(a: &TestCube, b: &TestCube) -> usize {
 /// Per-transition toggle counts for an ordered pattern sequence:
 /// element `j` is `hd(T_j, T_{j+1})`, so the result has `n - 1` entries.
 ///
-/// Packs the set once, then reduces each adjacent pair with popcounts
-/// (see [`PackedCubeSet::toggle_profile`] for the packed-native kernel
-/// when the data already lives packed).
+/// Runs directly on the set's packed planes — one XOR+AND+popcount pass
+/// per adjacent pair, no conversion.
 ///
 /// # Errors
 ///
@@ -89,11 +88,12 @@ pub fn toggle_profile(set: &CubeSet) -> Result<Vec<usize>, CubeError> {
     if set.is_empty() {
         return Err(CubeError::EmptySet);
     }
-    Ok(PackedCubeSet::from(set).toggle_profile())
+    Ok(set.as_packed().toggle_profile())
 }
 
 /// Reference per-bit toggle profile (differential-test twin of
-/// [`toggle_profile`]).
+/// [`toggle_profile`]): decodes each pair to the scalar compat view and
+/// walks bits.
 ///
 /// # Errors
 ///
@@ -102,10 +102,8 @@ pub fn toggle_profile_scalar(set: &CubeSet) -> Result<Vec<usize>, CubeError> {
     if set.is_empty() {
         return Err(CubeError::EmptySet);
     }
-    Ok(set
-        .cubes()
-        .windows(2)
-        .map(|w| hamming_distance_scalar(&w[0], &w[1]))
+    Ok((0..set.len() - 1)
+        .map(|j| hamming_distance_scalar(&set.cube(j), &set.cube(j + 1)))
         .collect())
 }
 
@@ -119,7 +117,7 @@ pub fn peak_toggles(set: &CubeSet) -> Result<usize, CubeError> {
     if set.is_empty() {
         return Err(CubeError::EmptySet);
     }
-    Ok(PackedCubeSet::from(set).peak_toggles())
+    Ok(set.as_packed().peak_toggles())
 }
 
 /// Reference per-bit peak (differential-test twin of [`peak_toggles`]).
@@ -141,7 +139,7 @@ pub fn total_toggles(set: &CubeSet) -> Result<usize, CubeError> {
     if set.is_empty() {
         return Err(CubeError::EmptySet);
     }
-    Ok(PackedCubeSet::from(set).total_toggles())
+    Ok(set.as_packed().total_toggles())
 }
 
 /// Reference per-bit total (differential-test twin of [`total_toggles`]).
@@ -226,11 +224,9 @@ mod tests {
                 total_toggles(&set).unwrap(),
                 total_toggles_scalar(&set).unwrap()
             );
-            for w in set.cubes().windows(2) {
-                assert_eq!(
-                    hamming_distance(&w[0], &w[1]),
-                    hamming_distance_scalar(&w[0], &w[1])
-                );
+            for j in 0..set.len() - 1 {
+                let (a, b) = (set.cube(j), set.cube(j + 1));
+                assert_eq!(hamming_distance(&a, &b), hamming_distance_scalar(&a, &b));
             }
         }
     }

@@ -10,27 +10,199 @@
 //! 0X1XX10X
 //! 1XX0X10X
 //! ```
+//!
+//! # Streaming ingestion
+//!
+//! [`read_patterns`] and [`parse_patterns`] stream characters straight
+//! into the packed `(care, value)` plane words of the [`CubeSet`]
+//! backing store — no intermediate `Vec<Bit>` or [`TestCube`] is ever
+//! materialized. Memory is bounded by one line buffer plus one packed
+//! row (`2 · ⌈width/64⌉` words) beyond the output set itself, so
+//! million-cube pattern files never exist in scalar form.
+//! [`parse_patterns_scalar`] retains the original cube-at-a-time parser
+//! as the differential-test reference and benchmark baseline.
 
+use std::error::Error;
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
-use crate::{CubeError, CubeSet, TestCube};
+use crate::packed::PackedBits;
+use crate::{Bit, CubeError, CubeSet, TestCube};
 
-/// Parses a pattern file from any reader. Note that a `&[u8]` or `&mut R`
-/// can be passed where `R: Read` is expected.
+/// A pattern-file failure: either the underlying reader failed or a line
+/// did not parse. Flattens the previous `io::Result<Result<_, _>>`
+/// nesting into one enum.
+#[derive(Debug)]
+pub enum PatternError {
+    /// The reader returned an I/O error.
+    Io(io::Error),
+    /// A line failed to parse (see [`CubeError::ParseLine`]).
+    Cube(CubeError),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Io(e) => write!(f, "pattern file I/O error: {e}"),
+            PatternError::Cube(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for PatternError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PatternError::Io(e) => Some(e),
+            PatternError::Cube(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for PatternError {
+    fn from(e: io::Error) -> PatternError {
+        PatternError::Io(e)
+    }
+}
+
+impl From<CubeError> for PatternError {
+    fn from(e: CubeError) -> PatternError {
+        PatternError::Cube(e)
+    }
+}
+
+/// Incremental parser state: packs each line straight into plane words.
+struct PatternBuilder {
+    set: CubeSet,
+    width: Option<usize>,
+}
+
+impl PatternBuilder {
+    fn new() -> PatternBuilder {
+        PatternBuilder {
+            set: CubeSet::new(0),
+            width: None,
+        }
+    }
+
+    /// Consumes one raw line (`idx` is 0-based); comments and blank
+    /// lines are skipped here so callers just feed every line.
+    fn line(&mut self, idx: usize, line: &str) -> Result<(), CubeError> {
+        // Fast path: most lines of a large pattern file are pure `01X`
+        // rows, which the branchless kernel packs in one pass with no
+        // comment scan. A `#` (or any other byte) falls through to the
+        // comment-stripping slow path.
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        let row = match PackedBits::from_pattern_ascii(trimmed.as_bytes()) {
+            Ok(row) => row,
+            Err(_) => {
+                let content = match trimmed.find('#') {
+                    Some(pos) => &trimmed[..pos],
+                    None => trimmed,
+                };
+                let content = content.trim_end();
+                if content.is_empty() {
+                    return Ok(());
+                }
+                match PackedBits::from_pattern_ascii(content.as_bytes()) {
+                    Ok(row) => row,
+                    Err(_) => {
+                        // Cold path: rescan as chars for the exact
+                        // offending character (a UTF-8 sequence fails on
+                        // its lead byte).
+                        let bad = content
+                            .chars()
+                            .map(Bit::from_char)
+                            .find_map(Result::err)
+                            .expect("a byte failed, so some char fails");
+                        return Err(CubeError::ParseLine {
+                            line: idx + 1,
+                            message: bad.to_string(),
+                        });
+                    }
+                }
+            }
+        };
+        match self.width {
+            Some(w) if row.len() != w => Err(CubeError::ParseLine {
+                line: idx + 1,
+                message: format!("cube width {} does not match width {}", row.len(), w),
+            }),
+            Some(_) => {
+                self.set.push_packed(row).expect("width checked above");
+                Ok(())
+            }
+            None => {
+                self.width = Some(row.len());
+                self.set = CubeSet::new(row.len());
+                self.set.push_packed(row).expect("first row sets the width");
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(self) -> CubeSet {
+        self.set
+    }
+}
+
+/// Parses a pattern file from any reader, streaming each line into the
+/// packed planes with one reused line buffer (memory stays bounded by
+/// the output set plus one line). Note that a `&[u8]` or `&mut R` can be
+/// passed where `R: Read` is expected.
 ///
 /// # Errors
 ///
-/// Returns [`CubeError::ParseLine`] (wrapped in `io::Error` for I/O
-/// failures) with the 1-based line number of the first offending line.
-pub fn read_patterns<R: Read>(reader: R) -> io::Result<Result<CubeSet, CubeError>> {
-    let reader = BufReader::new(reader);
+/// Returns [`PatternError::Io`] for reader failures and
+/// [`PatternError::Cube`] (wrapping [`CubeError::ParseLine`] with the
+/// 1-based line number) for the first offending line.
+pub fn read_patterns<R: Read>(reader: R) -> Result<CubeSet, PatternError> {
+    let mut reader = BufReader::new(reader);
+    let mut builder = PatternBuilder::new();
+    let mut buf = String::new();
+    let mut idx = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        builder.line(idx, buf.trim_end_matches(['\n', '\r']))?;
+        idx += 1;
+    }
+    Ok(builder.finish())
+}
+
+/// Parses a pattern file from a string, streaming into plane words
+/// (no per-cube scalar allocation).
+///
+/// # Errors
+///
+/// Returns [`CubeError::ParseLine`] on the first malformed line.
+pub fn parse_patterns(text: &str) -> Result<CubeSet, CubeError> {
+    let mut builder = PatternBuilder::new();
+    for (idx, line) in text.lines().enumerate() {
+        builder.line(idx, line)?;
+    }
+    Ok(builder.finish())
+}
+
+/// The original cube-at-a-time parser (`Vec<Bit>` per line, packed on
+/// push), retained as the executable reference for the differential
+/// tests and the parse-throughput benchmark baseline.
+///
+/// # Errors
+///
+/// Returns [`CubeError::ParseLine`] on the first malformed line, with
+/// the same line numbers and messages as [`parse_patterns`].
+pub fn parse_patterns_scalar(text: &str) -> Result<CubeSet, CubeError> {
     let mut cubes: Vec<TestCube> = Vec::new();
     let mut width: Option<usize> = None;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+    for (idx, line) in text.lines().enumerate() {
         let content = match line.find('#') {
             Some(pos) => &line[..pos],
-            None => &line[..],
+            None => line,
         };
         let content = content.trim();
         if content.is_empty() {
@@ -39,38 +211,29 @@ pub fn read_patterns<R: Read>(reader: R) -> io::Result<Result<CubeSet, CubeError
         let cube: TestCube = match content.parse() {
             Ok(c) => c,
             Err(e) => {
-                return Ok(Err(CubeError::ParseLine {
+                return Err(CubeError::ParseLine {
                     line: idx + 1,
                     message: e.to_string(),
-                }))
+                })
             }
         };
         if let Some(w) = width {
             if cube.width() != w {
-                return Ok(Err(CubeError::ParseLine {
+                return Err(CubeError::ParseLine {
                     line: idx + 1,
                     message: format!("cube width {} does not match width {}", cube.width(), w),
-                }));
+                });
             }
         } else {
             width = Some(cube.width());
         }
         cubes.push(cube);
     }
-    Ok(CubeSet::from_cubes(cubes))
-}
-
-/// Parses a pattern file from a string.
-///
-/// # Errors
-///
-/// Returns [`CubeError::ParseLine`] on the first malformed line.
-pub fn parse_patterns(text: &str) -> Result<CubeSet, CubeError> {
-    read_patterns(text.as_bytes()).expect("reading from memory cannot fail")
+    CubeSet::from_cubes(cubes)
 }
 
 /// Writes a cube set in the pattern format, with an optional header
-/// comment.
+/// comment. Rows are rendered straight from the packed planes.
 ///
 /// # Errors
 ///
@@ -85,7 +248,7 @@ pub fn write_patterns<W: Write>(
             writeln!(writer, "# {line}")?;
         }
     }
-    for cube in set {
+    for cube in set.packed_cubes() {
         writeln!(writer, "{cube}")?;
     }
     Ok(())
@@ -153,5 +316,59 @@ mod tests {
         let text = patterns_to_string(&set, Some("line a\nline b"));
         assert!(text.contains("# line a\n# line b\n"));
         assert_eq!(parse_patterns(&text).unwrap(), set);
+    }
+
+    #[test]
+    fn read_patterns_flattened_errors() {
+        // Happy path from a byte reader.
+        let set = read_patterns("0X\n10\n".as_bytes()).unwrap();
+        assert_eq!(set.len(), 2);
+        // Parse failure arrives as PatternError::Cube.
+        match read_patterns("0X\nZZ\n".as_bytes()) {
+            Err(PatternError::Cube(CubeError::ParseLine { line, .. })) => assert_eq!(line, 2),
+            other => panic!("expected Cube(ParseLine), got {other:?}"),
+        }
+        // I/O failure arrives as PatternError::Io via From<io::Error>.
+        struct Broken;
+        impl Read for Broken {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("reader broke"))
+            }
+        }
+        match read_patterns(Broken) {
+            Err(PatternError::Io(e)) => assert_eq!(e.to_string(), "reader broke"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_patterns_handles_crlf_and_missing_final_newline() {
+        let set = read_patterns("0X\r\n10".as_bytes()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.cube(1).to_string(), "10");
+    }
+
+    #[test]
+    fn streaming_and_scalar_parsers_agree() {
+        let text = "# hdr\n\n0X1X0X1\n  1111111  # c\nXXXXXXX\n";
+        assert_eq!(
+            parse_patterns(text).unwrap(),
+            parse_patterns_scalar(text).unwrap()
+        );
+        for bad in ["01\nZZ\n", "01\n010\n"] {
+            assert_eq!(
+                parse_patterns(bad).unwrap_err(),
+                parse_patterns_scalar(bad).unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_error_display_and_source() {
+        let e = PatternError::from(CubeError::EmptySet);
+        assert!(e.to_string().contains("non-empty"));
+        assert!(e.source().is_some());
+        let io_e = PatternError::from(io::Error::other("boom"));
+        assert!(io_e.to_string().contains("boom"));
     }
 }

@@ -5,21 +5,26 @@
 //! This crate provides:
 //!
 //! * [`Bit`] — a three-valued logic bit with the usual 3-valued operators;
-//! * [`TestCube`] — one pattern, with Hamming/conflict distances and
-//!   cube-merging for static compaction;
+//! * [`TestCube`] — one pattern in the scalar `Vec<Bit>` compat view,
+//!   with Hamming/conflict distances and cube-merging for static
+//!   compaction;
 //! * [`CubeSet`] — an ordered set of equal-width cubes (the matrix whose
-//!   columns the DP-fill paper calls `T1..Tn`), with X-density statistics
-//!   and reordering;
-//! * [`PinMatrix`] — the transposed row-major view (one row per pin) that
-//!   X-filling algorithms operate on;
-//! * [`packed`] — the bit-packed two-plane backing store ([`PackedBits`],
-//!   [`PackedCubeSet`], [`PackedMatrix`]) behind the popcount kernels and
-//!   the word-blocked transpose;
+//!   columns the DP-fill paper calls `T1..Tn`). **Packed-first**: the
+//!   single source of truth is the two-plane `(care, value)` word store
+//!   ([`PackedCubeSet`]); the scalar [`TestCube`] view is decoded lazily
+//!   by [`CubeSet::cube`] and the iterators, for debugging and
+//!   compatibility only;
+//! * [`PinMatrix`] — the transposed row-major scalar view (one row per
+//!   pin) kept as the reference implementation for differential tests;
+//! * [`packed`] — the bit-packed two-plane store itself ([`PackedBits`],
+//!   [`PackedCubeSet`], [`PackedMatrix`]) with the popcount kernels, the
+//!   word-blocked transpose and the streaming row builder;
 //! * [`stretch`] — classification of the X-runs ("stretches") inside a row,
 //!   the raw material of the paper's interval mapping and of Fig 2(c);
 //! * [`gen`] — seeded random cube generators used for tests and for the
 //!   profile-driven reproduction mode;
-//! * [`format`] — a plain-text pattern format (one `01X` string per line).
+//! * [`format`] — a plain-text pattern format (one `01X` string per
+//!   line), parsed by streaming characters straight into plane words.
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@ pub use distance::{
     total_toggles_scalar,
 };
 pub use error::CubeError;
+pub use format::PatternError;
 pub use matrix::PinMatrix;
 pub use packed::{PackedBits, PackedCubeSet, PackedMatrix};
-pub use set::CubeSet;
+pub use set::{CubeSet, Cubes, IntoCubes};

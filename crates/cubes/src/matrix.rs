@@ -41,21 +41,12 @@ impl PinMatrix {
 
     /// Transposes a cube set into the row-per-pin view.
     ///
-    /// Large matrices go through the packed word-blocked bit transpose
-    /// ([`crate::packed::PackedMatrix::from_packed_set`]): both planes are
-    /// flipped in 64×64 tiles and the rows decoded sequentially, instead
-    /// of scattering one `Bit` per `cols`-strided write. Small matrices
-    /// keep the direct scalar scatter, which wins below the tiling
-    /// overhead.
+    /// The set already lives in packed planes, so this is the word-blocked
+    /// bit transpose ([`crate::packed::PackedMatrix::from_packed_set`]) —
+    /// both planes flipped in 64×64 tiles — followed by a sequential
+    /// decode of each row into the scalar view.
     pub fn from_cube_set(set: &CubeSet) -> PinMatrix {
-        // Cutoff chosen so at least a few 64-wide tiles are in play.
-        const PACKED_CUTOFF: usize = 64 * 64;
-        if set.width() * set.len() >= PACKED_CUTOFF {
-            let packed = crate::packed::PackedCubeSet::from(set);
-            crate::packed::PackedMatrix::from_packed_set(&packed).to_pin_matrix()
-        } else {
-            PinMatrix::from_cube_set_scalar(set)
-        }
+        crate::packed::PackedMatrix::from_packed_set(set.as_packed()).to_pin_matrix()
     }
 
     /// The direct per-bit transpose, kept as the reference implementation

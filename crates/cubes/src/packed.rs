@@ -74,6 +74,64 @@ impl PackedBits {
         }
     }
 
+    /// An empty vector with plane capacity for `bits` positions, so the
+    /// streaming row kernel ([`PackedBits::from_pattern_ascii`]) never
+    /// reallocates while packing a row of known width.
+    pub fn with_capacity(bits: usize) -> PackedBits {
+        PackedBits {
+            len: 0,
+            care: Vec::with_capacity(words_for(bits)),
+            val: Vec::with_capacity(words_for(bits)),
+        }
+    }
+
+    /// Packs a `01Xx-` ASCII pattern row straight into plane words — the
+    /// streaming-parser kernel. A 256-entry table maps each byte to its
+    /// `(care, value)` plane bits branchlessly (pattern data is random
+    /// `0/1/X`, so a match would mispredict on nearly every byte), and 64
+    /// characters accumulate into two register words before a single push
+    /// per plane. Returns the first byte outside the alphabet as `Err`
+    /// (multi-byte UTF-8 sequences fail on their lead byte).
+    pub fn from_pattern_ascii(text: &[u8]) -> Result<PackedBits, u8> {
+        // Encoding: bit0 = value, bit1 = care, 0xFF = invalid byte.
+        const INVALID: u8 = 0xFF;
+        const LUT: [u8; 256] = {
+            let mut t = [INVALID; 256];
+            t[b'0' as usize] = 0b10;
+            t[b'1' as usize] = 0b11;
+            t[b'x' as usize] = 0b00;
+            t[b'X' as usize] = 0b00;
+            t[b'-' as usize] = 0b00;
+            t
+        };
+        let mut row = PackedBits::with_capacity(text.len());
+        let mut care_w = 0u64;
+        let mut val_w = 0u64;
+        let mut b = 0u32;
+        for &byte in text {
+            let e = LUT[byte as usize];
+            if e == INVALID {
+                return Err(byte);
+            }
+            care_w |= ((e >> 1) as u64) << b;
+            val_w |= ((e & 1) as u64) << b;
+            b += 1;
+            if b == 64 {
+                row.care.push(care_w);
+                row.val.push(val_w);
+                care_w = 0;
+                val_w = 0;
+                b = 0;
+            }
+        }
+        if b > 0 {
+            row.care.push(care_w);
+            row.val.push(val_w);
+        }
+        row.len = text.len();
+        Ok(row)
+    }
+
     /// Packs a scalar bit slice.
     pub fn from_bits(bits: &[Bit]) -> PackedBits {
         let mut p = PackedBits::all_x(bits.len());
@@ -235,6 +293,57 @@ impl PackedBits {
                 .all(|((&va, &vb), (&ca, &cb))| (va ^ vb) & ca & cb == 0)
     }
 
+    /// Merges two compatible vectors into their intersection — the packed
+    /// primitive of static test compaction. With no conflicting care bits,
+    /// the merge is one OR per plane word (`val ⊆ care` is preserved
+    /// because shared care positions agree). Returns `None` when the
+    /// vectors are incompatible or differ in width.
+    pub fn merge(&self, other: &PackedBits) -> Option<PackedBits> {
+        if !self.is_compatible(other) {
+            return None;
+        }
+        Some(PackedBits {
+            len: self.len,
+            care: self
+                .care
+                .iter()
+                .zip(&other.care)
+                .map(|(&a, &b)| a | b)
+                .collect(),
+            val: self
+                .val
+                .iter()
+                .zip(&other.val)
+                .map(|(&a, &b)| a | b)
+                .collect(),
+        })
+    }
+
+    /// `true` when every care bit of `other` is matched by `self` — the
+    /// word-level containment check behind filling validation: per word,
+    /// `other`'s care positions must be care in `self`
+    /// (`cb & !ca == 0`) and carry the same value (`cb & (va^vb) == 0`).
+    pub fn is_contained_in(&self, other: &PackedBits) -> bool {
+        self.len == other.len
+            && self
+                .val
+                .iter()
+                .zip(&other.val)
+                .zip(self.care.iter().zip(&other.care))
+                .all(|((&va, &vb), (&ca, &cb))| cb & !ca == 0 && cb & (va ^ vb) == 0)
+    }
+
+    /// `true` when no position is `X` (the care plane is all ones over
+    /// the live bits).
+    pub fn is_fully_specified(&self) -> bool {
+        let n = self.care.len();
+        let tail = tail_mask(self.len);
+        self.care
+            .iter()
+            .enumerate()
+            .all(|(w, &cw)| cw == if w + 1 == n { tail } else { u64::MAX })
+    }
+
     /// Overwrites columns `[lo, hi)` with the care value `value` — the
     /// mask-splice primitive behind the word-level fills.
     ///
@@ -390,6 +499,27 @@ impl Iterator for CarePositions<'_> {
     }
 }
 
+impl std::fmt::Display for PackedBits {
+    /// Renders the row as a `01X` string straight from the planes (no
+    /// scalar materialization; one `write_char` per bit, no per-char
+    /// formatting machinery).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use std::fmt::Write as _;
+        for i in 0..self.len {
+            let (w, b) = (i / WORD, i % WORD);
+            let c = if self.care[w] >> b & 1 == 0 {
+                'X'
+            } else if self.val[w] >> b & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            };
+            f.write_char(c)?;
+        }
+        Ok(())
+    }
+}
+
 impl From<&[Bit]> for PackedBits {
     fn from(bits: &[Bit]) -> PackedBits {
         PackedBits::from_bits(bits)
@@ -450,22 +580,17 @@ impl PackedCubeSet {
         }
     }
 
-    /// Packs a scalar cube set.
+    /// Clones a cube set's packed backing store. Since PR 2 the
+    /// [`CubeSet`] *is* packed-backed, so this is a plane copy, not a
+    /// pack; kept for API compatibility with packed-kernel call sites.
     pub fn from_cube_set(set: &CubeSet) -> PackedCubeSet {
-        PackedCubeSet {
-            width: set.width(),
-            cubes: set.iter().map(PackedBits::from).collect(),
-        }
+        set.as_packed().clone()
     }
 
-    /// Unpacks to the scalar representation.
+    /// Wraps a clone of this set in the [`CubeSet`] facade (plane copy;
+    /// use [`CubeSet::from_packed`] to move without copying).
     pub fn to_cube_set(&self) -> CubeSet {
-        let mut set = CubeSet::new(self.width);
-        for cube in &self.cubes {
-            set.push(TestCube::new(cube.to_bits()))
-                .expect("packed cubes share the set width");
-        }
-        set
+        CubeSet::from_packed(self.clone())
     }
 
     /// Cube width in pins.
@@ -543,6 +668,37 @@ impl PackedCubeSet {
     pub fn x_count(&self) -> usize {
         self.cubes.iter().map(PackedBits::x_count).sum()
     }
+
+    /// A new set whose cube `p` is this set's cube `order[p]` (row
+    /// clones, no unpack/repack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn reordered(&self, order: &[usize]) -> PackedCubeSet {
+        PackedCubeSet {
+            width: self.width,
+            cubes: order.iter().map(|&i| self.cubes[i].clone()).collect(),
+        }
+    }
+
+    /// Consumes the set and returns its packed rows.
+    pub fn into_cubes(self) -> Vec<PackedBits> {
+        self.cubes
+    }
+
+    /// Builds a set from packed rows of uniform width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from `width`.
+    pub fn from_rows(width: usize, cubes: Vec<PackedBits>) -> PackedCubeSet {
+        assert!(
+            cubes.iter().all(|c| c.len() == width),
+            "cube width mismatch"
+        );
+        PackedCubeSet { width, cubes }
+    }
 }
 
 impl From<&CubeSet> for PackedCubeSet {
@@ -612,8 +768,31 @@ impl PackedMatrix {
     /// [`transpose64`], so the cost is `rows·cols/64` word ops instead of
     /// `rows·cols` bit scatters.
     pub fn from_packed_set(set: &PackedCubeSet) -> PackedMatrix {
+        Self::gather_transpose(set, set.len(), |col| col)
+    }
+
+    /// Word-blocked transpose of `set` *as seen through* the permutation
+    /// `order`: column `p` of the result is cube `order[p]`. The gather
+    /// happens during tile loading, so candidate orderings (the
+    /// I-ordering's Algorithm 3 loop) never materialize a reordered cube
+    /// set at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `order` is out of range.
+    pub fn from_reordered_set(set: &PackedCubeSet, order: &[usize]) -> PackedMatrix {
+        Self::gather_transpose(set, order.len(), |col| order[col])
+    }
+
+    /// The shared tile kernel behind [`PackedMatrix::from_packed_set`]
+    /// and [`PackedMatrix::from_reordered_set`]: matrix column `col`
+    /// reads cube `cube_index(col)`.
+    fn gather_transpose(
+        set: &PackedCubeSet,
+        cols: usize,
+        cube_index: impl Fn(usize) -> usize,
+    ) -> PackedMatrix {
         let rows = set.width();
-        let cols = set.len();
         let mut m = PackedMatrix::all_x(rows, cols);
         let mut care_tile = [0u64; 64];
         let mut val_tile = [0u64; 64];
@@ -621,8 +800,8 @@ impl PackedMatrix {
             for cube_block in 0..words_for(cols) {
                 let cube_lo = cube_block * WORD;
                 let cube_hi = (cube_lo + WORD).min(cols);
-                for (t, cube_idx) in (cube_lo..cube_hi).enumerate() {
-                    let cube = &set.cubes[cube_idx];
+                for (t, col) in (cube_lo..cube_hi).enumerate() {
+                    let cube = &set.cubes[cube_index(col)];
                     care_tile[t] = cube.care[pin_block];
                     val_tile[t] = cube.val[pin_block];
                 }
@@ -770,7 +949,7 @@ mod tests {
         for len in [0, 1, 63, 64, 65, 127, 128, 130] {
             let set = random_cube_set(len, 3, 0.5, len as u64);
             for cube in set.iter() {
-                let packed = PackedBits::from(cube);
+                let packed = PackedBits::from(&cube);
                 assert_eq!(packed.to_bits(), cube.bits(), "len {len}");
                 assert_eq!(packed.x_count(), cube.x_count());
             }
@@ -800,8 +979,8 @@ mod tests {
             let set = random_cube_set(130, 6, 0.5, seed);
             for i in 0..set.len() {
                 for j in 0..set.len() {
-                    let a = PackedBits::from(set.cube(i));
-                    let b = PackedBits::from(set.cube(j));
+                    let a = PackedBits::from(&set.cube(i));
+                    let b = PackedBits::from(&set.cube(j));
                     let scalar = set
                         .cube(i)
                         .iter()
@@ -910,6 +1089,26 @@ mod tests {
             let scalar = set.to_pin_matrix();
             assert_eq!(m.to_pin_matrix(), scalar, "{w}x{n} vs scalar");
             assert_eq!(PackedMatrix::from_pin_matrix(&scalar), m);
+        }
+    }
+
+    #[test]
+    fn reordered_gather_transpose_matches_materialized_reorder() {
+        // Shapes spanning several 64-wide tiles on both axes, so the
+        // gather path exercises the same boundary handling as the
+        // identity transpose.
+        for (w, n, seed) in [
+            (5usize, 3usize, 1u64),
+            (65, 63, 2),
+            (130, 70, 3),
+            (200, 129, 4),
+        ] {
+            let set = random_cube_set(w, n, 0.6, seed);
+            let packed = PackedCubeSet::from(&set);
+            let order: Vec<usize> = (0..n).rev().collect();
+            let gathered = PackedMatrix::from_reordered_set(&packed, &order);
+            let materialized = PackedMatrix::from_packed_set(&packed.reordered(&order));
+            assert_eq!(gathered, materialized, "{w}x{n}");
         }
     }
 

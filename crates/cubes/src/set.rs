@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::packed::{PackedBits, PackedCubeSet};
 use crate::{Bit, CubeError, PinMatrix, TestCube};
 
 /// An ordered collection of equal-width test cubes — the pattern sequence
@@ -7,6 +8,18 @@ use crate::{Bit, CubeError, PinMatrix, TestCube};
 ///
 /// The order of cubes is significant: peak toggles are measured between
 /// *consecutive* cubes, so reordering the set changes the objective.
+///
+/// # Data model
+///
+/// The set is **packed-backed**: its single source of truth is a
+/// [`PackedCubeSet`] — one `(care, value)` pair of `u64` planes per cube,
+/// 64 pins per word — so every metric (X counts, toggle profiles,
+/// containment checks) and every fill runs as word kernels with no
+/// scalar materialization. The scalar [`TestCube`] view is a *lazy
+/// debug/compat adapter*: [`CubeSet::cube`] and the iterators decode a
+/// fresh `TestCube` on demand, and [`CubeSet::push`] packs at the
+/// boundary. Code on a hot path should use [`CubeSet::as_packed`] /
+/// [`CubeSet::packed_cubes`] and never decode.
 ///
 /// # Example
 ///
@@ -25,17 +38,32 @@ use crate::{Bit, CubeError, PinMatrix, TestCube};
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CubeSet {
-    width: usize,
-    cubes: Vec<TestCube>,
+    packed: PackedCubeSet,
 }
 
 impl CubeSet {
     /// Creates an empty set whose cubes must all have `width` bits.
     pub fn new(width: usize) -> CubeSet {
         CubeSet {
-            width,
-            cubes: Vec::new(),
+            packed: PackedCubeSet::new(width),
         }
+    }
+
+    /// Wraps an already-packed set (zero-cost; the packed planes *are*
+    /// the storage).
+    pub fn from_packed(packed: PackedCubeSet) -> CubeSet {
+        CubeSet { packed }
+    }
+
+    /// Consumes the set and returns the packed backing store (zero-cost).
+    pub fn into_packed(self) -> PackedCubeSet {
+        self.packed
+    }
+
+    /// The packed backing store: two `u64` planes per cube.
+    #[inline]
+    pub fn as_packed(&self) -> &PackedCubeSet {
+        &self.packed
     }
 
     /// Builds a set from cubes, taking the width from the first cube.
@@ -71,77 +99,92 @@ impl CubeSet {
         )
     }
 
-    /// Appends a cube.
+    /// Appends a scalar cube, packing it at the boundary.
     ///
     /// # Errors
     ///
     /// Returns [`CubeError::WidthMismatch`] when the cube width differs
     /// from the set width.
     pub fn push(&mut self, cube: TestCube) -> Result<(), CubeError> {
-        if cube.width() != self.width {
+        self.push_packed(PackedBits::from(&cube))
+    }
+
+    /// Appends an already-packed cube (no scalar round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the cube width differs
+    /// from the set width.
+    pub fn push_packed(&mut self, cube: PackedBits) -> Result<(), CubeError> {
+        if cube.len() != self.packed.width() {
             return Err(CubeError::WidthMismatch {
-                expected: self.width,
-                found: cube.width(),
+                expected: self.packed.width(),
+                found: cube.len(),
             });
         }
-        self.cubes.push(cube);
+        self.packed.push(cube);
         Ok(())
     }
 
     /// Common width of all cubes (the number of pins `m`).
     #[inline]
     pub fn width(&self) -> usize {
-        self.width
+        self.packed.width()
     }
 
     /// Number of cubes `n`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.cubes.len()
+        self.packed.len()
     }
 
     /// Returns `true` when the set holds no cubes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.cubes.is_empty()
+        self.packed.is_empty()
     }
 
-    /// The cubes in order.
+    /// The packed cubes in order — the native view for word kernels.
     #[inline]
-    pub fn cubes(&self) -> &[TestCube] {
-        &self.cubes
+    pub fn packed_cubes(&self) -> &[PackedBits] {
+        self.packed.cubes()
     }
 
-    /// Mutable access to the cubes (fill algorithms rewrite bits in place).
+    /// Mutable access to the packed cubes (fill algorithms splice words
+    /// in place; row widths are fixed, so the set invariants hold).
     #[inline]
-    pub fn cubes_mut(&mut self) -> &mut [TestCube] {
-        &mut self.cubes
+    pub fn packed_cubes_mut(&mut self) -> &mut [PackedBits] {
+        self.packed.cubes_mut()
     }
 
-    /// Cube at position `index`.
+    /// Cube at position `index`, decoded on demand to the scalar
+    /// compat view.
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
     #[inline]
-    pub fn cube(&self, index: usize) -> &TestCube {
-        &self.cubes[index]
+    pub fn cube(&self, index: usize) -> TestCube {
+        TestCube::new(self.packed.cube(index).to_bits())
     }
 
-    /// Iterates over the cubes.
-    pub fn iter(&self) -> std::slice::Iter<'_, TestCube> {
-        self.cubes.iter()
+    /// Iterates over the cubes, decoding each on demand.
+    pub fn iter(&self) -> Cubes<'_> {
+        Cubes {
+            inner: self.packed.cubes().iter(),
+        }
     }
 
-    /// Total number of `X` bits over all cubes.
+    /// Total number of `X` bits over all cubes (popcount over the care
+    /// planes).
     pub fn x_count(&self) -> usize {
-        self.cubes.iter().map(TestCube::x_count).sum()
+        self.packed.x_count()
     }
 
     /// Average percentage of `X` bits per cube — the paper's Table I
     /// "X %" column. Returns `0` for an empty or zero-width set.
     pub fn x_percent(&self) -> f64 {
-        let total_bits = self.len() * self.width;
+        let total_bits = self.len() * self.width();
         if total_bits == 0 {
             0.0
         } else {
@@ -149,12 +192,17 @@ impl CubeSet {
         }
     }
 
-    /// Returns `true` when no cube contains an `X` bit.
+    /// Returns `true` when no cube contains an `X` bit (care planes all
+    /// ones).
     pub fn is_fully_specified(&self) -> bool {
-        self.cubes.iter().all(TestCube::is_fully_specified)
+        self.packed
+            .cubes()
+            .iter()
+            .all(PackedBits::is_fully_specified)
     }
 
-    /// Returns a new set with cubes ordered as `order[0], order[1], …`.
+    /// Returns a new set with cubes ordered as `order[0], order[1], …`
+    /// (packed-row clones; no unpack/repack).
     ///
     /// # Errors
     ///
@@ -172,8 +220,7 @@ impl CubeSet {
             seen[i] = true;
         }
         Ok(CubeSet {
-            width: self.width,
-            cubes: order.iter().map(|&i| self.cubes[i].clone()).collect(),
+            packed: self.packed.reordered(order),
         })
     }
 
@@ -185,21 +232,25 @@ impl CubeSet {
 
     /// Checks that `filled` is a legal filling of `self`: same shape, no
     /// remaining `X`, and every care bit preserved. Fill algorithms must
-    /// never flip a care bit — that would destroy fault detection.
+    /// never flip a care bit — that would destroy fault detection. Runs
+    /// entirely on the planes (two word comparisons per 64 pins).
     pub fn is_filling_of(filled: &CubeSet, original: &CubeSet) -> bool {
-        filled.width == original.width
+        filled.width() == original.width()
             && filled.len() == original.len()
-            && filled.is_fully_specified()
             && filled
-                .cubes
+                .packed_cubes()
                 .iter()
-                .zip(&original.cubes)
-                .all(|(f, o)| f.is_contained_in(o))
+                .zip(original.packed_cubes())
+                .all(|(f, o)| f.is_fully_specified() && f.is_contained_in(o))
     }
 
     /// Per-cube X counts, used by the I-ordering's initial sort.
     pub fn x_counts(&self) -> Vec<usize> {
-        self.cubes.iter().map(TestCube::x_count).collect()
+        self.packed
+            .cubes()
+            .iter()
+            .map(PackedBits::x_count)
+            .collect()
     }
 
     /// Bit at `(cube, pin)`.
@@ -209,7 +260,34 @@ impl CubeSet {
     /// Panics when either index is out of range.
     #[inline]
     pub fn bit(&self, cube: usize, pin: usize) -> Bit {
-        self.cubes[cube][pin]
+        self.packed.cube(cube).get(pin)
+    }
+}
+
+/// Iterator over a [`CubeSet`]'s cubes, decoding the scalar compat view
+/// on demand.
+#[derive(Clone, Debug)]
+pub struct Cubes<'a> {
+    inner: std::slice::Iter<'a, PackedBits>,
+}
+
+impl Iterator for Cubes<'_> {
+    type Item = TestCube;
+
+    fn next(&mut self) -> Option<TestCube> {
+        self.inner.next().map(|p| TestCube::new(p.to_bits()))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Cubes<'_> {}
+
+impl DoubleEndedIterator for Cubes<'_> {
+    fn next_back(&mut self) -> Option<TestCube> {
+        self.inner.next_back().map(|p| TestCube::new(p.to_bits()))
     }
 }
 
@@ -226,26 +304,51 @@ impl FromIterator<TestCube> for CubeSet {
 }
 
 impl<'a> IntoIterator for &'a CubeSet {
-    type Item = &'a TestCube;
-    type IntoIter = std::slice::Iter<'a, TestCube>;
+    type Item = TestCube;
+    type IntoIter = Cubes<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.cubes.iter()
+        self.iter()
+    }
+}
+
+/// Owning iterator: decodes each packed cube to the scalar view.
+pub struct IntoCubes {
+    inner: std::vec::IntoIter<PackedBits>,
+}
+
+impl Iterator for IntoCubes {
+    type Item = TestCube;
+
+    fn next(&mut self) -> Option<TestCube> {
+        self.inner.next().map(|p| TestCube::new(p.to_bits()))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
     }
 }
 
 impl IntoIterator for CubeSet {
     type Item = TestCube;
-    type IntoIter = std::vec::IntoIter<TestCube>;
+    type IntoIter = IntoCubes;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.cubes.into_iter()
+        IntoCubes {
+            inner: self.packed.into_cubes().into_iter(),
+        }
+    }
+}
+
+impl From<PackedCubeSet> for CubeSet {
+    fn from(packed: PackedCubeSet) -> CubeSet {
+        CubeSet::from_packed(packed)
     }
 }
 
 impl fmt::Display for CubeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for cube in &self.cubes {
+        for cube in self.packed.cubes() {
             writeln!(f, "{cube}")?;
         }
         Ok(())
@@ -270,6 +373,20 @@ mod tests {
             CubeError::WidthMismatch {
                 expected: 3,
                 found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn push_packed_enforces_width() {
+        let mut set = CubeSet::new(3);
+        assert!(set.push_packed(PackedBits::all_x(3)).is_ok());
+        let err = set.push_packed(PackedBits::all_x(5)).unwrap_err();
+        assert_eq!(
+            err,
+            CubeError::WidthMismatch {
+                expected: 3,
+                found: 5
             }
         );
     }
@@ -345,5 +462,35 @@ mod tests {
     #[test]
     fn x_counts_per_cube() {
         assert_eq!(sample().x_counts(), vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn packed_round_trip_is_lossless() {
+        let set = sample();
+        let packed = set.as_packed().clone();
+        let back = CubeSet::from_packed(packed);
+        assert_eq!(back, set);
+        assert_eq!(set.clone().into_packed().to_cube_set(), set);
+    }
+
+    #[test]
+    fn iterators_decode_the_compat_view() {
+        let set = sample();
+        let decoded: Vec<String> = set.iter().map(|c| c.to_string()).collect();
+        assert_eq!(decoded, vec!["0X1", "1X0", "XX1", "00X"]);
+        let owned: Vec<TestCube> = set.clone().into_iter().collect();
+        assert_eq!(owned.len(), 4);
+        assert_eq!(owned[2].to_string(), "XX1");
+        let back: Vec<String> = set.iter().rev().map(|c| c.to_string()).collect();
+        assert_eq!(back[0], "00X");
+        assert_eq!(set.iter().len(), 4);
+    }
+
+    #[test]
+    fn bit_access_reads_planes() {
+        let set = sample();
+        assert_eq!(set.bit(0, 1), Bit::X);
+        assert_eq!(set.bit(1, 0), Bit::One);
+        assert_eq!(set.bit(3, 1), Bit::Zero);
     }
 }

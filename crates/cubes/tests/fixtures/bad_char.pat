@@ -1,0 +1,4 @@
+# line 3 carries a character outside 01Xx-
+0X1X
+1Z0X
+XXXX

@@ -1,0 +1,9 @@
+# pattern dump with every kind of noise the format allows
+# second header line
+
+0X1   # trailing comment after a cube
+  1X0
+	XX1
+
+# a comment between cubes
+00X

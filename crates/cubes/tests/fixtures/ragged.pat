@@ -1,0 +1,5 @@
+# line 4 is one bit short
+0X1X
+1X0X
+
+XXX

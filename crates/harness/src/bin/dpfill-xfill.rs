@@ -22,7 +22,6 @@
 //! dpfill-xfill cubes.pat --fill dp --order interleave --stats > filled.pat
 //! ```
 
-use std::io::Read;
 use std::process::ExitCode;
 
 use dpfill_core::fill::FillMethod;
@@ -91,19 +90,15 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    let text = match &opts.input {
+    // Stream the pattern file straight into the packed cube planes —
+    // the input never exists in memory as text or scalar bits.
+    let cubes = match &opts.input {
         Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            format::read_patterns(file).map_err(|e| format!("{path}: {e}"))?
         }
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("cannot read stdin: {e}"))?;
-            buf
-        }
+        None => format::read_patterns(std::io::stdin().lock()).map_err(|e| e.to_string())?,
     };
-    let cubes = format::parse_patterns(&text).map_err(|e| e.to_string())?;
     if cubes.is_empty() {
         return Err("no patterns in input".to_owned());
     }

@@ -3,7 +3,7 @@
 //! under the three orderings.
 
 use dpfill_core::ordering::{IOrdering, OrderingMethod};
-use dpfill_cubes::packed::{PackedCubeSet, PackedMatrix};
+use dpfill_cubes::packed::PackedMatrix;
 use dpfill_cubes::stretch::{StretchStats, LENGTH_BUCKETS};
 
 use crate::flow::Prepared;
@@ -109,7 +109,7 @@ pub fn fig2c(p: &Prepared) -> (Fig2cResult, TextTable) {
     for o in orderings {
         let order = o.order(&p.cubes);
         let reordered = p.cubes.reordered(&order).expect("permutation");
-        let packed = PackedMatrix::from_packed_set(&PackedCubeSet::from(&reordered));
+        let packed = PackedMatrix::from_packed_set(reordered.as_packed());
         let s = StretchStats::of_packed(&packed);
         stats.push((o.label().to_owned(), s));
     }

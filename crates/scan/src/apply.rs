@@ -1,4 +1,4 @@
-use dpfill_cubes::{hamming_distance, CubeSet};
+use dpfill_cubes::CubeSet;
 
 use crate::{ScanChains, ScanError};
 
@@ -130,7 +130,9 @@ impl ScanSchedule {
         let mut prev_visible = 0usize;
         for (&_kind, &vis) in self.kinds.iter().zip(&self.visible) {
             let toggles = if vis != prev_visible {
-                hamming_distance(self.patterns.cube(prev_visible), self.patterns.cube(vis))
+                // Packed rows: one XOR+AND+popcount pass per 64 pins.
+                let rows = self.patterns.packed_cubes();
+                rows[prev_visible].hamming(&rows[vis])
             } else {
                 0
             };

@@ -29,7 +29,7 @@ pub fn wtm(chain_vector: &[Bit]) -> u64 {
 pub fn shift_power_profile(chains: &ScanChains, patterns: &CubeSet) -> Result<Vec<u64>, ScanError> {
     let mut out = Vec::with_capacity(patterns.len());
     for cube in patterns {
-        let vectors = chains.chain_vectors(cube)?;
+        let vectors = chains.chain_vectors(&cube)?;
         out.push(vectors.iter().map(|v| wtm(v)).sum());
     }
     Ok(out)

@@ -160,12 +160,15 @@ pub fn pack_patterns(set: &CubeSet, first: usize) -> (Vec<Planes>, usize) {
     let count = (set.len() - first).min(64);
     let mut planes = vec![Planes::ALL_X; set.width()];
     for p in 0..count {
-        let cube = set.cube(first + p);
-        for (pin, bit) in cube.iter().enumerate() {
+        // Walk only the care positions of the packed row (word hops over
+        // the care plane): X pins keep the ALL_X default, and no scalar
+        // cube is ever materialized.
+        let cube = &set.packed_cubes()[first + p];
+        for (pin, bit) in cube.care_positions() {
             match bit {
                 Bit::Zero => planes[pin].one &= !(1 << p),
                 Bit::One => planes[pin].zero &= !(1 << p),
-                Bit::X => {}
+                Bit::X => unreachable!("care_positions yields care bits only"),
             }
         }
     }

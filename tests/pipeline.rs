@@ -93,6 +93,36 @@ fn generated_benchmark_pipeline_is_optimal_per_ordering() {
     }
 }
 
+/// Regression anchor for the packed-backed `CubeSet` refactor: the
+/// peak-toggle counts of `sweep_fills` on a seeded 256×256 cube set are
+/// pinned to the values produced by the scalar representation, so any
+/// representation change that perturbs a single bit of any fill or
+/// metric fails loudly here.
+#[test]
+fn sweep_fills_peaks_are_invariant_on_seeded_256x256_set() {
+    use dpfill::core::sweep_fills;
+    use dpfill::cubes::gen::random_cube_set;
+
+    let cubes = random_cube_set(256, 256, 0.8, 0x5EED_CAFE);
+    assert!((cubes.x_percent() - 80.0995).abs() < 1e-3);
+
+    // (ordering, pinned peaks for MT/R/0/1/B/DP in table-column order).
+    let pinned: [(OrderingMethod, [usize; 6]); 3] = [
+        (OrderingMethod::Tool, [41, 149, 63, 63, 27, 26]),
+        (OrderingMethod::XStat, [37, 154, 65, 61, 24, 24]),
+        (OrderingMethod::Interleaved, [38, 149, 61, 59, 26, 25]),
+    ];
+    for (ordering, want) in pinned {
+        let sweep = sweep_fills(&cubes, ordering);
+        let got: Vec<usize> = sweep.iter().map(|&(_, peak)| peak).collect();
+        assert_eq!(
+            got,
+            want.to_vec(),
+            "{ordering:?}: peak-toggle counts drifted across the representation change"
+        );
+    }
+}
+
 #[test]
 fn atpg_cubes_survive_round_trip_through_pattern_files() {
     let netlist = c17();
