@@ -1,4 +1,10 @@
 //! DP-fill: the paper's optimal X-filling algorithm.
+//!
+//! The matrix analysis and the §V-D reconstruction both fan out over
+//! pin-row chunks on the current [`minipool`] pool (see
+//! [`MatrixMapping`]); the BCP solve between them is inherently
+//! sequential and stays on the caller. The filled set is bit-identical
+//! at any thread count.
 
 use std::error::Error;
 use std::fmt;

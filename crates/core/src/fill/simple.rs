@@ -1,7 +1,10 @@
 //! Constant, random and adjacent fills, all running on the packed
 //! two-plane representation: constants are whole-word mask writes,
 //! random fill blends one random word per 64 pins, and the MT/Adj run
-//! fills are mask splices over the care plane.
+//! fills are mask splices over the care plane. Cubes (and, for MT-fill,
+//! pin rows) are independent, so every fill chunks them across the
+//! current [`minipool`] pool; outputs are bit-identical at any thread
+//! count because each worker only writes its own rows.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,14 +44,20 @@ impl FillStrategy for OneFill {
 
 fn fill_constant(cubes: &CubeSet, value: Bit) -> CubeSet {
     let mut filled = cubes.clone();
-    for cube in filled.packed_cubes_mut() {
-        cube.fill_x_with(value);
-    }
+    minipool::parallel_chunks_mut(filled.packed_cubes_mut(), 16, |_, chunk| {
+        for cube in chunk {
+            cube.fill_x_with(value);
+        }
+    });
     filled
 }
 
 /// Fills every `X` with an independent fair random bit (seeded, so runs
 /// are reproducible).
+///
+/// Each cube draws from its own stream derived from `(seed, cube
+/// index)`, so the output depends only on the seed and the set — never
+/// on how the cubes were chunked across workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RandomFill {
     seed: u64,
@@ -73,12 +82,21 @@ impl FillStrategy for RandomFill {
     }
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let seed = self.seed;
         let mut filled = cubes.clone();
-        for cube in filled.packed_cubes_mut() {
-            // One random word covers 64 pins; the blend keeps care bits.
-            cube.fill_x_from_words(|_| rng.next_u64());
-        }
+        minipool::parallel_chunks_mut(filled.packed_cubes_mut(), 16, |start, chunk| {
+            for (i, cube) in chunk.iter_mut().enumerate() {
+                // Per-cube stream keyed by the cube's global index: the
+                // same bits land whether the set is walked serially or
+                // chunked across workers.
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ ((start + i) as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                // One random word covers 64 pins; the blend keeps care
+                // bits.
+                cube.fill_x_from_words(|_| rng.next_u64());
+            }
+        });
         filled
     }
 }
@@ -99,9 +117,11 @@ impl FillStrategy for MtFill {
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
         let mut matrix = PackedMatrix::from_packed_set(cubes.as_packed());
-        for r in 0..matrix.rows() {
-            matrix.row_mut(r).fill_runs_copy_left(Bit::Zero);
-        }
+        minipool::parallel_chunks_mut(matrix.packed_rows_mut(), 4, |_, rows| {
+            for r in rows {
+                r.fill_runs_copy_left(Bit::Zero);
+            }
+        });
         CubeSet::from_packed(matrix.to_packed_set())
     }
 }
@@ -121,9 +141,11 @@ impl FillStrategy for AdjFill {
 
     fn fill(&self, cubes: &CubeSet) -> CubeSet {
         let mut filled = cubes.clone();
-        for cube in filled.packed_cubes_mut() {
-            cube.fill_runs_copy_left(Bit::Zero);
-        }
+        minipool::parallel_chunks_mut(filled.packed_cubes_mut(), 16, |_, chunk| {
+            for cube in chunk {
+                cube.fill_runs_copy_left(Bit::Zero);
+            }
+        });
         filled
     }
 }

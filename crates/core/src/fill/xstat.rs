@@ -4,7 +4,7 @@
 //! scan.
 
 use dpfill_cubes::packed::PackedMatrix;
-use dpfill_cubes::stretch::{RowStretches, Stretch};
+use dpfill_cubes::stretch::{scan_row_mut, Stretch};
 use dpfill_cubes::{Bit, CubeSet};
 
 use super::FillStrategy;
@@ -36,41 +36,57 @@ impl FillStrategy for XStatFill {
         let mut matrix = PackedMatrix::from_packed_set(cubes.as_packed());
         let cols = matrix.cols();
         let transitions = cols.saturating_sub(1);
-        // Pending phase-2 decisions: (row, x_col, left_value).
-        let mut pending: Vec<(usize, usize, Bit)> = Vec::new();
 
-        for row in 0..matrix.rows() {
-            let stretches = RowStretches::analyze_packed(matrix.row(row));
-            let r = matrix.row_mut(row);
-            for s in stretches.stretches() {
-                if s.splice_safe(r, cols) {
-                    continue;
+        // Phase 1 fans row chunks across the pool: the fused scan+splice
+        // halves each stretch in place and records the surviving middle
+        // `X`s; per-chunk pending lists merge in row order, matching the
+        // serial scan. Pending entries: (row, x_col, left_value).
+        let mut pending: Vec<(usize, usize, Bit)> =
+            minipool::parallel_chunks_mut(matrix.packed_rows_mut(), 4, |start, rows| {
+                let mut pending = Vec::new();
+                for (i, r) in rows.iter_mut().enumerate() {
+                    let row = start + i;
+                    scan_row_mut(r, |r, s| {
+                        if s.splice_safe(r, cols) {
+                            return;
+                        }
+                        if let Stretch::Transition {
+                            left,
+                            right,
+                            left_value,
+                        } = s
+                        {
+                            // Phase 1: splice toward the middle, keep one
+                            // X at the midpoint column.
+                            let mid = (left + right) / 2;
+                            let mid = mid.clamp(left + 1, right - 1);
+                            r.fill_range(left + 1, mid, left_value);
+                            r.fill_range(mid + 1, right, !left_value);
+                            pending.push((row, mid, left_value));
+                        }
+                    });
                 }
-                match *s {
-                    Stretch::Transition {
-                        left,
-                        right,
-                        left_value,
-                    } => {
-                        // Phase 1: splice toward the middle, keep one X
-                        // at the midpoint column.
-                        let mid = (left + right) / 2;
-                        let mid = mid.clamp(left + 1, right - 1);
-                        r.fill_range(left + 1, mid, left_value);
-                        r.fill_range(mid + 1, right, !left_value);
-                        pending.push((row, mid, left_value));
-                    }
-                    Stretch::ForcedToggle { .. } => {}
-                    _ => unreachable!("safe stretches handled by splice_safe"),
-                }
-            }
-        }
+                pending
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         // Phase 2: count all definite toggles (the middles are still X,
-        // so they do not count), then resolve middles greedily.
+        // so they do not count), then resolve middles greedily. The
+        // per-transition tallies accumulate per chunk and sum in chunk
+        // order — pure addition, independent of the interleaving.
         let mut load = vec![0u64; transitions];
-        for row in 0..matrix.rows() {
-            matrix.row(row).for_each_adjacent_conflict(|t| load[t] += 1);
+        for chunk_load in minipool::parallel_chunks(matrix.packed_rows(), 4, |_, rows| {
+            let mut tally = vec![0u64; transitions];
+            for r in rows {
+                r.for_each_adjacent_conflict(|t| tally[t] += 1);
+            }
+            tally
+        }) {
+            for (total, part) in load.iter_mut().zip(chunk_load) {
+                *total += part;
+            }
         }
         // Lightest-neighbourhood decisions first (the "statistical"
         // ordering: constrained middles with one heavy side decided while

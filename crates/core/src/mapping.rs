@@ -18,7 +18,7 @@
 //! `j+1` (paper §V-D), and the result transposes back to cubes.
 
 use dpfill_cubes::packed::PackedMatrix;
-use dpfill_cubes::stretch::{RowStretches, Stretch};
+use dpfill_cubes::stretch::{scan_row_mut, Stretch};
 use dpfill_cubes::{Bit, CubeSet, PinMatrix};
 
 use crate::bcp::{BcpInstance, Coloring};
@@ -72,43 +72,61 @@ impl MatrixMapping {
     }
 
     /// Analyzes an already-packed matrix.
+    ///
+    /// Pin rows are independent, so row chunks fan out across the
+    /// current [`minipool`] pool: each worker runs the fused
+    /// scan+splice ([`scan_row_mut`]) over its own rows — applying the
+    /// safe mask splices in place, no per-row `Vec<Stretch>` — and
+    /// collects the unsafe events into per-chunk lists. The chunks merge
+    /// back **in row order**, so the interval sequence, the sites and
+    /// the baseline are bit-identical to the serial row-by-row walk at
+    /// any thread count.
     pub fn analyze_packed(mut matrix: PackedMatrix) -> MatrixMapping {
-        let num_colors = matrix.cols().saturating_sub(1);
         let cols = matrix.cols();
+        let num_colors = cols.saturating_sub(1);
+        let chunks: Vec<(Vec<IntervalSite>, Vec<usize>)> =
+            minipool::parallel_chunks_mut(matrix.packed_rows_mut(), 4, |start, rows| {
+                let mut sites = Vec::new();
+                let mut forced = Vec::new();
+                for (i, r) in rows.iter_mut().enumerate() {
+                    let row = start + i;
+                    scan_row_mut(r, |r, s| {
+                        if s.splice_safe(r, cols) {
+                            return;
+                        }
+                        match s {
+                            Stretch::Transition {
+                                left,
+                                right,
+                                left_value,
+                            } => sites.push(IntervalSite {
+                                row,
+                                left,
+                                right,
+                                left_value,
+                            }),
+                            Stretch::ForcedToggle { col } => forced.push(col),
+                            _ => unreachable!("safe stretches handled by splice_safe"),
+                        }
+                    });
+                }
+                (sites, forced)
+            });
+
         let mut instance = BcpInstance::new(num_colors);
         let mut sites = Vec::new();
-
-        for row in 0..matrix.rows() {
-            let stretches = RowStretches::analyze_packed(matrix.row(row));
-            let r = matrix.row_mut(row);
-            for s in stretches.stretches() {
-                if s.splice_safe(r, cols) {
-                    continue;
-                }
-                match *s {
-                    Stretch::Transition {
-                        left,
-                        right,
-                        left_value,
-                    } => {
-                        // Interval (k, l-1): the toggle may sit at any
-                        // transition between columns left and right.
-                        let interval = Interval::new(left as u32, (right - 1) as u32);
-                        instance
-                            .add_interval(interval)
-                            .expect("stretch bounds are valid transitions");
-                        sites.push(IntervalSite {
-                            row,
-                            left,
-                            right,
-                            left_value,
-                        });
-                    }
-                    Stretch::ForcedToggle { col } => {
-                        instance.add_baseline(col, 1);
-                    }
-                    _ => unreachable!("safe stretches handled by splice_safe"),
-                }
+        for (chunk_sites, chunk_forced) in chunks {
+            for site in chunk_sites {
+                // Interval (k, l-1): the toggle may sit at any
+                // transition between columns left and right.
+                let interval = Interval::new(site.left as u32, (site.right - 1) as u32);
+                instance
+                    .add_interval(interval)
+                    .expect("stretch bounds are valid transitions");
+                sites.push(site);
+            }
+            for col in chunk_forced {
+                instance.add_baseline(col, 1);
             }
         }
         MatrixMapping {
@@ -143,6 +161,11 @@ impl MatrixMapping {
     /// (paper §V-D) and returns it as a cube set. Each stretch is written
     /// as two mask splices on its packed row.
     ///
+    /// Sites are row-major (the analysis emits them that way), so row
+    /// chunks fan out across the pool and each worker binary-searches
+    /// its slice of sites/colors — disjoint rows, disjoint splices, and
+    /// a result independent of the execution interleaving.
+    ///
     /// # Panics
     ///
     /// Panics if the coloring does not match the instance (wrong length
@@ -154,19 +177,30 @@ impl MatrixMapping {
             self.sites.len(),
             "coloring does not match interval count"
         );
+        debug_assert!(
+            self.sites.windows(2).all(|w| w[0].row <= w[1].row),
+            "sites must be row-major"
+        );
         let mut matrix = self.prefilled.clone();
-        for (site, &color) in self.sites.iter().zip(coloring.colors()) {
-            let j = color as usize;
-            assert!(
-                site.left <= j && j < site.right,
-                "color {j} outside stretch window [{}, {})",
-                site.left,
-                site.right
-            );
-            let row = matrix.row_mut(site.row);
-            row.fill_range(site.left + 1, j + 1, site.left_value);
-            row.fill_range(j + 1, site.right, !site.left_value);
-        }
+        let sites = &self.sites;
+        let colors = coloring.colors();
+        minipool::parallel_chunks_mut(matrix.packed_rows_mut(), 4, |start, rows| {
+            let end = start + rows.len();
+            let lo = sites.partition_point(|s| s.row < start);
+            let hi = sites.partition_point(|s| s.row < end);
+            for (site, &color) in sites[lo..hi].iter().zip(&colors[lo..hi]) {
+                let j = color as usize;
+                assert!(
+                    site.left <= j && j < site.right,
+                    "color {j} outside stretch window [{}, {})",
+                    site.left,
+                    site.right
+                );
+                let row = &mut rows[site.row - start];
+                row.fill_range(site.left + 1, j + 1, site.left_value);
+                row.fill_range(j + 1, site.right, !site.left_value);
+            }
+        });
         debug_assert_eq!(matrix.x_count(), 0, "all X bits must be filled");
         CubeSet::from_packed(matrix.to_packed_set())
     }

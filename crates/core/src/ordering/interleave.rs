@@ -104,23 +104,40 @@ impl IOrdering {
         let mut bottlenecks = Vec::new();
         let mut best: Option<(u64, usize, Vec<usize>)> = None;
         let k_cap = self.max_k.unwrap_or(n - 1).min(n - 1);
-        let mut k = 0usize;
-        loop {
-            k += 1;
-            if k > k_cap {
-                break;
-            }
-            let candidate = Self::schedule_for_k(&sorted, k);
-            let value = bottleneck_value(cubes, &candidate);
-            k_values.push(k);
-            bottlenecks.push(value);
-            match &best {
-                Some((b, _, _)) if value >= *b => {
-                    // Paper's exit rule: stop as soon as k stops helping.
-                    break;
+        // Speculative pairs: on a multi-thread pool two candidate
+        // factors are scored concurrently (each candidate's bottleneck
+        // is a full analyze, itself fanned out across the same pool),
+        // then the paper's exit rule is replayed over the pair **in k
+        // order**. Evaluations past the stopping k are discarded, so
+        // the trace, the chosen k and the order are bit-identical to
+        // the serial loop; a 1-thread pool degenerates to exactly that
+        // loop. The batch is capped at 2 — the exit rule typically
+        // fires at small k, so wider speculation would mostly burn
+        // full-matrix analyses that get thrown away.
+        let batch = minipool::current_threads().clamp(1, 2);
+        let mut k = 1usize;
+        'search: while k <= k_cap {
+            let hi = k.saturating_add(batch - 1).min(k_cap);
+            let ks: Vec<usize> = (k..=hi).collect();
+            let sorted_ref = &sorted;
+            let evals = minipool::parallel_indexed(ks.len(), |i| {
+                let candidate = Self::schedule_for_k(sorted_ref, ks[i]);
+                let value = bottleneck_value(cubes, &candidate);
+                (candidate, value)
+            });
+            for (i, (candidate, value)) in evals.into_iter().enumerate() {
+                k_values.push(ks[i]);
+                bottlenecks.push(value);
+                match &best {
+                    Some((b, _, _)) if value >= *b => {
+                        // Paper's exit rule: stop as soon as k stops
+                        // helping.
+                        break 'search;
+                    }
+                    _ => best = Some((value, ks[i], candidate)),
                 }
-                _ => best = Some((value, k, candidate)),
             }
+            k = hi + 1;
         }
         let (_, chosen_k, order) = best.unwrap_or_else(|| (0, 0, (0..n).collect()));
         IOrderingTrace {

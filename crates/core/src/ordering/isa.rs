@@ -61,9 +61,17 @@ impl<'a> State<'a> {
     fn new(packed: &'a PackedCubes) -> State<'a> {
         let n = packed.len();
         let perm: Vec<usize> = (0..n).collect();
-        let dist: Vec<u32> = (0..n.saturating_sub(1))
-            .map(|j| packed.conflict(perm[j], perm[j + 1]) as u32)
-            .collect();
+        // The initial transition-distance profile is the one wide scan
+        // of the annealer (the moves themselves are incremental), so it
+        // fans out over the pool; concatenating per-range pieces in
+        // range order reproduces the serial vector exactly.
+        let perm_ref = &perm;
+        let dist: Vec<u32> = minipool::parallel_index_chunks(n.saturating_sub(1), 64, |range| {
+            range
+                .map(|j| packed.conflict(perm_ref[j], perm_ref[j + 1]) as u32)
+                .collect::<Vec<u32>>()
+        })
+        .concat();
         let peak = dist.iter().copied().max().unwrap_or(0);
         let total = dist.iter().map(|&d| d as u64).sum();
         State {

@@ -39,17 +39,29 @@ impl OrderingStrategy for XStatOrdering {
         order.push(start);
         let mut current = start;
         for _ in 1..n {
-            let mut best: Option<(usize, usize, usize)> = None; // (dist, -care, idx)
-            for cand in 0..n {
-                if visited[cand] {
-                    continue;
-                }
-                let d = packed.conflict(current, cand);
-                let key = (d, usize::MAX - care[cand], cand);
-                if best.is_none_or(|b| key < b) {
-                    best = Some(key);
-                }
-            }
+            // Candidate scoring fans out over the pool: each index chunk
+            // reports its best (dist, -care, idx) key and the chunk
+            // minima reduce to the global minimum. Keys are unique (the
+            // index is the last component), so the winner equals the
+            // serial first-strict-minimum scan at any thread count.
+            let best: Option<(usize, usize, usize)> =
+                minipool::parallel_index_chunks(n, 256, |range| {
+                    let mut local: Option<(usize, usize, usize)> = None;
+                    for cand in range {
+                        if visited[cand] {
+                            continue;
+                        }
+                        let d = packed.conflict(current, cand);
+                        let key = (d, usize::MAX - care[cand], cand);
+                        if local.is_none_or(|b| key < b) {
+                            local = Some(key);
+                        }
+                    }
+                    local
+                })
+                .into_iter()
+                .flatten()
+                .min();
             let (_, _, next) = best.expect("unvisited cube exists");
             visited[next] = true;
             order.push(next);

@@ -253,6 +253,32 @@ impl PackedBits {
         })
     }
 
+    /// First care bit at column `pos` or later, if any — the resumable
+    /// probe behind [`crate::stretch::scan_row_mut`]. Unlike
+    /// [`PackedBits::care_positions`] it holds no iterator state, so the
+    /// caller may interleave probes with plane writes at columns below
+    /// `pos` (mask splices of already-classified stretches) without
+    /// invalidating anything: each probe re-reads the planes from `pos`.
+    pub fn next_care_at_or_after(&self, pos: usize) -> Option<(usize, Bit)> {
+        let mut w = pos / WORD;
+        if w >= self.care.len() {
+            return None;
+        }
+        let mut m = self.care[w] & (u64::MAX << (pos % WORD));
+        loop {
+            if m != 0 {
+                let b = m.trailing_zeros() as usize;
+                let value = Bit::from_bool(self.val[w] >> b & 1 == 1);
+                return Some((w * WORD + b, value));
+            }
+            w += 1;
+            if w >= self.care.len() {
+                return None;
+            }
+            m = self.care[w];
+        }
+    }
+
     /// Iterates over `(position, value)` of every care bit, skipping `X`
     /// runs in word-sized hops.
     pub fn care_positions(&self) -> CarePositions<'_> {
@@ -914,6 +940,20 @@ impl PackedMatrix {
     /// Iterates over the packed rows.
     pub fn iter_rows(&self) -> std::slice::Iter<'_, PackedBits> {
         self.data.iter()
+    }
+
+    /// The packed rows as one slice (row `p` = pin `p`) — the unit the
+    /// parallel pipeline chunks across workers.
+    #[inline]
+    pub fn packed_rows(&self) -> &[PackedBits] {
+        &self.data
+    }
+
+    /// Mutable packed rows, for chunked parallel mask-splice fills
+    /// (disjoint sub-slices go to different workers).
+    #[inline]
+    pub fn packed_rows_mut(&mut self) -> &mut [PackedBits] {
+        &mut self.data
     }
 
     /// Number of `X` bits left in the matrix.

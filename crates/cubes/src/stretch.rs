@@ -109,6 +109,93 @@ impl Stretch {
     }
 }
 
+/// The stretch emitted on arriving at care bit `(pos, value)` with
+/// `prev` the previous care bit (if any) — the single classification
+/// rule shared by every scanner in this module.
+#[inline]
+fn classify_arrival(prev: Option<(usize, Bit)>, pos: usize, value: Bit) -> Option<Stretch> {
+    match prev {
+        None => (pos > 0).then_some(Stretch::Leading { first_care: pos }),
+        Some((left, lv)) => {
+            if pos == left + 1 {
+                lv.conflicts(value)
+                    .then_some(Stretch::ForcedToggle { col: left })
+            } else if lv == value {
+                Some(Stretch::SameValue {
+                    left,
+                    right: pos,
+                    value: lv,
+                })
+            } else {
+                Some(Stretch::Transition {
+                    left,
+                    right: pos,
+                    left_value: lv,
+                })
+            }
+        }
+    }
+}
+
+/// The stretch closing the scan after the last care bit `prev` (if any)
+/// of an `n`-bit row.
+#[inline]
+fn classify_end(prev: Option<(usize, Bit)>, n: usize) -> Option<Stretch> {
+    match prev {
+        None => (n > 0).then_some(Stretch::AllX),
+        Some((last, _)) => (last + 1 < n).then_some(Stretch::Trailing { last_care: last }),
+    }
+}
+
+/// Visits every classified feature of a packed row in left-to-right
+/// order without allocating — the `trailing_zeros` scanner of
+/// [`RowStretches::analyze_packed`] as a callback API. This is what the
+/// aggregation paths ([`StretchStats::of_packed`], the mapping's
+/// per-chunk interval extraction) run per row, so the scan stays off the
+/// allocator even when thousands of rows are in flight across the
+/// thread pool.
+pub fn for_each_stretch(row: &PackedBits, mut f: impl FnMut(Stretch)) {
+    let mut prev: Option<(usize, Bit)> = None;
+    for (pos, value) in row.care_positions() {
+        if let Some(s) = classify_arrival(prev, pos, value) {
+            f(s);
+        }
+        prev = Some((pos, value));
+    }
+    if let Some(s) = classify_end(prev, row.len()) {
+        f(s);
+    }
+}
+
+/// Scans a packed row while letting the callback **mutate it**: `f`
+/// receives the row and each classified stretch, and may apply mask
+/// splices (e.g. [`Stretch::splice_safe`]) as the scan goes — the
+/// fused scan+splice used by the matrix mapping and the XStat phase-1
+/// fill, with no per-row `Vec<Stretch>` materialization.
+///
+/// The scan resumes from a plain column cursor via
+/// [`PackedBits::next_care_at_or_after`], re-reading the planes on every
+/// probe, so the callback may freely rewrite columns **to the left of
+/// the reported stretch's right edge** (for [`Stretch::Leading`], below
+/// `first_care`; for [`Stretch::SameValue`]/[`Stretch::Transition`],
+/// below `right`). [`Stretch::Trailing`] and [`Stretch::AllX`] end the
+/// scan, so those callbacks may write anywhere. Writing at or beyond the
+/// cursor would instead be observed by subsequent probes — don't.
+pub fn scan_row_mut(row: &mut PackedBits, mut f: impl FnMut(&mut PackedBits, Stretch)) {
+    let mut prev: Option<(usize, Bit)> = None;
+    let mut cursor = 0usize;
+    while let Some((pos, value)) = row.next_care_at_or_after(cursor) {
+        if let Some(s) = classify_arrival(prev, pos, value) {
+            f(row, s);
+        }
+        prev = Some((pos, value));
+        cursor = pos + 1;
+    }
+    if let Some(s) = classify_end(prev, row.len()) {
+        f(row, s);
+    }
+}
+
 /// Classified features of one row, in left-to-right order.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct RowStretches {
@@ -168,52 +255,12 @@ impl RowStretches {
     /// Analyzes one packed pin row, hopping between care bits with
     /// `trailing_zeros` over the care plane instead of matching every
     /// element. Produces exactly the stretches of [`RowStretches::analyze`]
-    /// on the unpacked row (differential-tested).
+    /// on the unpacked row (differential-tested). This is the collecting
+    /// wrapper over [`for_each_stretch`]; aggregation paths use the
+    /// visitor directly and skip the `Vec`.
     pub fn analyze_packed(row: &PackedBits) -> RowStretches {
-        let n = row.len();
         let mut stretches = Vec::new();
-        let mut prev: Option<(usize, Bit)> = None;
-        for (pos, value) in row.care_positions() {
-            match prev {
-                None => {
-                    if pos > 0 {
-                        stretches.push(Stretch::Leading { first_care: pos });
-                    }
-                }
-                Some((left, lv)) => {
-                    if pos == left + 1 {
-                        if lv.conflicts(value) {
-                            stretches.push(Stretch::ForcedToggle { col: left });
-                        }
-                    } else if lv == value {
-                        stretches.push(Stretch::SameValue {
-                            left,
-                            right: pos,
-                            value: lv,
-                        });
-                    } else {
-                        stretches.push(Stretch::Transition {
-                            left,
-                            right: pos,
-                            left_value: lv,
-                        });
-                    }
-                }
-            }
-            prev = Some((pos, value));
-        }
-        match prev {
-            None => {
-                if n > 0 {
-                    stretches.push(Stretch::AllX);
-                }
-            }
-            Some((last, _)) => {
-                if last + 1 < n {
-                    stretches.push(Stretch::Trailing { last_care: last });
-                }
-            }
-        }
+        for_each_stretch(row, |s| stretches.push(s));
         RowStretches { stretches }
     }
 
@@ -267,29 +314,48 @@ struct StatsAccumulator {
 }
 
 impl StatsAccumulator {
-    fn add_row(&mut self, rs: &RowStretches, row_len: usize) {
-        for s in rs.stretches() {
-            match s {
-                Stretch::ForcedToggle { .. } => self.forced += 1,
-                _ => {
-                    let len = s.x_len(row_len);
-                    if len == 0 {
-                        continue;
-                    }
-                    self.total += 1;
-                    self.xsum += len;
-                    self.max_len = self.max_len.max(len);
-                    if matches!(s, Stretch::Transition { .. }) {
-                        self.transitions += 1;
-                    }
-                    let bucket = LENGTH_BUCKETS
-                        .iter()
-                        .position(|&(lo, hi)| len >= lo && len <= hi)
-                        .expect("buckets cover all positive lengths");
-                    self.histogram[bucket] += 1;
+    fn add(&mut self, s: Stretch, row_len: usize) {
+        match s {
+            Stretch::ForcedToggle { .. } => self.forced += 1,
+            _ => {
+                let len = s.x_len(row_len);
+                if len == 0 {
+                    return;
                 }
+                self.total += 1;
+                self.xsum += len;
+                self.max_len = self.max_len.max(len);
+                if matches!(s, Stretch::Transition { .. }) {
+                    self.transitions += 1;
+                }
+                let bucket = LENGTH_BUCKETS
+                    .iter()
+                    .position(|&(lo, hi)| len >= lo && len <= hi)
+                    .expect("buckets cover all positive lengths");
+                self.histogram[bucket] += 1;
             }
         }
+    }
+
+    fn add_row(&mut self, rs: &RowStretches, row_len: usize) {
+        for &s in rs.stretches() {
+            self.add(s, row_len);
+        }
+    }
+
+    /// Folds another accumulator in. Every field is a sum or a max, so
+    /// the merge is associative and chunk-order merging reproduces the
+    /// serial row-by-row tally exactly.
+    fn merge(mut self, other: StatsAccumulator) -> StatsAccumulator {
+        for (h, o) in self.histogram.iter_mut().zip(other.histogram) {
+            *h += o;
+        }
+        self.total += other.total;
+        self.xsum += other.xsum;
+        self.max_len = self.max_len.max(other.max_len);
+        self.transitions += other.transitions;
+        self.forced += other.forced;
+        self
     }
 
     fn finish(self) -> StretchStats {
@@ -337,12 +403,23 @@ impl StretchStats {
     /// Computes the same statistics over a packed matrix using the
     /// `trailing_zeros` scanner — the fast path when the data already
     /// lives in the two-plane representation.
+    ///
+    /// Pin rows are independent, so they fan out over the current
+    /// [`minipool`] pool in deterministic chunks; each worker tallies an
+    /// allocation-free [`for_each_stretch`] visitor pass into a private
+    /// accumulator and the per-chunk accumulators merge in chunk order —
+    /// bit-identical to the serial walk at any thread count.
     pub fn of_packed(matrix: &PackedMatrix) -> StretchStats {
-        let mut acc = StatsAccumulator::default();
-        for row in matrix.iter_rows() {
-            acc.add_row(&RowStretches::analyze_packed(row), row.len());
-        }
-        acc.finish()
+        minipool::parallel_chunks(matrix.packed_rows(), 4, |_, rows| {
+            let mut acc = StatsAccumulator::default();
+            for row in rows {
+                for_each_stretch(row, |s| acc.add(s, row.len()));
+            }
+            acc
+        })
+        .into_iter()
+        .fold(StatsAccumulator::default(), StatsAccumulator::merge)
+        .finish()
     }
 
     /// Histogram bucket counts aligned with [`LENGTH_BUCKETS`].
@@ -559,6 +636,88 @@ mod tests {
             let packed =
                 StretchStats::of_packed(&PackedMatrix::from_packed_set(&PackedCubeSet::from(&set)));
             assert_eq!(scalar, packed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn visitor_emits_exactly_the_analyzed_stretches() {
+        use crate::packed::PackedBits;
+        let rows = ["XX0XX0X1X1X1XX", "01X0", "0011", "XXXX", "XX1X", "0", "X"];
+        for r in rows {
+            let packed = PackedBits::from_bits(&row(r));
+            let mut visited = Vec::new();
+            for_each_stretch(&packed, |s| visited.push(s));
+            assert_eq!(
+                visited,
+                RowStretches::analyze_packed(&packed).stretches(),
+                "row {r}"
+            );
+        }
+        for seed in 0..8u64 {
+            let set = crate::gen::random_cube_set(1, 60 + seed as usize * 17, 0.6, seed);
+            let m = set.to_pin_matrix();
+            let packed = PackedBits::from_bits(m.row(0));
+            let mut visited = Vec::new();
+            for_each_stretch(&packed, |s| visited.push(s));
+            assert_eq!(
+                visited,
+                RowStretches::analyze_packed(&packed).stretches(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_row_mut_fuses_scan_and_safe_splice() {
+        use crate::packed::PackedBits;
+        // Reference: analyze first, then splice — the pre-visitor order.
+        for seed in 0..10u64 {
+            let len = 50 + seed as usize * 23; // crosses word boundaries
+            let set = crate::gen::random_cube_set(1, len, 0.7, seed);
+            let m = set.to_pin_matrix();
+            let packed = PackedBits::from_bits(m.row(0));
+
+            let mut reference = packed.clone();
+            let mut ref_unsafe = Vec::new();
+            for &s in RowStretches::analyze_packed(&reference).stretches() {
+                if !s.splice_safe(&mut reference, len) {
+                    ref_unsafe.push(s);
+                }
+            }
+
+            let mut fused = packed.clone();
+            let mut fused_unsafe = Vec::new();
+            scan_row_mut(&mut fused, |row, s| {
+                if !s.splice_safe(row, len) {
+                    fused_unsafe.push(s);
+                }
+            });
+            assert_eq!(fused, reference, "seed {seed}");
+            assert_eq!(fused_unsafe, ref_unsafe, "seed {seed}");
+        }
+        // Degenerate rows.
+        let mut empty = PackedBits::all_x(0);
+        scan_row_mut(&mut empty, |_, _| panic!("no stretches in an empty row"));
+        let mut all_x = PackedBits::all_x(70);
+        let mut seen = Vec::new();
+        scan_row_mut(&mut all_x, |row, s| {
+            seen.push(s);
+            s.splice_safe(row, 70);
+        });
+        assert_eq!(seen, vec![Stretch::AllX]);
+        assert_eq!(all_x.x_count(), 0);
+    }
+
+    #[test]
+    fn parallel_stats_identical_across_thread_counts() {
+        use crate::packed::{PackedCubeSet, PackedMatrix};
+        let set = crate::gen::random_cube_set(150, 90, 0.7, 42);
+        let matrix = PackedMatrix::from_packed_set(&PackedCubeSet::from(&set));
+        let serial = StretchStats::of_packed(&matrix);
+        for threads in [2, 8] {
+            let pool = minipool::ThreadPool::new(threads);
+            let parallel = minipool::with_pool(&pool, || StretchStats::of_packed(&matrix));
+            assert_eq!(serial, parallel, "threads {threads}");
         }
     }
 

@@ -11,6 +11,9 @@
 //!   INPUT                 pattern file ('-' or absent: stdin)
 //!   --fill METHOD         dp|b|xstat|adj|mt|0|1|random   (default: dp)
 //!   --order METHOD        keep|interleave|xstat|isa      (default: interleave)
+//!   --threads N           fan the analyze/fill pipeline over N threads
+//!                         (0 or absent: DPFILL_THREADS env, else one
+//!                         thread per core; output is identical at any N)
 //!   --output FILE         write here instead of stdout
 //!   --stats               print peak/ordering statistics to stderr
 //! ```
@@ -33,6 +36,7 @@ struct Options {
     output: Option<String>,
     fill: FillMethod,
     order: Option<OrderingMethod>,
+    threads: Option<usize>,
     stats: bool,
 }
 
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
         output: None,
         fill: FillMethod::Dp,
         order: Some(OrderingMethod::Interleaved),
+        threads: None,
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -69,6 +74,14 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown --order {other:?}")),
                 };
             }
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a count")?;
+                opts.threads = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--threads {value:?} is not a count"))?,
+                );
+            }
             "--output" => {
                 opts.output = Some(args.next().ok_or("--output needs a path")?);
             }
@@ -77,7 +90,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "dpfill-xfill: order + X-fill a pattern file\n\
                      usage: dpfill-xfill [--fill dp|b|xstat|adj|mt|0|1|random]\n\
-                     \u{20}      [--order keep|interleave|xstat|isa] [--output FILE] [--stats] [INPUT|-]"
+                     \u{20}      [--order keep|interleave|xstat|isa] [--threads N]\n\
+                     \u{20}      [--output FILE] [--stats] [INPUT|-]"
                 );
                 std::process::exit(0);
             }
@@ -90,6 +104,15 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
+    // Fix the pool width before any parallel helper builds it lazily.
+    // `--threads 0` means "auto": leave the pool to its lazy init, which
+    // honors DPFILL_THREADS and falls back to one thread per core. The
+    // filled output is bit-identical at every width; only wall-clock
+    // time changes.
+    if let Some(threads) = opts.threads.filter(|&t| t > 0) {
+        minipool::set_global_threads(threads)
+            .map_err(|built| format!("thread pool already running with {built} threads"))?;
+    }
     // Stream the pattern file straight into the packed cube planes —
     // the input never exists in memory as text or scalar bits.
     let cubes = match &opts.input {

@@ -1,0 +1,71 @@
+//! End-to-end check of the `dpfill-xfill --threads` knob: the same
+//! input must produce **byte-identical** output at every thread count
+//! (the pool only changes wall-clock time), and bad counts must be
+//! rejected before any work runs.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const INPUT: &str = "\
+# cube dump from some ATPG
+0XX1XXXX0X
+XX1XXX0XXX
+1XXXX0XX1X
+XXX0XXXX0X
+X1XXXXXX1X
+XXXX1XX0XX
+0XXXXX1XXX
+XX0XXXXXX1
+";
+
+fn run_xfill(args: &[&str]) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dpfill-xfill"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dpfill-xfill");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(INPUT.as_bytes())
+        .expect("write patterns");
+    let out = child.wait_with_output().expect("dpfill-xfill exit");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn output_is_byte_identical_at_every_thread_count() {
+    let (reference, _, ok) = run_xfill(&["--fill", "dp", "--order", "interleave", "--stats"]);
+    assert!(ok, "default run failed");
+    assert!(!reference.is_empty());
+    for threads in ["0", "1", "2", "8"] {
+        let (out, stderr, ok) = run_xfill(&[
+            "--fill",
+            "dp",
+            "--order",
+            "interleave",
+            "--stats",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok, "--threads {threads} failed: {stderr}");
+        assert_eq!(out, reference, "--threads {threads} changed the output");
+        assert!(stderr.contains("peak toggles"), "stats still reported");
+    }
+}
+
+#[test]
+fn rejects_malformed_thread_counts() {
+    for bad in ["many", "-2", "1.5", ""] {
+        let (_, stderr, ok) = run_xfill(&["--threads", bad]);
+        assert!(!ok, "--threads {bad:?} must fail");
+        assert!(stderr.contains("error"), "stderr: {stderr}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Quick wall-clock gauge for the parallel pipeline (dev aid, not a bench).
+use dpfill::core::fill::DpFill;
+use dpfill::core::MatrixMapping;
+use dpfill::cubes::gen::random_cube_set;
+use dpfill::cubes::packed::{PackedCubeSet, PackedMatrix};
+use dpfill::cubes::stretch::StretchStats;
+use std::time::Instant;
+
+fn main() {
+    let set = random_cube_set(1024, 1024, 0.8, 99);
+    for threads in [1usize, 2, 8] {
+        let pool = minipool::ThreadPool::new(threads);
+        minipool::with_pool(&pool, || {
+            let t = Instant::now();
+            let m = MatrixMapping::analyze(&set);
+            let analyze = t.elapsed();
+            let t = Instant::now();
+            let stats =
+                StretchStats::of_packed(&PackedMatrix::from_packed_set(&PackedCubeSet::from(&set)));
+            let st = t.elapsed();
+            let t = Instant::now();
+            let r = DpFill::new().run(&set);
+            let dp = t.elapsed();
+            println!(
+                "threads={threads}: analyze {analyze:?} ({} intervals), stats {st:?} ({} stretches), dp {dp:?} (peak {})",
+                m.instance().intervals().len(),
+                stats.total_stretches(),
+                r.peak
+            );
+        });
+    }
+}

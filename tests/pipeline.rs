@@ -107,10 +107,14 @@ fn sweep_fills_peaks_are_invariant_on_seeded_256x256_set() {
     assert!((cubes.x_percent() - 80.0995).abs() < 1e-3);
 
     // (ordering, pinned peaks for MT/R/0/1/B/DP in table-column order).
+    // The R column was re-pinned when `RandomFill` moved to per-cube
+    // streams keyed by (seed, cube index) — required so the fill is
+    // chunking-independent under the thread-pool fan-out; the other
+    // columns are unchanged since the scalar representation.
     let pinned: [(OrderingMethod, [usize; 6]); 3] = [
-        (OrderingMethod::Tool, [41, 149, 63, 63, 27, 26]),
-        (OrderingMethod::XStat, [37, 154, 65, 61, 24, 24]),
-        (OrderingMethod::Interleaved, [38, 149, 61, 59, 26, 25]),
+        (OrderingMethod::Tool, [41, 147, 63, 63, 27, 26]),
+        (OrderingMethod::XStat, [37, 148, 65, 61, 24, 24]),
+        (OrderingMethod::Interleaved, [38, 148, 61, 59, 26, 25]),
     ];
     for (ordering, want) in pinned {
         let sweep = sweep_fills(&cubes, ordering);

@@ -1,0 +1,782 @@
+//! Dependency-free work-stealing thread pool for the DP-fill pipeline.
+//!
+//! The container image this repository builds in has no crates.io access,
+//! so instead of rayon the workspace vendors the small slice of fork-join
+//! parallelism the pipeline needs:
+//!
+//! * [`ThreadPool::scope`] — structured fork-join with borrowed data
+//!   (like `std::thread::scope`, but on reusable pooled workers) and
+//!   panic propagation out of the scope;
+//! * [`parallel_chunks`] / [`parallel_chunks_mut`] / [`parallel_indexed`]
+//!   — deterministic contiguous chunking over slices or index ranges,
+//!   with per-chunk results returned **in chunk order** so reductions are
+//!   bit-identical to the serial loop regardless of thread count or
+//!   execution interleaving;
+//! * a process-wide pool ([`global`]) sized by the `DPFILL_THREADS`
+//!   environment variable (or [`set_global_threads`]), plus a scoped
+//!   [`with_pool`] override used by benches and differential tests to
+//!   compare thread counts side by side.
+//!
+//! Scheduling is classic work stealing: each worker owns a deque, pushes
+//! and pops its own back (LIFO, cache-warm), and steals from the front of
+//! other workers' deques (FIFO, oldest first). A scope's calling thread
+//! *helps* — it executes queued tasks while waiting for its scope to
+//! drain — so nested scopes cannot deadlock even on a single-worker
+//! pool. A pool built with one thread spawns **no** workers at all and
+//! runs every task inline on the caller: `threads == 1` *is* the serial
+//! path, not a simulation of it.
+//!
+//! Determinism contract: the pool never reorders *results*. Anything
+//! whose merge is position-aware (interval extraction, pending fill
+//! decisions, per-transition loads) gets its per-chunk pieces back in
+//! chunk order and reduces them exactly as the serial code would.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A queued unit of work. Lifetimes are erased at the spawn boundary;
+/// soundness is restored by [`ThreadPool::scope`], which never returns
+/// (or unwinds) before every task it spawned has finished.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle, its workers and helping scope
+/// waiters.
+struct Shared {
+    /// One deque per worker. The owner pushes/pops the **back**; thieves
+    /// and helpers pop the **front**.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for external submissions.
+    next_queue: AtomicUsize,
+    /// Version counter bumped on every push *and* every task completion;
+    /// sleepers re-check their condition whenever it moves.
+    version: Mutex<u64>,
+    /// Wakes workers parked on a stale [`Shared::version`].
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Bumps the version and wakes every sleeper.
+    fn notify(&self) {
+        let mut v = self.version.lock().expect("pool poisoned");
+        *v = v.wrapping_add(1);
+        drop(v);
+        self.wake.notify_all();
+    }
+
+    /// Pushes a task onto the next deque in round-robin order.
+    fn push(&self, task: Task) {
+        let i = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[i]
+            .lock()
+            .expect("pool poisoned")
+            .push_back(task);
+        self.notify();
+    }
+
+    /// Pops work: the owner's back first (when `me` names a worker),
+    /// then the front of every other deque, oldest-first.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(i) = me {
+            if let Some(t) = self.queues[i].lock().expect("pool poisoned").pop_back() {
+                return Some(t);
+            }
+        }
+        let n = self.queues.len();
+        let start = me.map_or(0, |i| i + 1);
+        for j in 0..n {
+            let q = (start + j) % n;
+            if Some(q) == me {
+                continue;
+            }
+            if let Some(t) = self.queues[q].lock().expect("pool poisoned").pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Worker main loop: run tasks while any exist, park on the version
+/// condvar otherwise, exit on shutdown.
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(PoolRef {
+            shared: Some(shared.clone()),
+            threads: shared.queues.len() + 1,
+        })
+    });
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = shared.find_task(Some(me)) {
+            task();
+            shared.notify();
+            continue;
+        }
+        let mut ver = shared.version.lock().expect("pool poisoned");
+        let seen = *ver;
+        // Re-check under the lock: a push between the failed scan and the
+        // lock acquisition bumped the version, and any later push blocks
+        // on this lock until `wait` releases it — no lost wakeups.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = shared.find_task(Some(me)) {
+            drop(ver);
+            task();
+            shared.notify();
+            continue;
+        }
+        while *ver == seen && !shared.shutdown.load(Ordering::Acquire) {
+            ver = shared.wake.wait(ver).expect("pool poisoned");
+        }
+    }
+}
+
+/// Cheap cloneable pool handle: `shared == None` is the inline
+/// (single-thread) pool, which spawns nothing and runs tasks in place.
+#[derive(Clone)]
+struct PoolRef {
+    shared: Option<Arc<Shared>>,
+    threads: usize,
+}
+
+thread_local! {
+    /// The pool parallel helpers on this thread submit to: set by
+    /// [`with_pool`] on callers and permanently on workers (to their
+    /// owning pool, so nested fan-out stays on the same pool).
+    static CURRENT: std::cell::RefCell<Option<PoolRef>> = const { std::cell::RefCell::new(None) };
+}
+
+fn current() -> PoolRef {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| global().pool.clone())
+}
+
+/// A work-stealing pool of `threads - 1` workers plus the scoping caller
+/// (which always helps), or a zero-thread inline executor when built with
+/// one thread.
+pub struct ThreadPool {
+    pool: PoolRef,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool that fans work out over `threads` concurrent executors.
+    /// `threads <= 1` builds the inline pool (no worker threads; every
+    /// task runs on the caller — the serial path).
+    pub fn new(threads: usize) -> ThreadPool {
+        Builder::new().threads(threads).build()
+    }
+
+    /// Configured width: how many executors (workers + the helping
+    /// caller) a scope may occupy.
+    pub fn threads(&self) -> usize {
+        self.pool.threads
+    }
+
+    /// Structured fork-join: `f` receives a [`Scope`] whose
+    /// [`Scope::spawn`] may borrow anything that outlives the `scope`
+    /// call (the `'env` lifetime). All spawned tasks complete before
+    /// `scope` returns. If `f` or any task panics, the panic propagates
+    /// out of `scope` — after every task has still run to completion, so
+    /// borrowed data is never observed by a live task past the unwind.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        self.pool.scope(f)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.pool.shared {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.notify();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds a [`ThreadPool`] with an explicit thread-count override.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Builder {
+    threads: Option<usize>,
+}
+
+impl Builder {
+    /// A builder with no overrides (thread count = available
+    /// parallelism).
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Overrides the thread count; `0` restores the hardware default.
+    pub fn threads(mut self, threads: usize) -> Builder {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> ThreadPool {
+        let threads = self.threads.unwrap_or_else(available_threads).max(1);
+        if threads == 1 {
+            return ThreadPool {
+                pool: PoolRef {
+                    shared: None,
+                    threads: 1,
+                },
+                handles: Vec::new(),
+            };
+        }
+        // `threads` executors = caller + (threads - 1) workers.
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            version: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("minipool-{me}"))
+                    .spawn(move || worker_loop(shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            pool: PoolRef {
+                shared: Some(shared),
+                threads,
+            },
+            handles,
+        }
+    }
+}
+
+/// Hardware parallelism (1 when undetectable).
+fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a `DPFILL_THREADS`-style override: a positive integer forces
+/// that width, `0` or `auto` means hardware default, anything else is
+/// ignored (`None`).
+fn parse_threads(value: &str) -> Option<usize> {
+    let value = value.trim();
+    if value.eq_ignore_ascii_case("auto") {
+        return Some(0);
+    }
+    value.parse::<usize>().ok()
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool: sized by `DPFILL_THREADS` when set (a positive
+/// integer; `0`/`auto` = hardware default), the hardware default
+/// otherwise. Built lazily on first use; [`set_global_threads`] can fix
+/// the width before that.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let threads = std::env::var("DPFILL_THREADS")
+            .ok()
+            .and_then(|v| parse_threads(&v))
+            .unwrap_or(0);
+        Builder::new().threads(threads).build()
+    })
+}
+
+/// Fixes the global pool's thread count (`0` = hardware default) before
+/// its first use — the hook behind `dpfill-xfill --threads N`.
+///
+/// # Errors
+///
+/// Returns `Err` with the already-built pool's width if the global pool
+/// exists (any parallel helper may have built it lazily).
+pub fn set_global_threads(threads: usize) -> Result<(), usize> {
+    let desired = if threads == 0 {
+        available_threads().max(1)
+    } else {
+        threads
+    };
+    let mut installed = false;
+    let pool = GLOBAL.get_or_init(|| {
+        installed = true;
+        Builder::new().threads(threads).build()
+    });
+    if installed || pool.threads() == desired {
+        Ok(())
+    } else {
+        Err(pool.threads())
+    }
+}
+
+/// Runs `f` with `pool` as the submission target of every parallel
+/// helper called on this thread (benches and differential tests use this
+/// to pit thread counts against each other without touching the global
+/// pool). The previous target is restored on exit, including on panic.
+pub fn with_pool<R>(pool: &ThreadPool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<PoolRef>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(pool.pool.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Thread count of the pool the parallel helpers on this thread submit
+/// to (the [`with_pool`] override, the owning pool on workers, or the
+/// global pool).
+pub fn current_threads() -> usize {
+    current().threads
+}
+
+/// Tracks one scope's outstanding tasks and its first panic.
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().expect("scope poisoned");
+        slot.get_or_insert(payload);
+    }
+}
+
+/// Spawn handle passed to [`ThreadPool::scope`] closures. `'env` is the
+/// borrow available to spawned tasks; `'scope` ties the handle to the
+/// scope invocation.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool PoolRef,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Schedules `f` on the pool. On the inline pool the task runs
+    /// immediately; panics are captured either way and re-thrown when the
+    /// scope closes.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        let state = self.state.clone();
+        let run = move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                state.store_panic(payload);
+            }
+            // Release so the waiter's acquire load sees the task's writes.
+            state.pending.fetch_sub(1, Ordering::Release);
+        };
+        self.state.pending.fetch_add(1, Ordering::Relaxed);
+        match &self.pool.shared {
+            None => run(),
+            Some(shared) => {
+                let task: Box<dyn FnOnce() + Send + 'env> = Box::new(run);
+                // SAFETY: only the lifetime is erased. `PoolRef::scope`
+                // does not return or unwind until `pending == 0`, i.e.
+                // until this task has fully run, so the `'env` borrows it
+                // captures are live for its whole execution.
+                let task: Task = unsafe { std::mem::transmute(task) };
+                shared.push(task);
+            }
+        }
+    }
+}
+
+impl PoolRef {
+    fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            _env: std::marker::PhantomData,
+        };
+        // Catch the closure's own panic too: spawned tasks must drain
+        // before any unwind may cross the scope boundary.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        if let Some(shared) = &self.shared {
+            // Help: execute queued tasks (this scope's or anyone's) while
+            // waiting. This is what makes nested scopes deadlock-free —
+            // a worker blocked on an inner scope keeps draining queues.
+            loop {
+                if scope.state.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                if let Some(task) = shared.find_task(None) {
+                    task();
+                    shared.notify();
+                    continue;
+                }
+                let mut ver = shared.version.lock().expect("pool poisoned");
+                let seen = *ver;
+                if scope.state.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                if let Some(task) = shared.find_task(None) {
+                    drop(ver);
+                    task();
+                    shared.notify();
+                    continue;
+                }
+                while *ver == seen {
+                    ver = shared.wake.wait(ver).expect("pool poisoned");
+                }
+            }
+        }
+        debug_assert_eq!(scope.state.pending.load(Ordering::Acquire), 0);
+        match result {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(value) => {
+                let stored = scope.state.panic.lock().expect("scope poisoned").take();
+                match stored {
+                    Some(payload) => panic::resume_unwind(payload),
+                    None => value,
+                }
+            }
+        }
+    }
+}
+
+/// Chunk length for `len` items on `threads` executors: up to four
+/// chunks per executor for balance, never below `min_chunk` items.
+fn chunk_len(len: usize, threads: usize, min_chunk: usize) -> usize {
+    len.div_ceil(threads * 4).max(min_chunk.max(1))
+}
+
+/// The one dispatch/collect scaffold behind every parallel helper:
+/// runs the `jobs` on `pool` and returns their results **in job
+/// order**. `serial` short-circuits to an in-place loop (used when the
+/// whole workload fits one chunk); an inline pool always runs in place.
+fn run_ordered<R: Send, F: FnOnce() -> R + Send>(
+    pool: &PoolRef,
+    serial: bool,
+    jobs: impl Iterator<Item = F>,
+) -> Vec<R> {
+    if serial || pool.shared.is_none() {
+        return jobs.map(|job| job()).collect();
+    }
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.size_hint().0));
+    pool.scope(|s| {
+        for (i, job) in jobs.enumerate() {
+            let results = &results;
+            s.spawn(move || {
+                let r = job();
+                results.lock().expect("results poisoned").push((i, r));
+            });
+        }
+    });
+    collect_in_order(results.into_inner().expect("results poisoned"))
+}
+
+/// Splits `items` into deterministic contiguous chunks of at least
+/// `min_chunk` items, runs `f(offset, chunk)` for each on the current
+/// pool, and returns the per-chunk results **in chunk order** (so an
+/// ordered reduction is bit-identical to the serial left-to-right loop).
+/// `offset` is the index of the chunk's first item in `items`.
+pub fn parallel_chunks<T: Sync, R: Send>(
+    items: &[T],
+    min_chunk: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    let pool = current();
+    let chunk = chunk_len(items.len(), pool.threads, min_chunk);
+    let f = &f;
+    let jobs = items
+        .chunks(chunk)
+        .enumerate()
+        .map(move |(ci, slice)| move || f(ci * chunk, slice));
+    run_ordered(&pool, items.len() <= chunk, jobs)
+}
+
+/// [`parallel_chunks`] over mutable chunks: disjoint `&mut` sub-slices
+/// are dispatched to workers, results come back in chunk order.
+pub fn parallel_chunks_mut<T: Send, R: Send>(
+    items: &mut [T],
+    min_chunk: usize,
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R> {
+    let pool = current();
+    let len = items.len();
+    let chunk = chunk_len(len, pool.threads, min_chunk);
+    let f = &f;
+    let jobs = items
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(move |(ci, slice)| move || f(ci * chunk, slice));
+    run_ordered(&pool, len <= chunk, jobs)
+}
+
+/// Splits `0..len` into deterministic contiguous index ranges of at
+/// least `min_chunk` indices, runs `f(range)` for each on the current
+/// pool, and returns the per-range results **in range order** — the
+/// index-space sibling of [`parallel_chunks`] for loops that index into
+/// shared state instead of walking one slice.
+pub fn parallel_index_chunks<R: Send>(
+    len: usize,
+    min_chunk: usize,
+    f: impl Fn(std::ops::Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    let pool = current();
+    let chunk = chunk_len(len, pool.threads, min_chunk);
+    let f = &f;
+    let jobs = (0..len)
+        .step_by(chunk)
+        .map(move |lo| move || f(lo..(lo + chunk).min(len)));
+    run_ordered(&pool, len <= chunk, jobs)
+}
+
+/// Runs `f(i)` for every `i in 0..n` on the current pool — one task per
+/// index, for workloads where each item is itself heavy (candidate
+/// orderings, per-transition solves) — and returns the results in index
+/// order.
+pub fn parallel_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let pool = current();
+    let f = &f;
+    run_ordered(&pool, n <= 1, (0..n).map(move |i| move || f(i)))
+}
+
+/// Sorts `(index, value)` pairs by index and strips the indices.
+fn collect_in_order<R>(mut tagged: Vec<(usize, R)>) -> Vec<R> {
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn inline_pool_spawns_no_threads_and_runs_in_place() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.handles.is_empty());
+        let caller = thread::current().id();
+        let mut ran_on = None;
+        pool.scope(|s| s.spawn(|| ran_on = Some(thread::current().id())));
+        assert_eq!(ran_on, Some(caller));
+    }
+
+    #[test]
+    fn scope_borrows_and_mutates_stack_data() {
+        let pool = ThreadPool::new(4);
+        let mut parts = [0u64; 8];
+        pool.scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.spawn(move || *p = (i as u64 + 1) * 3);
+            }
+        });
+        assert_eq!(parts.iter().sum::<u64>(), 3 * 36);
+    }
+
+    #[test]
+    fn panic_propagates_out_of_scope_after_all_tasks_ran() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let finished = AtomicUsize::new(0);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.spawn(|| panic!("boom at {threads}"));
+                    for _ in 0..16 {
+                        s.spawn(|| {
+                            finished.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }));
+            let payload = result.expect_err("scope must rethrow the task panic");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, format!("boom at {threads}"));
+            // The non-panicking siblings all still completed.
+            assert_eq!(finished.load(Ordering::SeqCst), 16, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn closure_panic_still_drains_spawned_tasks() {
+        let pool = ThreadPool::new(3);
+        let finished = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("closure boom");
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn zero_and_single_item_workloads() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            with_pool(&pool, || {
+                let empty: [u32; 0] = [];
+                assert!(parallel_chunks(&empty, 1, |_, c| c.len()).is_empty());
+                assert!(parallel_indexed(0, |i| i).is_empty());
+                let mut one = [41u32];
+                let r = parallel_chunks_mut(&mut one, 1, |off, c| {
+                    c[0] += 1;
+                    off
+                });
+                assert_eq!(r, vec![0]);
+                assert_eq!(one, [42]);
+                assert_eq!(parallel_indexed(1, |i| i * 7), vec![0]);
+            });
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // Exercised at widths 1 (inline), 2 (one worker — the inner
+        // scope can only progress because waiters help) and 8.
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let total = AtomicU64::new(0);
+            pool.scope(|outer| {
+                for i in 0..6u64 {
+                    let total = &total;
+                    let pool = &pool;
+                    outer.spawn(move || {
+                        pool.scope(|inner| {
+                            for j in 0..5u64 {
+                                inner.spawn(move || {
+                                    total.fetch_add(i * 10 + j, Ordering::SeqCst);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            // sum over i of (50 i + 10) = 50*15 + 60
+            assert_eq!(total.load(Ordering::SeqCst), 810, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_helpers_reuse_the_same_pool() {
+        let pool = ThreadPool::new(3);
+        with_pool(&pool, || {
+            let sums = parallel_indexed(4, |i| {
+                // Runs on a worker (or the caller); the nested helper must
+                // see the same pool width, not the global pool.
+                assert_eq!(current_threads(), 3);
+                parallel_indexed(5, |j| (i * 5 + j) as u64)
+                    .into_iter()
+                    .sum::<u64>()
+            });
+            assert_eq!(sums.iter().sum::<u64>(), (0..20).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn oversubscription_more_chunks_than_threads() {
+        let pool = ThreadPool::new(2);
+        with_pool(&pool, || {
+            let mut items: Vec<u64> = (0..10_000).collect();
+            // min_chunk 16 over 10k items on 2 threads -> chunk cap from
+            // threads*4 = 8 chunks; force many more via parallel_indexed.
+            let r = parallel_chunks_mut(&mut items, 16, |off, chunk| {
+                for v in chunk.iter_mut() {
+                    *v *= 2;
+                }
+                off
+            });
+            assert!(r.windows(2).all(|w| w[0] < w[1]), "offsets in order");
+            assert!(items.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+            let many = parallel_indexed(500, |i| i as u64 + 1);
+            assert_eq!(many.iter().sum::<u64>(), 500 * 501 / 2);
+        });
+    }
+
+    #[test]
+    fn chunk_results_come_back_in_chunk_order() {
+        let pool = ThreadPool::new(8);
+        with_pool(&pool, || {
+            let items: Vec<usize> = (0..1000).collect();
+            let offsets = parallel_chunks(&items, 1, |off, chunk| (off, chunk.len()));
+            let mut expect = 0;
+            for (off, len) in offsets {
+                assert_eq!(off, expect);
+                expect += len;
+            }
+            assert_eq!(expect, 1000);
+            assert_eq!(parallel_indexed(64, |i| i), (0..64).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn index_chunks_cover_the_range_in_order() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            with_pool(&pool, || {
+                let ranges = parallel_index_chunks(1003, 10, |r| r);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(r.len() >= 10 || r.end == 1003);
+                    expect = r.end;
+                }
+                assert_eq!(expect, 1003);
+                assert!(parallel_index_chunks(0, 1, |r| r).is_empty());
+            });
+        }
+    }
+
+    #[test]
+    fn with_pool_overrides_and_restores() {
+        let two = ThreadPool::new(2);
+        let eight = ThreadPool::new(8);
+        with_pool(&two, || {
+            assert_eq!(current_threads(), 2);
+            with_pool(&eight, || assert_eq!(current_threads(), 8));
+            assert_eq!(current_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn builder_and_env_parsing() {
+        assert_eq!(Builder::new().threads(3).build().threads(), 3);
+        assert_eq!(ThreadPool::new(0).threads(), available_threads().max(1));
+        assert_eq!(parse_threads("8"), Some(8));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), Some(0));
+        assert_eq!(parse_threads("auto"), Some(0));
+        assert_eq!(parse_threads("AUTO"), Some(0));
+        assert_eq!(parse_threads("lots"), None);
+        assert_eq!(parse_threads("-1"), None);
+    }
+
+    #[test]
+    fn scope_return_value_passes_through() {
+        let pool = ThreadPool::new(4);
+        let out = pool.scope(|s| {
+            s.spawn(|| {});
+            "done"
+        });
+        assert_eq!(out, "done");
+    }
+}
