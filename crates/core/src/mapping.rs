@@ -18,7 +18,7 @@
 //! `j+1` (paper §V-D), and the result transposes back to cubes.
 
 use dpfill_cubes::packed::PackedMatrix;
-use dpfill_cubes::stretch::{scan_row_mut, Stretch};
+use dpfill_cubes::stretch::{for_each_stretch_dense, is_dense_row, scan_row_mut, Stretch};
 use dpfill_cubes::{Bit, CubeSet, PinMatrix};
 
 use crate::bcp::{BcpInstance, Coloring};
@@ -74,12 +74,22 @@ impl MatrixMapping {
     /// Analyzes an already-packed matrix.
     ///
     /// Pin rows are independent, so row chunks fan out across the
-    /// current [`minipool`] pool: each worker runs the fused
-    /// scan+splice ([`scan_row_mut`]) over its own rows — applying the
-    /// safe mask splices in place, no per-row `Vec<Stretch>` — and
-    /// collects the unsafe events into per-chunk lists. The chunks merge
-    /// back **in row order**, so the interval sequence, the sites and
-    /// the baseline are bit-identical to the serial row-by-row walk at
+    /// current [`minipool`] pool. Per row the scan is density-adaptive:
+    ///
+    /// * **sparse rows** run the fused scan+splice ([`scan_row_mut`]) —
+    ///   applying the safe mask splices in place, no per-row
+    ///   `Vec<Stretch>`;
+    /// * **dense rows** (the ROADMAP's dense-care fast path) classify by
+    ///   X-run hops and take forced toggles word-wise off the
+    ///   adjacent-conflict mask ([`for_each_stretch_dense`]): a mostly
+    ///   specified row costs a handful of events instead of one
+    ///   classification per care bit, and a fully specified row never
+    ///   classifies a stretch at all.
+    ///
+    /// Both scanners emit the identical event stream (differential-
+    /// tested in `crates/core/tests/dense_fastpath.rs`), and the chunks
+    /// merge back **in row order**, so the interval sequence, the sites
+    /// and the baseline are bit-identical to the serial sparse walk at
     /// any thread count.
     pub fn analyze_packed(mut matrix: PackedMatrix) -> MatrixMapping {
         let cols = matrix.cols();
@@ -88,27 +98,42 @@ impl MatrixMapping {
             minipool::parallel_chunks_mut(matrix.packed_rows_mut(), 4, |start, rows| {
                 let mut sites = Vec::new();
                 let mut forced = Vec::new();
+                // Scratch for the dense path, reused across the chunk's
+                // rows: events are classified from the pristine planes
+                // first, then the safe splices apply (splices only write
+                // X positions, so classification stays valid).
+                let mut events: Vec<Stretch> = Vec::new();
                 for (i, r) in rows.iter_mut().enumerate() {
                     let row = start + i;
-                    scan_row_mut(r, |r, s| {
-                        if s.splice_safe(r, cols) {
-                            return;
+                    let mut on_unsafe = |s: Stretch| match s {
+                        Stretch::Transition {
+                            left,
+                            right,
+                            left_value,
+                        } => sites.push(IntervalSite {
+                            row,
+                            left,
+                            right,
+                            left_value,
+                        }),
+                        Stretch::ForcedToggle { col } => forced.push(col),
+                        _ => unreachable!("safe stretches handled by splice_safe"),
+                    };
+                    if is_dense_row(r) {
+                        events.clear();
+                        for_each_stretch_dense(r, |s| events.push(s));
+                        for &s in &events {
+                            if !s.splice_safe(r, cols) {
+                                on_unsafe(s);
+                            }
                         }
-                        match s {
-                            Stretch::Transition {
-                                left,
-                                right,
-                                left_value,
-                            } => sites.push(IntervalSite {
-                                row,
-                                left,
-                                right,
-                                left_value,
-                            }),
-                            Stretch::ForcedToggle { col } => forced.push(col),
-                            _ => unreachable!("safe stretches handled by splice_safe"),
-                        }
-                    });
+                    } else {
+                        scan_row_mut(r, |r, s| {
+                            if !s.splice_safe(r, cols) {
+                                on_unsafe(s);
+                            }
+                        });
+                    }
                 }
                 (sites, forced)
             });

@@ -1,6 +1,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dpfill_cubes::popcount::{self, PopcountKernel};
 use dpfill_cubes::CubeSet;
 
 use crate::fill::{FillStrategy, MtFill};
@@ -21,7 +22,12 @@ use super::{OrderingStrategy, PackedCubes};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IsaOrdering {
     seed: u64,
-    iterations: usize,
+    // `None` = resolve the default budget per instance. An explicit
+    // `Some(0)` is honored as "no moves": zero no longer doubles as the
+    // unresolved sentinel, so `with_iterations(seed, 0)` is the
+    // identity-order annealer instead of silently falling back to the
+    // default budget.
+    iterations: Option<usize>,
 }
 
 impl IsaOrdering {
@@ -30,27 +36,30 @@ impl IsaOrdering {
     pub fn new(seed: u64) -> IsaOrdering {
         IsaOrdering {
             seed,
-            iterations: 0, // resolved per instance
+            iterations: None,
         }
     }
 
-    /// Annealer with an explicit iteration budget.
+    /// Annealer with an explicit iteration budget. `0` means exactly
+    /// that — no moves are attempted and the identity order is returned.
     pub fn with_iterations(seed: u64, iterations: usize) -> IsaOrdering {
-        IsaOrdering { seed, iterations }
+        IsaOrdering {
+            seed,
+            iterations: Some(iterations),
+        }
     }
 
     fn budget(&self, n: usize) -> usize {
-        if self.iterations > 0 {
-            self.iterations
-        } else {
-            20_000.max(30 * n)
-        }
+        self.iterations.unwrap_or_else(|| 20_000.max(30 * n))
     }
 }
 
-/// Annealing state: permutation + per-transition distances + cached peak.
+/// Annealing state: permutation + per-transition distances + cached
+/// peak. The popcount kernel is resolved once at construction and held
+/// for the whole anneal, so per-move rescoring never re-dispatches.
 struct State<'a> {
     packed: &'a PackedCubes,
+    kernel: PopcountKernel,
     perm: Vec<usize>,
     dist: Vec<u32>,
     peak: u32,
@@ -60,15 +69,17 @@ struct State<'a> {
 impl<'a> State<'a> {
     fn new(packed: &'a PackedCubes) -> State<'a> {
         let n = packed.len();
+        let kernel = popcount::active_kernel();
         let perm: Vec<usize> = (0..n).collect();
         // The initial transition-distance profile is the one wide scan
         // of the annealer (the moves themselves are incremental), so it
-        // fans out over the pool; concatenating per-range pieces in
-        // range order reproduces the serial vector exactly.
+        // fans out over the pool as per-chunk batched sweeps;
+        // concatenating per-range pieces in range order reproduces the
+        // serial vector exactly.
         let perm_ref = &perm;
         let dist: Vec<u32> = minipool::parallel_index_chunks(n.saturating_sub(1), 64, |range| {
             range
-                .map(|j| packed.conflict(perm_ref[j], perm_ref[j + 1]) as u32)
+                .map(|j| packed.conflict_with(kernel, perm_ref[j], perm_ref[j + 1]) as u32)
                 .collect::<Vec<u32>>()
         })
         .concat();
@@ -76,6 +87,7 @@ impl<'a> State<'a> {
         let total = dist.iter().map(|&d| d as u64).sum();
         State {
             packed,
+            kernel,
             perm,
             dist,
             peak,
@@ -97,23 +109,42 @@ impl<'a> State<'a> {
         if b > a {
             self.dist[a..b].reverse();
         }
-        self.refresh(a.wrapping_sub(1));
-        self.refresh(b);
+        self.refresh_batch([a.wrapping_sub(1), b, usize::MAX, usize::MAX]);
     }
 
     fn swap(&mut self, a: usize, b: usize) {
         self.perm.swap(a, b);
-        for t in [a.wrapping_sub(1), a, b.wrapping_sub(1), b] {
-            self.refresh(t);
+        self.refresh_batch([a.wrapping_sub(1), a, b.wrapping_sub(1), b]);
+    }
+
+    /// Rescoring shared across the (up to four) transitions a move
+    /// touches: all new distances come off one tight kernel-hoisted
+    /// sweep — the mutated pairs share the dispatch and the reloaded
+    /// anchor rows — and then the cache updates apply in move order.
+    /// The distances depend only on the (already mutated) permutation,
+    /// so precomputing them is bit-identical to refreshing one by one;
+    /// out-of-range slots (`usize::MAX` padding, edge transitions) are
+    /// skipped.
+    fn refresh_batch(&mut self, ts: [usize; 4]) {
+        let mut fresh = [0u32; 4];
+        for (slot, &t) in fresh.iter_mut().zip(&ts) {
+            if t < self.dist.len() {
+                *slot = self
+                    .packed
+                    .conflict_with(self.kernel, self.perm[t], self.perm[t + 1])
+                    as u32;
+            }
+        }
+        for (&t, &new) in ts.iter().zip(&fresh) {
+            if t < self.dist.len() {
+                self.apply(t, new);
+            }
         }
     }
 
-    /// Recomputes transition `t` (no-op when out of range).
-    fn refresh(&mut self, t: usize) {
-        if t >= self.dist.len() {
-            return;
-        }
-        let new = self.packed.conflict(self.perm[t], self.perm[t + 1]) as u32;
+    /// Installs the rescored distance of transition `t`, maintaining the
+    /// running total and the cached peak.
+    fn apply(&mut self, t: usize, new: u32) {
         let old = self.dist[t];
         if new == old {
             return;
@@ -234,6 +265,27 @@ mod tests {
     fn tiny_sets_are_identity() {
         let cubes = CubeSet::parse_rows(&["01", "10"]).unwrap();
         assert_eq!(IsaOrdering::new(0).order(&cubes), vec![0, 1]);
+    }
+
+    #[test]
+    fn explicit_zero_iterations_is_identity_order() {
+        // Regression: `0` used to double as the "unresolved" sentinel,
+        // so an explicit zero-iteration annealer silently ran the full
+        // default budget (`max(20000, 30·n)`) instead of making no
+        // moves.
+        let cubes = random_cube_set(24, 15, 0.6, 9);
+        let identity: Vec<usize> = (0..cubes.len()).collect();
+        for seed in [0u64, 7, 42] {
+            assert_eq!(
+                IsaOrdering::with_iterations(seed, 0).order(&cubes),
+                identity,
+                "seed {seed}"
+            );
+        }
+        // The default-budget constructor still anneals (not identity on
+        // an adversarial alternating order).
+        assert_eq!(IsaOrdering::new(3).budget(cubes.len()), 20_000);
+        assert_eq!(IsaOrdering::with_iterations(3, 5).budget(cubes.len()), 5);
     }
 
     #[test]

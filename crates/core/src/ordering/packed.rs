@@ -2,6 +2,7 @@
 //! façade over [`dpfill_cubes::packed::PackedCubeSet`].
 
 use dpfill_cubes::packed::PackedCubeSet;
+use dpfill_cubes::popcount;
 use dpfill_cubes::CubeSet;
 
 /// Cubes packed into two-plane (care, value) words, 64 pins per word.
@@ -51,6 +52,41 @@ impl PackedCubes {
         self.set.cube(a).hamming(self.set.cube(b))
     }
 
+    /// [`PackedCubes::conflict`] on an explicit, pre-resolved popcount
+    /// kernel — the per-pair step for callers that hold the kernel
+    /// across a whole sweep (the ISA annealer keeps it for the entire
+    /// run, so every move's rescoring skips the dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn conflict_with(&self, kernel: popcount::PopcountKernel, a: usize, b: usize) -> usize {
+        self.set.cube(a).hamming_with(kernel, self.set.cube(b))
+    }
+
+    /// Batched conflict sweep over arbitrary index pairs — one popcount-
+    /// kernel resolve for the whole batch; element `k` is
+    /// `conflict(pairs[k].0, pairs[k].1)`. The ISA annealer's own move
+    /// rescoring stays allocation-free via [`PackedCubes::conflict_with`];
+    /// this is the batch entry point for one-shot callers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn conflict_pairs(&self, pairs: &[(usize, usize)]) -> Vec<usize> {
+        self.set.hamming_pairs(pairs)
+    }
+
+    /// A kernel-hoisted conflict scorer for sweeps: the popcount kernel
+    /// resolves once here, then every `(a, b)` call reduces straight on
+    /// the planes — what the chunked candidate loops of the ordering
+    /// strategies call per candidate without re-dispatching.
+    pub fn scorer(&self) -> impl Fn(usize, usize) -> usize + Sync + '_ {
+        let kernel = popcount::active_kernel();
+        move |a, b| self.set.cube(a).hamming_with(kernel, self.set.cube(b))
+    }
+
     /// Number of care bits of cube `a`.
     pub fn care_count(&self, a: usize) -> usize {
         self.set.cube(a).care_count()
@@ -94,6 +130,20 @@ mod tests {
         let packed = PackedCubes::pack(&set);
         assert!(packed.is_empty());
         assert_eq!(packed.len(), 0);
+    }
+
+    #[test]
+    fn batched_scorers_match_per_pair_conflicts() {
+        let set = random_cube_set(130, 10, 0.6, 21);
+        let packed = PackedCubes::pack(&set);
+        let pairs: Vec<(usize, usize)> = (0..9).map(|i| (i, i + 1)).collect();
+        let batched = packed.conflict_pairs(&pairs);
+        let scorer = packed.scorer();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batched[k], packed.conflict(a, b), "pair {a},{b}");
+            assert_eq!(scorer(a, b), packed.conflict(a, b), "pair {a},{b}");
+        }
+        assert!(packed.conflict_pairs(&[]).is_empty());
     }
 
     #[test]

@@ -27,6 +27,9 @@ impl OrderingStrategy for XStatOrdering {
             return Vec::new();
         }
         let packed = PackedCubes::pack(cubes);
+        // One popcount-kernel resolve for the whole O(n²) chaining loop;
+        // every candidate chunk scores through it without re-dispatch.
+        let conflict = packed.scorer();
         let care: Vec<usize> = (0..n).map(|i| packed.care_count(i)).collect();
 
         // Seed: most specified cube.
@@ -51,7 +54,7 @@ impl OrderingStrategy for XStatOrdering {
                         if visited[cand] {
                             continue;
                         }
-                        let d = packed.conflict(current, cand);
+                        let d = conflict(current, cand);
                         let key = (d, usize::MAX - care[cand], cand);
                         if local.is_none_or(|b| key < b) {
                             local = Some(key);

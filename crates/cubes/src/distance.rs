@@ -2,9 +2,12 @@
 //!
 //! The public kernels run on the bit-packed two-plane representation
 //! ([`crate::packed`]): `hd(T_j, T_{j+1})` is one XOR+AND+popcount pass
-//! per 64 pins. The `*_scalar` functions retain the original per-bit
-//! walks as executable reference implementations; differential tests
-//! assert both paths agree bit-for-bit.
+//! per 64 pins, reduced by the active [`crate::popcount`] tier (scalar /
+//! SWAR Harley-Seal / AVX2) — the set-level profiles resolve the tier
+//! once and sweep all adjacent pairs through it. The `*_scalar`
+//! functions retain the original per-bit walks as executable reference
+//! implementations; differential tests assert both paths agree
+//! bit-for-bit.
 
 use crate::packed::pack_word;
 use crate::{CubeError, CubeSet, TestCube};

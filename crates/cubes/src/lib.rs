@@ -19,6 +19,9 @@
 //! * [`packed`] — the bit-packed two-plane store itself ([`PackedBits`],
 //!   [`PackedCubeSet`], [`PackedMatrix`]) with the popcount kernels, the
 //!   word-blocked transpose and the streaming row builder;
+//! * [`popcount`] — the tiered masked-XOR popcount kernels behind every
+//!   toggle/conflict metric (scalar reference, portable Harley-Seal
+//!   SWAR, runtime-detected AVX2; `DPFILL_SIMD` overrides);
 //! * [`stretch`] — classification of the X-runs ("stretches") inside a row,
 //!   the raw material of the paper's interval mapping and of Fig 2(c);
 //! * [`gen`] — seeded random cube generators used for tests and for the
@@ -49,6 +52,7 @@ pub mod format;
 pub mod gen;
 mod matrix;
 pub mod packed;
+pub mod popcount;
 mod set;
 pub mod stretch;
 

@@ -25,7 +25,8 @@
 //! structural equality): `val & !care == 0`, and bits past `len` are zero
 //! in both planes.
 
-use crate::{Bit, CubeSet, PinMatrix, TestCube};
+use crate::popcount::{self, PopcountKernel};
+use crate::{Bit, CubeError, CubeSet, PinMatrix, TestCube};
 
 /// Number of positions per plane word.
 const WORD: usize = 64;
@@ -290,22 +291,54 @@ impl PackedBits {
     }
 
     /// The paper's `hd`: positions where both vectors carry opposite care
-    /// bits — `popcount((a.val ^ b.val) & a.care & b.care)` per word.
+    /// bits — `popcount((a.val ^ b.val) & a.care & b.care)`, reduced by
+    /// the active [`popcount`] kernel tier (scalar / SWAR / AVX2).
     ///
     /// # Panics
     ///
-    /// Panics if the lengths differ.
+    /// Panics if the lengths differ. Use [`PackedBits::try_hamming`]
+    /// where the widths come from untrusted input.
     pub fn hamming(&self, other: &PackedBits) -> usize {
-        assert_eq!(
+        self.try_hamming(other)
+            .expect("hamming distance requires equal widths")
+    }
+
+    /// [`PackedBits::hamming`] with the width check routed through
+    /// [`CubeError`] instead of a panic — the entry point for callers
+    /// fed by pattern files, where a malformed row must surface as a
+    /// typed error rather than abort the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the widths differ.
+    pub fn try_hamming(&self, other: &PackedBits) -> Result<usize, CubeError> {
+        self.check_width(other)?;
+        Ok(self.hamming_with(popcount::active_kernel(), other))
+    }
+
+    /// The Hamming reduction on an explicit kernel tier, widths already
+    /// validated — the per-pair step of the whole-set sweeps, which
+    /// resolve the kernel once and hoist the dispatch out of the loop.
+    #[inline]
+    pub fn hamming_with(&self, kernel: PopcountKernel, other: &PackedBits) -> usize {
+        debug_assert_eq!(
             self.len, other.len,
             "hamming distance requires equal widths"
         );
-        self.val
-            .iter()
-            .zip(&other.val)
-            .zip(self.care.iter().zip(&other.care))
-            .map(|((&va, &vb), (&ca, &cb))| ((va ^ vb) & ca & cb).count_ones() as usize)
-            .sum()
+        kernel.masked_xor_popcount(&self.val, &other.val, &self.care, &other.care)
+    }
+
+    /// Typed width guard shared by the fallible plane kernels.
+    #[inline]
+    fn check_width(&self, other: &PackedBits) -> Result<(), CubeError> {
+        if self.len == other.len {
+            Ok(())
+        } else {
+            Err(CubeError::WidthMismatch {
+                expected: self.len,
+                found: other.len,
+            })
+        }
     }
 
     /// `true` when no position carries opposite care bits.
@@ -323,12 +356,26 @@ impl PackedBits {
     /// primitive of static test compaction. With no conflicting care bits,
     /// the merge is one OR per plane word (`val ⊆ care` is preserved
     /// because shared care positions agree). Returns `None` when the
-    /// vectors are incompatible or differ in width.
+    /// vectors are incompatible or differ in width; use
+    /// [`PackedBits::try_merge`] to tell those cases apart.
     pub fn merge(&self, other: &PackedBits) -> Option<PackedBits> {
+        self.try_merge(other).ok().flatten()
+    }
+
+    /// [`PackedBits::merge`] with the width check routed through
+    /// [`CubeError`]: `Err` for mismatched widths (malformed input),
+    /// `Ok(None)` for genuinely conflicting care bits (a normal
+    /// compaction outcome), `Ok(Some(_))` for the merged cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the widths differ.
+    pub fn try_merge(&self, other: &PackedBits) -> Result<Option<PackedBits>, CubeError> {
+        self.check_width(other)?;
         if !self.is_compatible(other) {
-            return None;
+            return Ok(None);
         }
-        Some(PackedBits {
+        Ok(Some(PackedBits {
             len: self.len,
             care: self
                 .care
@@ -342,21 +389,35 @@ impl PackedBits {
                 .zip(&other.val)
                 .map(|(&a, &b)| a | b)
                 .collect(),
-        })
+        }))
     }
 
     /// `true` when every care bit of `other` is matched by `self` — the
     /// word-level containment check behind filling validation: per word,
     /// `other`'s care positions must be care in `self`
     /// (`cb & !ca == 0`) and carry the same value (`cb & (va^vb) == 0`).
+    ///
+    /// A width mismatch reports `false` (two differently sized vectors
+    /// contain nothing of each other); [`PackedBits::try_is_contained_in`]
+    /// surfaces it as a typed error instead.
     pub fn is_contained_in(&self, other: &PackedBits) -> bool {
-        self.len == other.len
-            && self
-                .val
-                .iter()
-                .zip(&other.val)
-                .zip(self.care.iter().zip(&other.care))
-                .all(|((&va, &vb), (&ca, &cb))| cb & !ca == 0 && cb & (va ^ vb) == 0)
+        self.try_is_contained_in(other).unwrap_or(false)
+    }
+
+    /// [`PackedBits::is_contained_in`] with the width check routed
+    /// through [`CubeError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the widths differ.
+    pub fn try_is_contained_in(&self, other: &PackedBits) -> Result<bool, CubeError> {
+        self.check_width(other)?;
+        Ok(self
+            .val
+            .iter()
+            .zip(&other.val)
+            .zip(self.care.iter().zip(&other.care))
+            .all(|((&va, &vb), (&ca, &cb))| cb & !ca == 0 && cb & (va ^ vb) == 0))
     }
 
     /// `true` when no position is `X` (the care plane is all ones over
@@ -439,6 +500,20 @@ impl PackedBits {
         }
     }
 
+    /// Mask of the adjacent care-care conflicts whose left column sits
+    /// in word `w`: bit `b` set ⇔ positions `w*64+b` and `w*64+b+1` hold
+    /// opposite care bits. Canonical tails (zero care past `len`) keep
+    /// phantom transitions out of the mask.
+    #[inline]
+    fn adjacent_conflict_word(&self, w: usize) -> u64 {
+        let n = self.care.len();
+        let carry_c = if w + 1 < n { self.care[w + 1] << 63 } else { 0 };
+        let carry_v = if w + 1 < n { self.val[w + 1] << 63 } else { 0 };
+        let c2 = self.care[w] >> 1 | carry_c;
+        let v2 = self.val[w] >> 1 | carry_v;
+        (self.val[w] ^ v2) & self.care[w] & c2
+    }
+
     /// Calls `f(t)` for every transition `t` (between positions `t` and
     /// `t+1`) where both positions carry opposite care bits — the
     /// word-level scan behind per-transition toggle loads. One
@@ -447,19 +522,67 @@ impl PackedBits {
         if self.len < 2 {
             return;
         }
-        let n = self.care.len();
-        for w in 0..n {
-            let carry_c = if w + 1 < n { self.care[w + 1] << 63 } else { 0 };
-            let carry_v = if w + 1 < n { self.val[w + 1] << 63 } else { 0 };
-            let c2 = self.care[w] >> 1 | carry_c;
-            let v2 = self.val[w] >> 1 | carry_v;
-            // Canonical tails (zero care past `len`) keep phantom
-            // transitions out of the mask.
-            let mut m = (self.val[w] ^ v2) & self.care[w] & c2;
+        for w in 0..self.care.len() {
+            let mut m = self.adjacent_conflict_word(w);
             while m != 0 {
                 f(w * WORD + m.trailing_zeros() as usize);
                 m &= m - 1;
             }
+        }
+    }
+
+    /// Pull-based twin of [`PackedBits::for_each_adjacent_conflict`],
+    /// yielding the conflict transitions in ascending order — what the
+    /// dense-care stretch scanner merges against its X-run events.
+    pub fn adjacent_conflicts(&self) -> AdjacentConflicts<'_> {
+        let first = if self.len < 2 {
+            0
+        } else {
+            self.adjacent_conflict_word(0)
+        };
+        AdjacentConflicts {
+            bits: self,
+            word: 0,
+            mask: first,
+        }
+    }
+
+    /// Number of adjacent care-care conflicts — a pure XOR+popcount
+    /// sweep, no per-bit iteration. On a fully specified row this is the
+    /// row's entire toggle contribution (it has no stretches), which is
+    /// what makes the dense-care fast path skip classification.
+    pub fn adjacent_conflict_count(&self) -> usize {
+        if self.len < 2 {
+            return 0;
+        }
+        (0..self.care.len())
+            .map(|w| self.adjacent_conflict_word(w).count_ones() as usize)
+            .sum()
+    }
+
+    /// First `X` position at column `pos` or later, if any — the
+    /// complement twin of [`PackedBits::next_care_at_or_after`], probing
+    /// the inverted care plane under the live-bit tail mask. The X-run
+    /// ("dense-care") scanner hops between don't-care runs with this, so
+    /// its cost scales with the number of runs instead of care bits.
+    pub fn next_x_at_or_after(&self, pos: usize) -> Option<usize> {
+        if pos >= self.len {
+            return None;
+        }
+        let n = self.care.len();
+        let tail = tail_mask(self.len);
+        let mut w = pos / WORD;
+        let live = |w: usize| if w + 1 == n { tail } else { u64::MAX };
+        let mut m = !self.care[w] & live(w) & (u64::MAX << (pos % WORD));
+        loop {
+            if m != 0 {
+                return Some(w * WORD + m.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= n {
+                return None;
+            }
+            m = !self.care[w] & live(w);
         }
     }
 
@@ -522,6 +645,32 @@ impl Iterator for CarePositions<'_> {
         let pos = self.word * WORD + b;
         let value = Bit::from_bool(self.bits.val[self.word] >> b & 1 == 1);
         Some((pos, value))
+    }
+}
+
+/// Iterator over the adjacent care-care conflict transitions of a
+/// [`PackedBits`], in ascending column order.
+#[derive(Clone, Debug)]
+pub struct AdjacentConflicts<'a> {
+    bits: &'a PackedBits,
+    word: usize,
+    mask: u64,
+}
+
+impl Iterator for AdjacentConflicts<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.mask == 0 {
+            self.word += 1;
+            if self.word >= self.bits.care.len() {
+                return None;
+            }
+            self.mask = self.bits.adjacent_conflict_word(self.word);
+        }
+        let b = self.mask.trailing_zeros() as usize;
+        self.mask &= self.mask - 1;
+        Some(self.word * WORD + b)
     }
 }
 
@@ -669,25 +818,82 @@ impl PackedCubeSet {
         self.cubes.push(cube);
     }
 
-    /// Per-transition toggle counts `hd(T_j, T_{j+1})` — one
-    /// XOR+AND+popcount pass per adjacent pair.
+    /// Per-transition toggle counts `hd(T_j, T_{j+1})` — one batched
+    /// sweep over the adjacent pairs: the popcount kernel is resolved
+    /// once and every pair reduces through it, instead of per-pair
+    /// [`PackedBits::hamming`] calls re-dispatching each time.
     pub fn toggle_profile(&self) -> Vec<usize> {
-        self.cubes.windows(2).map(|w| w[0].hamming(&w[1])).collect()
+        let kernel = popcount::active_kernel();
+        self.cubes
+            .windows(2)
+            .map(|w| w[0].hamming_with(kernel, &w[1]))
+            .collect()
     }
 
     /// Peak toggles `max_j hd(T_j, T_{j+1})`; `0` for fewer than two
-    /// cubes.
+    /// cubes. One batched adjacent-pair sweep.
     pub fn peak_toggles(&self) -> usize {
+        let kernel = popcount::active_kernel();
         self.cubes
             .windows(2)
-            .map(|w| w[0].hamming(&w[1]))
+            .map(|w| w[0].hamming_with(kernel, &w[1]))
             .max()
             .unwrap_or(0)
     }
 
-    /// Total toggles across the sequence.
+    /// Total toggles across the sequence. One batched adjacent-pair
+    /// sweep.
     pub fn total_toggles(&self) -> usize {
-        self.cubes.windows(2).map(|w| w[0].hamming(&w[1])).sum()
+        self.total_conflicts()
+    }
+
+    /// Total adjacent conflicts `Σ_j hd(T_j, T_{j+1})` — the same
+    /// reduction under its pre-fill name: on a partially specified set
+    /// the count is the unavoidable-toggle floor of the ordering, which
+    /// is what the ordering scorers minimize.
+    pub fn total_conflicts(&self) -> usize {
+        let kernel = popcount::active_kernel();
+        self.cubes
+            .windows(2)
+            .map(|w| w[0].hamming_with(kernel, &w[1]))
+            .sum()
+    }
+
+    /// Pairwise-distance sweep from cube `from` to every cube of the
+    /// set: element `i` is `hd(T_from, T_i)` (`0` at `from` itself).
+    /// One kernel resolve for the whole sweep. This is the one-vs-all
+    /// set-level primitive; chunked candidate loops that filter as they
+    /// go (the XStat ordering) hold a kernel-hoisted scorer instead and
+    /// skip the materialized vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= self.len()`.
+    pub fn distances_from(&self, from: usize) -> Vec<usize> {
+        let kernel = popcount::active_kernel();
+        let anchor = &self.cubes[from];
+        self.cubes
+            .iter()
+            .map(|c| anchor.hamming_with(kernel, c))
+            .collect()
+    }
+
+    /// Batched distance sweep over arbitrary index pairs: element `k` is
+    /// `hd(T_{pairs[k].0}, T_{pairs[k].1})`, all pairs sharing one
+    /// kernel resolve. Allocation-averse hot loops (the ISA annealer's
+    /// move rescoring) hold the kernel themselves and call
+    /// [`PackedBits::hamming_with`] per pair; this is the set-level
+    /// batch entry point for everyone else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn hamming_pairs(&self, pairs: &[(usize, usize)]) -> Vec<usize> {
+        let kernel = popcount::active_kernel();
+        pairs
+            .iter()
+            .map(|&(a, b)| self.cubes[a].hamming_with(kernel, &self.cubes[b]))
+            .collect()
     }
 
     /// Total number of `X` bits.
@@ -1199,6 +1405,96 @@ mod tests {
         // Degenerate lengths.
         PackedBits::all_x(0).for_each_adjacent_conflict(|_| panic!("no transitions"));
         PackedBits::all_x(1).for_each_adjacent_conflict(|_| panic!("no transitions"));
+    }
+
+    #[test]
+    fn adjacent_conflict_iterator_and_count_match_visitor() {
+        for seed in 0..8u64 {
+            let len = 50 + seed as usize * 21;
+            let set = random_cube_set(1, len, 0.4, seed);
+            let row = PackedBits::from_bits(set.to_pin_matrix().row(0));
+            let mut visited = Vec::new();
+            row.for_each_adjacent_conflict(|t| visited.push(t));
+            let pulled: Vec<usize> = row.adjacent_conflicts().collect();
+            assert_eq!(pulled, visited, "seed {seed}");
+            assert_eq!(row.adjacent_conflict_count(), visited.len(), "seed {seed}");
+        }
+        assert_eq!(PackedBits::all_x(0).adjacent_conflict_count(), 0);
+        assert_eq!(PackedBits::all_x(1).adjacent_conflicts().next(), None);
+    }
+
+    #[test]
+    fn next_x_probe_hops_word_boundaries() {
+        let mut p = PackedBits::all_x(130);
+        p.fill_range(0, 70, Bit::One);
+        assert_eq!(p.next_x_at_or_after(0), Some(70));
+        assert_eq!(p.next_x_at_or_after(70), Some(70));
+        assert_eq!(p.next_x_at_or_after(129), Some(129));
+        assert_eq!(p.next_x_at_or_after(130), None);
+        p.fill_range(70, 130, Bit::Zero);
+        assert_eq!(p.next_x_at_or_after(0), None, "fully specified row");
+        // The probe must not report phantom X bits past `len`.
+        let q = PackedBits::from_bits(&bits("01"));
+        assert_eq!(q.next_x_at_or_after(0), None);
+        assert_eq!(PackedBits::all_x(0).next_x_at_or_after(0), None);
+    }
+
+    #[test]
+    fn fallible_kernels_report_width_mismatch() {
+        let a = PackedBits::from_bits(&bits("0X1X"));
+        let b = PackedBits::from_bits(&bits("0X1"));
+        let mismatch = CubeError::WidthMismatch {
+            expected: 4,
+            found: 3,
+        };
+        assert_eq!(a.try_hamming(&b), Err(mismatch.clone()));
+        assert_eq!(a.try_merge(&b), Err(mismatch.clone()));
+        assert_eq!(a.try_is_contained_in(&b), Err(mismatch));
+        // The infallible views keep their documented lenient behavior.
+        assert_eq!(a.merge(&b), None);
+        assert!(!a.is_contained_in(&b));
+        // Equal widths: typed paths agree with the originals.
+        let c = PackedBits::from_bits(&bits("0XXX"));
+        assert_eq!(a.try_hamming(&c).unwrap(), a.hamming(&c));
+        assert_eq!(a.try_merge(&c).unwrap(), a.merge(&c));
+        assert_eq!(a.try_is_contained_in(&c).unwrap(), a.is_contained_in(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn packed_hamming_panics_on_width_mismatch() {
+        let a = PackedBits::all_x(4);
+        let b = PackedBits::all_x(5);
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    fn whole_set_sweeps_match_per_pair_kernels() {
+        for seed in 0..4u64 {
+            let set = random_cube_set(130, 12, 0.5, seed);
+            let packed = PackedCubeSet::from(&set);
+            let per_pair: Vec<usize> = packed
+                .cubes()
+                .windows(2)
+                .map(|w| w[0].hamming(&w[1]))
+                .collect();
+            assert_eq!(packed.toggle_profile(), per_pair, "seed {seed}");
+            assert_eq!(
+                packed.peak_toggles(),
+                per_pair.iter().copied().max().unwrap_or(0)
+            );
+            assert_eq!(packed.total_conflicts(), per_pair.iter().sum::<usize>());
+            assert_eq!(packed.total_toggles(), packed.total_conflicts());
+            for from in [0, packed.len() / 2, packed.len() - 1] {
+                let sweep = packed.distances_from(from);
+                for (i, &d) in sweep.iter().enumerate() {
+                    assert_eq!(d, packed.cube(from).hamming(packed.cube(i)));
+                }
+            }
+            let pairs: Vec<(usize, usize)> = (0..packed.len() - 1).map(|i| (i, i + 1)).collect();
+            assert_eq!(packed.hamming_pairs(&pairs), per_pair);
+        }
+        assert!(PackedCubeSet::new(8).hamming_pairs(&[]).is_empty());
     }
 
     #[test]

@@ -167,6 +167,100 @@ pub fn for_each_stretch(row: &PackedBits, mut f: impl FnMut(Stretch)) {
     }
 }
 
+/// `true` when the X-run ("dense-care") scanner is expected to beat the
+/// care-position scanner on this row: care bits dominate, so hopping
+/// over the *complement* of the care plane visits far fewer positions
+/// than classifying every care arrival. The threshold (≤ 25% `X`) is a
+/// heuristic — both scanners are exact, so the choice only moves time.
+pub fn is_dense_row(row: &PackedBits) -> bool {
+    dense_threshold(row.x_count(), row.len())
+}
+
+/// The dense/sparse decision on an already-computed `X` count, for
+/// callers that need the count anyway and must not popcount twice.
+#[inline]
+fn dense_threshold(x_count: usize, len: usize) -> bool {
+    x_count * 4 <= len
+}
+
+/// The dense-care twin of [`for_each_stretch`]: classifies by hopping
+/// between **X-runs** (via [`PackedBits::next_x_at_or_after`]) and takes
+/// the forced toggles word-wise from the adjacent-conflict mask
+/// ([`PackedBits::adjacent_conflicts`]), so the cost scales with the
+/// number of don't-care runs and conflicts instead of care bits. On a
+/// fully specified row no stretch is ever classified — the ROADMAP's
+/// dense-care fast path.
+///
+/// Emits exactly the event stream of [`for_each_stretch`], in the same
+/// order: the two sorted streams (X-run events keyed by their closing
+/// care column, conflicts by `col + 1`) merge by arrival position, and
+/// the keys are provably distinct (a conflict needs care at `col`, a
+/// stretch needs `X` there).
+pub fn for_each_stretch_dense(row: &PackedBits, mut f: impl FnMut(Stretch)) {
+    let n = row.len();
+    if n == 0 {
+        return;
+    }
+    let mut conflicts = row.adjacent_conflicts().peekable();
+    let mut next_x = row.next_x_at_or_after(0);
+    while let Some(s) = next_x {
+        let run_end = row.next_care_at_or_after(s);
+        let (event, arrival) = match run_end {
+            None if s == 0 => (Stretch::AllX, n),
+            None => (Stretch::Trailing { last_care: s - 1 }, n),
+            Some((e, _)) if s == 0 => (Stretch::Leading { first_care: e }, e),
+            Some((e, rv)) => {
+                // `s` starts an X-run with s > 0, so column s-1 carries
+                // a care bit: the stretch's left delimiter.
+                let lv = row.get(s - 1);
+                if lv == rv {
+                    (
+                        Stretch::SameValue {
+                            left: s - 1,
+                            right: e,
+                            value: lv,
+                        },
+                        e,
+                    )
+                } else {
+                    (
+                        Stretch::Transition {
+                            left: s - 1,
+                            right: e,
+                            left_value: lv,
+                        },
+                        e,
+                    )
+                }
+            }
+        };
+        while let Some(&col) = conflicts.peek() {
+            if col + 1 < arrival {
+                f(Stretch::ForcedToggle { col });
+                conflicts.next();
+            } else {
+                break;
+            }
+        }
+        f(event);
+        next_x = run_end.and_then(|(e, _)| row.next_x_at_or_after(e));
+    }
+    for col in conflicts {
+        f(Stretch::ForcedToggle { col });
+    }
+}
+
+/// Dispatches between the care-position scanner ([`for_each_stretch`])
+/// and the X-run scanner ([`for_each_stretch_dense`]) per row — the
+/// density-adaptive entry point the aggregation paths use.
+pub fn for_each_stretch_auto(row: &PackedBits, f: impl FnMut(Stretch)) {
+    if is_dense_row(row) {
+        for_each_stretch_dense(row, f)
+    } else {
+        for_each_stretch(row, f)
+    }
+}
+
 /// Scans a packed row while letting the callback **mutate it**: `f`
 /// receives the row and each classified stretch, and may apply mask
 /// splices (e.g. [`Stretch::splice_safe`]) as the scan goes — the
@@ -261,6 +355,16 @@ impl RowStretches {
     pub fn analyze_packed(row: &PackedBits) -> RowStretches {
         let mut stretches = Vec::new();
         for_each_stretch(row, |s| stretches.push(s));
+        RowStretches { stretches }
+    }
+
+    /// Collecting wrapper over the X-run scanner
+    /// ([`for_each_stretch_dense`]); produces exactly the stretches of
+    /// [`RowStretches::analyze_packed`] on any row (differential-tested
+    /// in `crates/core/tests/dense_fastpath.rs`).
+    pub fn analyze_dense(row: &PackedBits) -> RowStretches {
+        let mut stretches = Vec::new();
+        for_each_stretch_dense(row, |s| stretches.push(s));
         RowStretches { stretches }
     }
 
@@ -409,11 +513,25 @@ impl StretchStats {
     /// allocation-free [`for_each_stretch`] visitor pass into a private
     /// accumulator and the per-chunk accumulators merge in chunk order —
     /// bit-identical to the serial walk at any thread count.
+    /// Per row the scanner is density-adaptive: a fully specified row
+    /// has no stretches at all, so its forced toggles come straight off
+    /// the word-wise adjacent-conflict popcount
+    /// ([`PackedBits::adjacent_conflict_count`]); dense rows use the
+    /// X-run scanner; sparse rows the care-position scanner. All three
+    /// tally identically (differential-tested).
     pub fn of_packed(matrix: &PackedMatrix) -> StretchStats {
         minipool::parallel_chunks(matrix.packed_rows(), 4, |_, rows| {
             let mut acc = StatsAccumulator::default();
             for row in rows {
-                for_each_stretch(row, |s| acc.add(s, row.len()));
+                // One care-plane popcount decides all three branches.
+                let x = row.x_count();
+                if x == 0 {
+                    acc.forced += row.adjacent_conflict_count();
+                } else if dense_threshold(x, row.len()) {
+                    for_each_stretch_dense(row, |s| acc.add(s, row.len()));
+                } else {
+                    for_each_stretch(row, |s| acc.add(s, row.len()));
+                }
             }
             acc
         })
@@ -630,12 +748,14 @@ mod tests {
     #[test]
     fn packed_stats_match_scalar_stats() {
         use crate::packed::{PackedCubeSet, PackedMatrix};
-        for seed in 0..4u64 {
-            let set = crate::gen::random_cube_set(90, 70, 0.75, seed);
+        // Densities spanning the sparse scanner, the dense X-run
+        // scanner and the fully-specified popcount shortcut.
+        for (seed, density) in [(0u64, 0.75), (1, 0.75), (2, 0.2), (3, 0.05), (4, 0.0)] {
+            let set = crate::gen::random_cube_set(90, 70, density, seed);
             let scalar = StretchStats::of_matrix(&set.to_pin_matrix());
             let packed =
                 StretchStats::of_packed(&PackedMatrix::from_packed_set(&PackedCubeSet::from(&set)));
-            assert_eq!(scalar, packed, "seed {seed}");
+            assert_eq!(scalar, packed, "seed {seed} density {density}");
         }
     }
 
@@ -706,6 +826,71 @@ mod tests {
         });
         assert_eq!(seen, vec![Stretch::AllX]);
         assert_eq!(all_x.x_count(), 0);
+    }
+
+    #[test]
+    fn dense_scanner_matches_care_scanner_exactly() {
+        use crate::packed::PackedBits;
+        // Hand-picked shapes covering every event kind and interleaving,
+        // including fully specified rows (conflicts only, no stretches).
+        let rows = [
+            "XX0XX0X1X1X1XX",
+            "01X0",
+            "0011",
+            "XXXX",
+            "XX1X",
+            "0",
+            "X",
+            "0101",
+            "010X10",
+            "0110100101101001",
+        ];
+        for r in rows {
+            let packed = PackedBits::from_bits(&row(r));
+            assert_eq!(
+                RowStretches::analyze_dense(&packed),
+                RowStretches::analyze_packed(&packed),
+                "row {r}"
+            );
+        }
+        // Random rows across the density spectrum, straddling word
+        // boundaries.
+        for seed in 0..12u64 {
+            let density = 0.1 + 0.08 * seed as f64;
+            let set = crate::gen::random_cube_set(1, 60 + seed as usize * 17, density, seed);
+            let m = set.to_pin_matrix();
+            let packed = PackedBits::from_bits(m.row(0));
+            assert_eq!(
+                RowStretches::analyze_dense(&packed),
+                RowStretches::analyze_packed(&packed),
+                "seed {seed} density {density}"
+            );
+        }
+        assert_eq!(
+            RowStretches::analyze_dense(&PackedBits::all_x(0)),
+            RowStretches::analyze(&[])
+        );
+    }
+
+    #[test]
+    fn auto_dispatch_is_exact_at_both_densities() {
+        use crate::packed::PackedBits;
+        for (density, seed) in [(0.05, 1u64), (0.5, 2), (0.95, 3)] {
+            let set = crate::gen::random_cube_set(1, 200, density, seed);
+            let packed = PackedBits::from_bits(set.to_pin_matrix().row(0));
+            let mut auto = Vec::new();
+            for_each_stretch_auto(&packed, |s| auto.push(s));
+            assert_eq!(
+                auto,
+                RowStretches::analyze_packed(&packed).stretches(),
+                "density {density}"
+            );
+        }
+        // The heuristic itself: mostly-care rows go dense, X-rich don't.
+        let dense = PackedBits::from_bits(&row("0101010X"));
+        let sparse = PackedBits::from_bits(&row("0XXXXXX1"));
+        assert!(is_dense_row(&dense));
+        assert!(!is_dense_row(&sparse));
     }
 
     #[test]

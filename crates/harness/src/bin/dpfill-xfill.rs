@@ -105,13 +105,18 @@ fn parse_args() -> Result<Options, String> {
 
 fn run(opts: &Options) -> Result<(), String> {
     // Fix the pool width before any parallel helper builds it lazily.
-    // `--threads 0` means "auto": leave the pool to its lazy init, which
-    // honors DPFILL_THREADS and falls back to one thread per core. The
-    // filled output is bit-identical at every width; only wall-clock
+    // The filled output is bit-identical at every width; only wall-clock
     // time changes.
-    if let Some(threads) = opts.threads.filter(|&t| t > 0) {
-        minipool::set_global_threads(threads)
-            .map_err(|built| format!("thread pool already running with {built} threads"))?;
+    match opts.threads {
+        // `--threads 0` is documented "auto" and must never construct a
+        // zero-width pool: leave the pool to its lazy init, which honors
+        // DPFILL_THREADS and falls back to one thread per core — exactly
+        // as if the flag were absent.
+        None | Some(0) => {}
+        Some(threads) => {
+            minipool::set_global_threads(threads)
+                .map_err(|built| format!("thread pool already running with {built} threads"))?;
+        }
     }
     // Stream the pattern file straight into the packed cube planes —
     // the input never exists in memory as text or scalar bits.

@@ -26,12 +26,14 @@ fn run_xfill(args: &[&str]) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn dpfill-xfill");
-    child
+    // A run that rejects its arguments exits before reading stdin, so
+    // the pipe may already be closed — that is the behavior under test,
+    // not a failure.
+    let _ = child
         .stdin
         .as_mut()
         .expect("piped stdin")
-        .write_all(INPUT.as_bytes())
-        .expect("write patterns");
+        .write_all(INPUT.as_bytes());
     let out = child.wait_with_output().expect("dpfill-xfill exit");
     (
         String::from_utf8(out.stdout).expect("utf-8 stdout"),
@@ -59,6 +61,41 @@ fn output_is_byte_identical_at_every_thread_count() {
         assert_eq!(out, reference, "--threads {threads} changed the output");
         assert!(stderr.contains("peak toggles"), "stats still reported");
     }
+}
+
+#[test]
+fn threads_zero_means_auto() {
+    // `--threads 0` is the documented "auto": it must succeed, defer to
+    // the DPFILL_THREADS environment override exactly like an absent
+    // flag, and produce the same bytes as every other thread count — it
+    // must never construct a zero-width pool or error out.
+    let (reference, _, ok) = run_xfill(&["--fill", "dp", "--order", "interleave"]);
+    assert!(ok, "default run failed");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dpfill-xfill"))
+        .args(["--fill", "dp", "--order", "interleave", "--threads", "0"])
+        .env("DPFILL_THREADS", "3")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dpfill-xfill");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(INPUT.as_bytes())
+        .expect("write patterns");
+    let out = child.wait_with_output().expect("dpfill-xfill exit");
+    assert!(
+        out.status.success(),
+        "--threads 0 with DPFILL_THREADS=3 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        reference,
+        "--threads 0 changed the output"
+    );
 }
 
 #[test]
