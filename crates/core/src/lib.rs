@@ -18,7 +18,10 @@
 //! * [`ordering`] — Tool, XStat [22], simulated-annealing (ISA, [20]) and
 //!   the paper's I-ordering (Algorithm 3, [`ordering::IOrdering`]);
 //! * [`pipeline`] — ordering+fill techniques and the sweeps behind the
-//!   paper's tables.
+//!   paper's tables;
+//! * [`stream`] — the bounded-memory streaming pipeline: windowed
+//!   analyze→fill→emit with exact overlap stitching, byte-identical to
+//!   the monolithic run.
 //!
 //! # Quickstart
 //!
@@ -47,8 +50,10 @@ mod interval;
 pub mod mapping;
 pub mod ordering;
 pub mod pipeline;
+pub mod stream;
 
 pub use bcp::{BcpError, BcpInstance, BcpSolution, Coloring, VerifiedPeak};
 pub use interval::Interval;
 pub use mapping::{IntervalSite, MatrixMapping};
 pub use pipeline::{percent_improvement, sweep_fills, Technique, TechniqueResult};
+pub use stream::{StreamError, StreamOptions, StreamReport, StreamingFill, WindowSpec};

@@ -1,0 +1,284 @@
+//! Windowed matrix analysis with exact boundary stitching.
+//!
+//! [`WindowedAnalyzer`] consumes a cube set **one window of columns at a
+//! time** (each window arrives as a transposed [`PackedMatrix`]) and
+//! emits exactly the event stream of the monolithic
+//! [`MatrixMapping::analyze`](crate::MatrixMapping::analyze) walk:
+//!
+//! * *safe* runs (leading / trailing / `v X…X v` / all-`X`) become
+//!   [`Segment`]s — fill instructions the emit pass splices back in;
+//! * `v X…X w` transition stretches become [`IntervalSite`]s — BCP
+//!   intervals whose toggle position the global solve decides;
+//! * adjacent opposite care bits become per-transition baseline loads.
+//!
+//! The analyzer carries **per-pin scan state** (the last care bit seen)
+//! across window boundaries, so a stretch that spans any number of
+//! windows — including stretches far longer than the window, the
+//! "window smaller than the overlap" case — is classified exactly as if
+//! the whole row were resident: the previous window's frozen tail *is*
+//! the carried state. Only the classification events survive a window;
+//! the cubes themselves are dropped when the caller moves on.
+//!
+//! Pin rows are independent, so each window's scan fans the per-pin
+//! states out over the current [`minipool`] pool in deterministic
+//! chunks; per-chunk events merge in chunk order, making the stream
+//! bit-identical at any thread count.
+
+use dpfill_cubes::packed::PackedMatrix;
+use dpfill_cubes::Bit;
+
+use crate::mapping::IntervalSite;
+
+/// One horizontal fill instruction: pin row `row`, columns
+/// `[start, end)` become `value`. Produced for safe runs during
+/// analysis and for both halves of a colored transition stretch after
+/// the solve; ranges never cover a care bit, so splicing them is always
+/// legal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Segment {
+    /// Pin row.
+    pub row: u32,
+    /// First column (cube index) of the run.
+    pub start: u32,
+    /// One past the last column of the run.
+    pub end: u32,
+    /// The fill value.
+    pub value: Bit,
+}
+
+impl Segment {
+    fn new(row: usize, start: usize, end: usize, value: Bit) -> Segment {
+        debug_assert!(start < end, "segments are non-empty");
+        Segment {
+            row: row as u32,
+            start: start as u32,
+            end: end as u32,
+            value,
+        }
+    }
+}
+
+/// Per-pin scan state carried across windows: the last care bit seen,
+/// as `(global column, value)`.
+#[derive(Clone, Copy, Default)]
+struct PinState {
+    last_care: Option<(usize, Bit)>,
+}
+
+/// Everything the analysis pass learned about the full set.
+pub(crate) struct Analysis {
+    /// Safe-run fill instructions, in discovery order.
+    pub segments: Vec<Segment>,
+    /// Transition stretches in monolithic order (row-major, then left
+    /// column) — the exact interval insertion order of
+    /// [`MatrixMapping::analyze`](crate::MatrixMapping::analyze), so the
+    /// EDF solve ties break identically.
+    pub sites: Vec<IntervalSite>,
+    /// Forced toggles per transition (length `cols.saturating_sub(1)`).
+    pub baseline: Vec<u64>,
+    /// Total columns (cubes) analyzed.
+    pub cols: usize,
+}
+
+/// The streaming analyzer: feed windows left to right, then
+/// [`WindowedAnalyzer::finish`].
+pub(crate) struct WindowedAnalyzer {
+    states: Vec<PinState>,
+    segments: Vec<Segment>,
+    sites: Vec<IntervalSite>,
+    baseline: Vec<u64>,
+    cols: usize,
+}
+
+impl WindowedAnalyzer {
+    pub fn new(width: usize) -> WindowedAnalyzer {
+        WindowedAnalyzer {
+            states: vec![PinState::default(); width],
+            segments: Vec::new(),
+            sites: Vec::new(),
+            baseline: Vec::new(),
+            cols: 0,
+        }
+    }
+
+    /// Ingests the next window, already transposed to pin rows. The
+    /// window's columns are `[self.cols, self.cols + matrix.cols())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window's row count differs from the analyzer's
+    /// width.
+    pub fn ingest(&mut self, matrix: &PackedMatrix) {
+        assert_eq!(matrix.rows(), self.states.len(), "window width changed");
+        let start_col = self.cols;
+        let rows = matrix.packed_rows();
+        assert!(
+            start_col + matrix.cols() <= u32::MAX as usize,
+            "streaming analysis supports at most 2^32 - 1 cubes"
+        );
+        type ChunkEvents = (Vec<Segment>, Vec<IntervalSite>, Vec<usize>);
+        let chunks: Vec<ChunkEvents> =
+            minipool::parallel_chunks_mut(&mut self.states, 4, |row0, states| {
+                let mut segments = Vec::new();
+                let mut sites = Vec::new();
+                let mut forced = Vec::new();
+                for (i, state) in states.iter_mut().enumerate() {
+                    let row = row0 + i;
+                    for (pos, value) in rows[row].care_positions() {
+                        let col = start_col + pos;
+                        match state.last_care {
+                            None => {
+                                // First care bit of the row: a leading
+                                // X-run copies it backwards.
+                                if col > 0 {
+                                    segments.push(Segment::new(row, 0, col, value));
+                                }
+                            }
+                            Some((left, left_value)) => {
+                                if col == left + 1 {
+                                    if left_value.conflicts(value) {
+                                        forced.push(left);
+                                    }
+                                } else if left_value == value {
+                                    segments.push(Segment::new(row, left + 1, col, left_value));
+                                } else {
+                                    sites.push(IntervalSite {
+                                        row,
+                                        left,
+                                        right: col,
+                                        left_value,
+                                    });
+                                }
+                            }
+                        }
+                        state.last_care = Some((col, value));
+                    }
+                }
+                (segments, sites, forced)
+            });
+        self.cols = start_col + matrix.cols();
+        // Transition t needs both cubes t and t+1 read; every event below
+        // is therefore strictly inside the seen prefix.
+        self.baseline.resize(self.cols.saturating_sub(1), 0);
+        for (segments, sites, forced) in chunks {
+            self.segments.extend(segments);
+            self.sites.extend(sites);
+            for col in forced {
+                self.baseline[col] += 1;
+            }
+        }
+    }
+
+    /// Columns ingested so far.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Closes every still-open run (trailing X-runs, all-`X` rows) and
+    /// returns the full analysis, with sites sorted into the monolithic
+    /// row-major order.
+    pub fn finish(mut self) -> Analysis {
+        let n = self.cols;
+        for (row, state) in self.states.iter().enumerate() {
+            match state.last_care {
+                None => {
+                    if n > 0 {
+                        // All-X row: the safe splice fills it with zero.
+                        self.segments.push(Segment::new(row, 0, n, Bit::Zero));
+                    }
+                }
+                Some((last, value)) => {
+                    if last + 1 < n {
+                        self.segments.push(Segment::new(row, last + 1, n, value));
+                    }
+                }
+            }
+        }
+        // Windows surface a pin's stretches left-to-right but interleave
+        // pins; the monolithic walk is strictly row-major. The sort key
+        // (row, left) is unique per site, so this reproduces the exact
+        // interval insertion order the EDF tie-breaks depend on.
+        self.sites.sort_unstable_by_key(|s| (s.row, s.left));
+        Analysis {
+            segments: self.segments,
+            sites: self.sites,
+            baseline: self.baseline,
+            cols: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::gen::random_cube_set;
+    use dpfill_cubes::CubeSet;
+
+    use crate::MatrixMapping;
+
+    /// Feeds `cubes` to the analyzer in windows of `window` columns.
+    fn analyze_windowed(cubes: &CubeSet, window: usize) -> Analysis {
+        let mut analyzer = WindowedAnalyzer::new(cubes.width());
+        let packed = cubes.as_packed();
+        let mut start = 0;
+        while start < cubes.len() {
+            let end = (start + window).min(cubes.len());
+            let mut slice = dpfill_cubes::packed::PackedCubeSet::new(cubes.width());
+            for i in start..end {
+                slice.push(packed.cube(i).clone());
+            }
+            analyzer.ingest(&PackedMatrix::from_packed_set(&slice));
+            start = end;
+        }
+        analyzer.finish()
+    }
+
+    #[test]
+    fn windowed_events_match_monolithic_mapping() {
+        for (seed, density) in [(1u64, 0.8), (2, 0.5), (3, 0.95), (4, 0.1), (5, 1.0)] {
+            let cubes = random_cube_set(70, 33, density, seed);
+            let mapping = MatrixMapping::analyze(&cubes);
+            for window in [1, 2, 7, 33, 64] {
+                let analysis = analyze_windowed(&cubes, window);
+                assert_eq!(
+                    analysis.sites,
+                    mapping.sites(),
+                    "seed {seed} window {window}"
+                );
+                assert_eq!(
+                    analysis.baseline,
+                    mapping.instance().baseline(),
+                    "seed {seed} window {window}"
+                );
+                assert_eq!(analysis.cols, cubes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_longer_than_the_window_is_stitched() {
+        // One pin: 0 X^10 1 — a transition stretch spanning every window
+        // when window = 2.
+        let mut rows = vec!["0"];
+        rows.extend(std::iter::repeat_n("X", 10));
+        rows.push("1");
+        let cubes = CubeSet::parse_rows(&rows).unwrap();
+        let analysis = analyze_windowed(&cubes, 2);
+        assert_eq!(analysis.sites.len(), 1);
+        assert_eq!(analysis.sites[0].left, 0);
+        assert_eq!(analysis.sites[0].right, 11);
+        assert!(analysis.segments.is_empty());
+    }
+
+    #[test]
+    fn all_x_and_trailing_rows_close_at_finish() {
+        // Pin 0 all-X; pin 1 care at column 0 then X forever.
+        let cubes = CubeSet::parse_rows(&["X1", "XX", "XX"]).unwrap();
+        let analysis = analyze_windowed(&cubes, 1);
+        let mut segments = analysis.segments.clone();
+        segments.sort_by_key(|s| s.row);
+        assert_eq!(segments[0], Segment::new(0, 0, 3, Bit::Zero));
+        assert_eq!(segments[1], Segment::new(1, 1, 3, Bit::One));
+        assert!(analysis.sites.is_empty());
+    }
+}

@@ -1,0 +1,753 @@
+//! `dpfill-stream` — the bounded-memory streaming fill pipeline.
+//!
+//! The monolithic pipeline materializes every cube before analyzing;
+//! this subsystem runs the full **analyze → solve → fill → metrics →
+//! emit** flow over a sliding window of pattern chunks, keeping
+//! `O(window × threads + overlap)` *cubes* resident no matter how large
+//! the pattern file is, while producing output **byte-identical** to
+//! the monolithic run.
+//!
+//! # How exactness survives windowing
+//!
+//! DP-fill's decisions live at two very different scales:
+//!
+//! * the **cube planes** — `2 · ⌈width/64⌉` words per cube, the memory
+//!   that actually hurts at industrial pattern volumes;
+//! * the **classification events** — one scalar record per X-stretch
+//!   (interval, site, or safe-run segment) plus one counter per
+//!   transition.
+//!
+//! The pipeline streams the planes and keeps the events:
+//!
+//! 1. **Analysis pass** ([`analyze::WindowedAnalyzer`]): each window is
+//!    transposed and scanned; per-pin scan state (the frozen tail of
+//!    the previous window) carries across the boundary, so stretches
+//!    spanning any number of windows are stitched *exactly* — the
+//!    event stream equals the monolithic
+//!    [`MatrixMapping::analyze`](crate::MatrixMapping::analyze) walk,
+//!    then the sites sort into its row-major order. The window's cubes
+//!    are dropped as soon as the next window arrives.
+//! 2. **Solve**: the *same* global
+//!    [`BcpInstance::solve`](crate::BcpInstance::solve) the monolithic
+//!    DP-fill runs, on the identical instance — identical lower bound,
+//!    identical EDF coloring, no cubes resident at all.
+//! 3. **Emit pass** ([`plan::FillPlan`]): windows are re-read, filled
+//!    by clipped word splices of the resolved plan (the same
+//!    `fill_range` splices `apply_coloring` performs), scored with the
+//!    one-dispatch batched toggle sweeps (the boundary transition is
+//!    stitched against the retained last cube of the previous window),
+//!    and written out as each window retires. Window batches are
+//!    scheduled on the [`minipool`] pool via
+//!    [`minipool::parallel_index_chunks`].
+//!
+//! Byte-identity therefore holds *by construction* — pinned by the
+//! `streaming_fill` differential suite across window sizes and thread
+//! counts — and the resident-cube bound is the window batch plus the
+//! one-cube overlap tails.
+//!
+//! # Example
+//!
+//! ```
+//! use dpfill_core::fill::FillMethod;
+//! use dpfill_core::stream::{StreamOptions, StreamingFill, WindowSpec};
+//!
+//! let text = "0XX1\nXX0X\n1X0X\nX1XX\n0XX1\n";
+//! let opts = StreamOptions {
+//!     window: WindowSpec::Cubes(2),
+//!     fill: FillMethod::Dp,
+//!     ..StreamOptions::default()
+//! };
+//! let mut out = Vec::new();
+//! let report = StreamingFill::new(opts)
+//!     .run(|| Ok(text.as_bytes()), &mut out)
+//!     .unwrap();
+//! assert_eq!(report.cubes, 5);
+//! // Byte-identical to filling the whole set at once:
+//! let cubes = dpfill_cubes::format::parse_patterns(text).unwrap();
+//! let mut whole = Vec::new();
+//! dpfill_cubes::format::write_patterns(&mut whole, &FillMethod::Dp.fill(&cubes), None).unwrap();
+//! assert_eq!(out, whole);
+//! ```
+
+mod analyze;
+mod plan;
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dpfill_cubes::format::{PatternError, PatternStream, PatternWriter};
+use dpfill_cubes::packed::{PackedBits, PackedMatrix};
+use dpfill_cubes::{Bit, CubeSet};
+
+use crate::bcp::BcpInstance;
+use crate::fill::{DpFillError, FillMethod};
+use crate::Interval;
+
+use analyze::WindowedAnalyzer;
+use plan::FillPlan;
+
+/// How the window size is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// A fixed number of cubes per window.
+    Cubes(usize),
+    /// A resident-memory budget in MiB; the window size is derived from
+    /// the cube width once the first cube is read (see
+    /// [`WindowSpec::window_for_width`]).
+    MemoryBudgetMiB(usize),
+}
+
+impl WindowSpec {
+    /// Resolves the window size for a known cube width.
+    ///
+    /// The memory model: one resident cube costs `2 · ⌈width/64⌉ · 8`
+    /// bytes of plane words, and the pipeline holds about four plane
+    /// copies per in-flight cube (the parsed window, its transpose, the
+    /// filled transpose and the emitted set) across a batch of
+    /// `threads` windows. The budget is divided accordingly; the window
+    /// never drops below one cube.
+    pub fn window_for_width(self, width: usize) -> usize {
+        match self {
+            WindowSpec::Cubes(n) => n.max(1),
+            WindowSpec::MemoryBudgetMiB(mib) => {
+                let bytes_per_cube = 2 * width.div_ceil(64) * 8;
+                let threads = minipool::current_threads().max(1);
+                ((mib << 20) / (4 * bytes_per_cube * threads)).max(1)
+            }
+        }
+    }
+}
+
+/// Configuration of a [`StreamingFill`] run.
+#[derive(Clone, Debug)]
+pub struct StreamOptions {
+    /// Window sizing (cubes or memory budget).
+    pub window: WindowSpec,
+    /// The fill to run. Supported: [`FillMethod::Dp`], [`FillMethod::Mt`]
+    /// (two-pass, globally solved/stitched) and the per-cube
+    /// [`FillMethod::Zero`]/[`FillMethod::One`]/[`FillMethod::Adj`]/
+    /// [`FillMethod::Random`] (single pass). [`FillMethod::B`] and
+    /// [`FillMethod::XStat`] need the whole set resident and are
+    /// rejected.
+    pub fill: FillMethod,
+    /// Optional header comment emitted before the first cube.
+    pub header: Option<String>,
+    /// Also track the 0-fill (as-given) peak for before/after stats.
+    pub collect_baseline: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> StreamOptions {
+        StreamOptions {
+            window: WindowSpec::Cubes(1024),
+            fill: FillMethod::Dp,
+            header: None,
+            collect_baseline: false,
+        }
+    }
+}
+
+/// What a streaming run measured while emitting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Cubes processed (0 means the input held no patterns and nothing
+    /// was written).
+    pub cubes: usize,
+    /// Cube width in pins.
+    pub width: usize,
+    /// The resolved window size in cubes.
+    pub window_cubes: usize,
+    /// Number of windows emitted.
+    pub windows: usize,
+    /// Total `X` bits in the input.
+    pub x_count: usize,
+    /// Peak toggles of the emitted patterns (boundary transitions
+    /// stitched across windows).
+    pub peak_toggles: usize,
+    /// Peak toggles of the 0-filled as-given input, when
+    /// [`StreamOptions::collect_baseline`] was set.
+    pub baseline_peak: Option<usize>,
+    /// High-water mark of resident cubes (original + filled windows in
+    /// flight, plus the carried boundary tails) — the `O(window ×
+    /// threads + overlap)` bound, observable.
+    pub resident_peak_cubes: usize,
+}
+
+/// Failures of a streaming run.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading or parsing the pattern input failed.
+    Pattern(PatternError),
+    /// Writing the emitted patterns failed (e.g. a broken pipe).
+    Write(io::Error),
+    /// Opening the input failed.
+    Open(io::Error),
+    /// The global BCP solve failed (unreachable for instances produced
+    /// by the analyzer; kept total like [`crate::fill::DpFill::try_run`]).
+    Solve(DpFillError),
+    /// The configured fill needs the whole set resident.
+    UnsupportedFill(FillMethod),
+    /// The source returned different content on the second pass.
+    SourceChanged {
+        /// `(cubes, width)` seen by the analysis pass.
+        expected: (usize, usize),
+        /// `(cubes, width)` seen by the emit pass.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Pattern(e) => e.fmt(f),
+            StreamError::Write(e) => write!(f, "cannot write patterns: {e}"),
+            StreamError::Open(e) => write!(f, "cannot open pattern source: {e}"),
+            StreamError::Solve(e) => e.fmt(f),
+            StreamError::UnsupportedFill(m) => write!(
+                f,
+                "{} needs the whole pattern set resident; streaming supports \
+                 dp, mt, 0, 1, adj and random",
+                m.label()
+            ),
+            StreamError::SourceChanged { expected, found } => write!(
+                f,
+                "pattern source changed between passes: analysis saw {} cubes x {} pins, \
+                 emit saw {} cubes x {} pins",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamError::Pattern(e) => Some(e),
+            StreamError::Write(e) | StreamError::Open(e) => Some(e),
+            StreamError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for StreamError {
+    fn from(e: PatternError) -> StreamError {
+        StreamError::Pattern(e)
+    }
+}
+
+/// The streaming fill driver. See the [module docs](self) for the
+/// pipeline and the exactness argument.
+#[derive(Clone, Debug)]
+pub struct StreamingFill {
+    opts: StreamOptions,
+}
+
+/// The resolved fill plan for the emit pass.
+enum ResolvedFill {
+    /// Splice the precomputed segment plan (DP, MT).
+    Planned(FillPlan),
+    /// Per-cube fill needing only the cube (and its global index).
+    Local,
+}
+
+impl StreamingFill {
+    /// Creates a driver.
+    pub fn new(opts: StreamOptions) -> StreamingFill {
+        StreamingFill { opts }
+    }
+
+    /// The configuration.
+    pub fn options(&self) -> &StreamOptions {
+        &self.opts
+    }
+
+    /// How many times [`StreamingFill::run`] will call `open`: 2 for
+    /// the planned fills (DP/MT analyze first, then re-read to emit),
+    /// 1 for the per-cube fills. Callers feeding a non-seekable source
+    /// (a pipe, say) must spool it when this returns 2.
+    pub fn input_passes(&self) -> usize {
+        match self.opts.fill {
+            FillMethod::Dp | FillMethod::Mt => 2,
+            _ => 1,
+        }
+    }
+
+    /// Runs the pipeline: `open` is called once per pass (twice for the
+    /// two-pass DP/MT fills, once for the per-cube fills) and must
+    /// yield the same pattern bytes each time; filled patterns stream
+    /// into `sink` as windows retire.
+    ///
+    /// On an input with no patterns, nothing is written and the report
+    /// has `cubes == 0`.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamError`].
+    pub fn run<R: Read, W: Write>(
+        &self,
+        mut open: impl FnMut() -> io::Result<R>,
+        sink: W,
+    ) -> Result<StreamReport, StreamError> {
+        let resolved = match self.opts.fill {
+            FillMethod::Dp | FillMethod::Mt => self
+                .analyze(&mut open)?
+                .map(|(plan, cubes, width)| (ResolvedFill::Planned(plan), cubes, width)),
+            FillMethod::Zero | FillMethod::One | FillMethod::Adj | FillMethod::Random(_) => {
+                // Single pass; totals are discovered while emitting.
+                Some((ResolvedFill::Local, 0, 0))
+            }
+            FillMethod::B | FillMethod::XStat => {
+                return Err(StreamError::UnsupportedFill(self.opts.fill))
+            }
+        };
+        let Some((fill, pass1_cubes, pass1_width)) = resolved else {
+            return Ok(StreamReport {
+                cubes: 0,
+                width: 0,
+                window_cubes: 0,
+                windows: 0,
+                x_count: 0,
+                peak_toggles: 0,
+                baseline_peak: self.opts.collect_baseline.then_some(0),
+                resident_peak_cubes: 0,
+            });
+        };
+        let two_pass = matches!(fill, ResolvedFill::Planned(_));
+        self.emit(
+            &mut open,
+            sink,
+            &fill,
+            two_pass.then_some((pass1_cubes, pass1_width)),
+        )
+    }
+
+    /// Convenience wrapper reading from a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamError`].
+    pub fn run_path<W: Write>(
+        &self,
+        path: &std::path::Path,
+        sink: W,
+    ) -> Result<StreamReport, StreamError> {
+        self.run(|| std::fs::File::open(path), sink)
+    }
+
+    /// Pass 1: stream every window through the stitching analyzer, then
+    /// solve globally and resolve the fill plan. Returns `None` on an
+    /// empty input.
+    fn analyze<R: Read>(
+        &self,
+        open: &mut impl FnMut() -> io::Result<R>,
+    ) -> Result<Option<(FillPlan, usize, usize)>, StreamError> {
+        let mut stream = PatternStream::new(open().map_err(StreamError::Open)?);
+        // The first window is a single cube: the width (and with it a
+        // budget-derived window size) is unknown until one row is read.
+        let Some(first) = stream.next_window(1)? else {
+            return Ok(None);
+        };
+        let width = first.width();
+        let window = self.opts.window.window_for_width(width);
+        let mut analyzer = WindowedAnalyzer::new(width);
+        analyzer.ingest(&PackedMatrix::from_packed_set(first.as_packed()));
+        drop(first);
+        while let Some(set) = stream.next_window(window)? {
+            analyzer.ingest(&PackedMatrix::from_packed_set(set.as_packed()));
+        }
+        let cubes = analyzer.cols();
+        let analysis = analyzer.finish();
+        let plan = match self.opts.fill {
+            FillMethod::Dp => {
+                let num_colors = analysis.cols.saturating_sub(1);
+                let mut instance = BcpInstance::new(num_colors);
+                for site in &analysis.sites {
+                    instance
+                        .add_interval(Interval::new(site.left as u32, (site.right - 1) as u32))
+                        .expect("stretch bounds are valid transitions");
+                }
+                instance
+                    .set_baseline(analysis.baseline)
+                    .expect("baseline tracks the transition count");
+                // The same global solve as the monolithic DpFill: same
+                // instance, same lower bound, same EDF coloring.
+                let solution = instance.solve().map_err(|source| {
+                    StreamError::Solve(DpFillError {
+                        source,
+                        shape: (cubes, width),
+                    })
+                })?;
+                FillPlan::with_coloring(
+                    width,
+                    analysis.segments,
+                    &analysis.sites,
+                    &solution.coloring,
+                )
+            }
+            FillMethod::Mt => FillPlan::with_copy_left(width, analysis.segments, &analysis.sites),
+            _ => unreachable!("analyze only runs for planned fills"),
+        };
+        Ok(Some((plan, cubes, width)))
+    }
+
+    /// Pass 2 (or the only pass for per-cube fills): re-stream the
+    /// windows, fill each batch on the pool, score with the batched
+    /// sweeps, and emit as windows retire.
+    fn emit<R: Read, W: Write>(
+        &self,
+        open: &mut impl FnMut() -> io::Result<R>,
+        sink: W,
+        fill: &ResolvedFill,
+        pass1: Option<(usize, usize)>,
+    ) -> Result<StreamReport, StreamError> {
+        let mut stream = PatternStream::new(open().map_err(StreamError::Open)?);
+        let mut writer = PatternWriter::new(sink);
+        let batch_windows = minipool::current_threads().max(1);
+
+        let mut width: Option<usize> = pass1.map(|(_, w)| w);
+        let mut window = width.map(|w| self.opts.window.window_for_width(w));
+        let mut header_written = false;
+        let mut offset = 0usize;
+        let mut windows = 0usize;
+        let mut x_count = 0usize;
+        let mut peak = 0usize;
+        let mut baseline_peak = 0usize;
+        let mut resident_peak = 0usize;
+        // The one-cube overlap: the previous window's frozen tail, for
+        // stitching the boundary transition into the toggle metrics.
+        let mut filled_tail: Option<PackedBits> = None;
+        let mut zero_tail: Option<PackedBits> = None;
+
+        loop {
+            // Gather one batch of windows for the pool.
+            let mut batch: Vec<(usize, CubeSet)> = Vec::new();
+            while batch.len() < batch_windows {
+                let Some(set) = stream.next_window(window.unwrap_or(1))? else {
+                    break;
+                };
+                if width.is_none() {
+                    width = Some(set.width());
+                    window = Some(self.opts.window.window_for_width(set.width()));
+                }
+                let off = offset;
+                offset += set.len();
+                if let Some((c1, w1)) = pass1 {
+                    // A width change or a source that *grew* since the
+                    // analysis pass must fail here, before any cube
+                    // beyond the plan's columns is "filled" (its X bits
+                    // would have no covering segment).
+                    if set.width() != w1 || offset > c1 {
+                        return Err(StreamError::SourceChanged {
+                            expected: (c1, w1),
+                            found: (stream.cubes_read(), set.width()),
+                        });
+                    }
+                }
+                batch.push((off, set));
+            }
+            if batch.is_empty() {
+                break;
+            }
+            if !header_written {
+                if let Some(h) = &self.opts.header {
+                    writer.header(h).map_err(StreamError::Write)?;
+                }
+                header_written = true;
+            }
+            // One task per window on the pool; results return in window
+            // order, so emission (and the stitched metrics) stay
+            // deterministic at any thread count.
+            let filled: Vec<CubeSet> = minipool::parallel_index_chunks(batch.len(), 1, |range| {
+                range
+                    .map(|i| self.fill_window(&batch[i].1, batch[i].0, fill))
+                    .collect::<Vec<CubeSet>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            let batch_cubes: usize = batch.iter().map(|(_, set)| set.len()).sum();
+            resident_peak = resident_peak.max(2 * batch_cubes + 2);
+
+            for ((_, original), filled) in batch.iter().zip(&filled) {
+                debug_assert!(CubeSet::is_filling_of(filled, original));
+                x_count += original.x_count();
+                let packed = filled.as_packed();
+                if let Some(tail) = &filled_tail {
+                    peak = peak.max(tail.hamming(packed.cube(0)));
+                }
+                // One-dispatch batched sweep over the window's
+                // transitions (PR-4 kernels).
+                for t in packed.toggle_profile() {
+                    peak = peak.max(t);
+                }
+                filled_tail = Some(packed.cube(packed.len() - 1).clone());
+                if self.opts.collect_baseline {
+                    let mut zeroed = original.as_packed().clone();
+                    for cube in zeroed.cubes_mut() {
+                        cube.fill_x_with(Bit::Zero);
+                    }
+                    if let Some(tail) = &zero_tail {
+                        baseline_peak = baseline_peak.max(tail.hamming(zeroed.cube(0)));
+                    }
+                    for t in zeroed.toggle_profile() {
+                        baseline_peak = baseline_peak.max(t);
+                    }
+                    zero_tail = Some(zeroed.cube(zeroed.len() - 1).clone());
+                }
+                writer.set(filled).map_err(StreamError::Write)?;
+            }
+            windows += batch.len();
+        }
+
+        if let Some((c1, w1)) = pass1 {
+            let found = (stream.cubes_read(), stream.width().unwrap_or(w1));
+            if found.0 != c1 {
+                return Err(StreamError::SourceChanged {
+                    expected: (c1, w1),
+                    found,
+                });
+            }
+        }
+        writer.finish().map_err(StreamError::Write)?;
+        Ok(StreamReport {
+            cubes: offset,
+            width: width.unwrap_or(0),
+            window_cubes: window.unwrap_or(0),
+            windows,
+            x_count,
+            peak_toggles: peak,
+            baseline_peak: self.opts.collect_baseline.then_some(baseline_peak),
+            resident_peak_cubes: resident_peak,
+        })
+    }
+
+    /// Fills one window. Planned fills splice the window slice of the
+    /// global plan; per-cube fills run directly (R-fill keyed by the
+    /// cube's **global** index, so windowing never changes its stream).
+    fn fill_window(&self, original: &CubeSet, offset: usize, fill: &ResolvedFill) -> CubeSet {
+        match fill {
+            ResolvedFill::Planned(plan) => {
+                let mut matrix = PackedMatrix::from_packed_set(original.as_packed());
+                plan.apply_window(&mut matrix, offset);
+                debug_assert_eq!(matrix.x_count(), 0, "the plan covers every X");
+                CubeSet::from_packed(matrix.to_packed_set())
+            }
+            ResolvedFill::Local => match self.opts.fill {
+                FillMethod::Zero | FillMethod::One | FillMethod::Adj => {
+                    self.opts.fill.fill(original)
+                }
+                FillMethod::Random(seed) => {
+                    let mut filled = original.clone();
+                    for (i, cube) in filled.packed_cubes_mut().iter_mut().enumerate() {
+                        // The exact per-cube stream of RandomFill, keyed
+                        // by the global cube index.
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ ((offset + i) as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        cube.fill_x_from_words(|_| rng.next_u64());
+                    }
+                    filled
+                }
+                _ => unreachable!("planned fills never reach the local arm"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfill_cubes::format;
+
+    fn run_windowed(text: &str, fill: FillMethod, window: WindowSpec) -> (Vec<u8>, StreamReport) {
+        let opts = StreamOptions {
+            window,
+            fill,
+            header: None,
+            collect_baseline: true,
+        };
+        let mut out = Vec::new();
+        let report = StreamingFill::new(opts)
+            .run(|| Ok(text.as_bytes()), &mut out)
+            .expect("streaming run");
+        (out, report)
+    }
+
+    fn monolithic(text: &str, fill: FillMethod) -> Vec<u8> {
+        let cubes = format::parse_patterns(text).unwrap();
+        let filled = fill.fill(&cubes);
+        let mut buf = Vec::new();
+        format::write_patterns(&mut buf, &filled, None).unwrap();
+        buf
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let (out, report) =
+            run_windowed("# only comments\n\n", FillMethod::Dp, WindowSpec::Cubes(4));
+        assert!(out.is_empty());
+        assert_eq!(report.cubes, 0);
+        assert_eq!(report.windows, 0);
+        assert_eq!(report.baseline_peak, Some(0));
+    }
+
+    #[test]
+    fn single_cube_single_window() {
+        let (out, report) = run_windowed("0XX1X\n", FillMethod::Dp, WindowSpec::Cubes(8));
+        assert_eq!(out, monolithic("0XX1X\n", FillMethod::Dp));
+        assert_eq!(report.cubes, 1);
+        assert_eq!(report.peak_toggles, 0);
+    }
+
+    #[test]
+    fn every_supported_fill_matches_monolithic_at_window_two() {
+        let text = "0XX1\nXX0X\n1X0X\nX1XX\n0XX1\nXXXX\n10X0\n";
+        for fill in [
+            FillMethod::Dp,
+            FillMethod::Mt,
+            FillMethod::Zero,
+            FillMethod::One,
+            FillMethod::Adj,
+            FillMethod::Random(0xF111),
+        ] {
+            let (out, report) = run_windowed(text, fill, WindowSpec::Cubes(2));
+            assert_eq!(out, monolithic(text, fill), "{}", fill.label());
+            assert_eq!(report.cubes, 7);
+            let filled = format::parse_patterns(std::str::from_utf8(&out).unwrap()).unwrap();
+            assert_eq!(
+                report.peak_toggles,
+                dpfill_cubes::peak_toggles(&filled).unwrap(),
+                "{}",
+                fill.label()
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_fills_are_rejected() {
+        for fill in [FillMethod::B, FillMethod::XStat] {
+            let opts = StreamOptions {
+                fill,
+                ..StreamOptions::default()
+            };
+            let err = StreamingFill::new(opts)
+                .run(|| Ok("0X\n".as_bytes()), &mut Vec::new())
+                .unwrap_err();
+            assert!(matches!(err, StreamError::UnsupportedFill(_)));
+            assert!(err.to_string().contains("whole pattern set"));
+        }
+    }
+
+    #[test]
+    fn source_changed_between_passes_is_detected() {
+        // The second open yields fewer cubes.
+        let texts = ["0X\n1X\nX1\n", "0X\n1X\n"];
+        let mut calls = 0usize;
+        let err = StreamingFill::new(StreamOptions {
+            window: WindowSpec::Cubes(2),
+            ..StreamOptions::default()
+        })
+        .run(
+            || {
+                let t = texts[calls.min(1)];
+                calls += 1;
+                Ok(t.as_bytes())
+            },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::SourceChanged { .. }), "{err}");
+        assert!(err.to_string().contains("changed between passes"));
+    }
+
+    #[test]
+    fn source_growing_between_passes_never_emits_unplanned_cubes() {
+        // The second open yields an extra cube: its columns lie beyond
+        // every plan segment, so the run must fail as SourceChanged
+        // before "filling" it — and nothing written may contain an X.
+        let texts = ["0X\n1X\nX1\n", "0X\n1X\nX1\nXX\n"];
+        let mut calls = 0usize;
+        let mut out = Vec::new();
+        let err = StreamingFill::new(StreamOptions {
+            window: WindowSpec::Cubes(2),
+            ..StreamOptions::default()
+        })
+        .run(
+            || {
+                let t = texts[calls.min(1)];
+                calls += 1;
+                Ok(t.as_bytes())
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::SourceChanged { .. }), "{err}");
+        assert!(
+            !out.contains(&b'X'),
+            "unfilled cube leaked into the output: {:?}",
+            String::from_utf8_lossy(&out)
+        );
+    }
+
+    #[test]
+    fn broken_sink_surfaces_as_write_error() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = StreamingFill::new(StreamOptions::default())
+            .run(|| Ok("0X\n1X\n".as_bytes()), Broken)
+            .unwrap_err();
+        match err {
+            StreamError::Write(e) => assert_eq!(e.kind(), io::ErrorKind::BrokenPipe),
+            other => panic!("expected Write, got {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_resolves_to_a_window() {
+        // 1 MiB budget, width 64 (16 bytes of planes per cube), one
+        // thread: 1 MiB / (4 · 16) = 16384 cubes.
+        let w = WindowSpec::MemoryBudgetMiB(1).window_for_width(64);
+        assert!(w >= 1);
+        let pool = minipool::ThreadPool::new(1);
+        let w1 = minipool::with_pool(&pool, || {
+            WindowSpec::MemoryBudgetMiB(1).window_for_width(64)
+        });
+        assert_eq!(w1, 16384);
+        // A tiny budget never drops below one cube.
+        assert_eq!(WindowSpec::MemoryBudgetMiB(1).window_for_width(1 << 24), 1);
+        let (out, report) = run_windowed(
+            "0XX1\nXX0X\n1X0X\n",
+            FillMethod::Dp,
+            WindowSpec::MemoryBudgetMiB(1),
+        );
+        assert_eq!(out, monolithic("0XX1\nXX0X\n1X0X\n", FillMethod::Dp));
+        assert!(report.window_cubes >= 1);
+    }
+
+    #[test]
+    fn header_is_written_once_before_the_first_window() {
+        let opts = StreamOptions {
+            window: WindowSpec::Cubes(1),
+            fill: FillMethod::Zero,
+            header: Some("streamed".into()),
+            collect_baseline: false,
+        };
+        let mut out = Vec::new();
+        StreamingFill::new(opts)
+            .run(|| Ok("0X\n1X\n".as_bytes()), &mut out)
+            .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "# streamed\n00\n10\n");
+    }
+}

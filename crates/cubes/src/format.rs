@@ -70,6 +70,60 @@ impl From<CubeError> for PatternError {
     }
 }
 
+/// Parses one raw pattern line into a packed row. Returns `Ok(None)` for
+/// blank and comment-only lines; `idx` is the 0-based line number used
+/// in errors. This is the single line-level kernel behind every parser
+/// and the windowed [`PatternStream`].
+fn parse_line(idx: usize, line: &str) -> Result<Option<PackedBits>, CubeError> {
+    // Fast path: most lines of a large pattern file are pure `01X`
+    // rows, which the branchless kernel packs in one pass with no
+    // comment scan. A `#` (or any other byte) falls through to the
+    // comment-stripping slow path.
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match PackedBits::from_pattern_ascii(trimmed.as_bytes()) {
+        Ok(row) => Ok(Some(row)),
+        Err(_) => {
+            let content = match trimmed.find('#') {
+                Some(pos) => &trimmed[..pos],
+                None => trimmed,
+            };
+            let content = content.trim_end();
+            if content.is_empty() {
+                return Ok(None);
+            }
+            match PackedBits::from_pattern_ascii(content.as_bytes()) {
+                Ok(row) => Ok(Some(row)),
+                Err(_) => {
+                    // Cold path: rescan as chars for the exact
+                    // offending character (a UTF-8 sequence fails on
+                    // its lead byte).
+                    let bad = content
+                        .chars()
+                        .map(Bit::from_char)
+                        .find_map(Result::err)
+                        .expect("a byte failed, so some char fails");
+                    Err(CubeError::ParseLine {
+                        line: idx + 1,
+                        message: bad.to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// The width-mismatch error every parser reports, so monolithic and
+/// windowed ingestion fail with byte-identical messages.
+fn width_error(idx: usize, got: usize, want: usize) -> CubeError {
+    CubeError::ParseLine {
+        line: idx + 1,
+        message: format!("cube width {got} does not match width {want}"),
+    }
+}
+
 /// Incremental parser state: packs each line straight into plane words.
 struct PatternBuilder {
     set: CubeSet,
@@ -87,49 +141,11 @@ impl PatternBuilder {
     /// Consumes one raw line (`idx` is 0-based); comments and blank
     /// lines are skipped here so callers just feed every line.
     fn line(&mut self, idx: usize, line: &str) -> Result<(), CubeError> {
-        // Fast path: most lines of a large pattern file are pure `01X`
-        // rows, which the branchless kernel packs in one pass with no
-        // comment scan. A `#` (or any other byte) falls through to the
-        // comment-stripping slow path.
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
+        let Some(row) = parse_line(idx, line)? else {
             return Ok(());
-        }
-        let row = match PackedBits::from_pattern_ascii(trimmed.as_bytes()) {
-            Ok(row) => row,
-            Err(_) => {
-                let content = match trimmed.find('#') {
-                    Some(pos) => &trimmed[..pos],
-                    None => trimmed,
-                };
-                let content = content.trim_end();
-                if content.is_empty() {
-                    return Ok(());
-                }
-                match PackedBits::from_pattern_ascii(content.as_bytes()) {
-                    Ok(row) => row,
-                    Err(_) => {
-                        // Cold path: rescan as chars for the exact
-                        // offending character (a UTF-8 sequence fails on
-                        // its lead byte).
-                        let bad = content
-                            .chars()
-                            .map(Bit::from_char)
-                            .find_map(Result::err)
-                            .expect("a byte failed, so some char fails");
-                        return Err(CubeError::ParseLine {
-                            line: idx + 1,
-                            message: bad.to_string(),
-                        });
-                    }
-                }
-            }
         };
         match self.width {
-            Some(w) if row.len() != w => Err(CubeError::ParseLine {
-                line: idx + 1,
-                message: format!("cube width {} does not match width {}", row.len(), w),
-            }),
+            Some(w) if row.len() != w => Err(width_error(idx, row.len(), w)),
             Some(_) => {
                 self.set.push_packed(row).expect("width checked above");
                 Ok(())
@@ -145,6 +161,177 @@ impl PatternBuilder {
 
     fn finish(self) -> CubeSet {
         self.set
+    }
+}
+
+/// Windowed pattern ingestion: reads a pattern file **in bounded chunks
+/// of cubes** instead of materializing the whole set — the ingestion
+/// front end of the streaming fill pipeline.
+///
+/// The stream enforces one width across *all* windows (the line-indexed
+/// errors are identical to [`read_patterns`]) and keeps only one line
+/// buffer plus the current window resident. Reading to the end yields
+/// `Ok(None)`.
+///
+/// ```
+/// use dpfill_cubes::format::PatternStream;
+///
+/// let mut stream = PatternStream::new("0X\n1X\nX1\n".as_bytes());
+/// let w1 = stream.next_window(2).unwrap().unwrap();
+/// assert_eq!(w1.len(), 2);
+/// let w2 = stream.next_window(2).unwrap().unwrap();
+/// assert_eq!(w2.len(), 1);
+/// assert!(stream.next_window(2).unwrap().is_none());
+/// assert_eq!(stream.cubes_read(), 3);
+/// ```
+pub struct PatternStream<R: Read> {
+    reader: BufReader<R>,
+    buf: String,
+    next_line: usize,
+    width: Option<usize>,
+    cubes_read: usize,
+}
+
+impl<R: Read> PatternStream<R> {
+    /// Wraps a reader. Nothing is read until the first
+    /// [`PatternStream::next_window`] call.
+    pub fn new(reader: R) -> PatternStream<R> {
+        PatternStream {
+            reader: BufReader::new(reader),
+            buf: String::new(),
+            next_line: 0,
+            width: None,
+            cubes_read: 0,
+        }
+    }
+
+    /// The cube width, once the first cube has been read.
+    pub fn width(&self) -> Option<usize> {
+        self.width
+    }
+
+    /// Total cubes returned across all windows so far.
+    pub fn cubes_read(&self) -> usize {
+        self.cubes_read
+    }
+
+    /// Reads the next window of at most `max_cubes` cubes. Returns
+    /// `Ok(None)` at end of input (a window is never empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cubes` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Io`] for reader failures and
+    /// [`PatternError::Cube`] with the 1-based line number for the first
+    /// malformed line — including a width that disagrees with any
+    /// earlier window.
+    pub fn next_window(&mut self, max_cubes: usize) -> Result<Option<CubeSet>, PatternError> {
+        assert!(max_cubes > 0, "a window must hold at least one cube");
+        let mut set = self.width.map(CubeSet::new);
+        let mut count = 0usize;
+        while count < max_cubes {
+            self.buf.clear();
+            if self.reader.read_line(&mut self.buf)? == 0 {
+                break;
+            }
+            let idx = self.next_line;
+            self.next_line += 1;
+            let Some(row) = parse_line(idx, self.buf.trim_end_matches(['\n', '\r']))? else {
+                continue;
+            };
+            if let Some(w) = self.width {
+                if row.len() != w {
+                    return Err(width_error(idx, row.len(), w).into());
+                }
+            } else {
+                self.width = Some(row.len());
+            }
+            set.get_or_insert_with(|| CubeSet::new(row.len()))
+                .push_packed(row)
+                .expect("width checked above");
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(None);
+        }
+        self.cubes_read += count;
+        Ok(set)
+    }
+}
+
+/// Incremental pattern emission: writes header lines and cubes **one at
+/// a time**, so filled patterns leave the process as each window of the
+/// streaming pipeline retires — no full-set `String` is ever buffered.
+///
+/// All methods surface the writer's I/O errors (callers in the pattern
+/// pipeline wrap them as [`PatternError::Io`]); a broken pipe therefore
+/// aborts the stream at the offending cube instead of panicking.
+///
+/// ```
+/// use dpfill_cubes::format::{parse_patterns, PatternWriter};
+///
+/// let set = parse_patterns("0X\n1X\n").unwrap();
+/// let mut out = Vec::new();
+/// let mut w = PatternWriter::new(&mut out);
+/// w.header("two cubes").unwrap();
+/// w.set(&set).unwrap();
+/// w.finish().unwrap();
+/// assert_eq!(out, b"# two cubes\n0X\n1X\n");
+/// ```
+pub struct PatternWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> PatternWriter<W> {
+    /// Wraps a writer (pass a `BufWriter` for unbuffered sinks).
+    pub fn new(writer: W) -> PatternWriter<W> {
+        PatternWriter { writer }
+    }
+
+    /// Writes a (possibly multi-line) header comment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O error.
+    pub fn header(&mut self, header: &str) -> io::Result<()> {
+        for line in header.lines() {
+            writeln!(self.writer, "# {line}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes one cube as a `01X` line, straight off its packed planes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O error.
+    pub fn cube(&mut self, cube: &PackedBits) -> io::Result<()> {
+        writeln!(self.writer, "{cube}")
+    }
+
+    /// Writes every cube of a set (one retired window, say).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O error.
+    pub fn set(&mut self, set: &CubeSet) -> io::Result<()> {
+        for cube in set.packed_cubes() {
+            self.cube(cube)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
     }
 }
 
@@ -238,20 +425,13 @@ pub fn parse_patterns_scalar(text: &str) -> Result<CubeSet, CubeError> {
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_patterns<W: Write>(
-    mut writer: W,
-    set: &CubeSet,
-    header: Option<&str>,
-) -> io::Result<()> {
+pub fn write_patterns<W: Write>(writer: W, set: &CubeSet, header: Option<&str>) -> io::Result<()> {
+    let mut w = PatternWriter::new(writer);
     if let Some(h) = header {
-        for line in h.lines() {
-            writeln!(writer, "# {line}")?;
-        }
+        w.header(h)?;
     }
-    for cube in set.packed_cubes() {
-        writeln!(writer, "{cube}")?;
-    }
-    Ok(())
+    w.set(set)?;
+    w.finish().map(drop)
 }
 
 /// Renders a cube set to a pattern-format string.
@@ -361,6 +541,108 @@ mod tests {
                 parse_patterns_scalar(bad).unwrap_err()
             );
         }
+    }
+
+    #[test]
+    fn pattern_stream_windows_concatenate_to_the_monolithic_parse() {
+        let text = "# hdr\n\n0X1X0X1\n  1111111  # c\nXXXXXXX\n0101010\nX1X1X1X\n";
+        let whole = parse_patterns(text).unwrap();
+        for window in [1, 2, 3, 64] {
+            let mut stream = PatternStream::new(text.as_bytes());
+            let mut got = CubeSet::new(whole.width());
+            while let Some(w) = stream.next_window(window).unwrap() {
+                assert!(!w.is_empty() && w.len() <= window);
+                assert_eq!(w.width(), whole.width());
+                for cube in w.packed_cubes() {
+                    got.push_packed(cube.clone()).unwrap();
+                }
+            }
+            assert_eq!(got, whole, "window {window}");
+            assert_eq!(stream.cubes_read(), whole.len());
+            assert_eq!(stream.width(), Some(whole.width()));
+            // EOF is sticky.
+            assert!(stream.next_window(window).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn pattern_stream_reports_errors_at_the_offending_line() {
+        // A malformed line deep in a later window, with the same 1-based
+        // line numbers read_patterns reports.
+        let text = "0X\n10\nZZ\n";
+        let mut stream = PatternStream::new(text.as_bytes());
+        let first = stream.next_window(2).unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        match stream.next_window(2) {
+            Err(PatternError::Cube(CubeError::ParseLine { line, .. })) => assert_eq!(line, 3),
+            other => panic!("expected ParseLine at line 3, got {other:?}"),
+        }
+        // A width mismatch across windows carries its line index too.
+        let text = "0X\n10\n010\n";
+        let mut stream = PatternStream::new(text.as_bytes());
+        stream.next_window(2).unwrap().unwrap();
+        match stream.next_window(2) {
+            Err(PatternError::Cube(CubeError::ParseLine { line, message })) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("width"), "{message}");
+            }
+            other => panic!("expected width ParseLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_stream_empty_input() {
+        let mut stream = PatternStream::new("# nothing\n\n".as_bytes());
+        assert!(stream.next_window(8).unwrap().is_none());
+        assert_eq!(stream.cubes_read(), 0);
+        assert_eq!(stream.width(), None);
+    }
+
+    #[test]
+    fn pattern_writer_matches_patterns_to_string() {
+        let set = CubeSet::parse_rows(&["0X1X", "1XX0", "XXXX"]).unwrap();
+        let mut buf = Vec::new();
+        let mut w = PatternWriter::new(&mut buf);
+        w.header("line a\nline b").unwrap();
+        for cube in set.packed_cubes() {
+            w.cube(cube).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            patterns_to_string(&set, Some("line a\nline b"))
+        );
+    }
+
+    #[test]
+    fn pattern_writer_surfaces_broken_pipe() {
+        // A sink that accepts the header, then breaks — the incremental
+        // writer must surface the error at the offending cube, and the
+        // pattern pipeline wraps it as PatternError::Io.
+        struct BrokenPipe {
+            remaining: usize,
+        }
+        impl Write for BrokenPipe {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.remaining == 0 {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+                }
+                let n = buf.len().min(self.remaining);
+                self.remaining -= n;
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let set = CubeSet::parse_rows(&["0X1X", "1XX0"]).unwrap();
+        let mut w = PatternWriter::new(BrokenPipe { remaining: 10 });
+        w.header("header!").unwrap(); // "# header!\n" is exactly 10 bytes
+        let err = w.set(&set).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let wrapped = PatternError::from(err);
+        assert!(matches!(wrapped, PatternError::Io(_)));
+        assert!(wrapped.to_string().contains("pipe closed"), "{wrapped}");
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   --threads N           fan the analyze/fill pipeline over N threads
 //!                         (0 or absent: DPFILL_THREADS env, else one
 //!                         thread per core; output is identical at any N)
+//!   --window CUBES        bounded-memory streaming mode: run the
+//!                         pipeline over windows of CUBES cubes
+//!                         (requires --order keep; output is
+//!                         byte-identical to the monolithic run)
+//!   --memory-budget MB    like --window, but derive the window size
+//!                         from a resident-memory budget in MiB
 //!   --output FILE         write here instead of stdout
 //!   --stats               print peak/ordering statistics to stderr
 //! ```
@@ -23,12 +29,16 @@
 //! ```sh
 //! dpfill-repro table1 --csv /tmp/csv   # (any cube source)
 //! dpfill-xfill cubes.pat --fill dp --order interleave --stats > filled.pat
+//! dpfill-xfill huge.pat --fill dp --order keep --window 1024 > filled.pat
 //! ```
 
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dpfill_core::fill::FillMethod;
 use dpfill_core::ordering::OrderingMethod;
+use dpfill_core::stream::{StreamOptions, StreamingFill, WindowSpec};
 use dpfill_cubes::{format, peak_toggles, CubeSet};
 
 struct Options {
@@ -37,6 +47,8 @@ struct Options {
     fill: FillMethod,
     order: Option<OrderingMethod>,
     threads: Option<usize>,
+    window: Option<usize>,
+    memory_budget: Option<usize>,
     stats: bool,
 }
 
@@ -47,6 +59,8 @@ fn parse_args() -> Result<Options, String> {
         fill: FillMethod::Dp,
         order: Some(OrderingMethod::Interleaved),
         threads: None,
+        window: None,
+        memory_budget: None,
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +96,26 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| format!("--threads {value:?} is not a count"))?,
                 );
             }
+            "--window" => {
+                let value = args.next().ok_or("--window needs a cube count")?;
+                let cubes = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--window {value:?} is not a cube count"))?;
+                if cubes == 0 {
+                    return Err("--window needs at least one cube".to_owned());
+                }
+                opts.window = Some(cubes);
+            }
+            "--memory-budget" => {
+                let value = args.next().ok_or("--memory-budget needs a size in MiB")?;
+                let mib = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--memory-budget {value:?} is not a size in MiB"))?;
+                if mib == 0 {
+                    return Err("--memory-budget needs at least 1 MiB".to_owned());
+                }
+                opts.memory_budget = Some(mib);
+            }
             "--output" => {
                 opts.output = Some(args.next().ok_or("--output needs a path")?);
             }
@@ -91,6 +125,7 @@ fn parse_args() -> Result<Options, String> {
                     "dpfill-xfill: order + X-fill a pattern file\n\
                      usage: dpfill-xfill [--fill dp|b|xstat|adj|mt|0|1|random]\n\
                      \u{20}      [--order keep|interleave|xstat|isa] [--threads N]\n\
+                     \u{20}      [--window CUBES | --memory-budget MB]\n\
                      \u{20}      [--output FILE] [--stats] [INPUT|-]"
                 );
                 std::process::exit(0);
@@ -101,6 +136,254 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// A spool file for non-seekable stdin in streaming mode; removed on
+/// drop.
+struct Spool {
+    path: PathBuf,
+}
+
+/// Opens a fresh file with `create_new`, which refuses to follow
+/// symlinks or reuse an existing path — a predictable name in a shared
+/// directory can be neither clobbered nor pre-planted. The `name`
+/// callback receives a timestamp nonce and the attempt number; the open
+/// retries with a new name on collision.
+fn create_exclusive(
+    name: impl Fn(u32, u32) -> PathBuf,
+) -> std::io::Result<(std::fs::File, PathBuf)> {
+    let mut last = None;
+    for attempt in 0..16 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos());
+        let path = name(nanos, attempt);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(file) => return Ok((file, path)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("16 attempts, all collided"))
+}
+
+impl Spool {
+    fn from_stdin() -> Result<Spool, String> {
+        let (file, path) = create_exclusive(|nanos, attempt| {
+            std::env::temp_dir().join(format!(
+                "dpfill-xfill-{}-{nanos}-{attempt}.pat",
+                std::process::id()
+            ))
+        })
+        .map_err(|e| format!("cannot spool stdin: {e}"))?;
+        let spool = Spool { path };
+        let mut writer = BufWriter::new(file);
+        std::io::copy(&mut std::io::stdin().lock(), &mut writer)
+            .and_then(|_| writer.flush())
+            .map_err(|e| format!("cannot spool stdin: {e}"))?;
+        Ok(spool)
+    }
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The header comment both pipelines write above the filled patterns.
+fn output_header(opts: &Options) -> String {
+    format!(
+        "filled by dpfill-xfill: {} / {}",
+        opts.order.map_or("keep", |o| o.label()),
+        opts.fill.label()
+    )
+}
+
+fn open_sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
+    match output {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(Box::new(BufWriter::new(file)))
+        }
+        None => Ok(Box::new(BufWriter::new(std::io::stdout().lock()))),
+    }
+}
+
+/// A streaming `--output` sink that never damages a pre-existing file
+/// on failure: bytes go to a sibling temp file (created lazily on the
+/// first write, via the exclusive nonce pattern), which
+/// [`StreamSink::commit`] renames over the final path only after the
+/// whole run succeeded. A run that fails — up-front rejection,
+/// malformed input mid-stream, broken source, even a failed commit —
+/// leaves the original file byte-for-byte intact and the temp removed.
+/// Stdout needs no such ceremony and streams directly.
+enum StreamSink {
+    Stdout(BufWriter<std::io::StdoutLock<'static>>),
+    File {
+        path: String,
+        tmp: Option<PathBuf>,
+        file: Option<BufWriter<std::fs::File>>,
+        committed: bool,
+    },
+}
+
+impl StreamSink {
+    fn new(output: &Option<String>) -> StreamSink {
+        match output {
+            Some(path) => StreamSink::File {
+                path: path.clone(),
+                tmp: None,
+                file: None,
+                committed: false,
+            },
+            None => StreamSink::Stdout(BufWriter::new(std::io::stdout().lock())),
+        }
+    }
+
+    /// Publishes the temp file over the final path (no-op for stdout or
+    /// when nothing was written). On failure the temp is still cleaned
+    /// up by drop.
+    fn commit(&mut self) -> Result<(), String> {
+        if let StreamSink::File {
+            path,
+            tmp,
+            file,
+            committed,
+        } = self
+        {
+            if let (Some(writer), Some(tmp_path)) = (file.as_mut(), tmp.as_ref()) {
+                writer
+                    .flush()
+                    .and_then(|()| std::fs::rename(tmp_path, &*path))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                *committed = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Write for StreamSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            StreamSink::Stdout(w) => w.write(buf),
+            StreamSink::File {
+                path, tmp, file, ..
+            } => {
+                if file.is_none() {
+                    // Sibling of the target (so the commit rename never
+                    // crosses filesystems), opened exclusively so a
+                    // pre-planted path can be neither followed nor
+                    // clobbered.
+                    let (created, tmp_path) = create_exclusive(|nanos, attempt| {
+                        PathBuf::from(format!(
+                            "{path}.tmp.{}-{nanos}-{attempt}",
+                            std::process::id()
+                        ))
+                    })
+                    .map_err(|e| {
+                        std::io::Error::new(e.kind(), format!("cannot write {path}: {e}"))
+                    })?;
+                    *tmp = Some(tmp_path);
+                    *file = Some(BufWriter::new(created));
+                }
+                file.as_mut().expect("just created").write(buf)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            StreamSink::Stdout(w) => w.flush(),
+            StreamSink::File { file, .. } => match file {
+                Some(f) => f.flush(),
+                None => Ok(()),
+            },
+        }
+    }
+}
+
+impl Drop for StreamSink {
+    fn drop(&mut self) {
+        if let StreamSink::File {
+            tmp: Some(tmp),
+            committed: false,
+            ..
+        } = self
+        {
+            // Uncommitted temp from a failed run (or failed commit).
+            let _ = std::fs::remove_file(&*tmp);
+        }
+    }
+}
+
+/// The bounded-memory streaming mode behind `--window`/`--memory-budget`:
+/// windowed analyze→solve→fill→emit, byte-identical to the monolithic
+/// run at every window size and thread count.
+fn run_streaming(opts: &Options) -> Result<(), String> {
+    if opts.window.is_some() && opts.memory_budget.is_some() {
+        return Err("pass either --window or --memory-budget, not both".to_owned());
+    }
+    if opts.order.is_some() {
+        return Err(
+            "streaming mode processes cubes in arrival order; global orderings need \
+             the whole set resident — pass --order keep"
+                .to_owned(),
+        );
+    }
+    let window = match (opts.window, opts.memory_budget) {
+        (Some(cubes), _) => WindowSpec::Cubes(cubes),
+        (None, Some(mib)) => WindowSpec::MemoryBudgetMiB(mib),
+        (None, None) => unreachable!("streaming mode implies one of the flags"),
+    };
+    let driver = StreamingFill::new(StreamOptions {
+        window,
+        fill: opts.fill,
+        header: Some(output_header(opts)),
+        collect_baseline: opts.stats,
+    });
+    let label = opts.input.as_deref().unwrap_or("<stdin>");
+    // The planned fills read the input twice, so stdin is spooled to a
+    // temp file for them (both passes must see identical bytes). The
+    // per-cube fills open the source exactly once and stream stdin
+    // directly — no extra disk traffic.
+    let mut sink = StreamSink::new(&opts.output);
+    let report = match (&opts.input, driver.input_passes() > 1) {
+        (Some(path), _) => driver.run_path(Path::new(path), &mut sink),
+        (None, true) => {
+            let spool = Spool::from_stdin()?;
+            driver.run_path(&spool.path, &mut sink)
+        }
+        (None, false) => driver.run(|| Ok(std::io::stdin().lock()), &mut sink),
+    }
+    .map_err(|e| format!("{label}: {e}"))?;
+    if report.cubes == 0 {
+        return Err("no patterns in input".to_owned());
+    }
+    sink.commit()?;
+    if opts.stats {
+        let total_bits = (report.cubes * report.width) as f64;
+        eprintln!(
+            "{} cubes x {} pins, {:.1}% X; peak toggles: 0-fill(as-given) {} -> {} {}",
+            report.cubes,
+            report.width,
+            100.0 * report.x_count as f64 / total_bits,
+            report.baseline_peak.unwrap_or(0),
+            opts.fill.label(),
+            report.peak_toggles
+        );
+        eprintln!(
+            "streamed {} windows of {} cubes; peak resident cubes {}",
+            report.windows, report.window_cubes, report.resident_peak_cubes
+        );
+    }
+    Ok(())
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -118,8 +401,13 @@ fn run(opts: &Options) -> Result<(), String> {
                 .map_err(|built| format!("thread pool already running with {built} threads"))?;
         }
     }
+    if opts.window.is_some() || opts.memory_budget.is_some() {
+        return run_streaming(opts);
+    }
     // Stream the pattern file straight into the packed cube planes —
-    // the input never exists in memory as text or scalar bits.
+    // the input never exists in memory as text or scalar bits, and a
+    // malformed cube aborts the read at its line (no cubes are
+    // collected past the first error).
     let cubes = match &opts.input {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -155,18 +443,14 @@ fn run(opts: &Options) -> Result<(), String> {
         );
     }
 
-    let header = format!(
-        "filled by dpfill-xfill: {} / {}",
-        opts.order.map_or("keep", |o| o.label()),
-        opts.fill.label()
-    );
-    let out_text = format::patterns_to_string(&filled, Some(&header));
-    match &opts.output {
-        Some(path) => {
-            std::fs::write(path, out_text).map_err(|e| format!("cannot write {path}: {e}"))?
-        }
-        None => print!("{out_text}"),
-    }
+    // Emit incrementally — no full-set String is ever buffered, on
+    // either pipeline.
+    let header = output_header(opts);
+    let sink = open_sink(&opts.output)?;
+    format::write_patterns(sink, &filled, Some(&header)).map_err(|e| match &opts.output {
+        Some(path) => format!("cannot write {path}: {e}"),
+        None => format!("cannot write patterns: {e}"),
+    })?;
     Ok(())
 }
 

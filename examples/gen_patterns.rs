@@ -1,0 +1,56 @@
+//! Generates an ATPG-shaped pattern file on stdout: each cube is mostly
+//! `X` with a handful of randomly placed care bits — the sparse-care
+//! profile of industrial cube dumps (paper Table I), and the input shape
+//! of the streaming pipeline's peak-RSS smoke check in CI.
+//!
+//! ```sh
+//! cargo run --release --example gen_patterns -- <cubes> <width> <cares-per-cube> <seed>
+//! cargo run --release --example gen_patterns -- 16384 8192 4 7 > big.pat
+//! ```
+
+use std::io::{BufWriter, Write};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: gen_patterns <cubes> <width> <cares-per-cube> <seed>";
+    let [cubes, width, cares, seed] = args.as_slice() else {
+        return Err(usage.into());
+    };
+    let cubes: usize = cubes.parse().map_err(|_| usage)?;
+    let width: usize = width.parse().map_err(|_| usage)?;
+    let cares: usize = cares.parse().map_err(|_| usage)?;
+    let seed: u64 = seed.parse().map_err(|_| usage)?;
+    if width == 0 {
+        return Err("width must be at least 1".into());
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stdout = std::io::stdout().lock();
+    let mut out = BufWriter::new(stdout);
+    writeln!(
+        out,
+        "# {cubes} cubes x {width} pins, ~{cares} care bits each (seed {seed})"
+    )?;
+    // One reusable row buffer: memory stays O(width) however many cubes
+    // stream out.
+    let mut row = vec![b'X'; width + 1];
+    row[width] = b'\n';
+    let mut touched: Vec<usize> = Vec::with_capacity(cares);
+    for _ in 0..cubes {
+        touched.clear();
+        for _ in 0..cares {
+            let pin = rng.next_u64() as usize % width;
+            row[pin] = if rng.next_u64() & 1 == 0 { b'0' } else { b'1' };
+            touched.push(pin);
+        }
+        out.write_all(&row)?;
+        for &pin in &touched {
+            row[pin] = b'X';
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
