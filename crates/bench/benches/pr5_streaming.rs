@@ -47,8 +47,7 @@ fn bench_streaming(c: &mut Criterion) {
         let driver = StreamingFill::new(StreamOptions {
             window: WindowSpec::Cubes(window),
             fill: FillMethod::Dp,
-            header: None,
-            collect_baseline: false,
+            ..StreamOptions::default()
         });
         group.bench_function(format!("windowed/dp/w{window}/{n}x256"), |b| {
             b.iter(|| {
@@ -66,8 +65,7 @@ fn bench_streaming(c: &mut Criterion) {
     let adj = StreamingFill::new(StreamOptions {
         window: WindowSpec::Cubes(512),
         fill: FillMethod::Adj,
-        header: None,
-        collect_baseline: false,
+        ..StreamOptions::default()
     });
     group.bench_function(format!("windowed/adj/w512/{n}x256"), |b| {
         b.iter(|| {

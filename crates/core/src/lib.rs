@@ -44,6 +44,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bcp;
 pub mod fill;
 mod interval;
@@ -56,4 +58,7 @@ pub use bcp::{BcpError, BcpInstance, BcpSolution, Coloring, VerifiedPeak};
 pub use interval::Interval;
 pub use mapping::{IntervalSite, MatrixMapping};
 pub use pipeline::{percent_improvement, sweep_fills, Technique, TechniqueResult};
-pub use stream::{StreamError, StreamOptions, StreamReport, StreamingFill, WindowSpec};
+pub use stream::{
+    ChaosPlan, DegradeEvent, StreamError, StreamOptions, StreamPass, StreamReport, StreamingFill,
+    WindowSpec,
+};

@@ -147,7 +147,7 @@ impl MatrixMapping {
                 let interval = Interval::new(site.left as u32, (site.right - 1) as u32);
                 instance
                     .add_interval(interval)
-                    .expect("stretch bounds are valid transitions");
+                    .unwrap_or_else(|e| unreachable!("stretch bounds are valid transitions: {e}"));
                 sites.push(site);
             }
             for col in chunk_forced {

@@ -32,10 +32,11 @@ impl OrderingStrategy for XStatOrdering {
         let conflict = packed.scorer();
         let care: Vec<usize> = (0..n).map(|i| packed.care_count(i)).collect();
 
-        // Seed: most specified cube.
-        let start = (0..n)
-            .max_by_key(|&i| (care[i], std::cmp::Reverse(i)))
-            .expect("non-empty set");
+        // Seed: most specified cube. `n > 0` was checked above, so the
+        // max exists; the let-else keeps this path panic-free anyway.
+        let Some(start) = (0..n).max_by_key(|&i| (care[i], std::cmp::Reverse(i))) else {
+            return Vec::new();
+        };
         let mut visited = vec![false; n];
         let mut order = Vec::with_capacity(n);
         visited[start] = true;
@@ -65,7 +66,10 @@ impl OrderingStrategy for XStatOrdering {
                 .into_iter()
                 .flatten()
                 .min();
-            let (_, _, next) = best.expect("unvisited cube exists");
+            // An unvisited cube exists on every iteration (the loop
+            // runs n-1 times after seeding one); bail gracefully if
+            // that invariant ever breaks rather than panicking.
+            let Some((_, _, next)) = best else { break };
             visited[next] = true;
             order.push(next);
             current = next;

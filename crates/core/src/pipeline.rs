@@ -73,7 +73,7 @@ impl Technique {
         let order = self.ordering.order(cubes);
         let reordered = cubes
             .reordered(&order)
-            .expect("ordering strategies return permutations");
+            .unwrap_or_else(|e| unreachable!("ordering strategies return permutations: {e}"));
         let filled = self.fill.fill(&reordered);
         debug_assert!(CubeSet::is_filling_of(&filled, &reordered));
         // Both metrics come straight off the filled set's packed planes.
@@ -99,7 +99,7 @@ pub fn sweep_fills(cubes: &CubeSet, ordering: OrderingMethod) -> Vec<(FillMethod
     let order = ordering.order(cubes);
     let reordered = cubes
         .reordered(&order)
-        .expect("ordering strategies return permutations");
+        .unwrap_or_else(|e| unreachable!("ordering strategies return permutations: {e}"));
     FillMethod::TABLE_COLUMNS
         .iter()
         .map(|&fill| {

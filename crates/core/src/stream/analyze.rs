@@ -174,6 +174,18 @@ impl WindowedAnalyzer {
         self.cols
     }
 
+    /// Bytes held by the scalar event stream (segments, sites,
+    /// baseline, per-pin states) — the content-driven resident cost the
+    /// memory-budget governor charges after each window. Grows with the
+    /// input's X-structure, not with the window size.
+    pub fn event_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.segments.len() * size_of::<Segment>()
+            + self.sites.len() * size_of::<IntervalSite>()
+            + self.baseline.len() * size_of::<u64>()
+            + self.states.len() * size_of::<PinState>()) as u64
+    }
+
     /// Closes every still-open run (trailing X-runs, all-`X` rows) and
     /// returns the full analysis, with sites sorted into the monolithic
     /// row-major order.

@@ -70,11 +70,14 @@
 //! ```
 
 mod analyze;
+mod budget;
 mod plan;
 
 use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +91,8 @@ use crate::fill::{DpFillError, FillMethod};
 use crate::Interval;
 
 use analyze::WindowedAnalyzer;
+use budget::BudgetGovernor;
+pub use budget::{DegradeEvent, StreamPass};
 use plan::FillPlan;
 
 /// How the window size is chosen.
@@ -108,17 +113,43 @@ impl WindowSpec {
     /// bytes of plane words, and the pipeline holds about four plane
     /// copies per in-flight cube (the parsed window, its transpose, the
     /// filled transpose and the emitted set) across a batch of
-    /// `threads` windows. The budget is divided accordingly; the window
-    /// never drops below one cube.
-    pub fn window_for_width(self, width: usize) -> usize {
+    /// `threads` windows. The budget is divided accordingly — minus a
+    /// 1/8 headroom reserve for the scalar event stream and overlap
+    /// tails (see [`budget`]) — and the window never drops below one
+    /// cube.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Overflow`] when the budget model leaves `u64`
+    /// (absurd widths or budgets); the previous unchecked formula
+    /// silently wrapped — and could divide by a wrapped-to-zero cost.
+    pub fn window_for_width(self, width: usize) -> Result<usize, StreamError> {
         match self {
-            WindowSpec::Cubes(n) => n.max(1),
+            WindowSpec::Cubes(n) => Ok(n.max(1)),
             WindowSpec::MemoryBudgetMiB(mib) => {
-                let bytes_per_cube = 2 * width.div_ceil(64) * 8;
                 let threads = minipool::current_threads().max(1);
-                ((mib << 20) / (4 * bytes_per_cube * threads)).max(1)
+                budget::window_for_budget(mib, width, threads)
             }
         }
+    }
+}
+
+/// Deterministic chaos injection for the fault suite: makes a specific
+/// window's worker panic on purpose, proving panic containment on the
+/// real pool fan-out paths. Inert by default; the CLI wires it to the
+/// `DPFILL_CHAOS` environment variable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Panic inside the pooled fill task of this 0-based window.
+    pub panic_in_fill: Option<usize>,
+    /// Panic while analyzing this 0-based window (pass 1).
+    pub panic_in_analyze: Option<usize>,
+}
+
+impl ChaosPlan {
+    /// True when no fault is scheduled.
+    pub fn is_inert(&self) -> bool {
+        *self == ChaosPlan::default()
     }
 }
 
@@ -138,6 +169,9 @@ pub struct StreamOptions {
     pub header: Option<String>,
     /// Also track the 0-fill (as-given) peak for before/after stats.
     pub collect_baseline: bool,
+    /// Deliberate fault injection for the chaos suite (inert by
+    /// default).
+    pub chaos: ChaosPlan,
 }
 
 impl Default for StreamOptions {
@@ -147,6 +181,7 @@ impl Default for StreamOptions {
             fill: FillMethod::Dp,
             header: None,
             collect_baseline: false,
+            chaos: ChaosPlan::default(),
         }
     }
 }
@@ -175,6 +210,11 @@ pub struct StreamReport {
     /// flight, plus the carried boundary tails) — the `O(window ×
     /// threads + overlap)` bound, observable.
     pub resident_peak_cubes: usize,
+    /// Every graceful-degradation step a `--memory-budget` run took
+    /// (window halvings under budget pressure), in order. Empty for
+    /// fixed-window runs and for budget runs that stayed inside the
+    /// reserve.
+    pub degradations: Vec<DegradeEvent>,
 }
 
 /// Failures of a streaming run.
@@ -198,6 +238,33 @@ pub enum StreamError {
         /// `(cubes, width)` seen by the emit pass.
         found: (usize, usize),
     },
+    /// A worker panicked while processing one window; the panic was
+    /// contained at the window boundary instead of unwinding through
+    /// the caller.
+    WindowPanicked {
+        /// 0-based index of the poisoned window.
+        window: usize,
+        /// Global cube range the window covered.
+        cubes: Range<usize>,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A `--memory-budget` run degraded to one-cube windows and the
+    /// modeled resident set still exceeds the budget.
+    BudgetExhausted {
+        /// 0-based index of the window being processed.
+        window: usize,
+        /// Modeled resident bytes at the one-cube floor.
+        resident_bytes: u64,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+    },
+    /// Window/budget arithmetic left the machine-word range (absurd
+    /// widths or budgets) — reported instead of silently wrapping.
+    Overflow {
+        /// Which quantity overflowed.
+        what: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -219,6 +286,28 @@ impl fmt::Display for StreamError {
                  emit saw {} cubes x {} pins",
                 expected.0, expected.1, found.0, found.1
             ),
+            StreamError::WindowPanicked {
+                window,
+                cubes,
+                message,
+            } => write!(
+                f,
+                "worker panicked in window {window} (cubes {}..{}): {message}",
+                cubes.start, cubes.end
+            ),
+            StreamError::BudgetExhausted {
+                window,
+                resident_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exhausted at window {window}: resident set needs \
+                 {resident_bytes} bytes at the one-cube floor, budget is {budget_bytes} bytes; \
+                 raise --memory-budget"
+            ),
+            StreamError::Overflow { what } => {
+                write!(f, "arithmetic overflow computing {what}")
+            }
         }
     }
 }
@@ -253,6 +342,26 @@ enum ResolvedFill {
     Planned(FillPlan),
     /// Per-cube fill needing only the cube (and its global index).
     Local,
+}
+
+/// Everything pass 1 produced.
+struct AnalyzeOutcome {
+    plan: FillPlan,
+    cubes: usize,
+    width: usize,
+    degradations: Vec<DegradeEvent>,
+}
+
+/// Renders a contained panic payload: panics carry a `&str` or `String`
+/// in practice; anything else is reported opaquely.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl StreamingFill {
@@ -294,18 +403,23 @@ impl StreamingFill {
         sink: W,
     ) -> Result<StreamReport, StreamError> {
         let resolved = match self.opts.fill {
-            FillMethod::Dp | FillMethod::Mt => self
-                .analyze(&mut open)?
-                .map(|(plan, cubes, width)| (ResolvedFill::Planned(plan), cubes, width)),
+            FillMethod::Dp | FillMethod::Mt => self.analyze(&mut open)?.map(|outcome| {
+                let pass1 = (outcome.cubes, outcome.width);
+                (
+                    ResolvedFill::Planned(outcome.plan),
+                    Some(pass1),
+                    outcome.degradations,
+                )
+            }),
             FillMethod::Zero | FillMethod::One | FillMethod::Adj | FillMethod::Random(_) => {
                 // Single pass; totals are discovered while emitting.
-                Some((ResolvedFill::Local, 0, 0))
+                Some((ResolvedFill::Local, None, Vec::new()))
             }
             FillMethod::B | FillMethod::XStat => {
                 return Err(StreamError::UnsupportedFill(self.opts.fill))
             }
         };
-        let Some((fill, pass1_cubes, pass1_width)) = resolved else {
+        let Some((fill, pass1, degradations)) = resolved else {
             return Ok(StreamReport {
                 cubes: 0,
                 width: 0,
@@ -315,15 +429,10 @@ impl StreamingFill {
                 peak_toggles: 0,
                 baseline_peak: self.opts.collect_baseline.then_some(0),
                 resident_peak_cubes: 0,
+                degradations: Vec::new(),
             });
         };
-        let two_pass = matches!(fill, ResolvedFill::Planned(_));
-        self.emit(
-            &mut open,
-            sink,
-            &fill,
-            two_pass.then_some((pass1_cubes, pass1_width)),
-        )
+        self.emit(&mut open, sink, &fill, pass1, degradations)
     }
 
     /// Convenience wrapper reading from a filesystem path.
@@ -345,7 +454,7 @@ impl StreamingFill {
     fn analyze<R: Read>(
         &self,
         open: &mut impl FnMut() -> io::Result<R>,
-    ) -> Result<Option<(FillPlan, usize, usize)>, StreamError> {
+    ) -> Result<Option<AnalyzeOutcome>, StreamError> {
         let mut stream = PatternStream::new(open().map_err(StreamError::Open)?);
         // The first window is a single cube: the width (and with it a
         // budget-derived window size) is unknown until one row is read.
@@ -353,35 +462,73 @@ impl StreamingFill {
             return Ok(None);
         };
         let width = first.width();
-        let window = self.opts.window.window_for_width(width);
+        let mut governor = match self.opts.window {
+            WindowSpec::MemoryBudgetMiB(mib) => Some(BudgetGovernor::new(mib, width)?),
+            WindowSpec::Cubes(_) => None,
+        };
+        let mut window = self.opts.window.window_for_width(width)?;
         let mut analyzer = WindowedAnalyzer::new(width);
-        analyzer.ingest(&PackedMatrix::from_packed_set(first.as_packed()));
-        drop(first);
-        while let Some(set) = stream.next_window(window)? {
-            analyzer.ingest(&PackedMatrix::from_packed_set(set.as_packed()));
+        let mut win_idx = 0usize;
+        let mut offset = 0usize;
+        let mut first = Some(first);
+        loop {
+            let set = match first.take() {
+                Some(set) => set,
+                None => match stream.next_window(window)? {
+                    Some(set) => set,
+                    None => break,
+                },
+            };
+            let cubes = offset..offset + set.len();
+            offset = cubes.end;
+            // Contain worker panics at the window boundary: the minipool
+            // scope rethrows a task panic on this thread, so catching
+            // here covers the pooled per-pin fan-out inside `ingest`.
+            let ingest = catch_unwind(AssertUnwindSafe(|| {
+                if self.opts.chaos.panic_in_analyze == Some(win_idx) {
+                    panic!("chaos: injected panic while analyzing window {win_idx}");
+                }
+                analyzer.ingest(&PackedMatrix::from_packed_set(set.as_packed()));
+            }));
+            if let Err(payload) = ingest {
+                return Err(StreamError::WindowPanicked {
+                    window: win_idx,
+                    cubes,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            if let Some(g) = &mut governor {
+                g.charge(StreamPass::Analyze, win_idx, analyzer.event_bytes())?;
+                window = g.window();
+            }
+            win_idx += 1;
         }
         let cubes = analyzer.cols();
         let analysis = analyzer.finish();
+        let solve_error = |source| {
+            StreamError::Solve(DpFillError {
+                source,
+                shape: (cubes, width),
+            })
+        };
         let plan = match self.opts.fill {
             FillMethod::Dp => {
                 let num_colors = analysis.cols.saturating_sub(1);
                 let mut instance = BcpInstance::new(num_colors);
                 for site in &analysis.sites {
+                    // Stretch bounds are valid transitions by
+                    // construction; a violation is a solver-input bug
+                    // and surfaces as a typed Solve error, not a panic.
                     instance
                         .add_interval(Interval::new(site.left as u32, (site.right - 1) as u32))
-                        .expect("stretch bounds are valid transitions");
+                        .map_err(solve_error)?;
                 }
                 instance
                     .set_baseline(analysis.baseline)
-                    .expect("baseline tracks the transition count");
+                    .map_err(solve_error)?;
                 // The same global solve as the monolithic DpFill: same
                 // instance, same lower bound, same EDF coloring.
-                let solution = instance.solve().map_err(|source| {
-                    StreamError::Solve(DpFillError {
-                        source,
-                        shape: (cubes, width),
-                    })
-                })?;
+                let solution = instance.solve().map_err(solve_error)?;
                 FillPlan::with_coloring(
                     width,
                     analysis.segments,
@@ -392,7 +539,14 @@ impl StreamingFill {
             FillMethod::Mt => FillPlan::with_copy_left(width, analysis.segments, &analysis.sites),
             _ => unreachable!("analyze only runs for planned fills"),
         };
-        Ok(Some((plan, cubes, width)))
+        Ok(Some(AnalyzeOutcome {
+            plan,
+            cubes,
+            width,
+            degradations: governor
+                .map(BudgetGovernor::into_events)
+                .unwrap_or_default(),
+        }))
     }
 
     /// Pass 2 (or the only pass for per-cube fills): re-stream the
@@ -404,13 +558,36 @@ impl StreamingFill {
         sink: W,
         fill: &ResolvedFill,
         pass1: Option<(usize, usize)>,
+        mut degradations: Vec<DegradeEvent>,
     ) -> Result<StreamReport, StreamError> {
         let mut stream = PatternStream::new(open().map_err(StreamError::Open)?);
         let mut writer = PatternWriter::new(sink);
         let batch_windows = minipool::current_threads().max(1);
+        // The emit pass's fixed memory cost: the resolved plan stays
+        // resident for its whole duration.
+        let plan_bytes = match fill {
+            ResolvedFill::Planned(plan) => plan.approx_bytes(),
+            ResolvedFill::Local => 0,
+        };
 
         let mut width: Option<usize> = pass1.map(|(_, w)| w);
-        let mut window = width.map(|w| self.opts.window.window_for_width(w));
+        let mut governor: Option<BudgetGovernor> = None;
+        let mut window = None;
+        if let Some(w) = width {
+            match self.opts.window {
+                WindowSpec::MemoryBudgetMiB(mib) => {
+                    let mut g = BudgetGovernor::new(mib, w)?;
+                    // Budget pressure known up front (the plan) is
+                    // charged before the first window is read.
+                    g.charge(StreamPass::Emit, 0, plan_bytes)?;
+                    window = Some(g.window());
+                    governor = Some(g);
+                }
+                WindowSpec::Cubes(_) => {
+                    window = Some(self.opts.window.window_for_width(w)?);
+                }
+            }
+        }
         let mut header_written = false;
         let mut offset = 0usize;
         let mut windows = 0usize;
@@ -432,7 +609,16 @@ impl StreamingFill {
                 };
                 if width.is_none() {
                     width = Some(set.width());
-                    window = Some(self.opts.window.window_for_width(set.width()));
+                    match self.opts.window {
+                        WindowSpec::MemoryBudgetMiB(mib) => {
+                            let g = BudgetGovernor::new(mib, set.width())?;
+                            window = Some(g.window());
+                            governor = Some(g);
+                        }
+                        WindowSpec::Cubes(_) => {
+                            window = Some(self.opts.window.window_for_width(set.width())?);
+                        }
+                    }
                 }
                 let off = offset;
                 offset += set.len();
@@ -461,15 +647,38 @@ impl StreamingFill {
             }
             // One task per window on the pool; results return in window
             // order, so emission (and the stitched metrics) stay
-            // deterministic at any thread count.
-            let filled: Vec<CubeSet> = minipool::parallel_index_chunks(batch.len(), 1, |range| {
-                range
-                    .map(|i| self.fill_window(&batch[i].1, batch[i].0, fill))
-                    .collect::<Vec<CubeSet>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            // deterministic at any thread count. Each window's fill is
+            // wrapped in catch_unwind *inside* its pooled task, so a
+            // worker panic is contained with exact window attribution
+            // instead of unwinding through the pool scope.
+            let outcomes: Vec<Result<CubeSet, String>> =
+                minipool::parallel_index_chunks(batch.len(), 1, |range| {
+                    range
+                        .map(|i| {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                self.fill_window(&batch[i].1, batch[i].0, fill, windows + i)
+                            }))
+                            .map_err(|payload| panic_message(payload.as_ref()))
+                        })
+                        .collect::<Vec<Result<CubeSet, String>>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            let mut filled = Vec::with_capacity(outcomes.len());
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    Ok(set) => filled.push(set),
+                    Err(message) => {
+                        let (off, original) = &batch[i];
+                        return Err(StreamError::WindowPanicked {
+                            window: windows + i,
+                            cubes: *off..*off + original.len(),
+                            message,
+                        });
+                    }
+                }
+            }
             let batch_cubes: usize = batch.iter().map(|(_, set)| set.len()).sum();
             resident_peak = resident_peak.max(2 * batch_cubes + 2);
 
@@ -502,6 +711,10 @@ impl StreamingFill {
                 writer.set(filled).map_err(StreamError::Write)?;
             }
             windows += batch.len();
+            if let Some(g) = &mut governor {
+                g.charge(StreamPass::Emit, windows.saturating_sub(1), plan_bytes)?;
+                window = Some(g.window());
+            }
         }
 
         if let Some((c1, w1)) = pass1 {
@@ -514,6 +727,9 @@ impl StreamingFill {
             }
         }
         writer.finish().map_err(StreamError::Write)?;
+        if let Some(g) = governor {
+            degradations.extend(g.into_events());
+        }
         Ok(StreamReport {
             cubes: offset,
             width: width.unwrap_or(0),
@@ -523,13 +739,26 @@ impl StreamingFill {
             peak_toggles: peak,
             baseline_peak: self.opts.collect_baseline.then_some(baseline_peak),
             resident_peak_cubes: resident_peak,
+            degradations,
         })
     }
 
     /// Fills one window. Planned fills splice the window slice of the
     /// global plan; per-cube fills run directly (R-fill keyed by the
     /// cube's **global** index, so windowing never changes its stream).
-    fn fill_window(&self, original: &CubeSet, offset: usize, fill: &ResolvedFill) -> CubeSet {
+    /// Runs inside a pooled task under `catch_unwind`: a panic here —
+    /// including the deliberate [`ChaosPlan`] one — is contained and
+    /// attributed to `win_idx`.
+    fn fill_window(
+        &self,
+        original: &CubeSet,
+        offset: usize,
+        fill: &ResolvedFill,
+        win_idx: usize,
+    ) -> CubeSet {
+        if self.opts.chaos.panic_in_fill == Some(win_idx) {
+            panic!("chaos: injected panic in the fill worker of window {win_idx}");
+        }
         match fill {
             ResolvedFill::Planned(plan) => {
                 let mut matrix = PackedMatrix::from_packed_set(original.as_packed());
@@ -568,8 +797,8 @@ mod tests {
         let opts = StreamOptions {
             window,
             fill,
-            header: None,
             collect_baseline: true,
+            ..StreamOptions::default()
         };
         let mut out = Vec::new();
         let report = StreamingFill::new(opts)
@@ -717,16 +946,26 @@ mod tests {
     #[test]
     fn memory_budget_resolves_to_a_window() {
         // 1 MiB budget, width 64 (16 bytes of planes per cube), one
-        // thread: 1 MiB / (4 · 16) = 16384 cubes.
-        let w = WindowSpec::MemoryBudgetMiB(1).window_for_width(64);
+        // thread: 7/8 MiB (1/8 is event headroom) / (4 · 16) = 14336.
+        let w = WindowSpec::MemoryBudgetMiB(1).window_for_width(64).unwrap();
         assert!(w >= 1);
         let pool = minipool::ThreadPool::new(1);
         let w1 = minipool::with_pool(&pool, || {
-            WindowSpec::MemoryBudgetMiB(1).window_for_width(64)
+            WindowSpec::MemoryBudgetMiB(1).window_for_width(64).unwrap()
         });
-        assert_eq!(w1, 16384);
+        assert_eq!(w1, 14336);
         // A tiny budget never drops below one cube.
-        assert_eq!(WindowSpec::MemoryBudgetMiB(1).window_for_width(1 << 24), 1);
+        assert_eq!(
+            WindowSpec::MemoryBudgetMiB(1)
+                .window_for_width(1 << 24)
+                .unwrap(),
+            1
+        );
+        // An absurd width overflows as a typed error, not a wrap.
+        assert!(matches!(
+            WindowSpec::MemoryBudgetMiB(1).window_for_width(usize::MAX),
+            Err(StreamError::Overflow { .. })
+        ));
         let (out, report) = run_windowed(
             "0XX1\nXX0X\n1X0X\n",
             FillMethod::Dp,
@@ -742,7 +981,7 @@ mod tests {
             window: WindowSpec::Cubes(1),
             fill: FillMethod::Zero,
             header: Some("streamed".into()),
-            collect_baseline: false,
+            ..StreamOptions::default()
         };
         let mut out = Vec::new();
         StreamingFill::new(opts)

@@ -117,6 +117,14 @@ impl FillPlan {
         FillPlan::new(width, segments)
     }
 
+    /// Bytes held by the resolved plan — resident for the whole emit
+    /// pass, charged against the memory budget up front.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.segments.len() * size_of::<Segment>() + self.row_index.len() * size_of::<usize>())
+            as u64
+    }
+
     /// Splices every segment overlapping columns
     /// `[start_col, start_col + matrix.cols())` into the window,
     /// clipped. Rows are disjoint, so row chunks fan out over the

@@ -24,8 +24,7 @@ fn windowed_bytes(text: &str, fill: FillMethod, window: usize) -> (Vec<u8>, usiz
     let opts = StreamOptions {
         window: WindowSpec::Cubes(window),
         fill,
-        header: None,
-        collect_baseline: false,
+        ..StreamOptions::default()
     };
     let mut out = Vec::new();
     let report = StreamingFill::new(opts)
@@ -183,8 +182,8 @@ fn report_peak_matches_measured_peak() {
     let opts = StreamOptions {
         window: WindowSpec::Cubes(5),
         fill: FillMethod::Dp,
-        header: None,
         collect_baseline: true,
+        ..StreamOptions::default()
     };
     let mut out = Vec::new();
     let report = StreamingFill::new(opts)

@@ -27,6 +27,7 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use crate::packed::PackedBits;
+use crate::retry::{self, RetryReader};
 use crate::{Bit, CubeError, CubeSet, TestCube};
 
 /// A pattern-file failure: either the underlying reader failed or a line
@@ -99,15 +100,17 @@ fn parse_line(idx: usize, line: &str) -> Result<Option<PackedBits>, CubeError> {
                 Err(_) => {
                     // Cold path: rescan as chars for the exact
                     // offending character (a UTF-8 sequence fails on
-                    // its lead byte).
-                    let bad = content
+                    // its lead byte). A byte already failed, so some
+                    // char fails; the fallback message keeps this
+                    // branch panic-free regardless.
+                    let message = content
                         .chars()
                         .map(Bit::from_char)
                         .find_map(Result::err)
-                        .expect("a byte failed, so some char fails");
+                        .map_or_else(|| "unparsable pattern line".to_string(), |e| e.to_string());
                     Err(CubeError::ParseLine {
                         line: idx + 1,
-                        message: bad.to_string(),
+                        message,
                     })
                 }
             }
@@ -146,15 +149,11 @@ impl PatternBuilder {
         };
         match self.width {
             Some(w) if row.len() != w => Err(width_error(idx, row.len(), w)),
-            Some(_) => {
-                self.set.push_packed(row).expect("width checked above");
-                Ok(())
-            }
+            Some(_) => self.set.push_packed(row),
             None => {
                 self.width = Some(row.len());
                 self.set = CubeSet::new(row.len());
-                self.set.push_packed(row).expect("first row sets the width");
-                Ok(())
+                self.set.push_packed(row)
             }
         }
     }
@@ -185,7 +184,10 @@ impl PatternBuilder {
 /// assert_eq!(stream.cubes_read(), 3);
 /// ```
 pub struct PatternStream<R: Read> {
-    reader: BufReader<R>,
+    // The raw source is wrapped in a RetryReader *below* the BufReader,
+    // so `EINTR` storms are absorbed at the syscall boundary with a
+    // bounded budget instead of aborting (or looping) mid-window.
+    reader: BufReader<RetryReader<R>>,
     buf: String,
     next_line: usize,
     width: Option<usize>,
@@ -197,7 +199,7 @@ impl<R: Read> PatternStream<R> {
     /// [`PatternStream::next_window`] call.
     pub fn new(reader: R) -> PatternStream<R> {
         PatternStream {
-            reader: BufReader::new(reader),
+            reader: BufReader::new(RetryReader::new(reader)),
             buf: String::new(),
             next_line: 0,
             width: None,
@@ -250,8 +252,7 @@ impl<R: Read> PatternStream<R> {
                 self.width = Some(row.len());
             }
             set.get_or_insert_with(|| CubeSet::new(row.len()))
-                .push_packed(row)
-                .expect("width checked above");
+                .push_packed(row)?;
             count += 1;
         }
         if count == 0 {
@@ -268,7 +269,11 @@ impl<R: Read> PatternStream<R> {
 ///
 /// All methods surface the writer's I/O errors (callers in the pattern
 /// pipeline wrap them as [`PatternError::Io`]); a broken pipe therefore
-/// aborts the stream at the offending cube instead of panicking.
+/// aborts the stream at the offending cube instead of panicking. Each
+/// line is rendered into a reused buffer and pushed through the bounded
+/// retry policy in [`crate::retry`], so short writes and `EINTR` storms
+/// up to the budget are absorbed instead of surfacing as spurious
+/// failures.
 ///
 /// ```
 /// use dpfill_cubes::format::{parse_patterns, PatternWriter};
@@ -283,12 +288,22 @@ impl<R: Read> PatternStream<R> {
 /// ```
 pub struct PatternWriter<W: Write> {
     writer: W,
+    line: Vec<u8>,
 }
 
 impl<W: Write> PatternWriter<W> {
     /// Wraps a writer (pass a `BufWriter` for unbuffered sinks).
     pub fn new(writer: W) -> PatternWriter<W> {
-        PatternWriter { writer }
+        PatternWriter {
+            writer,
+            line: Vec::new(),
+        }
+    }
+
+    /// Pushes the rendered line buffer through the bounded retry
+    /// policy: short writes loop, `EINTR` is absorbed up to the budget.
+    fn emit(&mut self) -> io::Result<()> {
+        retry::write_all(&mut self.writer, &self.line)
     }
 
     /// Writes a (possibly multi-line) header comment.
@@ -297,10 +312,13 @@ impl<W: Write> PatternWriter<W> {
     ///
     /// Propagates the writer's I/O error.
     pub fn header(&mut self, header: &str) -> io::Result<()> {
+        self.line.clear();
         for line in header.lines() {
-            writeln!(self.writer, "# {line}")?;
+            // Rendering into the in-memory buffer cannot fail; the
+            // fallible step is the single retried write below.
+            let _ = writeln!(self.line, "# {line}");
         }
-        Ok(())
+        self.emit()
     }
 
     /// Writes one cube as a `01X` line, straight off its packed planes.
@@ -309,7 +327,9 @@ impl<W: Write> PatternWriter<W> {
     ///
     /// Propagates the writer's I/O error.
     pub fn cube(&mut self, cube: &PackedBits) -> io::Result<()> {
-        writeln!(self.writer, "{cube}")
+        self.line.clear();
+        let _ = writeln!(self.line, "{cube}");
+        self.emit()
     }
 
     /// Writes every cube of a set (one retired window, say).
@@ -330,7 +350,9 @@ impl<W: Write> PatternWriter<W> {
     ///
     /// Propagates the writer's I/O error.
     pub fn finish(mut self) -> io::Result<W> {
-        self.writer.flush()?;
+        retry::with_retries(retry::MAX_INTERRUPT_RETRIES, retry::is_interrupted, |_| {
+            self.writer.flush()
+        })?;
         Ok(self.writer)
     }
 }
@@ -434,11 +456,21 @@ pub fn write_patterns<W: Write>(writer: W, set: &CubeSet, header: Option<&str>) 
     w.finish().map(drop)
 }
 
-/// Renders a cube set to a pattern-format string.
+/// Renders a cube set to a pattern-format string. Formats straight into
+/// the `String` (writes to memory cannot fail, so this stays panic-free
+/// without an `expect`).
 pub fn patterns_to_string(set: &CubeSet, header: Option<&str>) -> String {
-    let mut buf = Vec::new();
-    write_patterns(&mut buf, set, header).expect("writing to memory cannot fail");
-    String::from_utf8(buf).expect("pattern text is ASCII")
+    use fmt::Write as _;
+    let mut out = String::new();
+    if let Some(h) = header {
+        for line in h.lines() {
+            let _ = writeln!(out, "# {line}");
+        }
+    }
+    for cube in set.packed_cubes() {
+        let _ = writeln!(out, "{cube}");
+    }
+    out
 }
 
 #[cfg(test)]

@@ -38,7 +38,8 @@ pub fn random_cube_set(width: usize, count: usize, x_density: f64, seed: u64) ->
                 }
             })
             .collect();
-        set.push(cube).expect("generated cube has set width");
+        set.push(cube)
+            .unwrap_or_else(|e| unreachable!("generated cube has the set width: {e}"));
     }
     set
 }
@@ -278,7 +279,8 @@ impl CubeProfile {
                     }
                 })
                 .collect();
-            set.push(cube).expect("generated cube has set width");
+            set.push(cube)
+                .unwrap_or_else(|e| unreachable!("generated cube has the set width: {e}"));
         }
         set
     }

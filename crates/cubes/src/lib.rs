@@ -27,7 +27,16 @@
 //! * [`gen`] — seeded random cube generators used for tests and for the
 //!   profile-driven reproduction mode;
 //! * [`format`] — a plain-text pattern format (one `01X` string per
-//!   line), parsed by streaming characters straight into plane words.
+//!   line), parsed by streaming characters straight into plane words;
+//! * [`retry`] — the bounded deterministic-backoff retry policy every
+//!   I/O path routes through (`EINTR` absorption, temp-file collisions);
+//! * [`faultio`] — deterministic fault-injection wrappers
+//!   ([`faultio::FaultyReader`]/[`faultio::FaultyWriter`]) used by the
+//!   chaos suite to replay scheduled I/O faults.
+//!
+//! The library crates carry a no-panic guarantee on their non-test
+//! surface (`deny(clippy::unwrap_used, clippy::expect_used)` below,
+//! gated in CI): every fallible path returns a typed error.
 //!
 //! # Example
 //!
@@ -44,15 +53,19 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod bit;
 mod cube;
 mod distance;
 mod error;
+pub mod faultio;
 pub mod format;
 pub mod gen;
 mod matrix;
 pub mod packed;
 pub mod popcount;
+pub mod retry;
 mod set;
 pub mod stretch;
 

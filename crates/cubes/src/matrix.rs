@@ -127,7 +127,8 @@ impl PinMatrix {
         let mut set = CubeSet::new(self.rows);
         for col in 0..self.cols {
             let cube: TestCube = (0..self.rows).map(|row| self.bit(row, col)).collect();
-            set.push(cube).expect("widths agree by construction");
+            set.push(cube)
+                .unwrap_or_else(|e| unreachable!("column width equals row count: {e}"));
         }
         set
     }

@@ -300,7 +300,7 @@ impl PackedBits {
     /// where the widths come from untrusted input.
     pub fn hamming(&self, other: &PackedBits) -> usize {
         self.try_hamming(other)
-            .expect("hamming distance requires equal widths")
+            .unwrap_or_else(|e| panic!("hamming distance requires equal widths: {e}"))
     }
 
     /// [`PackedBits::hamming`] with the width check routed through

@@ -299,7 +299,8 @@ impl FromIterator<TestCube> for CubeSet {
     /// Panics if the cubes have mismatched widths; use
     /// [`CubeSet::from_cubes`] for a fallible version.
     fn from_iter<I: IntoIterator<Item = TestCube>>(iter: I) -> CubeSet {
-        CubeSet::from_cubes(iter).expect("cubes with equal widths")
+        CubeSet::from_cubes(iter)
+            .unwrap_or_else(|e| panic!("FromIterator requires equal cube widths: {e}"))
     }
 }
 

@@ -339,9 +339,11 @@ impl RowStretches {
                 });
             }
         }
-        let last = *care_positions.last().expect("non-empty care positions");
-        if last + 1 < row.len() {
-            stretches.push(Stretch::Trailing { last_care: last });
+        // Non-empty: the all-X case returned above.
+        if let Some(&last) = care_positions.last() {
+            if last + 1 < row.len() {
+                stretches.push(Stretch::Trailing { last_care: last });
+            }
         }
         RowStretches { stretches }
     }
@@ -432,10 +434,13 @@ impl StatsAccumulator {
                 if matches!(s, Stretch::Transition { .. }) {
                     self.transitions += 1;
                 }
+                // The final bucket's hi is usize::MAX, so the lookup
+                // cannot miss; fold any impossible miss into it rather
+                // than panicking mid-aggregation.
                 let bucket = LENGTH_BUCKETS
                     .iter()
                     .position(|&(lo, hi)| len >= lo && len <= hi)
-                    .expect("buckets cover all positive lengths");
+                    .unwrap_or(LENGTH_BUCKETS.len() - 1);
                 self.histogram[bucket] += 1;
             }
         }

@@ -24,6 +24,20 @@
 //!   --stats               print peak/ordering statistics to stderr
 //! ```
 //!
+//! # Exit codes
+//!
+//! Every failure class exits with its own code (see the README's
+//! "Error model & robustness" table): 2 usage/unsupported
+//! configuration, 3 input I/O, 4 malformed input, 5 output write,
+//! 6 source changed between passes, 7 contained worker panic,
+//! 8 memory budget exhausted, 9 arithmetic overflow, 10 no patterns,
+//! 11 solver failure, 70 escaped-panic backstop.
+//!
+//! The `DPFILL_CHAOS` environment variable (`fill:N`, `analyze:N`, or
+//! both comma-separated) makes the streaming pipeline panic inside the
+//! worker of 0-based window `N` — the fault-injection hook behind the
+//! chaos suite, proving panics are contained as exit 7, not crashes.
+//!
 //! Example:
 //!
 //! ```sh
@@ -33,13 +47,95 @@
 //! ```
 
 use std::io::{BufWriter, Write};
+use std::panic::catch_unwind;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dpfill_core::fill::FillMethod;
 use dpfill_core::ordering::OrderingMethod;
-use dpfill_core::stream::{StreamOptions, StreamingFill, WindowSpec};
+use dpfill_core::stream::{ChaosPlan, StreamError, StreamOptions, StreamingFill, WindowSpec};
+use dpfill_cubes::format::PatternError;
+use dpfill_cubes::retry::{self, RetryReader};
 use dpfill_cubes::{format, peak_toggles, CubeSet};
+
+/// The process exit codes, one per failure class. Scripts driving huge
+/// fill jobs dispatch on these (retry transient I/O, page on solver
+/// bugs, raise the budget on 8) without parsing diagnostics.
+mod exit {
+    /// Bad arguments or a configuration streaming cannot honor.
+    pub const USAGE: u8 = 2;
+    /// Opening or reading the pattern input failed.
+    pub const INPUT_IO: u8 = 3;
+    /// A pattern line failed to parse (bad character, ragged width).
+    pub const MALFORMED: u8 = 4;
+    /// Writing the filled patterns failed (disk full, broken pipe).
+    pub const OUTPUT: u8 = 5;
+    /// The input returned different content on the second pass.
+    pub const SOURCE_CHANGED: u8 = 6;
+    /// A worker panicked; the panic was contained at its window.
+    pub const WINDOW_PANICKED: u8 = 7;
+    /// `--memory-budget` degraded to one-cube windows and still ran out.
+    pub const BUDGET_EXHAUSTED: u8 = 8;
+    /// Window/budget arithmetic overflowed instead of silently wrapping.
+    pub const OVERFLOW: u8 = 9;
+    /// The input held no patterns.
+    pub const NO_PATTERNS: u8 = 10;
+    /// The global BCP solve failed (solver-input bug, never expected).
+    pub const SOLVE: u8 = 11;
+    /// A panic escaped all containment — the `main` backstop (EX_SOFTWARE).
+    pub const PANIC: u8 = 70;
+    /// Any failure without a more specific class.
+    pub const OTHER: u8 = 1;
+}
+
+/// A diagnosed failure: one message for stderr, one exit code for the
+/// caller.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn new(code: u8, message: impl Into<String>) -> CliError {
+        CliError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError::new(exit::USAGE, message)
+    }
+}
+
+/// Maps a streaming-pipeline failure to its exit code; `label` names
+/// the input source in the diagnostic.
+fn stream_error(label: &str, e: &StreamError) -> CliError {
+    let code = match e {
+        StreamError::Open(_) | StreamError::Pattern(PatternError::Io(_)) => exit::INPUT_IO,
+        StreamError::Pattern(PatternError::Cube(_)) => exit::MALFORMED,
+        StreamError::Write(_) => exit::OUTPUT,
+        StreamError::Solve(_) => exit::SOLVE,
+        StreamError::UnsupportedFill(_) => exit::USAGE,
+        StreamError::SourceChanged { .. } => exit::SOURCE_CHANGED,
+        StreamError::WindowPanicked { .. } => exit::WINDOW_PANICKED,
+        StreamError::BudgetExhausted { .. } => exit::BUDGET_EXHAUSTED,
+        StreamError::Overflow { .. } => exit::OVERFLOW,
+    };
+    CliError::new(code, format!("{label}: {e}"))
+}
+
+/// Maps a monolithic-parse failure (I/O vs malformed line) to its code.
+fn pattern_error(label: Option<&str>, e: &PatternError) -> CliError {
+    let code = match e {
+        PatternError::Io(_) => exit::INPUT_IO,
+        PatternError::Cube(_) => exit::MALFORMED,
+    };
+    match label {
+        Some(l) => CliError::new(code, format!("{l}: {e}")),
+        None => CliError::new(code, e.to_string()),
+    }
+}
 
 struct Options {
     input: Option<String>,
@@ -138,6 +234,31 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// The chaos-injection hook: `DPFILL_CHAOS=fill:N` (or `analyze:N`, or
+/// both comma-separated) panics the streaming worker of 0-based window
+/// `N` — inert when unset.
+fn chaos_from_env() -> Result<ChaosPlan, CliError> {
+    let Ok(spec) = std::env::var("DPFILL_CHAOS") else {
+        return Ok(ChaosPlan::default());
+    };
+    let mut plan = ChaosPlan::default();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let bad = || {
+            CliError::usage(format!(
+                "DPFILL_CHAOS {part:?}: expected fill:N or analyze:N"
+            ))
+        };
+        let (pass, index) = part.trim().split_once(':').ok_or_else(bad)?;
+        let index = index.parse::<usize>().map_err(|_| bad())?;
+        match pass {
+            "fill" => plan.panic_in_fill = Some(index),
+            "analyze" => plan.panic_in_analyze = Some(index),
+            _ => return Err(bad()),
+        }
+    }
+    Ok(plan)
+}
+
 /// A spool file for non-seekable stdin in streaming mode; removed on
 /// drop.
 struct Spool {
@@ -148,43 +269,46 @@ struct Spool {
 /// symlinks or reuse an existing path — a predictable name in a shared
 /// directory can be neither clobbered nor pre-planted. The `name`
 /// callback receives a timestamp nonce and the attempt number; the open
-/// retries with a new name on collision.
+/// retries with a new name on collision and returns the final
+/// collision error if all sixteen attempts collide.
 fn create_exclusive(
     name: impl Fn(u32, u32) -> PathBuf,
 ) -> std::io::Result<(std::fs::File, PathBuf)> {
-    let mut last = None;
-    for attempt in 0..16 {
-        let nanos = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| d.subsec_nanos());
-        let path = name(nanos, attempt);
-        match std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-        {
-            Ok(file) => return Ok((file, path)),
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => last = Some(e),
-            Err(e) => return Err(e),
-        }
-    }
-    Err(last.expect("16 attempts, all collided"))
+    retry::with_retries(
+        16,
+        |e| e.kind() == std::io::ErrorKind::AlreadyExists,
+        |attempt| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.subsec_nanos());
+            let path = name(nanos, attempt as u32);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+                .map(|file| (file, path))
+        },
+    )
 }
 
 impl Spool {
-    fn from_stdin() -> Result<Spool, String> {
+    fn from_stdin() -> Result<Spool, CliError> {
         let (file, path) = create_exclusive(|nanos, attempt| {
             std::env::temp_dir().join(format!(
                 "dpfill-xfill-{}-{nanos}-{attempt}.pat",
                 std::process::id()
             ))
         })
-        .map_err(|e| format!("cannot spool stdin: {e}"))?;
+        .map_err(|e| CliError::new(exit::INPUT_IO, format!("cannot spool stdin: {e}")))?;
         let spool = Spool { path };
         let mut writer = BufWriter::new(file);
-        std::io::copy(&mut std::io::stdin().lock(), &mut writer)
+        // The bounded-retry reader absorbs EINTR bursts during the copy
+        // and converts an interrupt storm into a hard error instead of
+        // spinning forever inside `io::copy`.
+        let mut stdin = RetryReader::new(std::io::stdin().lock());
+        std::io::copy(&mut stdin, &mut writer)
             .and_then(|_| writer.flush())
-            .map_err(|e| format!("cannot spool stdin: {e}"))?;
+            .map_err(|e| CliError::new(exit::INPUT_IO, format!("cannot spool stdin: {e}")))?;
         Ok(spool)
     }
 }
@@ -204,11 +328,11 @@ fn output_header(opts: &Options) -> String {
     )
 }
 
-fn open_sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
+fn open_sink(output: &Option<String>) -> Result<Box<dyn Write>, CliError> {
     match output {
         Some(path) => {
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::new(exit::OUTPUT, format!("cannot write {path}: {e}")))?;
             Ok(Box::new(BufWriter::new(file)))
         }
         None => Ok(Box::new(BufWriter::new(std::io::stdout().lock()))),
@@ -220,9 +344,10 @@ fn open_sink(output: &Option<String>) -> Result<Box<dyn Write>, String> {
 /// first write, via the exclusive nonce pattern), which
 /// [`StreamSink::commit`] renames over the final path only after the
 /// whole run succeeded. A run that fails — up-front rejection,
-/// malformed input mid-stream, broken source, even a failed commit —
-/// leaves the original file byte-for-byte intact and the temp removed.
-/// Stdout needs no such ceremony and streams directly.
+/// malformed input mid-stream, broken source, a contained worker
+/// panic, even a failed commit — leaves the original file
+/// byte-for-byte intact and the temp removed (the drop guard runs on
+/// unwind too). Stdout needs no such ceremony and streams directly.
 enum StreamSink {
     Stdout(BufWriter<std::io::StdoutLock<'static>>),
     File {
@@ -249,7 +374,7 @@ impl StreamSink {
     /// Publishes the temp file over the final path (no-op for stdout or
     /// when nothing was written). On failure the temp is still cleaned
     /// up by drop.
-    fn commit(&mut self) -> Result<(), String> {
+    fn commit(&mut self) -> Result<(), CliError> {
         if let StreamSink::File {
             path,
             tmp,
@@ -261,7 +386,9 @@ impl StreamSink {
                 writer
                     .flush()
                     .and_then(|()| std::fs::rename(tmp_path, &*path))
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| {
+                        CliError::new(exit::OUTPUT, format!("cannot write {path}: {e}"))
+                    })?;
                 *committed = true;
             }
         }
@@ -293,7 +420,10 @@ impl Write for StreamSink {
                     *tmp = Some(tmp_path);
                     *file = Some(BufWriter::new(created));
                 }
-                file.as_mut().expect("just created").write(buf)
+                match file.as_mut() {
+                    Some(f) => f.write(buf),
+                    None => unreachable!("the temp file was just created"),
+                }
             }
         }
     }
@@ -326,16 +456,17 @@ impl Drop for StreamSink {
 /// The bounded-memory streaming mode behind `--window`/`--memory-budget`:
 /// windowed analyze→solve→fill→emit, byte-identical to the monolithic
 /// run at every window size and thread count.
-fn run_streaming(opts: &Options) -> Result<(), String> {
+fn run_streaming(opts: &Options) -> Result<(), CliError> {
     if opts.window.is_some() && opts.memory_budget.is_some() {
-        return Err("pass either --window or --memory-budget, not both".to_owned());
+        return Err(CliError::usage(
+            "pass either --window or --memory-budget, not both",
+        ));
     }
     if opts.order.is_some() {
-        return Err(
+        return Err(CliError::usage(
             "streaming mode processes cubes in arrival order; global orderings need \
-             the whole set resident — pass --order keep"
-                .to_owned(),
-        );
+             the whole set resident — pass --order keep",
+        ));
     }
     let window = match (opts.window, opts.memory_budget) {
         (Some(cubes), _) => WindowSpec::Cubes(cubes),
@@ -347,6 +478,7 @@ fn run_streaming(opts: &Options) -> Result<(), String> {
         fill: opts.fill,
         header: Some(output_header(opts)),
         collect_baseline: opts.stats,
+        chaos: chaos_from_env()?,
     });
     let label = opts.input.as_deref().unwrap_or("<stdin>");
     // The planned fills read the input twice, so stdin is spooled to a
@@ -362,9 +494,9 @@ fn run_streaming(opts: &Options) -> Result<(), String> {
         }
         (None, false) => driver.run(|| Ok(std::io::stdin().lock()), &mut sink),
     }
-    .map_err(|e| format!("{label}: {e}"))?;
+    .map_err(|e| stream_error(label, &e))?;
     if report.cubes == 0 {
-        return Err("no patterns in input".to_owned());
+        return Err(CliError::new(exit::NO_PATTERNS, "no patterns in input"));
     }
     sink.commit()?;
     if opts.stats {
@@ -382,11 +514,16 @@ fn run_streaming(opts: &Options) -> Result<(), String> {
             "streamed {} windows of {} cubes; peak resident cubes {}",
             report.windows, report.window_cubes, report.resident_peak_cubes
         );
+        // Every graceful window halving a --memory-budget run took, so
+        // a degraded (but byte-identical) run is observable.
+        for event in &report.degradations {
+            eprintln!("budget degradation: {event}");
+        }
     }
     Ok(())
 }
 
-fn run(opts: &Options) -> Result<(), String> {
+fn run(opts: &Options) -> Result<(), CliError> {
     // Fix the pool width before any parallel helper builds it lazily.
     // The filled output is bit-identical at every width; only wall-clock
     // time changes.
@@ -397,8 +534,9 @@ fn run(opts: &Options) -> Result<(), String> {
         // as if the flag were absent.
         None | Some(0) => {}
         Some(threads) => {
-            minipool::set_global_threads(threads)
-                .map_err(|built| format!("thread pool already running with {built} threads"))?;
+            minipool::set_global_threads(threads).map_err(|built| {
+                CliError::usage(format!("thread pool already running with {built} threads"))
+            })?;
         }
     }
     if opts.window.is_some() || opts.memory_budget.is_some() {
@@ -410,28 +548,34 @@ fn run(opts: &Options) -> Result<(), String> {
     // collected past the first error).
     let cubes = match &opts.input {
         Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-            format::read_patterns(file).map_err(|e| format!("{path}: {e}"))?
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::new(exit::INPUT_IO, format!("cannot open {path}: {e}")))?;
+            format::read_patterns(file).map_err(|e| pattern_error(Some(path), &e))?
         }
-        None => format::read_patterns(std::io::stdin().lock()).map_err(|e| e.to_string())?,
+        None => {
+            format::read_patterns(std::io::stdin().lock()).map_err(|e| pattern_error(None, &e))?
+        }
     };
     if cubes.is_empty() {
-        return Err("no patterns in input".to_owned());
+        return Err(CliError::new(exit::NO_PATTERNS, "no patterns in input"));
     }
 
     let ordered: CubeSet = match opts.order {
         None => cubes.clone(),
         Some(method) => {
             let order = method.order(&cubes);
-            cubes.reordered(&order).map_err(|e| e.to_string())?
+            cubes
+                .reordered(&order)
+                .map_err(|e| CliError::new(exit::OTHER, e.to_string()))?
         }
     };
     let filled = opts.fill.fill(&ordered);
     debug_assert!(CubeSet::is_filling_of(&filled, &ordered));
 
     if opts.stats {
-        let before = peak_toggles(&FillMethod::Zero.fill(&cubes)).map_err(|e| e.to_string())?;
-        let after = peak_toggles(&filled).map_err(|e| e.to_string())?;
+        let before = peak_toggles(&FillMethod::Zero.fill(&cubes))
+            .map_err(|e| CliError::new(exit::OTHER, e.to_string()))?;
+        let after = peak_toggles(&filled).map_err(|e| CliError::new(exit::OTHER, e.to_string()))?;
         eprintln!(
             "{} cubes x {} pins, {:.1}% X; peak toggles: 0-fill(as-given) {} -> {} {}",
             cubes.len(),
@@ -447,19 +591,37 @@ fn run(opts: &Options) -> Result<(), String> {
     // either pipeline.
     let header = output_header(opts);
     let sink = open_sink(&opts.output)?;
-    format::write_patterns(sink, &filled, Some(&header)).map_err(|e| match &opts.output {
-        Some(path) => format!("cannot write {path}: {e}"),
-        None => format!("cannot write patterns: {e}"),
+    format::write_patterns(sink, &filled, Some(&header)).map_err(|e| {
+        let message = match &opts.output {
+            Some(path) => format!("cannot write {path}: {e}"),
+            None => format!("cannot write patterns: {e}"),
+        };
+        CliError::new(exit::OUTPUT, message)
     })?;
     Ok(())
 }
 
 fn main() -> ExitCode {
-    match parse_args().and_then(|o| run(&o)) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+    // The last line of defense: the streaming pipeline contains worker
+    // panics at the window boundary (exit 7), so anything reaching this
+    // catch is a bug escaping all containment — report it as EX_SOFTWARE
+    // instead of the generic abort, after the default hook has printed
+    // the panic location to stderr.
+    let outcome = catch_unwind(|| parse_args().map_err(CliError::usage).and_then(|o| run(&o)));
+    match outcome {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("error: internal panic: {message}");
+            ExitCode::from(exit::PANIC)
         }
     }
 }

@@ -31,6 +31,11 @@
 //! decisions, per-transition loads) gets its per-chunk pieces back in
 //! chunk order and reduces them exactly as the serial code would.
 
+// The pool's internal lock handling uses expect() on poisoned mutexes
+// (a poisoned pool is already a crashed-worker situation); the vendored
+// crate is exempt from the workspace's unwrap/expect gate.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
