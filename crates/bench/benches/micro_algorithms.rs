@@ -122,7 +122,7 @@ fn bench_bcp(c: &mut Criterion) {
         group.bench_function(format!("algorithm1_lower_bound/c{colors}_k{k}"), |b| {
             b.iter(|| criterion::black_box(inst.lower_bound_paper()))
         });
-        let lb = inst.lower_bound_paper();
+        let lb = inst.lower_bound_paper().unwrap();
         group.bench_function(format!("algorithm2_greedy/c{colors}_k{k}"), |b| {
             b.iter(|| criterion::black_box(inst.color_greedy_paper(lb).unwrap()))
         });

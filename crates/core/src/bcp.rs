@@ -5,9 +5,9 @@
 //! window so that the maximum number of intervals sharing a color is
 //! minimized (paper §V). Two solvers are provided:
 //!
-//! * the **paper solver** — Algorithm 1 (dynamic-programming lower bound)
-//!   plus Algorithm 2 (earliest-deadline greedy with per-color quota =
-//!   lower bound), exactly as published;
+//! * the **paper solver** — Algorithm 1 (the windowed-density lower
+//!   bound) plus Algorithm 2 (earliest-deadline greedy with per-color
+//!   quota = lower bound), exactly as published;
 //! * the **generalized solver** — additionally accounts for per-color
 //!   *baseline* loads (forced toggles from adjacent opposite care bits,
 //!   which the paper's formulation ignores). The lower bound becomes
@@ -19,11 +19,58 @@
 //! Both agree whenever the baseline is zero (property-tested), and the
 //! generalized peak is provably optimal for the true objective
 //! `max_t (baseline_t + load_t)` (tested against brute force).
+//!
+//! # How the bound is computed
+//!
+//! The published Algorithm 1 evaluates every window `[i, j]` with a
+//! row-by-row dynamic program — O(C²) in the number of colors, the
+//! asymptotic wall-clock bound of the whole fill on large inputs. It is
+//! retained verbatim (with checked arithmetic) as
+//! [`BcpInstance::lower_bound_dp`] behind [`BoundMode::QuadraticDp`] for
+//! differential testing. The default path certifies the *same value*
+//! without the quadratic sweep:
+//!
+//! 1. **Incremental window ladder** ([`IncrementalBound`]): monotone
+//!    maxima over power-of-two *aligned* color windows, maintainable as
+//!    interval sites arrive (the streaming analyzer feeds it window by
+//!    window, so the bound state grows with the ladder, not the event
+//!    stream). Every ladder candidate is the density of a real window,
+//!    so `current()` never exceeds the true bound — it is a warm start,
+//!    not an approximation that must be trusted.
+//! 2. **Parametric certification**: EDF feasibility at peak `P` is
+//!    monotone in `P`, and the minimum feasible `P` *equals* the
+//!    windowed lower bound — infeasibility below the bound is the
+//!    pigeonhole argument on the violating window, feasibility at the
+//!    bound is Hall's condition. Galloping + k-ary search from the warm
+//!    start finds that minimum with O(log) EDF probes of O(C + k log k)
+//!    each; the k-ary rounds probe one pivot per pool thread
+//!    (deterministic: the answer is the minimum feasible peak however
+//!    the pivots are scheduled).
+//!
+//! # How the coloring is sharded
+//!
+//! [`ShardSpec`] splits the colors into disjoint windows. Each shard
+//! runs the EDF sweep *speculatively* in parallel, assuming no interval
+//! is carried across its left seam, and records its placements plus its
+//! carry-out (the pending-deadline heap at the seam). A sequential seam
+//! walk then accepts a shard's speculative result whenever the true
+//! carry-in is empty, and replays the shard serially with the true
+//! carry-in otherwise. The accepted/replayed sweep is exactly the
+//! serial sweep, so the coloring is **byte-identical to the serial
+//! solver at any thread count and any shard width** — the differential
+//! suites pin this. The worst case (every seam carries work) costs one
+//! serial sweep plus the discarded speculation.
+//!
+//! Defaults are environment-overridable: `DPFILL_BCP_BOUND=dp` selects
+//! the quadratic DP, `DPFILL_BCP_SHARD=serial|auto|<width>` pins the
+//! shard width (resolved once per process, like `DPFILL_SIMD`).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
+use std::sync::OnceLock;
 
 use crate::Interval;
 
@@ -35,6 +82,13 @@ pub enum BcpError {
     IntervalOutOfRange {
         /// The offending interval.
         interval: Interval,
+        /// Number of colors in the instance.
+        num_colors: usize,
+    },
+    /// A baseline load refers to a color `>= num_colors`.
+    BaselineOutOfRange {
+        /// The offending color.
+        color: usize,
         /// Number of colors in the instance.
         num_colors: usize,
     },
@@ -52,8 +106,17 @@ pub enum BcpError {
     /// given peak. Cannot happen for peaks at or above the lower bound;
     /// reported instead of panicking to keep the solver total.
     Infeasible {
-        /// The peak that was attempted.
+        /// The peak that was attempted (the caller's target, not the
+        /// residual per-color quota).
         peak: u64,
+        /// The color whose deadline was missed: an interval ending here
+        /// could not be placed by its deadline.
+        color: u32,
+    },
+    /// Arithmetic overflow: the instance's loads exceed `u64`.
+    Overflow {
+        /// What overflowed.
+        what: &'static str,
     },
 }
 
@@ -64,6 +127,12 @@ impl fmt::Display for BcpError {
                 interval,
                 num_colors,
             } => write!(f, "interval {interval} exceeds color range 0..{num_colors}"),
+            BcpError::BaselineOutOfRange { color, num_colors } => {
+                write!(
+                    f,
+                    "baseline color {color} exceeds color range 0..{num_colors}"
+                )
+            }
             BcpError::BaselineLengthMismatch { expected, found } => {
                 write!(
                     f,
@@ -71,14 +140,269 @@ impl fmt::Display for BcpError {
                 )
             }
             BcpError::InvalidColoring(msg) => write!(f, "invalid coloring: {msg}"),
-            BcpError::Infeasible { peak } => {
-                write!(f, "no coloring exists with peak {peak}")
+            BcpError::Infeasible { peak, color } => {
+                write!(
+                    f,
+                    "no coloring exists with peak {peak}: deadline missed at color {color}"
+                )
             }
+            BcpError::Overflow { what } => write!(f, "arithmetic overflow computing {what}"),
         }
     }
 }
 
 impl Error for BcpError {}
+
+/// How the solver certifies the lower bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BoundMode {
+    /// Incremental window ladder + parametric EDF certification
+    /// (default; sub-quadratic).
+    #[default]
+    Incremental,
+    /// The published Algorithm 1 row DP — O(C²), retained behind this
+    /// flag for differential cross-checks (`DPFILL_BCP_BOUND=dp`).
+    QuadraticDp,
+}
+
+/// How the EDF coloring pass is sharded across color windows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// One shard per pool thread (serial when the pool has one thread).
+    #[default]
+    Auto,
+    /// Fixed shard width in colors (clamped to at least 1).
+    Width(usize),
+    /// Single serial sweep, no speculation.
+    Serial,
+}
+
+impl ShardSpec {
+    /// The shard width in colors this spec resolves to for an instance
+    /// of `num_colors` colors under the current pool.
+    pub fn resolve_width(self, num_colors: usize) -> usize {
+        match self {
+            ShardSpec::Serial => usize::MAX,
+            ShardSpec::Width(w) => w.max(1),
+            ShardSpec::Auto => {
+                let threads = minipool::current_threads().max(1);
+                if threads <= 1 {
+                    usize::MAX
+                } else {
+                    num_colors.div_ceil(threads).max(1)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of [`BcpInstance::solve_with`] /
+/// [`BcpInstance::solve_paper_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Lower-bound engine.
+    pub bound: BoundMode,
+    /// EDF shard layout.
+    pub shards: ShardSpec,
+    /// A warm lower bound the caller already certified *for the
+    /// generalized (baseline-aware) objective* — typically
+    /// [`IncrementalBound::current`] maintained while the instance was
+    /// being built. Must never exceed the true bound (every
+    /// [`IncrementalBound`] value satisfies this). Skips rebuilding the
+    /// ladder; ignored by the paper-mode solve and the quadratic DP.
+    pub warm_lb: Option<u64>,
+}
+
+static ENV_SOLVE: OnceLock<SolveOptions> = OnceLock::new();
+
+impl SolveOptions {
+    /// Process-wide defaults: [`SolveOptions::default`] overridden by
+    /// `DPFILL_BCP_BOUND` (`dp` / `incremental`) and `DPFILL_BCP_SHARD`
+    /// (`serial` / `auto` / a shard width in colors), resolved once and
+    /// cached — the same env-override shape as `DPFILL_SIMD`.
+    /// Unrecognized values fall back to the defaults.
+    pub fn from_env() -> SolveOptions {
+        *ENV_SOLVE.get_or_init(|| {
+            let mut opts = SolveOptions::default();
+            if let Ok(v) = std::env::var("DPFILL_BCP_BOUND") {
+                if matches!(v.as_str(), "dp" | "quadratic") {
+                    opts.bound = BoundMode::QuadraticDp;
+                }
+            }
+            if let Ok(v) = std::env::var("DPFILL_BCP_SHARD") {
+                match v.as_str() {
+                    "serial" => opts.shards = ShardSpec::Serial,
+                    "auto" | "" => {}
+                    w => {
+                        if let Ok(n) = w.parse::<usize>() {
+                            opts.shards = ShardSpec::Width(n.max(1));
+                        }
+                    }
+                }
+            }
+            opts
+        })
+    }
+}
+
+/// Number of bits needed to represent `x` (`0` for `x == 0`).
+#[inline]
+fn bitlen(x: usize) -> usize {
+    (usize::BITS - x.leading_zeros()) as usize
+}
+
+/// A lower bound on the BCP optimum maintained **incrementally** as
+/// interval sites and baseline loads arrive, in any order.
+///
+/// The structure is a ladder of monotone window maxima: level `l` holds
+/// one load counter per *aligned* color window `[q·2^l, (q+1)·2^l)`,
+/// and a load `[lo, hi]` is counted at every level whose aligned window
+/// contains it whole (all `l ≥ bitlen(lo XOR hi)`). Each counter is a
+/// real window's load, so `⌈count / 2^l⌉` is a valid lower bound and
+/// [`IncrementalBound::current`] — the maximum over all counters —
+/// **never exceeds the true windowed bound**. It is exact on aligned
+/// witnesses and within the probe budget of
+/// [`BcpInstance::solve_with`]'s parametric certification otherwise,
+/// which is why it serves as [`SolveOptions::warm_lb`].
+///
+/// All arithmetic saturates: a saturated counter undercounts, which
+/// only weakens (never invalidates) the bound. Levels grow on demand —
+/// no upfront color count is needed, so the streaming analyzer can feed
+/// sites as they are discovered; a freshly grown level's first window
+/// covers every position seen so far and is seeded with the running
+/// total.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalBound {
+    /// `levels[l][q]` = load fully inside aligned window
+    /// `[q·2^l, (q+1)·2^l)`.
+    levels: Vec<Vec<u64>>,
+    /// Saturating total of all recorded loads (seeds new top levels).
+    total: u64,
+}
+
+/// Levels are capped at window width `2^63`; any event that would need
+/// a higher level pins the ladder at the cap (no level is ever created
+/// afterwards, keeping top-level seeding sound).
+const MAX_LADDER_LEVELS: usize = 64;
+
+impl IncrementalBound {
+    /// An empty ladder (bound 0).
+    pub fn new() -> IncrementalBound {
+        IncrementalBound::default()
+    }
+
+    /// Records one interval (unit load placeable anywhere in
+    /// `[interval.start(), interval.end()]`).
+    pub fn add_interval(&mut self, interval: Interval) {
+        self.add_load(interval.start() as usize, interval.end() as usize, 1);
+    }
+
+    /// Records `amount` of forced load at color `color`.
+    pub fn add_baseline(&mut self, color: usize, amount: u64) {
+        self.add_load(color, color, amount);
+    }
+
+    /// Records `amount` of load placeable anywhere in `[lo, hi]`
+    /// (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn add_load(&mut self, lo: usize, hi: usize, amount: u64) {
+        assert!(lo <= hi, "load window {lo} > {hi}");
+        // Grow the ladder so some level's aligned window covers `hi`.
+        // Every previously recorded position fits strictly below any
+        // level grown now (its own growth call saw to that), so seeding
+        // a new level's first window with the running total is exact.
+        let want = (bitlen(hi) + 1).min(MAX_LADDER_LEVELS);
+        while self.levels.len() < want {
+            self.levels.push(vec![self.total]);
+        }
+        let first = bitlen(lo ^ hi);
+        for l in first..self.levels.len() {
+            let idx = hi >> l;
+            let level = &mut self.levels[l];
+            if level.len() <= idx {
+                level.resize(idx + 1, 0);
+            }
+            level[idx] = level[idx].saturating_add(amount);
+        }
+        self.total = self.total.saturating_add(amount);
+    }
+
+    /// The best window-density bound over everything recorded so far.
+    /// Monotone in the recorded loads and never above the true windowed
+    /// lower bound.
+    pub fn current(&self) -> u64 {
+        let mut best = 0u64;
+        for (l, level) in self.levels.iter().enumerate() {
+            let width = 1u64 << l;
+            for &count in level {
+                best = best.max(count.div_ceil(width));
+            }
+        }
+        best
+    }
+
+    /// Bytes held by the ladder — charged against the streaming memory
+    /// budget alongside the event stream.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let counters: usize = self.levels.iter().map(Vec::len).sum();
+        (counters * size_of::<u64>() + self.levels.len() * size_of::<Vec<u64>>()) as u64
+    }
+}
+
+/// The EDF sweep over colors `range`, carrying the pending-deadline
+/// heap in and out (so shards and probes replay exactly the serial
+/// sweep from any seam). At each color: push the intervals starting
+/// there, then pop up to `capacity(t)` earliest deadlines and `place`
+/// them. Returns the deadline color of the first missed interval.
+///
+/// The heap key `(end, index)` is a total order, so the pop sequence —
+/// and with it every placement — is independent of insertion order and
+/// heap internals: carry-in rebuilt from a drained heap behaves
+/// identically to the heap the serial sweep would hold at that seam.
+fn edf_span<F: Fn(usize) -> u64>(
+    intervals: &[Interval],
+    by_start: &[Vec<u32>],
+    range: Range<usize>,
+    heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
+    capacity: &F,
+    mut place: impl FnMut(u32, u32),
+) -> Result<(), u32> {
+    for t in range {
+        for &idx in &by_start[t] {
+            heap.push(Reverse((intervals[idx as usize].end(), idx)));
+        }
+        let quota = capacity(t);
+        let mut used = 0u64;
+        while used < quota {
+            match heap.pop() {
+                Some(Reverse((end, idx))) => {
+                    if (end as usize) < t {
+                        // A deadline was missed: the quota was too
+                        // small at some earlier color.
+                        return Err(end);
+                    }
+                    place(idx, t as u32);
+                    used += 1;
+                }
+                None => break,
+            }
+        }
+        // With the quota exhausted (possibly zero), a pending deadline
+        // before `t` is already unmeetable; failing here instead of at
+        // the next pop reports the same earliest deadline (later pushes
+        // start at later colors) and lets infeasible probes bail early.
+        if let Some(&Reverse((end, _))) = heap.peek() {
+            if (end as usize) < t {
+                return Err(end);
+            }
+        }
+    }
+    Ok(())
+}
 
 /// A BCP instance: intervals over `num_colors` colors plus optional
 /// per-color baseline loads.
@@ -164,11 +488,24 @@ impl BcpInstance {
 
     /// Adds a forced (unavoidable) load at color `t`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t >= num_colors`.
-    pub fn add_baseline(&mut self, t: usize, amount: u64) {
-        self.baseline[t] += amount;
+    /// Returns [`BcpError::BaselineOutOfRange`] when `t` is not a valid
+    /// color and [`BcpError::Overflow`] when the accumulated load at `t`
+    /// exceeds `u64` — the no-panic crate contract.
+    pub fn add_baseline(&mut self, t: usize, amount: u64) -> Result<(), BcpError> {
+        let num_colors = self.num_colors;
+        let slot = self
+            .baseline
+            .get_mut(t)
+            .ok_or(BcpError::BaselineOutOfRange {
+                color: t,
+                num_colors,
+            })?;
+        *slot = slot.checked_add(amount).ok_or(BcpError::Overflow {
+            what: "accumulated baseline load",
+        })?;
+        Ok(())
     }
 
     /// Replaces the baseline vector.
@@ -202,39 +539,63 @@ impl BcpInstance {
         &self.baseline
     }
 
-    /// Algorithm 1: the paper's dynamic-programming lower bound on the
-    /// number of intervals sharing a color (baseline ignored).
+    /// The paper's Algorithm 1 bound (baseline ignored), computed by
+    /// the default sub-quadratic parametric engine. Equal to
+    /// [`BcpInstance::lower_bound_dp`]`(false)` wherever the DP does not
+    /// overflow (differential-tested).
     ///
-    /// `T[i][j]` (intervals with `start ≥ i` and `end ≤ j`) satisfies
-    /// `T[i][j] = T[i][j-1] + T[i+1][j] − T[i+1][j-1] + #(start=i ∧ end=j)`
-    /// and the bound is `max ⌈T[i][j]/(j−i+1)⌉`. Computed row by row in
-    /// O(C²) time and O(C) space.
-    pub fn lower_bound_paper(&self) -> u64 {
-        self.lower_bound_inner(false)
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when the bound exceeds `u64`.
+    pub fn lower_bound_paper(&self) -> Result<u64, BcpError> {
+        self.certified_bound(false, None)
     }
 
     /// Generalized lower bound for the true objective
     /// `max_t (baseline_t + load_t)`:
-    /// `max( max_t baseline_t, max_{i≤j} ⌈(T[i][j] + Σ baseline)/(j−i+1)⌉ )`.
-    pub fn lower_bound(&self) -> u64 {
-        self.lower_bound_inner(true)
+    /// `max( max_t baseline_t, max_{i≤j} ⌈(T[i][j] + Σ baseline)/(j−i+1)⌉ )`,
+    /// computed by the default sub-quadratic parametric engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when the bound exceeds `u64`.
+    pub fn lower_bound(&self) -> Result<u64, BcpError> {
+        self.certified_bound(true, None)
     }
 
-    fn lower_bound_inner(&self, with_baseline: bool) -> u64 {
+    /// Algorithm 1 verbatim: the O(C²) row dynamic program over
+    /// `T[i][j]` (intervals with `start ≥ i` and `end ≤ j`), which
+    /// satisfies
+    /// `T[i][j] = T[i][j-1] + T[i+1][j] − T[i+1][j-1] + #(start=i ∧ end=j)`;
+    /// the bound is `max ⌈(T[i][j] + baseline[i..=j])/(j−i+1)⌉`. O(C)
+    /// space. Retained behind [`BoundMode::QuadraticDp`] as the
+    /// differential reference for the parametric engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when a windowed load sum exceeds
+    /// `u64` (adversarial baselines overflowed silently in release
+    /// before this was checked).
+    pub fn lower_bound_dp(&self, with_baseline: bool) -> Result<u64, BcpError> {
         let c = self.num_colors;
         if c == 0 {
-            return 0;
+            return Ok(0);
         }
-        // exact_by_start[i] lists (end, count) pairs of intervals starting
-        // exactly at i.
+        // exact_by_start[i] lists ends of intervals starting exactly at i.
         let mut exact_by_start: Vec<Vec<u32>> = vec![Vec::new(); c];
         for iv in &self.intervals {
             exact_by_start[iv.start() as usize].push(iv.end());
         }
         // Baseline prefix sums: pre[j] = sum of baseline[0..j].
-        let mut pre = vec![0u64; c + 1];
-        for t in 0..c {
-            pre[t + 1] = pre[t] + self.baseline[t];
+        let mut pre = vec![0u64; if with_baseline { c + 1 } else { 0 }];
+        if with_baseline {
+            for t in 0..c {
+                pre[t + 1] = pre[t]
+                    .checked_add(self.baseline[t])
+                    .ok_or(BcpError::Overflow {
+                        what: "baseline prefix sum",
+                    })?;
+            }
         }
 
         let mut best: u64 = if with_baseline {
@@ -265,7 +626,11 @@ impl BcpInstance {
                 cur[j] = t_left + t_down - t_diag + add[j];
                 let len = (j - i + 1) as u64;
                 let numerator = if with_baseline {
-                    cur[j] + (pre[j + 1] - pre[i])
+                    cur[j]
+                        .checked_add(pre[j + 1] - pre[i])
+                        .ok_or(BcpError::Overflow {
+                            what: "windowed load (intervals + baseline)",
+                        })?
                 } else {
                     cur[j]
                 };
@@ -276,13 +641,18 @@ impl BcpInstance {
             }
             std::mem::swap(&mut prev, &mut cur);
         }
-        best
+        Ok(best)
     }
 
     /// Reference implementation of the lower bound: direct counting per
-    /// window, O(C²·k). Used to cross-check the DP in tests; exposed for
-    /// downstream validation on small instances.
-    pub fn lower_bound_naive(&self, with_baseline: bool) -> u64 {
+    /// window, O(C²·k). Used to cross-check both engines in tests;
+    /// exposed for downstream validation on small instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when a windowed load sum exceeds
+    /// `u64`.
+    pub fn lower_bound_naive(&self, with_baseline: bool) -> Result<u64, BcpError> {
         let c = self.num_colors;
         let mut best: u64 = if with_baseline {
             self.baseline.iter().copied().max().unwrap_or(0)
@@ -296,81 +666,313 @@ impl BcpInstance {
                     .iter()
                     .filter(|iv| iv.within(i as u32, j as u32))
                     .count() as u64;
-                let b: u64 = if with_baseline {
-                    self.baseline[i..=j].iter().sum()
-                } else {
-                    0
-                };
+                let mut numerator = inside;
+                if with_baseline {
+                    for &b in &self.baseline[i..=j] {
+                        numerator = numerator.checked_add(b).ok_or(BcpError::Overflow {
+                            what: "windowed load (intervals + baseline)",
+                        })?;
+                    }
+                }
                 let len = (j - i + 1) as u64;
-                best = best.max((inside + b).div_ceil(len));
+                best = best.max(numerator.div_ceil(len));
             }
         }
-        best
+        Ok(best)
+    }
+
+    /// Indices of intervals grouped by start color.
+    fn by_start(&self) -> Vec<Vec<u32>> {
+        let mut by_start: Vec<Vec<u32>> = vec![Vec::new(); self.num_colors];
+        for (idx, iv) in self.intervals.iter().enumerate() {
+            by_start[iv.start() as usize].push(idx as u32);
+        }
+        by_start
+    }
+
+    /// Can every interval be placed with peak `peak`? One EDF sweep,
+    /// O(C + k log k); monotone in `peak`.
+    fn probe_feasible(&self, by_start: &[Vec<u32>], peak: u64, with_baseline: bool) -> bool {
+        let mut heap = BinaryHeap::with_capacity(self.intervals.len());
+        let placed = if with_baseline {
+            edf_span(
+                &self.intervals,
+                by_start,
+                0..self.num_colors,
+                &mut heap,
+                &|t| peak.saturating_sub(self.baseline[t]),
+                |_, _| {},
+            )
+        } else {
+            edf_span(
+                &self.intervals,
+                by_start,
+                0..self.num_colors,
+                &mut heap,
+                &|_| peak,
+                |_, _| {},
+            )
+        };
+        placed.is_ok() && heap.is_empty()
+    }
+
+    /// The batch form of the [`IncrementalBound`] ladder: each
+    /// power-of-two level chunks the color range into aligned windows,
+    /// per-level maxima are computed in parallel on the current pool and
+    /// merged by `max`. O(k log C + C log C) work, valid (never above
+    /// the true bound) by the same window-density argument.
+    fn ladder_best(&self, with_baseline: bool) -> u64 {
+        let c = self.num_colors;
+        if c == 0 {
+            return 0;
+        }
+        let top = bitlen(c - 1).min(63);
+        let maxima = minipool::parallel_indexed(top + 1, |l| {
+            let mut counts = vec![0u64; ((c - 1) >> l) + 1];
+            for iv in &self.intervals {
+                if iv.aligned_level() as usize <= l {
+                    let q = (iv.start() as usize) >> l;
+                    counts[q] = counts[q].saturating_add(1);
+                }
+            }
+            if with_baseline {
+                for (t, &b) in self.baseline.iter().enumerate() {
+                    counts[t >> l] = counts[t >> l].saturating_add(b);
+                }
+            }
+            let width = 1u64 << l;
+            counts.iter().map(|&n| n.div_ceil(width)).max().unwrap_or(0)
+        });
+        maxima.into_iter().max().unwrap_or(0)
+    }
+
+    /// The parametric lower-bound engine: start from the best cheap
+    /// candidate (`warm` or the ladder, plus the max-baseline and
+    /// global-density candidates — all true lower bounds), then find the
+    /// minimum EDF-feasible peak by galloping and k-ary narrowing with
+    /// one probe per pool thread. That minimum *is* the windowed bound:
+    /// below it some window is overfull (pigeonhole), at it EDF
+    /// succeeds (Hall). Deterministic at any thread count.
+    fn certified_bound(&self, with_baseline: bool, warm: Option<u64>) -> Result<u64, BcpError> {
+        let c = self.num_colors;
+        if c == 0 {
+            return Ok(0);
+        }
+        let k = self.intervals.len() as u64;
+        let mut lo = match warm {
+            Some(w) => w,
+            None => self.ladder_best(with_baseline),
+        };
+        if with_baseline {
+            lo = lo.max(self.baseline.iter().copied().max().unwrap_or(0));
+            // Saturation undercounts, keeping the candidate a valid bound.
+            let total = self.baseline.iter().fold(k, |a, &b| a.saturating_add(b));
+            lo = lo.max(total.div_ceil(c as u64));
+        } else {
+            lo = lo.max(k.div_ceil(c as u64));
+        }
+        let by_start = self.by_start();
+        if self.probe_feasible(&by_start, lo, with_baseline) {
+            // lo never exceeds the true bound, and the true bound is the
+            // minimum feasible peak — so feasibility at lo pins lo == bound.
+            return Ok(lo);
+        }
+        // Gallop to an infeasible/feasible bracket (bad, good].
+        let mut bad = lo;
+        let mut step = 1u64;
+        let mut good;
+        loop {
+            let p = bad.saturating_add(step);
+            if self.probe_feasible(&by_start, p, with_baseline) {
+                good = p;
+                break;
+            }
+            if p == u64::MAX {
+                return Err(BcpError::Overflow {
+                    what: "BCP lower bound (exceeds u64)",
+                });
+            }
+            bad = p;
+            step = step.saturating_mul(2);
+        }
+        // Narrow with a panel of pivots, one probe per pool thread. The
+        // result is the minimum feasible peak regardless of panel width.
+        while good - bad > 1 {
+            let gap = good - bad - 1;
+            let m = (minipool::current_threads().max(1) as u64).min(gap).min(16);
+            let pivots: Vec<u64> = (1..=m)
+                .map(|i| bad + ((good - bad) as u128 * i as u128 / (m + 1) as u128) as u64)
+                .collect();
+            let feas = minipool::parallel_indexed(pivots.len(), |i| {
+                self.probe_feasible(&by_start, pivots[i], with_baseline)
+            });
+            match feas.iter().position(|&f| f) {
+                Some(j) => {
+                    good = pivots[j];
+                    if j > 0 {
+                        bad = pivots[j - 1];
+                    }
+                }
+                None => bad = pivots[m as usize - 1],
+            }
+        }
+        Ok(good)
     }
 
     /// Algorithm 2: earliest-deadline greedy coloring with a per-color
     /// quota of `lb` intervals (the paper's optimal coloring; baseline
-    /// ignored).
+    /// ignored). Serial reference sweep.
     ///
     /// # Errors
     ///
     /// Returns [`BcpError::Infeasible`] if `lb` is below the true lower
     /// bound (cannot happen when `lb = self.lower_bound_paper()`).
     pub fn color_greedy_paper(&self, lb: u64) -> Result<Coloring, BcpError> {
-        self.color_with_capacity(|_t| lb)
+        self.color_capacity_sharded(lb, |_t| lb, usize::MAX)
     }
 
     /// Earliest-deadline-first coloring with per-color capacity
     /// `peak − baseline_t` — the generalized solver's assignment step.
+    /// Serial reference sweep.
     ///
     /// # Errors
     ///
     /// Returns [`BcpError::Infeasible`] when `peak` is below the
     /// generalized lower bound.
     pub fn color_edf(&self, peak: u64) -> Result<Coloring, BcpError> {
-        self.color_with_capacity(|t| peak.saturating_sub(self.baseline[t]))
+        self.color_capacity_sharded(peak, |t| peak.saturating_sub(self.baseline[t]), usize::MAX)
     }
 
-    fn color_with_capacity<F: Fn(usize) -> u64>(&self, capacity: F) -> Result<Coloring, BcpError> {
+    /// [`BcpInstance::color_edf`] sharded across color windows of
+    /// `shard_width` colors — byte-identical output and errors at any
+    /// thread count and any width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Infeasible`] when `peak` is below the
+    /// generalized lower bound.
+    pub fn color_edf_sharded(&self, peak: u64, shard_width: usize) -> Result<Coloring, BcpError> {
+        self.color_capacity_sharded(peak, |t| peak.saturating_sub(self.baseline[t]), shard_width)
+    }
+
+    /// [`BcpInstance::color_greedy_paper`] sharded across color windows
+    /// of `shard_width` colors — byte-identical output and errors at any
+    /// thread count and any width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Infeasible`] if `lb` is below the paper bound.
+    pub fn color_greedy_paper_sharded(
+        &self,
+        lb: u64,
+        shard_width: usize,
+    ) -> Result<Coloring, BcpError> {
+        self.color_capacity_sharded(lb, |_t| lb, shard_width)
+    }
+
+    /// The speculative sharded EDF sweep. Phase 1 runs every shard in
+    /// parallel assuming an empty carry-in, recording placements, the
+    /// carry-out heap and any missed deadline. Phase 2 walks the seams
+    /// left to right: a shard whose true carry-in is empty has its
+    /// speculative result accepted verbatim (the speculation *was* the
+    /// serial sweep); otherwise the shard is replayed serially with the
+    /// true carry-in. Either way the executed sweep is exactly the
+    /// serial one, so placements — and infeasibility reports — are
+    /// byte-identical to [`BcpInstance::color_edf`] for every shard
+    /// width at every thread count.
+    fn color_capacity_sharded<F: Fn(usize) -> u64 + Sync>(
+        &self,
+        attempted: u64,
+        capacity: F,
+        shard_width: usize,
+    ) -> Result<Coloring, BcpError> {
         let c = self.num_colors;
         let k = self.intervals.len();
         let mut colors = vec![u32::MAX; k];
         if k == 0 {
             return Ok(Coloring { colors });
         }
-        // Indices of intervals grouped by start color.
-        let mut by_start: Vec<Vec<u32>> = vec![Vec::new(); c];
-        for (idx, iv) in self.intervals.iter().enumerate() {
-            by_start[iv.start() as usize].push(idx as u32);
-        }
-        // Min-heap ordered by interval end (the deadline).
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(k);
-        let mut assigned = 0usize;
-        for (t, starters) in by_start.iter().enumerate() {
-            for &idx in starters {
-                heap.push(Reverse((self.intervals[idx as usize].end(), idx)));
+        let infeasible = |color: u32| BcpError::Infeasible {
+            peak: attempted,
+            color,
+        };
+        let width = shard_width.max(1);
+        let shards = c.div_ceil(width);
+        let by_start = self.by_start();
+        if shards <= 1 {
+            // Serial reference sweep: one shard spanning all colors.
+            let mut heap = BinaryHeap::with_capacity(k);
+            edf_span(
+                &self.intervals,
+                &by_start,
+                0..c,
+                &mut heap,
+                &capacity,
+                |idx, t| {
+                    colors[idx as usize] = t;
+                },
+            )
+            .map_err(infeasible)?;
+            if let Some(&Reverse((end, _))) = heap.peek() {
+                return Err(infeasible(end));
             }
-            let quota = capacity(t);
-            let mut used = 0u64;
-            while used < quota {
-                match heap.pop() {
-                    Some(Reverse((end, idx))) => {
-                        if (end as usize) < t {
-                            // A deadline was missed: the quota was too
-                            // small at some earlier color.
-                            return Err(BcpError::Infeasible { peak: quota });
-                        }
-                        colors[idx as usize] = t as u32;
-                        assigned += 1;
-                        used += 1;
-                    }
-                    None => break,
+            return Ok(Coloring { colors });
+        }
+        struct Speculative {
+            placed: Vec<(u32, u32)>,
+            carry: Vec<Reverse<(u32, u32)>>,
+            miss: Option<u32>,
+        }
+        // Phase 1: per-shard speculative sweeps, empty carry-in assumed.
+        let runs: Vec<Speculative> = minipool::parallel_indexed(shards, |s| {
+            let span = s * width..((s + 1) * width).min(c);
+            let mut heap = BinaryHeap::new();
+            let mut placed = Vec::new();
+            let miss = edf_span(
+                &self.intervals,
+                &by_start,
+                span,
+                &mut heap,
+                &capacity,
+                |idx, t| {
+                    placed.push((idx, t));
+                },
+            )
+            .err();
+            Speculative {
+                placed,
+                carry: heap.into_vec(),
+                miss,
+            }
+        });
+        // Phase 2: seam walk — accept or replay.
+        let mut carry: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for (s, run) in runs.into_iter().enumerate() {
+            if carry.is_empty() {
+                if let Some(color) = run.miss {
+                    return Err(infeasible(color));
                 }
+                for (idx, t) in run.placed {
+                    colors[idx as usize] = t;
+                }
+                carry = BinaryHeap::from(run.carry);
+            } else {
+                let span = s * width..((s + 1) * width).min(c);
+                edf_span(
+                    &self.intervals,
+                    &by_start,
+                    span,
+                    &mut carry,
+                    &capacity,
+                    |idx, t| {
+                        colors[idx as usize] = t;
+                    },
+                )
+                .map_err(infeasible)?;
             }
         }
-        if assigned != k {
-            let last_quota = capacity(c - 1);
-            return Err(BcpError::Infeasible { peak: last_quota });
+        if let Some(&Reverse((end, _))) = carry.peek() {
+            return Err(infeasible(end));
         }
         Ok(Coloring { colors })
     }
@@ -381,7 +983,8 @@ impl BcpInstance {
     /// # Errors
     ///
     /// Returns [`BcpError::InvalidColoring`] when the coloring is
-    /// malformed.
+    /// malformed and [`BcpError::Overflow`] when an achieved per-color
+    /// peak exceeds `u64`.
     pub fn verify(&self, coloring: &Coloring) -> Result<VerifiedPeak, BcpError> {
         if coloring.colors.len() != self.intervals.len() {
             return Err(BcpError::InvalidColoring(format!(
@@ -400,28 +1003,36 @@ impl BcpInstance {
             load[color as usize] += 1;
         }
         let intervals_only = load.iter().copied().max().unwrap_or(0);
-        let with_baseline = load
-            .iter()
-            .zip(&self.baseline)
-            .map(|(l, b)| l + b)
-            .max()
-            .unwrap_or_else(|| self.baseline.iter().copied().max().unwrap_or(0));
+        let mut with_baseline = self.baseline.iter().copied().max().unwrap_or(0);
+        for (l, b) in load.iter().zip(&self.baseline) {
+            let peak = l.checked_add(*b).ok_or(BcpError::Overflow {
+                what: "verified peak (load + baseline)",
+            })?;
+            with_baseline = with_baseline.max(peak);
+        }
         Ok(VerifiedPeak {
             with_baseline,
             intervals_only,
         })
     }
 
-    /// Solves with the generalized (baseline-aware) algorithm; the
-    /// returned peak is optimal for `max_t (baseline_t + load_t)`.
+    /// Solves with the generalized (baseline-aware) algorithm under
+    /// explicit [`SolveOptions`]; the returned peak is optimal for
+    /// `max_t (baseline_t + load_t)`. The solution is identical for
+    /// every option combination (the options pick engines, not
+    /// answers) — differential-tested.
     ///
     /// # Errors
     ///
-    /// Propagates [`BcpError::Infeasible`] — which would indicate a bug,
-    /// as the generalized lower bound is always achievable.
-    pub fn solve(&self) -> Result<BcpSolution, BcpError> {
-        let lb = self.lower_bound();
-        let coloring = self.color_edf(lb)?;
+    /// Returns [`BcpError::Overflow`] when the bound exceeds `u64`;
+    /// propagates [`BcpError::Infeasible`] — which would indicate a
+    /// solver bug, as the generalized lower bound is always achievable.
+    pub fn solve_with(&self, opts: &SolveOptions) -> Result<BcpSolution, BcpError> {
+        let lb = match opts.bound {
+            BoundMode::Incremental => self.certified_bound(true, opts.warm_lb)?,
+            BoundMode::QuadraticDp => self.lower_bound_dp(true)?,
+        };
+        let coloring = self.color_edf_sharded(lb, opts.shards.resolve_width(self.num_colors))?;
         let peak = self.verify(&coloring)?;
         debug_assert_eq!(peak.with_baseline, lb, "EDF must achieve the bound");
         Ok(BcpSolution {
@@ -431,16 +1042,33 @@ impl BcpInstance {
         })
     }
 
-    /// Solves with the paper's Algorithms 1+2 (baseline ignored during
-    /// optimization, but reported in the verified peak).
+    /// Solves with the generalized (baseline-aware) algorithm under the
+    /// process-wide [`SolveOptions::from_env`] defaults.
     ///
     /// # Errors
     ///
-    /// Propagates [`BcpError::Infeasible`] — which would indicate a bug,
-    /// as Algorithm 2 always meets the Algorithm 1 bound.
-    pub fn solve_paper(&self) -> Result<BcpSolution, BcpError> {
-        let lb = self.lower_bound_paper();
-        let coloring = self.color_greedy_paper(lb)?;
+    /// See [`BcpInstance::solve_with`].
+    pub fn solve(&self) -> Result<BcpSolution, BcpError> {
+        self.solve_with(&SolveOptions::from_env())
+    }
+
+    /// Solves with the paper's Algorithms 1+2 (baseline ignored during
+    /// optimization, but reported in the verified peak) under explicit
+    /// [`SolveOptions`]. [`SolveOptions::warm_lb`] is ignored: warm
+    /// bounds are certified for the generalized objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when the bound exceeds `u64`;
+    /// propagates [`BcpError::Infeasible`] — which would indicate a
+    /// solver bug, as Algorithm 2 always meets the Algorithm 1 bound.
+    pub fn solve_paper_with(&self, opts: &SolveOptions) -> Result<BcpSolution, BcpError> {
+        let lb = match opts.bound {
+            BoundMode::Incremental => self.certified_bound(false, None)?,
+            BoundMode::QuadraticDp => self.lower_bound_dp(false)?,
+        };
+        let coloring =
+            self.color_greedy_paper_sharded(lb, opts.shards.resolve_width(self.num_colors))?;
         let peak = self.verify(&coloring)?;
         debug_assert_eq!(
             peak.intervals_only, lb,
@@ -453,15 +1081,26 @@ impl BcpInstance {
         })
     }
 
+    /// Solves with the paper's Algorithms 1+2 under the process-wide
+    /// [`SolveOptions::from_env`] defaults.
+    ///
+    /// # Errors
+    ///
+    /// See [`BcpInstance::solve_paper_with`].
+    pub fn solve_paper(&self) -> Result<BcpSolution, BcpError> {
+        self.solve_paper_with(&SolveOptions::from_env())
+    }
+
     /// Exhaustive minimum peak (with baseline) — O(∏ len(interval)).
-    /// Only for tiny instances in tests and validation.
+    /// Only for tiny instances in tests and validation (saturating: not
+    /// meaningful near `u64::MAX` loads).
     pub fn brute_force_min_peak(&self) -> u64 {
         fn rec(instance: &BcpInstance, idx: usize, load: &mut Vec<u64>, best: &mut u64) {
             if idx == instance.intervals.len() {
                 let peak = load
                     .iter()
                     .zip(&instance.baseline)
-                    .map(|(l, b)| l + b)
+                    .map(|(l, b)| l.saturating_add(*b))
                     .max()
                     .unwrap_or(0);
                 *best = (*best).min(peak);
@@ -471,7 +1110,7 @@ impl BcpInstance {
             for t in iv.start()..=iv.end() {
                 load[t as usize] += 1;
                 // Prune: partial peak already ≥ best.
-                let partial = load[t as usize] + instance.baseline[t as usize];
+                let partial = load[t as usize].saturating_add(instance.baseline[t as usize]);
                 if partial < *best || *best == 0 {
                     rec(instance, idx + 1, load, best);
                 }
@@ -518,11 +1157,24 @@ mod tests {
         inst
     }
 
+    /// Cross-checks the three bound engines on a small instance and
+    /// returns the agreed value.
+    fn agreed_bound(inst: &BcpInstance, with_baseline: bool) -> u64 {
+        let parametric = if with_baseline {
+            inst.lower_bound().unwrap()
+        } else {
+            inst.lower_bound_paper().unwrap()
+        };
+        assert_eq!(parametric, inst.lower_bound_dp(with_baseline).unwrap());
+        assert_eq!(parametric, inst.lower_bound_naive(with_baseline).unwrap());
+        parametric
+    }
+
     #[test]
     fn empty_instance() {
         let inst = BcpInstance::new(5);
-        assert_eq!(inst.lower_bound_paper(), 0);
-        assert_eq!(inst.lower_bound(), 0);
+        assert_eq!(agreed_bound(&inst, false), 0);
+        assert_eq!(agreed_bound(&inst, true), 0);
         let sol = inst.solve().unwrap();
         assert_eq!(sol.peak.with_baseline, 0);
     }
@@ -530,7 +1182,7 @@ mod tests {
     #[test]
     fn zero_colors() {
         let mut inst = BcpInstance::new(0);
-        assert_eq!(inst.lower_bound(), 0);
+        assert_eq!(inst.lower_bound().unwrap(), 0);
         assert!(inst.solve().is_ok());
         assert!(inst.add_interval(Interval::new(0, 0)).is_err());
     }
@@ -545,10 +1197,40 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_baseline_rejected() {
+        // Was a documented panic; now the typed no-panic error.
+        let mut inst = BcpInstance::new(3);
+        assert_eq!(
+            inst.add_baseline(3, 1),
+            Err(BcpError::BaselineOutOfRange {
+                color: 3,
+                num_colors: 3
+            })
+        );
+        assert!(BcpInstance::new(0).add_baseline(0, 1).is_err());
+        assert!(inst.add_baseline(2, 5).is_ok());
+        assert_eq!(inst.baseline(), &[0, 0, 5]);
+    }
+
+    #[test]
+    fn baseline_accumulation_overflow_is_typed() {
+        let mut inst = BcpInstance::new(2);
+        inst.add_baseline(1, u64::MAX).unwrap();
+        assert_eq!(
+            inst.add_baseline(1, 1),
+            Err(BcpError::Overflow {
+                what: "accumulated baseline load"
+            })
+        );
+        // The failed add must not have clobbered the slot.
+        assert_eq!(inst.baseline(), &[0, u64::MAX]);
+    }
+
+    #[test]
     fn pigeonhole_bound() {
         // Three identical point intervals must share one color.
         let inst = instance(4, &[(1, 1), (1, 1), (1, 1)]);
-        assert_eq!(inst.lower_bound_paper(), 3);
+        assert_eq!(agreed_bound(&inst, false), 3);
         let sol = inst.solve_paper().unwrap();
         assert_eq!(sol.peak.intervals_only, 3);
     }
@@ -557,7 +1239,7 @@ mod tests {
     fn spreading_reduces_peak() {
         // Four intervals each allowing two colors can spread to peak 2.
         let inst = instance(2, &[(0, 1), (0, 1), (0, 1), (0, 1)]);
-        assert_eq!(inst.lower_bound_paper(), 2);
+        assert_eq!(agreed_bound(&inst, false), 2);
         let sol = inst.solve_paper().unwrap();
         assert_eq!(sol.peak.intervals_only, 2);
     }
@@ -567,8 +1249,7 @@ mod tests {
         // Window [1,2] holds 5 intervals over 2 colors -> LB 3 even
         // though each single color only "sees" fewer forced intervals.
         let inst = instance(5, &[(1, 2), (1, 2), (1, 1), (2, 2), (1, 2)]);
-        assert_eq!(inst.lower_bound_paper(), 3);
-        assert_eq!(inst.lower_bound_naive(false), 3, "naive disagrees with DP");
+        assert_eq!(agreed_bound(&inst, false), 3);
         let sol = inst.solve_paper().unwrap();
         assert_eq!(sol.peak.intervals_only, 3);
         assert_eq!(inst.brute_force_min_peak(), 3);
@@ -586,10 +1267,10 @@ mod tests {
     fn baseline_changes_optimum() {
         // One interval over colors {0,1}; baseline load 2 at color 0.
         let mut inst = instance(2, &[(0, 1)]);
-        inst.add_baseline(0, 2);
+        inst.add_baseline(0, 2).unwrap();
         // Paper solver ignores baseline and may pick color 0 -> true
         // peak 3; generalized solver must pick color 1 -> peak 2.
-        assert_eq!(inst.lower_bound(), 2);
+        assert_eq!(agreed_bound(&inst, true), 2);
         let sol = inst.solve().unwrap();
         assert_eq!(sol.peak.with_baseline, 2);
         assert_eq!(sol.coloring.color(0), 1);
@@ -600,7 +1281,7 @@ mod tests {
     fn baseline_only_instance() {
         let mut inst = BcpInstance::new(3);
         inst.set_baseline(vec![1, 4, 2]).unwrap();
-        assert_eq!(inst.lower_bound(), 4);
+        assert_eq!(agreed_bound(&inst, true), 4);
         let sol = inst.solve().unwrap();
         assert_eq!(sol.peak.with_baseline, 4);
         assert_eq!(inst.brute_force_min_peak(), 4);
@@ -614,7 +1295,7 @@ mod tests {
         // color 1 entirely.
         let mut inst = instance(3, &[(0, 2), (0, 2)]);
         inst.set_baseline(vec![0, 3, 0]).unwrap();
-        assert_eq!(inst.lower_bound(), 3);
+        assert_eq!(agreed_bound(&inst, true), 3);
         let sol = inst.solve().unwrap();
         assert_eq!(sol.peak.with_baseline, 3);
         assert_eq!(inst.brute_force_min_peak(), 3);
@@ -634,7 +1315,7 @@ mod tests {
         // Intervals with tight deadlines first: EDF must schedule the
         // early-ending ones before the late ones.
         let inst = instance(3, &[(0, 2), (0, 0), (0, 1), (0, 2)]);
-        let lb = inst.lower_bound_paper();
+        let lb = inst.lower_bound_paper().unwrap();
         assert_eq!(lb, 2);
         let coloring = inst.color_greedy_paper(lb).unwrap();
         let peak = inst.verify(&coloring).unwrap();
@@ -644,12 +1325,40 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_quota_reported() {
+    fn infeasible_reports_attempted_peak_and_missed_color() {
+        // Two point intervals at color 0: peak 1 places one, misses the
+        // other at its deadline 0.
         let inst = instance(2, &[(0, 0), (0, 0)]);
-        assert!(matches!(
+        assert_eq!(
             inst.color_greedy_paper(1),
-            Err(BcpError::Infeasible { .. })
-        ));
+            Err(BcpError::Infeasible { peak: 1, color: 0 })
+        );
+    }
+
+    #[test]
+    fn infeasible_edf_reports_attempted_peak_not_residual_quota() {
+        // Baseline-heavy: peak 5 leaves quota 5 - 4 = 1 at every color,
+        // too little for three point intervals at color 1. The error
+        // must name the attempted peak 5 (the old code leaked the
+        // residual quota 1) and the missed color 1.
+        let mut inst = instance(3, &[(1, 1), (1, 1), (1, 1)]);
+        inst.set_baseline(vec![4, 4, 4]).unwrap();
+        assert_eq!(
+            inst.color_edf(5),
+            Err(BcpError::Infeasible { peak: 5, color: 1 })
+        );
+        // Same report from every sharded layout.
+        for width in [1, 2, 3, 64] {
+            assert_eq!(
+                inst.color_edf_sharded(5, width),
+                Err(BcpError::Infeasible { peak: 5, color: 1 }),
+                "shard width {width}"
+            );
+        }
+        // At the true bound (4 + ceil(3/1) ... window [1,1] holds 4+3)
+        // the solve succeeds.
+        assert_eq!(inst.lower_bound().unwrap(), 7);
+        assert!(inst.color_edf(7).is_ok());
     }
 
     #[test]
@@ -674,7 +1383,7 @@ mod tests {
             .filter(|(s, e)| (e - s) % 3 == 0)
             .collect();
         let inst = instance(20, &ivs);
-        assert_eq!(inst.lower_bound_paper(), inst.lower_bound_naive(false));
+        agreed_bound(&inst, false);
         let sol = inst.solve_paper().unwrap();
         assert_eq!(sol.peak.intervals_only, sol.lower_bound);
     }
@@ -692,6 +1401,7 @@ mod tests {
         for (c, ivs, baseline) in cases {
             let mut inst = instance(c, &ivs);
             inst.set_baseline(baseline.clone()).unwrap();
+            agreed_bound(&inst, true);
             let sol = inst.solve().unwrap();
             assert_eq!(
                 sol.peak.with_baseline,
@@ -710,5 +1420,152 @@ mod tests {
         assert_eq!(gsol.peak.with_baseline, gsol.lower_bound);
         // No baseline: both agree.
         assert_eq!(gsol.peak.with_baseline, sol.peak.intervals_only);
+    }
+
+    #[test]
+    fn dp_overflow_is_typed_at_u64_max_baselines() {
+        // pre[2] = u64::MAX + 1 overflows the prefix sum: the quadratic
+        // DP must surface a typed error (it wrapped silently in release
+        // before), while the parametric engine — which never sums
+        // windows — still certifies the representable bound u64::MAX.
+        let mut inst = instance(2, &[(0, 1)]);
+        inst.set_baseline(vec![u64::MAX, 0]).unwrap();
+        assert!(matches!(
+            inst.lower_bound_dp(true),
+            Err(BcpError::Overflow { .. })
+        ));
+        assert!(matches!(
+            inst.lower_bound_naive(true),
+            Err(BcpError::Overflow { .. })
+        ));
+        assert_eq!(inst.lower_bound().unwrap(), u64::MAX);
+        // The paper-mode DP ignores the baseline and must not trip.
+        assert_eq!(inst.lower_bound_dp(false).unwrap(), 1);
+        // And the full solve is exact: the interval lands on color 1.
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, u64::MAX);
+        assert_eq!(sol.coloring.color(0), 1);
+    }
+
+    #[test]
+    fn unrepresentable_bound_is_typed_overflow() {
+        // Baseline u64::MAX plus a forced point interval at the same
+        // color: the true bound is u64::MAX + 1. Every engine must
+        // report Overflow instead of wrapping or looping.
+        let mut inst = instance(1, &[(0, 0)]);
+        inst.set_baseline(vec![u64::MAX]).unwrap();
+        assert!(matches!(inst.lower_bound(), Err(BcpError::Overflow { .. })));
+        assert!(matches!(
+            inst.lower_bound_dp(true),
+            Err(BcpError::Overflow { .. })
+        ));
+        assert!(matches!(inst.solve(), Err(BcpError::Overflow { .. })));
+    }
+
+    #[test]
+    fn incremental_bound_never_exceeds_and_warms_the_solve() {
+        let ivs = [(0u32, 3u32), (1, 2), (2, 2), (4, 6), (0, 6), (5, 5)];
+        let mut inst = instance(7, &ivs);
+        inst.set_baseline(vec![1, 0, 2, 0, 0, 3, 0]).unwrap();
+        let mut ladder = IncrementalBound::new();
+        for &(s, e) in &ivs {
+            ladder.add_interval(Interval::new(s, e));
+        }
+        for (t, &b) in inst.baseline().iter().enumerate() {
+            ladder.add_baseline(t, b);
+        }
+        let lb = agreed_bound(&inst, true);
+        let warm = ladder.current();
+        assert!(warm <= lb, "ladder {warm} exceeds true bound {lb}");
+        assert!(ladder.approx_bytes() > 0);
+        let sol = inst
+            .solve_with(&SolveOptions {
+                warm_lb: Some(warm),
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        assert_eq!(sol.lower_bound, lb);
+        assert_eq!(sol.coloring, inst.solve().unwrap().coloring);
+    }
+
+    #[test]
+    fn ladder_is_exact_on_aligned_witnesses() {
+        // Three point intervals at color 5: the level-0 window [5,5] is
+        // aligned, so the ladder alone pins the bound.
+        let mut ladder = IncrementalBound::new();
+        for _ in 0..3 {
+            ladder.add_interval(Interval::new(5, 5));
+        }
+        assert_eq!(ladder.current(), 3);
+        // Unaligned window [1,2]: the ladder may undershoot (level-1
+        // windows are [0,1] and [2,3]) but never overshoots.
+        let mut ladder = IncrementalBound::new();
+        for _ in 0..4 {
+            ladder.add_load(1, 2, 1);
+        }
+        assert!(ladder.current() <= 2);
+        assert!(ladder.current() >= 1);
+    }
+
+    #[test]
+    fn sharded_solve_is_identical_to_serial() {
+        let inst = {
+            let mut inst = instance(
+                11,
+                &[
+                    (0, 10),
+                    (0, 0),
+                    (3, 7),
+                    (3, 7),
+                    (4, 4),
+                    (8, 10),
+                    (9, 10),
+                    (2, 6),
+                    (0, 5),
+                ],
+            );
+            inst.set_baseline(vec![0, 2, 0, 1, 0, 0, 3, 0, 0, 1, 0])
+                .unwrap();
+            inst
+        };
+        let lb = inst.lower_bound().unwrap();
+        let serial = inst.color_edf(lb).unwrap();
+        for width in [1, 2, 3, 5, 7, 11, 64] {
+            assert_eq!(
+                inst.color_edf_sharded(lb, width).unwrap(),
+                serial,
+                "shard width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_options_pick_engines_not_answers() {
+        let mut inst = instance(9, &[(0, 8), (2, 3), (2, 3), (5, 5), (6, 8), (0, 1)]);
+        inst.set_baseline(vec![1, 0, 0, 2, 0, 1, 0, 0, 0]).unwrap();
+        let reference = inst
+            .solve_with(&SolveOptions {
+                bound: BoundMode::QuadraticDp,
+                shards: ShardSpec::Serial,
+                warm_lb: None,
+            })
+            .unwrap();
+        for bound in [BoundMode::Incremental, BoundMode::QuadraticDp] {
+            for shards in [
+                ShardSpec::Auto,
+                ShardSpec::Serial,
+                ShardSpec::Width(1),
+                ShardSpec::Width(4),
+            ] {
+                let sol = inst
+                    .solve_with(&SolveOptions {
+                        bound,
+                        shards,
+                        warm_lb: None,
+                    })
+                    .unwrap();
+                assert_eq!(sol, reference, "{bound:?} {shards:?}");
+            }
+        }
     }
 }

@@ -2,16 +2,17 @@
 //!
 //! The matrix analysis and the §V-D reconstruction both fan out over
 //! pin-row chunks on the current [`minipool`] pool (see
-//! [`MatrixMapping`]); the BCP solve between them is inherently
-//! sequential and stays on the caller. The filled set is bit-identical
-//! at any thread count.
+//! [`MatrixMapping`]); the BCP solve between them runs the sharded
+//! speculative EDF sweep with the parametric lower bound (see
+//! [`crate::bcp`]), also on the pool. The filled set is bit-identical
+//! at any thread count and any [`SolveOptions`] configuration.
 
 use std::error::Error;
 use std::fmt;
 
 use dpfill_cubes::CubeSet;
 
-use crate::bcp::{BcpError, BcpSolution};
+use crate::bcp::{BcpError, BcpSolution, SolveOptions};
 use crate::mapping::MatrixMapping;
 
 use super::FillStrategy;
@@ -79,9 +80,16 @@ pub enum DpMode {
 /// assert_eq!(report.peak, 1); // the two toggles spread over 2 transitions
 /// assert_eq!(peak_toggles(&report.filled).unwrap(), 1);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DpFill {
     mode: DpMode,
+    solve: SolveOptions,
+}
+
+impl Default for DpFill {
+    fn default() -> DpFill {
+        DpFill::new()
+    }
 }
 
 /// Everything DP-fill knows after solving one cube set.
@@ -104,21 +112,40 @@ pub struct DpFillReport {
 }
 
 impl DpFill {
-    /// DP-fill in the default (baseline-aware, exact) mode.
+    /// DP-fill in the default (baseline-aware, exact) mode, with the
+    /// process-wide [`SolveOptions::from_env`] solve configuration.
     pub fn new() -> DpFill {
         DpFill {
             mode: DpMode::Exact,
+            solve: SolveOptions::from_env(),
         }
     }
 
     /// DP-fill with an explicit solver mode.
     pub fn with_mode(mode: DpMode) -> DpFill {
-        DpFill { mode }
+        DpFill {
+            mode,
+            solve: SolveOptions::from_env(),
+        }
+    }
+
+    /// Overrides the BCP solve configuration (bound engine, shard
+    /// layout, warm bound). Every configuration produces the same
+    /// solution and thus the same filled bytes — the options pick
+    /// engines, not answers.
+    pub fn with_solve_options(mut self, solve: SolveOptions) -> DpFill {
+        self.solve = solve;
+        self
     }
 
     /// The configured mode.
     pub fn mode(&self) -> DpMode {
         self.mode
+    }
+
+    /// The configured BCP solve options.
+    pub fn solve_options(&self) -> SolveOptions {
+        self.solve
     }
 
     /// Fills `cubes` and returns the full report (filled set, peak,
@@ -136,8 +163,8 @@ impl DpFill {
         let mapping = MatrixMapping::analyze(cubes);
         let instance = mapping.instance();
         let solution = match self.mode {
-            DpMode::Exact => instance.solve(),
-            DpMode::PaperExact => instance.solve_paper(),
+            DpMode::Exact => instance.solve_with(&self.solve),
+            DpMode::PaperExact => instance.solve_paper_with(&self.solve),
         }
         .map_err(|source| DpFillError {
             source,
@@ -304,7 +331,7 @@ mod tests {
     fn error_type_is_displayable_and_sourced() {
         use std::error::Error as _;
         let err = DpFillError {
-            source: crate::bcp::BcpError::Infeasible { peak: 3 },
+            source: crate::bcp::BcpError::Infeasible { peak: 3, color: 7 },
             shape: (10, 20),
         };
         let msg = err.to_string();

@@ -73,6 +73,18 @@ impl Interval {
     pub fn within(self, lo: u32, hi: u32) -> bool {
         lo <= self.start && self.end <= hi
     }
+
+    /// The smallest power-of-two *alignment level* `l` such that one
+    /// aligned window `[q·2^l, (q+1)·2^l)` contains the whole interval
+    /// — equivalently, the bit length of `start XOR end`. The interval
+    /// is inside an aligned window of every level `≥` this one, which
+    /// is exactly the set of ladder levels the incremental BCP bound
+    /// counts it at (see
+    /// [`IncrementalBound`](crate::bcp::IncrementalBound)).
+    #[inline]
+    pub fn aligned_level(self) -> u32 {
+        u32::BITS - (self.start ^ self.end).leading_zeros()
+    }
 }
 
 impl fmt::Display for Interval {
@@ -120,5 +132,25 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Interval::new(0, 2).to_string(), "[0, 2]");
+    }
+
+    #[test]
+    fn aligned_levels() {
+        // A point interval is aligned at level 0.
+        assert_eq!(Interval::new(7, 7).aligned_level(), 0);
+        // [2, 3] fits the level-1 window [2, 4); [1, 2] straddles the
+        // level-1 seam and needs level 2's [0, 4).
+        assert_eq!(Interval::new(2, 3).aligned_level(), 1);
+        assert_eq!(Interval::new(1, 2).aligned_level(), 2);
+        // Exhaustive cross-check against the defining property.
+        for s in 0..32u32 {
+            for e in s..32u32 {
+                let l = Interval::new(s, e).aligned_level();
+                assert_eq!(s >> l, e >> l, "[{s}, {e}] level {l}");
+                if l > 0 {
+                    assert_ne!(s >> (l - 1), e >> (l - 1), "[{s}, {e}] level {l}");
+                }
+            }
+        }
     }
 }

@@ -54,7 +54,10 @@ pub mod ordering;
 pub mod pipeline;
 pub mod stream;
 
-pub use bcp::{BcpError, BcpInstance, BcpSolution, Coloring, VerifiedPeak};
+pub use bcp::{
+    BcpError, BcpInstance, BcpSolution, BoundMode, Coloring, IncrementalBound, ShardSpec,
+    SolveOptions, VerifiedPeak,
+};
 pub use interval::Interval;
 pub use mapping::{IntervalSite, MatrixMapping};
 pub use pipeline::{percent_improvement, sweep_fills, Technique, TechniqueResult};

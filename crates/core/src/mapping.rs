@@ -151,7 +151,9 @@ impl MatrixMapping {
                 sites.push(site);
             }
             for col in chunk_forced {
-                instance.add_baseline(col, 1);
+                instance.add_baseline(col, 1).unwrap_or_else(|e| {
+                    unreachable!("forced toggles index valid transitions: {e}")
+                });
             }
         }
         MatrixMapping {

@@ -168,6 +168,7 @@ pub(crate) fn bottleneck_value(cubes: &CubeSet, order: &[usize]) -> u64 {
     MatrixMapping::analyze_reordered(cubes, order)
         .instance()
         .lower_bound()
+        .unwrap_or_else(|e| unreachable!("mapping bounds fit u64 (loads are counts): {e}"))
 }
 
 impl OrderingStrategy for IOrdering {

@@ -27,6 +27,7 @@
 use dpfill_cubes::packed::PackedMatrix;
 use dpfill_cubes::Bit;
 
+use crate::bcp::IncrementalBound;
 use crate::mapping::IntervalSite;
 
 /// One horizontal fill instruction: pin row `row`, columns
@@ -78,6 +79,10 @@ pub(crate) struct Analysis {
     pub baseline: Vec<u64>,
     /// Total columns (cubes) analyzed.
     pub cols: usize,
+    /// The lower bound certified online while events arrived (the
+    /// [`IncrementalBound`] ladder's final value) — a warm start for the
+    /// global solve, never above the true bound.
+    pub warm_lb: u64,
 }
 
 /// The streaming analyzer: feed windows left to right, then
@@ -88,6 +93,11 @@ pub(crate) struct WindowedAnalyzer {
     sites: Vec<IntervalSite>,
     baseline: Vec<u64>,
     cols: usize,
+    /// The BCP lower bound, maintained as sites and forced toggles are
+    /// discovered — by the time the stream ends, the global solve
+    /// starts from this value instead of rebuilding its ladder from the
+    /// full event list.
+    bound: IncrementalBound,
 }
 
 impl WindowedAnalyzer {
@@ -98,6 +108,7 @@ impl WindowedAnalyzer {
             sites: Vec::new(),
             baseline: Vec::new(),
             cols: 0,
+            bound: IncrementalBound::new(),
         }
     }
 
@@ -162,9 +173,15 @@ impl WindowedAnalyzer {
         self.baseline.resize(self.cols.saturating_sub(1), 0);
         for (segments, sites, forced) in chunks {
             self.segments.extend(segments);
+            for site in &sites {
+                // Interval (left, right-1): the exact interval the
+                // global solve will add for this site.
+                self.bound.add_load(site.left, site.right - 1, 1);
+            }
             self.sites.extend(sites);
             for col in forced {
                 self.baseline[col] += 1;
+                self.bound.add_baseline(col, 1);
             }
         }
     }
@@ -175,15 +192,17 @@ impl WindowedAnalyzer {
     }
 
     /// Bytes held by the scalar event stream (segments, sites,
-    /// baseline, per-pin states) — the content-driven resident cost the
-    /// memory-budget governor charges after each window. Grows with the
-    /// input's X-structure, not with the window size.
+    /// baseline, per-pin states, the incremental-bound ladder) — the
+    /// content-driven resident cost the memory-budget governor charges
+    /// after each window. Grows with the input's X-structure, not with
+    /// the window size.
     pub fn event_bytes(&self) -> u64 {
         use std::mem::size_of;
         (self.segments.len() * size_of::<Segment>()
             + self.sites.len() * size_of::<IntervalSite>()
             + self.baseline.len() * size_of::<u64>()
             + self.states.len() * size_of::<PinState>()) as u64
+            + self.bound.approx_bytes()
     }
 
     /// Closes every still-open run (trailing X-runs, all-`X` rows) and
@@ -216,6 +235,7 @@ impl WindowedAnalyzer {
             sites: self.sites,
             baseline: self.baseline,
             cols: n,
+            warm_lb: self.bound.current(),
         }
     }
 }
@@ -263,6 +283,15 @@ mod tests {
                     "seed {seed} window {window}"
                 );
                 assert_eq!(analysis.cols, cubes.len());
+                // The online ladder is a valid warm start for the solve:
+                // never above the true bound, identical at every window
+                // size (it sees the same events).
+                let lb = mapping.instance().lower_bound().unwrap();
+                assert!(
+                    analysis.warm_lb <= lb,
+                    "seed {seed} window {window}: warm {} > bound {lb}",
+                    analysis.warm_lb
+                );
             }
         }
     }

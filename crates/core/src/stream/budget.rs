@@ -4,8 +4,9 @@
 //! A `--memory-budget` run promises bounded resident memory, but the
 //! resident set is not just the cube planes the window formula sizes:
 //! the analyzer's scalar **event stream** (segments, interval sites,
-//! per-transition baseline) grows with input *content*, not with the
-//! window. A hostile input can blow through the budget mid-run while
+//! per-transition baseline, and the incremental-bound ladder that
+//! warm-starts the global solve) grows with input *content*, not with
+//! the window. A hostile input can blow through the budget mid-run while
 //! every window stays small. [`BudgetGovernor`] owns the response:
 //!
 //! * the budget → window derivation reserves **1/8 of the budget as

@@ -86,7 +86,7 @@ use dpfill_cubes::format::{PatternError, PatternStream, PatternWriter};
 use dpfill_cubes::packed::{PackedBits, PackedMatrix};
 use dpfill_cubes::{Bit, CubeSet};
 
-use crate::bcp::BcpInstance;
+use crate::bcp::{BcpInstance, SolveOptions};
 use crate::fill::{DpFillError, FillMethod};
 use crate::Interval;
 
@@ -172,6 +172,14 @@ pub struct StreamOptions {
     /// Deliberate fault injection for the chaos suite (inert by
     /// default).
     pub chaos: ChaosPlan,
+    /// BCP solve configuration for the global DP-fill solve (bound
+    /// engine and shard layout; the warm bound is supplied by the
+    /// analyzer's incremental ladder and overrides
+    /// [`SolveOptions::warm_lb`]). Every configuration yields the same
+    /// solution, so the emitted bytes stay identical — this exists so
+    /// the differential suites can pin explicit shard widths without
+    /// process-global environment races.
+    pub solve: SolveOptions,
 }
 
 impl Default for StreamOptions {
@@ -182,6 +190,7 @@ impl Default for StreamOptions {
             header: None,
             collect_baseline: false,
             chaos: ChaosPlan::default(),
+            solve: SolveOptions::from_env(),
         }
     }
 }
@@ -527,8 +536,13 @@ impl StreamingFill {
                     .set_baseline(analysis.baseline)
                     .map_err(solve_error)?;
                 // The same global solve as the monolithic DpFill: same
-                // instance, same lower bound, same EDF coloring.
-                let solution = instance.solve().map_err(solve_error)?;
+                // instance, same lower bound, same EDF coloring — warmed
+                // by the bound the analyzer certified online, so the
+                // solve starts at (usually *at*) the answer instead of
+                // re-deriving it from the whole event stream.
+                let mut solve_opts = self.opts.solve;
+                solve_opts.warm_lb = Some(analysis.warm_lb);
+                let solution = instance.solve_with(&solve_opts).map_err(solve_error)?;
                 FillPlan::with_coloring(
                     width,
                     analysis.segments,

@@ -86,11 +86,29 @@ proptest! {
         prop_assert_eq!(measured, brute_force_min_peak(&cubes), "not optimal");
     }
 
-    /// Algorithm 1 (DP lower bound) agrees with direct window counting.
+    /// Algorithm 1 (DP lower bound) agrees with direct window counting,
+    /// and the incremental parametric bound agrees with both — with and
+    /// without the baseline.
     #[test]
-    fn dp_lower_bound_matches_naive(inst in arb_instance()) {
-        prop_assert_eq!(inst.lower_bound_paper(), inst.lower_bound_naive(false));
-        prop_assert_eq!(inst.lower_bound(), inst.lower_bound_naive(true));
+    fn lower_bounds_all_agree(inst in arb_instance()) {
+        let naive = inst.lower_bound_naive(false).unwrap();
+        prop_assert_eq!(inst.lower_bound_dp(false).unwrap(), naive);
+        prop_assert_eq!(inst.lower_bound_paper().unwrap(), naive);
+        let naive_b = inst.lower_bound_naive(true).unwrap();
+        prop_assert_eq!(inst.lower_bound_dp(true).unwrap(), naive_b);
+        prop_assert_eq!(inst.lower_bound().unwrap(), naive_b);
+    }
+
+    /// The sharded coloring is byte-identical to the serial EDF pass at
+    /// every shard width — including the degenerate width 1.
+    #[test]
+    fn sharded_coloring_matches_serial(inst in arb_instance()) {
+        let lb = inst.lower_bound().unwrap();
+        let serial = inst.color_edf(lb).unwrap();
+        for width in [1usize, 3, 7, usize::MAX] {
+            let sharded = inst.color_edf_sharded(lb, width).unwrap();
+            prop_assert_eq!(&sharded, &serial, "width {}", width);
+        }
     }
 
     /// Algorithm 2 yields a valid coloring achieving Algorithm 1's bound.

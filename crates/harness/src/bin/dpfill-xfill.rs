@@ -479,6 +479,7 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
         header: Some(output_header(opts)),
         collect_baseline: opts.stats,
         chaos: chaos_from_env()?,
+        ..StreamOptions::default()
     });
     let label = opts.input.as_deref().unwrap_or("<stdin>");
     // The planned fills read the input twice, so stdin is spooled to a
