@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             .generate(6 + n as u64);
         group.bench_function(format!("algorithm3/n{n}"), |b| {
             b.iter(|| {
-                let trace = IOrdering::new().order_with_trace(&cubes);
+                let trace = IOrdering::new().order_with_trace(&cubes).expect("ordering");
                 // O(log n) guard baked into the benchmark.
                 assert!(trace.iterations() <= 8 * 8 + 2);
                 criterion::black_box(trace.iterations())

@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_function(format!("b14_scale/{}", ordering.label()), |b| {
             b.iter(|| {
-                let order = ordering.order(&cubes);
+                let order = ordering.order(&cubes).expect("ordering");
                 let reordered = cubes.reordered(&order).unwrap();
                 let packed = PackedMatrix::from_packed_set(&PackedCubeSet::from(&reordered));
                 let stats = StretchStats::of_packed(&packed);

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let cubes = CubeProfile::new(width, n).x_percent(x).generate(3);
         group.bench_function(format!("{label}/ordering_only"), |b| {
-            b.iter(|| criterion::black_box(XStatOrdering.order(&cubes)))
+            b.iter(|| criterion::black_box(XStatOrdering.order(&cubes).expect("ordering")))
         });
         group.bench_function(format!("{label}/row_sweep"), |b| {
             b.iter(|| criterion::black_box(sweep_fills(&cubes, OrderingMethod::XStat)))

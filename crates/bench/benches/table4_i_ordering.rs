@@ -20,7 +20,14 @@ fn bench(c: &mut Criterion) {
             .decay_ratio(6.0)
             .generate(4);
         group.bench_function(format!("{label}/algorithm3_search"), |b| {
-            b.iter(|| criterion::black_box(IOrdering::new().order_with_trace(&cubes).chosen_k))
+            b.iter(|| {
+                criterion::black_box(
+                    IOrdering::new()
+                        .order_with_trace(&cubes)
+                        .expect("ordering")
+                        .chosen_k,
+                )
+            })
         });
         group.bench_function(format!("{label}/row_sweep"), |b| {
             b.iter(|| criterion::black_box(sweep_fills(&cubes, OrderingMethod::Interleaved)))

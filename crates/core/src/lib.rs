@@ -35,7 +35,7 @@
 //! let cubes = CubeSet::parse_rows(&["0XXX1", "X1XXX", "1XXX0", "XX0XX"])?;
 //!
 //! // Order with Algorithm 3, fill optimally.
-//! let order = IOrdering::new().order(&cubes);
+//! let order = IOrdering::new().order(&cubes)?;
 //! let report = DpFill::new().run(&cubes.reordered(&order)?);
 //!
 //! assert_eq!(report.peak, report.lower_bound); // optimality certificate
@@ -62,6 +62,6 @@ pub use interval::Interval;
 pub use mapping::{IntervalSite, MatrixMapping};
 pub use pipeline::{percent_improvement, sweep_fills, Technique, TechniqueResult};
 pub use stream::{
-    ChaosPlan, DegradeEvent, StreamError, StreamOptions, StreamPass, StreamReport, StreamingFill,
-    WindowSpec,
+    BandedOrder, ChaosPlan, DegradeEvent, StreamError, StreamOptions, StreamPass, StreamReport,
+    StreamingFill, WindowSpec,
 };

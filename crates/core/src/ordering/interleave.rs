@@ -2,7 +2,7 @@ use dpfill_cubes::CubeSet;
 
 use crate::mapping::MatrixMapping;
 
-use super::OrderingStrategy;
+use super::{OrderingError, OrderingStrategy};
 
 /// The paper's I-ordering (Algorithm 3): interleaved test-vector
 /// ordering.
@@ -85,15 +85,20 @@ impl IOrdering {
     }
 
     /// Runs Algorithm 3, returning the full trace.
-    pub fn order_with_trace(&self, cubes: &CubeSet) -> IOrderingTrace {
+    ///
+    /// # Errors
+    ///
+    /// [`OrderingError::Bound`] when a candidate's bottleneck evaluation
+    /// overflows the load model (absurd inputs only).
+    pub fn order_with_trace(&self, cubes: &CubeSet) -> Result<IOrderingTrace, OrderingError> {
         let n = cubes.len();
         if n <= 2 {
-            return IOrderingTrace {
+            return Ok(IOrderingTrace {
                 k_values: Vec::new(),
                 bottleneck_values: Vec::new(),
                 chosen_k: 0,
                 order: (0..n).collect(),
-            };
+            });
         }
         // T': ascending don't-care count, stable by index.
         let x_counts = cubes.x_counts();
@@ -126,6 +131,10 @@ impl IOrdering {
                 (candidate, value)
             });
             for (i, (candidate, value)) in evals.into_iter().enumerate() {
+                // A speculative evaluation past a failing one is
+                // discarded unseen: errors propagate in k order, exactly
+                // like the serial loop.
+                let value = value?;
                 k_values.push(ks[i]);
                 bottlenecks.push(value);
                 match &best {
@@ -140,12 +149,12 @@ impl IOrdering {
             k = hi + 1;
         }
         let (_, chosen_k, order) = best.unwrap_or_else(|| (0, 0, (0..n).collect()));
-        IOrderingTrace {
+        Ok(IOrderingTrace {
             k_values,
             bottleneck_values: bottlenecks,
             chosen_k,
             order,
-        }
+        })
     }
 }
 
@@ -155,20 +164,24 @@ impl IOrdering {
 /// Walks the packed rows natively: the permutation is gathered inside
 /// the word-blocked transpose ([`MatrixMapping::analyze_reordered`]), so
 /// no reordered cube set is ever materialized per candidate `k`.
-pub(crate) fn bottleneck_value(cubes: &CubeSet, order: &[usize]) -> u64 {
+pub(crate) fn bottleneck_value(cubes: &CubeSet, order: &[usize]) -> Result<u64, OrderingError> {
     // The gather-transpose would silently duplicate/drop cubes on a
-    // malformed schedule, so keep the loud permutation check the old
+    // malformed schedule, so keep the permutation check the old
     // `reordered(...).expect(...)` path provided — always on, since the
-    // O(n) scan is negligible next to the O(n·w) analysis it guards.
-    assert!(
-        crate::ordering::is_permutation(order, cubes.len()),
-        "schedule must be a permutation of 0..{}",
-        cubes.len()
-    );
+    // O(n) scan is negligible next to the O(n·w) analysis it guards. It
+    // used to be an `assert!`, which a pooled streaming worker reported
+    // as an opaque `WindowPanicked`; both it and the bound overflow
+    // below are typed errors now.
+    if !crate::ordering::is_permutation(order, cubes.len()) {
+        return Err(OrderingError::MalformedSchedule {
+            len: order.len(),
+            expected: cubes.len(),
+        });
+    }
     MatrixMapping::analyze_reordered(cubes, order)
         .instance()
         .lower_bound()
-        .unwrap_or_else(|e| unreachable!("mapping bounds fit u64 (loads are counts): {e}"))
+        .map_err(OrderingError::from)
 }
 
 impl OrderingStrategy for IOrdering {
@@ -176,8 +189,8 @@ impl OrderingStrategy for IOrdering {
         "I-order"
     }
 
-    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
-        self.order_with_trace(cubes).order
+    fn order(&self, cubes: &CubeSet) -> Result<Vec<usize>, OrderingError> {
+        Ok(self.order_with_trace(cubes)?.order)
     }
 }
 
@@ -219,7 +232,7 @@ mod tests {
     #[test]
     fn trace_is_consistent() {
         let cubes = CubeProfile::new(40, 30).x_percent(80.0).generate(13);
-        let trace = IOrdering::new().order_with_trace(&cubes);
+        let trace = IOrdering::new().order_with_trace(&cubes).unwrap();
         assert!(is_permutation(&trace.order, cubes.len()));
         assert_eq!(trace.k_values.len(), trace.bottleneck_values.len());
         assert!(trace.iterations() >= 1);
@@ -240,7 +253,7 @@ mod tests {
             .flip_probability(0.4)
             .generate(23);
         let tool_peak = peak_toggles(&DpFill::new().fill(&cubes)).unwrap();
-        let order = IOrdering::new().order(&cubes);
+        let order = IOrdering::new().order(&cubes).unwrap();
         let reordered = cubes.reordered(&order).unwrap();
         let i_peak = peak_toggles(&DpFill::new().fill(&reordered)).unwrap();
         assert!(
@@ -252,7 +265,7 @@ mod tests {
     #[test]
     fn stops_after_logarithmically_many_iterations() {
         let cubes = CubeProfile::new(50, 120).x_percent(85.0).generate(31);
-        let trace = IOrdering::new().order_with_trace(&cubes);
+        let trace = IOrdering::new().order_with_trace(&cubes).unwrap();
         let log_n = (cubes.len() as f64).log2().ceil() as usize;
         assert!(
             trace.iterations() <= 6 * log_n + 2,
@@ -265,8 +278,28 @@ mod tests {
     #[test]
     fn tiny_sets() {
         let cubes = CubeSet::parse_rows(&["0X", "1X"]).unwrap();
-        let trace = IOrdering::new().order_with_trace(&cubes);
+        let trace = IOrdering::new().order_with_trace(&cubes).unwrap();
         assert_eq!(trace.order, vec![0, 1]);
         assert_eq!(trace.chosen_k, 0);
+    }
+
+    #[test]
+    fn malformed_schedule_is_a_typed_error_not_a_panic() {
+        // Regression: this used to `assert!` — which a pooled streaming
+        // worker surfaced as an opaque `WindowPanicked`.
+        let cubes = CubeSet::parse_rows(&["0X", "1X", "XX"]).unwrap();
+        for bad in [&[0usize, 1][..], &[0, 1, 1], &[0, 1, 3]] {
+            let err = bottleneck_value(&cubes, bad).unwrap_err();
+            match err {
+                crate::ordering::OrderingError::MalformedSchedule { len, expected } => {
+                    assert_eq!(len, bad.len());
+                    assert_eq!(expected, 3);
+                }
+                other => panic!("expected MalformedSchedule, got {other}"),
+            }
+            assert!(err.to_string().contains("not a permutation"), "{err}");
+        }
+        // A well-formed schedule still evaluates.
+        assert!(bottleneck_value(&cubes, &[2, 0, 1]).is_ok());
     }
 }

@@ -6,7 +6,7 @@ use dpfill_cubes::CubeSet;
 
 use crate::fill::{FillStrategy, MtFill};
 
-use super::{OrderingStrategy, PackedCubes};
+use super::{OrderingError, OrderingStrategy, PackedCubes};
 
 /// Simulated-annealing vector ordering, reconstructing the
 /// ordering-based low-power technique of Girard et al. [20] ("ISA" in
@@ -165,10 +165,10 @@ impl OrderingStrategy for IsaOrdering {
         "ISA"
     }
 
-    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
+    fn order(&self, cubes: &CubeSet) -> Result<Vec<usize>, OrderingError> {
         let n = cubes.len();
         if n <= 2 {
-            return (0..n).collect();
+            return Ok((0..n).collect());
         }
         // Step 1: fully specify with MT-fill, as [20] orders specified
         // vectors.
@@ -216,7 +216,7 @@ impl OrderingStrategy for IsaOrdering {
                 }
             }
         }
-        best_perm
+        Ok(best_perm)
     }
 }
 
@@ -245,7 +245,9 @@ mod tests {
         ];
         let cubes = CubeSet::parse_rows(&rows).unwrap();
         let identity: Vec<usize> = (0..cubes.len()).collect();
-        let order = IsaOrdering::with_iterations(3, 5_000).order(&cubes);
+        let order = IsaOrdering::with_iterations(3, 5_000)
+            .order(&cubes)
+            .unwrap();
         assert!(is_permutation(&order, cubes.len()));
         assert!(
             peak_after_mt(&cubes, &order) < peak_after_mt(&cubes, &identity),
@@ -256,15 +258,19 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cubes = random_cube_set(24, 15, 0.6, 9);
-        let a = IsaOrdering::with_iterations(7, 2_000).order(&cubes);
-        let b = IsaOrdering::with_iterations(7, 2_000).order(&cubes);
+        let a = IsaOrdering::with_iterations(7, 2_000)
+            .order(&cubes)
+            .unwrap();
+        let b = IsaOrdering::with_iterations(7, 2_000)
+            .order(&cubes)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn tiny_sets_are_identity() {
         let cubes = CubeSet::parse_rows(&["01", "10"]).unwrap();
-        assert_eq!(IsaOrdering::new(0).order(&cubes), vec![0, 1]);
+        assert_eq!(IsaOrdering::new(0).order(&cubes).unwrap(), vec![0, 1]);
     }
 
     #[test]
@@ -277,7 +283,7 @@ mod tests {
         let identity: Vec<usize> = (0..cubes.len()).collect();
         for seed in [0u64, 7, 42] {
             assert_eq!(
-                IsaOrdering::with_iterations(seed, 0).order(&cubes),
+                IsaOrdering::with_iterations(seed, 0).order(&cubes).unwrap(),
                 identity,
                 "seed {seed}"
             );

@@ -10,19 +10,75 @@
 //! | [`IsaOrdering`] | simulated annealing over orderings of the MT-filled patterns, reconstructing Girard et al. [20] |
 //! | [`IOrdering`] | the paper's Algorithm 3: interleave X-poor and X-rich cubes, growing the interleave factor `k` while the bottleneck improves |
 
+mod banded;
 mod interleave;
 mod isa;
 mod packed;
 mod tool;
 mod xstat;
 
+pub use banded::{BandContext, BandedIOrdering, BandedMethod, BandedOrdering, BandedXStatOrdering};
 pub use interleave::{IOrdering, IOrderingTrace};
 pub use isa::IsaOrdering;
 pub use packed::PackedCubes;
 pub use tool::ToolOrdering;
 pub use xstat::XStatOrdering;
 
+use std::error::Error;
+use std::fmt;
+
 use dpfill_cubes::CubeSet;
+
+use crate::bcp::BcpError;
+
+/// Failure modes of the ordering layer.
+///
+/// Orderings used to panic on these (an `assert!` on a malformed
+/// candidate schedule, an `unreachable!` on a bound overflow); inside a
+/// pooled streaming worker that surfaced as an opaque
+/// [`WindowPanicked`](crate::stream::StreamError::WindowPanicked)
+/// instead of a real diagnostic. They are typed errors now, consistent
+/// with the library's no-panic guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderingError {
+    /// A candidate schedule was not a permutation of `0..expected`.
+    MalformedSchedule {
+        /// Length of the offending schedule.
+        len: usize,
+        /// The cube count the schedule must permute.
+        expected: usize,
+    },
+    /// Evaluating a candidate's bottleneck value failed in the load
+    /// model (overflow on absurd inputs).
+    Bound(BcpError),
+}
+
+impl fmt::Display for OrderingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderingError::MalformedSchedule { len, expected } => write!(
+                f,
+                "candidate schedule of length {len} is not a permutation of 0..{expected}"
+            ),
+            OrderingError::Bound(e) => write!(f, "candidate bottleneck evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for OrderingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OrderingError::MalformedSchedule { .. } => None,
+            OrderingError::Bound(e) => Some(e),
+        }
+    }
+}
+
+impl From<BcpError> for OrderingError {
+    fn from(e: BcpError) -> OrderingError {
+        OrderingError::Bound(e)
+    }
+}
 
 /// A test-vector ordering strategy.
 ///
@@ -33,7 +89,13 @@ pub trait OrderingStrategy {
     fn name(&self) -> &'static str;
 
     /// Computes the ordering permutation.
-    fn order(&self, cubes: &CubeSet) -> Vec<usize>;
+    ///
+    /// # Errors
+    ///
+    /// [`OrderingError`] when a candidate evaluation fails; the
+    /// closed-form orderings ([`ToolOrdering`], [`XStatOrdering`],
+    /// [`IsaOrdering`]) never fail.
+    fn order(&self, cubes: &CubeSet) -> Result<Vec<usize>, OrderingError>;
 }
 
 /// The orderings compared in the paper, as an enum for sweeping.
@@ -61,7 +123,13 @@ impl OrderingMethod {
     }
 
     /// Computes the permutation.
-    pub fn order(self, cubes: &CubeSet) -> Vec<usize> {
+    ///
+    /// # Errors
+    ///
+    /// [`OrderingError`] when a candidate evaluation fails (only the
+    /// I-ordering's bottleneck search can fail, and only on inputs
+    /// whose load model overflows `u64`).
+    pub fn order(self, cubes: &CubeSet) -> Result<Vec<usize>, OrderingError> {
         match self {
             OrderingMethod::Tool => ToolOrdering.order(cubes),
             OrderingMethod::XStat => XStatOrdering.order(cubes),
@@ -100,7 +168,7 @@ mod tests {
             OrderingMethod::Isa(5),
             OrderingMethod::Interleaved,
         ] {
-            let order = m.order(&cubes);
+            let order = m.order(&cubes).unwrap();
             assert!(
                 is_permutation(&order, cubes.len()),
                 "{} returned a non-permutation",
@@ -126,7 +194,7 @@ mod tests {
             OrderingMethod::Isa(1),
             OrderingMethod::Interleaved,
         ] {
-            assert!(m.order(&cubes).is_empty(), "{}", m.label());
+            assert!(m.order(&cubes).unwrap().is_empty(), "{}", m.label());
         }
     }
 }

@@ -1,6 +1,6 @@
 use dpfill_cubes::CubeSet;
 
-use super::OrderingStrategy;
+use super::{OrderingError, OrderingStrategy};
 
 /// The "Tool" ordering: patterns stay in the order the ATPG emitted them.
 ///
@@ -15,8 +15,8 @@ impl OrderingStrategy for ToolOrdering {
         "Tool"
     }
 
-    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
-        (0..cubes.len()).collect()
+    fn order(&self, cubes: &CubeSet) -> Result<Vec<usize>, OrderingError> {
+        Ok((0..cubes.len()).collect())
     }
 }
 
@@ -27,7 +27,7 @@ mod tests {
     #[test]
     fn identity_permutation() {
         let cubes = CubeSet::parse_rows(&["0X", "1X", "XX"]).unwrap();
-        assert_eq!(ToolOrdering.order(&cubes), vec![0, 1, 2]);
+        assert_eq!(ToolOrdering.order(&cubes).unwrap(), vec![0, 1, 2]);
         assert_eq!(ToolOrdering.name(), "Tool");
     }
 }

@@ -1,6 +1,21 @@
 use dpfill_cubes::CubeSet;
 
-use super::{OrderingStrategy, PackedCubes};
+use super::{OrderingError, OrderingStrategy, PackedCubes};
+
+/// Appends every unvisited index to `order` in ascending index order.
+///
+/// The chaining loop's "an unvisited cube always exists" invariant is
+/// load-bearing for downstream `reordered()` / gather-transpose callers:
+/// they require a *permutation*. If the invariant ever breaks, falling
+/// back to index order for the stragglers keeps the result a
+/// permutation instead of a truncated vector.
+pub(crate) fn complete_permutation(order: &mut Vec<usize>, visited: &[bool]) {
+    for (i, &seen) in visited.iter().enumerate() {
+        if !seen {
+            order.push(i);
+        }
+    }
+}
 
 /// XStat's vector ordering [22]: greedy nearest-neighbour chaining on
 /// *conflict distance*.
@@ -21,10 +36,10 @@ impl OrderingStrategy for XStatOrdering {
         "XStat-order"
     }
 
-    fn order(&self, cubes: &CubeSet) -> Vec<usize> {
+    fn order(&self, cubes: &CubeSet) -> Result<Vec<usize>, OrderingError> {
         let n = cubes.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let packed = PackedCubes::pack(cubes);
         // One popcount-kernel resolve for the whole O(n²) chaining loop;
@@ -35,7 +50,7 @@ impl OrderingStrategy for XStatOrdering {
         // Seed: most specified cube. `n > 0` was checked above, so the
         // max exists; the let-else keeps this path panic-free anyway.
         let Some(start) = (0..n).max_by_key(|&i| (care[i], std::cmp::Reverse(i))) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let mut visited = vec![false; n];
         let mut order = Vec::with_capacity(n);
@@ -67,14 +82,20 @@ impl OrderingStrategy for XStatOrdering {
                 .flatten()
                 .min();
             // An unvisited cube exists on every iteration (the loop
-            // runs n-1 times after seeding one); bail gracefully if
-            // that invariant ever breaks rather than panicking.
-            let Some((_, _, next)) = best else { break };
+            // runs n-1 times after seeding one). If that invariant ever
+            // breaks, finish with the stragglers in index order — a
+            // `break` here used to return a *truncated* vector, which
+            // downstream `reordered()` / gather-transpose callers treat
+            // as a malformed permutation.
+            let Some((_, _, next)) = best else {
+                complete_permutation(&mut order, &visited);
+                break;
+            };
             visited[next] = true;
             order.push(next);
             current = next;
         }
-        order
+        Ok(order)
     }
 }
 
@@ -88,7 +109,7 @@ mod tests {
     fn chains_compatible_cubes_adjacently() {
         // Cubes 0 and 2 are identical; 1 conflicts with both on 3 pins.
         let cubes = CubeSet::parse_rows(&["000X", "111X", "000X"]).unwrap();
-        let order = XStatOrdering.order(&cubes);
+        let order = XStatOrdering.order(&cubes).unwrap();
         assert!(is_permutation(&order, 3));
         // The two zero-cubes must be adjacent.
         let pos0 = order.iter().position(|&i| i == 0).unwrap();
@@ -101,7 +122,7 @@ mod tests {
         // Alternating far-apart cubes; nearest-neighbour should regroup.
         let rows = ["00000000", "11111111", "00000001", "11111110"];
         let cubes = CubeSet::parse_rows(&rows).unwrap();
-        let order = XStatOrdering.order(&cubes);
+        let order = XStatOrdering.order(&cubes).unwrap();
         let reordered = cubes.reordered(&order).unwrap();
         let peak_before: usize = (0..cubes.len() - 1)
             .map(|j| conflict_distance(&cubes.cube(j), &cubes.cube(j + 1)))
@@ -123,19 +144,40 @@ mod tests {
     #[test]
     fn starts_from_most_specified_cube() {
         let cubes = CubeSet::parse_rows(&["XXXX", "0X1X", "0011"]).unwrap();
-        let order = XStatOrdering.order(&cubes);
+        let order = XStatOrdering.order(&cubes).unwrap();
         assert_eq!(order[0], 2);
     }
 
     #[test]
     fn deterministic() {
         let cubes = random_cube_set(32, 20, 0.8, 5);
-        assert_eq!(XStatOrdering.order(&cubes), XStatOrdering.order(&cubes));
+        assert_eq!(
+            XStatOrdering.order(&cubes).unwrap(),
+            XStatOrdering.order(&cubes).unwrap()
+        );
     }
 
     #[test]
     fn single_cube() {
         let cubes = CubeSet::parse_rows(&["01X"]).unwrap();
-        assert_eq!(XStatOrdering.order(&cubes), vec![0]);
+        assert_eq!(XStatOrdering.order(&cubes).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn broken_invariant_completes_to_a_permutation() {
+        // Regression: when the chaining loop finds no unvisited
+        // candidate (the invariant-break path), the old code `break`ed
+        // and returned a truncated vector. The completion helper must
+        // restore a full permutation, stragglers in index order.
+        let mut order = vec![4, 1];
+        let visited = [false, true, false, false, true];
+        complete_permutation(&mut order, &visited);
+        assert_eq!(order, vec![4, 1, 0, 2, 3]);
+        assert!(is_permutation(&order, 5));
+
+        // No-op when everything was visited.
+        let mut full = vec![2, 0, 1];
+        complete_permutation(&mut full, &[true, true, true]);
+        assert_eq!(full, vec![2, 0, 1]);
     }
 }

@@ -74,10 +74,15 @@ impl Technique {
     /// # Panics
     ///
     /// Panics on an empty cube set (there is no toggle profile to
-    /// report); callers filter empty pattern sets earlier.
+    /// report); callers filter empty pattern sets earlier. Ordering
+    /// errors are unreachable for table-scale inputs (the bottleneck
+    /// load model only overflows `u64` on absurd widths).
     pub fn evaluate(&self, cubes: &CubeSet) -> TechniqueResult {
         assert!(!cubes.is_empty(), "cannot evaluate an empty cube set");
-        let order = self.ordering.order(cubes);
+        let order = self
+            .ordering
+            .order(cubes)
+            .unwrap_or_else(|e| unreachable!("table-scale bounds fit u64: {e}"));
         let reordered = cubes
             .reordered(&order)
             .unwrap_or_else(|e| unreachable!("ordering strategies return permutations: {e}"));
@@ -103,7 +108,9 @@ impl Technique {
 /// scalar cube set is rebuilt per technique.
 pub fn sweep_fills(cubes: &CubeSet, ordering: OrderingMethod) -> Vec<(FillMethod, usize)> {
     assert!(!cubes.is_empty(), "cannot sweep an empty cube set");
-    let order = ordering.order(cubes);
+    let order = ordering
+        .order(cubes)
+        .unwrap_or_else(|e| unreachable!("table-scale bounds fit u64: {e}"));
     let reordered = cubes
         .reordered(&order)
         .unwrap_or_else(|e| unreachable!("ordering strategies return permutations: {e}"));

@@ -191,6 +191,14 @@ impl WindowedAnalyzer {
         self.cols
     }
 
+    /// The running lower bound certified by the incremental ladder over
+    /// everything ingested so far. Valid mid-stream: the reorder stage
+    /// feeds it to the banded I-ordering as the frozen prefix's
+    /// warm bound.
+    pub fn warm_bound(&self) -> u64 {
+        self.bound.current()
+    }
+
     /// Bytes held by the scalar event stream (segments, sites,
     /// baseline, per-pin states, the incremental-bound ladder) — the
     /// content-driven resident cost the memory-budget governor charges

@@ -57,11 +57,14 @@ fn pipeline_outputs(set: &CubeSet) -> PipelineOutputs {
     let report = DpFill::new().run(set);
 
     let orders = vec![
-        ("XStat-order", XStatOrdering.order(set)),
-        ("ISA", IsaOrdering::with_iterations(7, 400).order(set)),
-        ("I-order", IOrdering::new().order(set)),
+        ("XStat-order", XStatOrdering.order(set).unwrap()),
+        (
+            "ISA",
+            IsaOrdering::with_iterations(7, 400).order(set).unwrap(),
+        ),
+        ("I-order", IOrdering::new().order(set).unwrap()),
     ];
-    let interleave_trace = IOrdering::new().order_with_trace(set);
+    let interleave_trace = IOrdering::new().order_with_trace(set).unwrap();
     let profile = (!set.is_empty()).then(|| toggle_profile(&report.filled).unwrap());
 
     PipelineOutputs {

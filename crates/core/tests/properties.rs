@@ -188,7 +188,7 @@ proptest! {
             OrderingMethod::Isa(3),
             OrderingMethod::Interleaved,
         ] {
-            prop_assert!(is_permutation(&m.order(&cubes), cubes.len()));
+            prop_assert!(is_permutation(&m.order(&cubes).unwrap(), cubes.len()));
         }
     }
 

@@ -15,11 +15,19 @@
 //!                         (0 or absent: DPFILL_THREADS env, else one
 //!                         thread per core; output is identical at any N)
 //!   --window CUBES        bounded-memory streaming mode: run the
-//!                         pipeline over windows of CUBES cubes
-//!                         (requires --order keep; output is
-//!                         byte-identical to the monolithic run)
+//!                         pipeline over windows of CUBES cubes.
+//!                         interleave/xstat orderings run *banded*
+//!                         (see --band); --order keep is byte-identical
+//!                         to the monolithic run, and a band covering
+//!                         the whole set is byte-identical to the
+//!                         monolithic ordered run
 //!   --memory-budget MB    like --window, but derive the window size
 //!                         from a resident-memory budget in MiB
+//!   --band B              streaming lookahead for the banded
+//!                         orderings: a ring of B windows is held
+//!                         resident and re-ordered before windows
+//!                         freeze out (default: 2; needs streaming
+//!                         mode and an ordering)
 //!   --output FILE         write here instead of stdout
 //!   --stats               print peak/ordering statistics to stderr
 //! ```
@@ -52,8 +60,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dpfill_core::fill::FillMethod;
-use dpfill_core::ordering::OrderingMethod;
-use dpfill_core::stream::{ChaosPlan, StreamError, StreamOptions, StreamingFill, WindowSpec};
+use dpfill_core::ordering::{BandedMethod, OrderingMethod};
+use dpfill_core::stream::{
+    BandedOrder, ChaosPlan, StreamError, StreamOptions, StreamingFill, WindowSpec,
+};
 use dpfill_cubes::format::PatternError;
 use dpfill_cubes::retry::{self, RetryReader};
 use dpfill_cubes::{format, peak_toggles, CubeSet};
@@ -117,6 +127,7 @@ fn stream_error(label: &str, e: &StreamError) -> CliError {
         StreamError::Write(_) => exit::OUTPUT,
         StreamError::Solve(_) => exit::SOLVE,
         StreamError::UnsupportedFill(_) => exit::USAGE,
+        StreamError::Order(_) => exit::SOLVE,
         StreamError::SourceChanged { .. } => exit::SOURCE_CHANGED,
         StreamError::WindowPanicked { .. } => exit::WINDOW_PANICKED,
         StreamError::BudgetExhausted { .. } => exit::BUDGET_EXHAUSTED,
@@ -142,9 +153,15 @@ struct Options {
     output: Option<String>,
     fill: FillMethod,
     order: Option<OrderingMethod>,
+    /// True when `--order` was passed on the command line. Streaming
+    /// mode treats the two differently: an *explicit* `--order isa` is
+    /// rejected by name, while the default silently resolves to the
+    /// banded interleave ordering.
+    order_explicit: bool,
     threads: Option<usize>,
     window: Option<usize>,
     memory_budget: Option<usize>,
+    band: Option<usize>,
     stats: bool,
 }
 
@@ -154,9 +171,11 @@ fn parse_args() -> Result<Options, String> {
         output: None,
         fill: FillMethod::Dp,
         order: Some(OrderingMethod::Interleaved),
+        order_explicit: false,
         threads: None,
         window: None,
         memory_budget: None,
+        band: None,
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -176,6 +195,7 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--order" => {
+                opts.order_explicit = true;
                 opts.order = match args.next().as_deref() {
                     Some("keep") => None,
                     Some("interleave") => Some(OrderingMethod::Interleaved),
@@ -212,6 +232,16 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.memory_budget = Some(mib);
             }
+            "--band" => {
+                let value = args.next().ok_or("--band needs a window count")?;
+                let band = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("--band {value:?} is not a window count"))?;
+                if band == 0 {
+                    return Err("--band needs at least one window".to_owned());
+                }
+                opts.band = Some(band);
+            }
             "--output" => {
                 opts.output = Some(args.next().ok_or("--output needs a path")?);
             }
@@ -221,7 +251,7 @@ fn parse_args() -> Result<Options, String> {
                     "dpfill-xfill: order + X-fill a pattern file\n\
                      usage: dpfill-xfill [--fill dp|b|xstat|adj|mt|0|1|random]\n\
                      \u{20}      [--order keep|interleave|xstat|isa] [--threads N]\n\
-                     \u{20}      [--window CUBES | --memory-budget MB]\n\
+                     \u{20}      [--window CUBES | --memory-budget MB] [--band B]\n\
                      \u{20}      [--output FILE] [--stats] [INPUT|-]"
                 );
                 std::process::exit(0);
@@ -453,21 +483,55 @@ impl Drop for StreamSink {
     }
 }
 
+/// Resolves the ordering a streaming run applies. `--order keep` keeps
+/// arrival order (byte-identical to the monolithic unordered run);
+/// interleave/xstat — including the interleave *default* — run banded
+/// over a ring of `--band` windows; the whole-set ISA ordering is
+/// rejected by name.
+fn streaming_order(opts: &Options) -> Result<Option<BandedOrder>, CliError> {
+    let method = match opts.order {
+        None => {
+            if opts.band.is_some() {
+                return Err(CliError::usage(
+                    "--band configures the banded streaming orderings; it has no \
+                     effect with --order keep",
+                ));
+            }
+            return Ok(None);
+        }
+        Some(OrderingMethod::Interleaved) => BandedMethod::Interleave,
+        Some(OrderingMethod::XStat) => BandedMethod::XStat,
+        Some(other) => {
+            debug_assert!(opts.order_explicit, "only --order can select {other:?}");
+            return Err(CliError::usage(format!(
+                "--order {} needs the whole pattern set resident; streaming mode \
+                 (--window/--memory-budget) supports --order keep, interleave or xstat",
+                match other {
+                    OrderingMethod::Isa(_) => "isa",
+                    OrderingMethod::Tool => "tool",
+                    _ => unreachable!("interleave and xstat stream banded"),
+                }
+            )));
+        }
+    };
+    Ok(Some(match opts.band {
+        Some(band) => BandedOrder::with_band(method, band),
+        None => BandedOrder::new(method),
+    }))
+}
+
 /// The bounded-memory streaming mode behind `--window`/`--memory-budget`:
-/// windowed analyze→solve→fill→emit, byte-identical to the monolithic
-/// run at every window size and thread count.
+/// windowed analyze→solve→fill→emit — with `--order keep` byte-identical
+/// to the monolithic run at every window size and thread count, with a
+/// banded ordering byte-identical to the monolithic *ordered* run
+/// whenever the band covers the whole set.
 fn run_streaming(opts: &Options) -> Result<(), CliError> {
     if opts.window.is_some() && opts.memory_budget.is_some() {
         return Err(CliError::usage(
             "pass either --window or --memory-budget, not both",
         ));
     }
-    if opts.order.is_some() {
-        return Err(CliError::usage(
-            "streaming mode processes cubes in arrival order; global orderings need \
-             the whole set resident — pass --order keep",
-        ));
-    }
+    let order = streaming_order(opts)?;
     let window = match (opts.window, opts.memory_budget) {
         (Some(cubes), _) => WindowSpec::Cubes(cubes),
         (None, Some(mib)) => WindowSpec::MemoryBudgetMiB(mib),
@@ -476,6 +540,7 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
     let driver = StreamingFill::new(StreamOptions {
         window,
         fill: opts.fill,
+        order,
         header: Some(output_header(opts)),
         collect_baseline: opts.stats,
         chaos: chaos_from_env()?,
@@ -515,6 +580,14 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
             "streamed {} windows of {} cubes; peak resident cubes {}",
             report.windows, report.window_cubes, report.resident_peak_cubes
         );
+        if let Some(order) = order {
+            eprintln!(
+                "banded ordering: {} over a ring of {} windows ({} cubes lookahead)",
+                order.method.label(),
+                order.band,
+                order.band * report.window_cubes
+            );
+        }
         // Every graceful window halving a --memory-budget run took, so
         // a degraded (but byte-identical) run is observable.
         for event in &report.degradations {
@@ -543,6 +616,11 @@ fn run(opts: &Options) -> Result<(), CliError> {
     if opts.window.is_some() || opts.memory_budget.is_some() {
         return run_streaming(opts);
     }
+    if opts.band.is_some() {
+        return Err(CliError::usage(
+            "--band needs streaming mode: pass --window or --memory-budget",
+        ));
+    }
     // Stream the pattern file straight into the packed cube planes —
     // the input never exists in memory as text or scalar bits, and a
     // malformed cube aborts the read at its line (no cubes are
@@ -564,7 +642,9 @@ fn run(opts: &Options) -> Result<(), CliError> {
     let ordered: CubeSet = match opts.order {
         None => cubes.clone(),
         Some(method) => {
-            let order = method.order(&cubes);
+            let order = method
+                .order(&cubes)
+                .map_err(|e| CliError::new(exit::SOLVE, e.to_string()))?;
             cubes
                 .reordered(&order)
                 .map_err(|e| CliError::new(exit::OTHER, e.to_string()))?

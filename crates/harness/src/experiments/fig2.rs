@@ -24,7 +24,9 @@ pub struct Fig2aRow {
 pub fn fig2a(prepared: &[Prepared]) -> (Vec<Fig2aRow>, TextTable) {
     let mut rows = Vec::with_capacity(prepared.len());
     for p in prepared {
-        let trace = IOrdering::new().order_with_trace(&p.cubes);
+        let trace = IOrdering::new()
+            .order_with_trace(&p.cubes)
+            .expect("benchmark-scale bounds fit u64");
         rows.push(Fig2aRow {
             ckt: p.profile.name.to_owned(),
             trace: trace
@@ -67,7 +69,9 @@ pub struct Fig2bRow {
 pub fn fig2b(prepared: &[Prepared]) -> (Vec<Fig2bRow>, TextTable) {
     let mut rows = Vec::with_capacity(prepared.len());
     for p in prepared {
-        let trace = IOrdering::new().order_with_trace(&p.cubes);
+        let trace = IOrdering::new()
+            .order_with_trace(&p.cubes)
+            .expect("benchmark-scale bounds fit u64");
         rows.push(Fig2bRow {
             ckt: p.profile.name.to_owned(),
             n: p.cubes.len(),
@@ -107,7 +111,7 @@ pub fn fig2c(p: &Prepared) -> (Fig2cResult, TextTable) {
     ];
     let mut stats = Vec::with_capacity(orderings.len());
     for o in orderings {
-        let order = o.order(&p.cubes);
+        let order = o.order(&p.cubes).expect("benchmark-scale bounds fit u64");
         let reordered = p.cubes.reordered(&order).expect("permutation");
         let packed = PackedMatrix::from_packed_set(reordered.as_packed());
         let s = StretchStats::of_packed(&packed);

@@ -100,11 +100,99 @@ fn windowed_mt_and_local_fills_match_monolithic() {
 }
 
 #[test]
+fn windowed_default_ordering_is_banded_interleave() {
+    // `--window` alone used to be rejected ("global orderings need the
+    // whole set"); the default now resolves to the banded interleave
+    // ordering and the run succeeds end to end.
+    let (out, stderr, ok) = run_xfill(&["--window", "4", "--stats"], INPUT);
+    assert!(ok, "--window alone must stream banded: {stderr}");
+    assert!(!out.is_empty());
+    assert!(!out.contains('X'), "every X filled: {out}");
+    assert!(
+        stderr.contains("banded ordering: I-order"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn band_covering_the_set_matches_the_monolithic_ordered_run() {
+    // 8 cubes; --window 2 --band 4 makes the ring swallow the whole
+    // input, so the banded run must be byte-identical to the monolithic
+    // ordered pipeline — for both in-ring orderings and both fill arms.
+    for (order, fill) in [("interleave", "dp"), ("xstat", "dp"), ("interleave", "0")] {
+        let (reference, _, ok) = run_xfill(&["--fill", fill, "--order", order], INPUT);
+        assert!(ok, "monolithic --order {order} failed");
+        let (out, stderr, ok) = run_xfill(
+            &[
+                "--fill", fill, "--order", order, "--window", "2", "--band", "4",
+            ],
+            INPUT,
+        );
+        assert!(ok, "banded --order {order} --fill {fill} failed: {stderr}");
+        assert_eq!(
+            out, reference,
+            "--order {order} --fill {fill}: band-covers-set drifted from monolithic"
+        );
+    }
+}
+
+#[test]
+fn narrow_band_streams_end_to_end_at_any_thread_count() {
+    // A band that cannot see the whole set: the output is a function of
+    // (input, band, window) — pin that it is identical across thread
+    // counts and fully specified.
+    let mut outputs = Vec::new();
+    for threads in ["1", "8"] {
+        let (out, stderr, ok) = run_xfill(
+            &[
+                "--order",
+                "xstat",
+                "--window",
+                "2",
+                "--band",
+                "2",
+                "--threads",
+                threads,
+                "--stats",
+            ],
+            INPUT,
+        );
+        assert!(ok, "--band 2 --threads {threads} failed: {stderr}");
+        // Skip the header comment (the ordering label contains an 'X').
+        assert!(
+            out.lines()
+                .filter(|l| !l.starts_with('#'))
+                .all(|l| !l.contains('X')),
+            "every X filled: {out}"
+        );
+        assert!(
+            stderr.contains("banded ordering: XStat-order"),
+            "stderr: {stderr}"
+        );
+        outputs.push(out);
+    }
+    assert_eq!(outputs[0], outputs[1], "banded output varies with threads");
+}
+
+#[test]
 fn streaming_mode_rejects_global_orderings_and_fills() {
-    // The default ordering is interleave, which needs the whole set.
-    let (_, stderr, ok) = run_xfill(&["--window", "4"], INPUT);
-    assert!(!ok, "--window without --order keep must fail");
+    // ISA genuinely needs the whole set; the rejection names the flag.
+    let (_, stderr, ok) = run_xfill(&["--order", "isa", "--window", "4"], INPUT);
+    assert!(!ok, "--order isa must fail in streaming mode");
+    assert!(stderr.contains("--order isa"), "stderr: {stderr}");
+    assert!(stderr.contains("whole pattern set"), "stderr: {stderr}");
+
+    // --band without streaming mode, or under --order keep, is a usage
+    // error that explains itself.
+    let (_, stderr, ok) = run_xfill(&["--band", "2"], INPUT);
+    assert!(!ok, "--band without --window must fail");
+    assert!(stderr.contains("--window"), "stderr: {stderr}");
+    let (_, stderr, ok) = run_xfill(&["--order", "keep", "--window", "4", "--band", "2"], INPUT);
+    assert!(!ok, "--band with --order keep must fail");
     assert!(stderr.contains("--order keep"), "stderr: {stderr}");
+    let (_, stderr, ok) = run_xfill(&["--window", "4", "--band", "0"], INPUT);
+    assert!(!ok, "--band 0 must fail");
+    assert!(stderr.contains("--band"), "stderr: {stderr}");
 
     for fill in ["b", "xstat"] {
         let (_, stderr, ok) =

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .decay_ratio(64.0)
             .regime_changes(n / 32)
             .generate(0xA11CE + n as u64);
-        let trace = IOrdering::new().order_with_trace(&cubes);
+        let trace = IOrdering::new().order_with_trace(&cubes)?;
         let best = trace.bottleneck_values.iter().min().copied().unwrap_or(0);
         println!(
             "{:<6} {:<8.1} {:<11} {:<9} {}",
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .decay_ratio(64.0)
         .regime_changes(8)
         .generate(0x000F_162A);
-    let trace = IOrdering::new().order_with_trace(&cubes);
+    let trace = IOrdering::new().order_with_trace(&cubes)?;
     println!("\nFig 2(a)-style sweep (n = 256):");
     for (k, v) in trace.k_values.iter().zip(&trace.bottleneck_values) {
         println!("  k = {k:<3} bottleneck = {v}");
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         OrderingMethod::Isa(7),
         OrderingMethod::Interleaved,
     ] {
-        let order = method.order(&cubes);
+        let order = method.order(&cubes)?;
         let reordered = cubes.reordered(&order)?;
         let peak = peak_toggles(&DpFill::new().fill(&reordered))?;
         println!("  {:12} -> {}", method.label(), peak);

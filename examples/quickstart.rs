@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The paper's proposed pipeline: I-ordering, then DP-fill.
-    let order = IOrdering::new().order(&cubes);
+    let order = IOrdering::new().order(&cubes)?;
     let reordered = cubes.reordered(&order)?;
     let report = DpFill::new().run(&reordered);
     println!("\nproposed I-ordering + DP-fill:");

@@ -30,7 +30,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cubes = CubeSet::parse_rows(&["0XXX1", "X1XXX", "1XXX0", "XX0XX"])?;
-//! let order = IOrdering::new().order(&cubes);
+//! let order = IOrdering::new().order(&cubes)?;
 //! let report = DpFill::new().run(&cubes.reordered(&order)?);
 //! assert_eq!(report.peak, report.lower_bound); // optimal, certified
 //! # Ok(())

@@ -73,7 +73,7 @@ fn generated_benchmark_pipeline_is_optimal_per_ordering() {
         OrderingMethod::XStat,
         OrderingMethod::Interleaved,
     ] {
-        let order = ordering.order(&cubes);
+        let order = ordering.order(&cubes).expect("ordering");
         let reordered = cubes.reordered(&order).expect("permutation");
         let report = DpFill::new().run(&reordered);
         // Certificate: measured peak == certified lower bound.

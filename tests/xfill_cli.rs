@@ -28,7 +28,7 @@ fn file_to_file_flow() {
     let baseline = peak_toggles(&FillMethod::Zero.fill(&cubes)).unwrap();
 
     // interleave + dp is the CLI default.
-    let order = OrderingMethod::Interleaved.order(&cubes);
+    let order = OrderingMethod::Interleaved.order(&cubes).unwrap();
     let ordered = cubes.reordered(&order).unwrap();
     let filled = FillMethod::Dp.fill(&ordered);
     assert!(CubeSet::is_filling_of(&filled, &ordered));
@@ -76,7 +76,7 @@ fn every_cli_order_choice_is_a_permutation() {
         OrderingMethod::XStat,
         OrderingMethod::Isa(0x15A),
     ] {
-        let perm = order.order(&cubes);
+        let perm = order.order(&cubes).unwrap();
         assert!(dpfill::core::ordering::is_permutation(&perm, cubes.len()));
     }
 }
