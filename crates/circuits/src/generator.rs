@@ -104,7 +104,7 @@ impl GeneratorConfig {
                 gate_idx += 1;
                 let fanin_refs: Vec<&str> = fanins.iter().map(String::as_str).collect();
                 b.gate(&name, kind, &fanin_refs)
-                    .expect("generator arities are valid");
+                    .unwrap_or_else(|e| unreachable!("generator arities are valid: {e}"));
                 this_level.push(name.clone());
                 gate_names.push(name);
             }
@@ -122,10 +122,14 @@ impl GeneratorConfig {
                 let lo = gate_names.len() * 2 / 3;
                 gate_names[rng.gen_range(lo..gate_names.len())].clone()
             };
-            b.dff(format!("ff{i}"), d).expect("dff arity");
+            b.dff(format!("ff{i}"), d)
+                .unwrap_or_else(|e| unreachable!("dff arity: {e}"));
         }
 
-        let netlist_probe = b.clone().build().expect("generator invariants hold");
+        let netlist_probe = b
+            .clone()
+            .build()
+            .unwrap_or_else(|e| unreachable!("generator invariants hold: {e}"));
         // Observe every dangling signal as a primary output, as a P&R
         // netlist would (no floating nets).
         let mut danglers = 0usize;
@@ -143,7 +147,8 @@ impl GeneratorConfig {
                 b.output(&level_of[0][0]);
             }
         }
-        b.build().expect("generator invariants hold")
+        b.build()
+            .unwrap_or_else(|e| unreachable!("generator invariants hold: {e}"))
     }
 }
 

@@ -22,7 +22,7 @@ G23 = NAND(G16, G19)
 
 /// Parses and returns c17.
 pub fn c17() -> Netlist {
-    parse_bench("c17", C17_BENCH).expect("embedded c17 is valid")
+    parse_bench("c17", C17_BENCH).unwrap_or_else(|e| unreachable!("embedded c17 is valid: {e}"))
 }
 
 /// A small sequential circuit with three flip-flops — a convenient toy
@@ -43,7 +43,8 @@ q1 = DFF(d1)
 q2 = DFF(d2)
 z = AND(n3, q1)
 ";
-    parse_bench("scan_toy", text).expect("embedded scan_toy is valid")
+    parse_bench("scan_toy", text)
+        .unwrap_or_else(|e| unreachable!("embedded scan_toy is valid: {e}"))
 }
 
 #[cfg(test)]

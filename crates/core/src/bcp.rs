@@ -118,6 +118,14 @@ pub enum BcpError {
         /// What overflowed.
         what: &'static str,
     },
+    /// A weighted interval was added with load 0. Zero-load jobs would
+    /// be placeable for free and make "peak" meaningless; weight-0 pins
+    /// are rejected at the objective layer and must never reach the
+    /// solver.
+    ZeroLoad {
+        /// The offending interval.
+        interval: Interval,
+    },
 }
 
 impl fmt::Display for BcpError {
@@ -147,6 +155,14 @@ impl fmt::Display for BcpError {
                 )
             }
             BcpError::Overflow { what } => write!(f, "arithmetic overflow computing {what}"),
+            BcpError::ZeroLoad { interval } => {
+                write!(
+                    f,
+                    "interval [{}, {}] has load 0; weighted intervals must carry load >= 1",
+                    interval.start(),
+                    interval.end()
+                )
+            }
         }
     }
 }
@@ -404,6 +420,47 @@ fn edf_span<F: Fn(usize) -> u64>(
     Ok(())
 }
 
+/// Weighted variant of [`edf_span`]: each interval carries an integral
+/// load and a color accepts intervals earliest-deadline-first while the
+/// heap head still fits the remaining quota ("blocking" EDF — the head
+/// blocks the color even when a lighter later-deadline interval would
+/// fit, which keeps the sweep a pure function of the carry-in heap and
+/// the quota and therefore seam-replayable across shards). With
+/// all-unit loads the placements and the reported misses are exactly
+/// [`edf_span`]'s. `loads` may be shorter than `intervals` (missing
+/// entries are unit), matching [`BcpInstance`]'s lazy representation.
+fn edf_span_weighted<F: Fn(usize) -> u64>(
+    intervals: &[Interval],
+    loads: &[u64],
+    by_start: &[Vec<u32>],
+    range: Range<usize>,
+    heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
+    capacity: &F,
+    mut place: impl FnMut(u32, u32),
+) -> Result<(), u32> {
+    for t in range {
+        for &idx in &by_start[t] {
+            heap.push(Reverse((intervals[idx as usize].end(), idx)));
+        }
+        let quota = capacity(t);
+        let mut used = 0u64;
+        while let Some(&Reverse((end, idx))) = heap.peek() {
+            if (end as usize) < t {
+                // Deadline missed: some earlier color was overfull.
+                return Err(end);
+            }
+            let w = loads.get(idx as usize).copied().unwrap_or(1);
+            if used.saturating_add(w) > quota {
+                break;
+            }
+            heap.pop();
+            place(idx, t as u32);
+            used += w;
+        }
+    }
+    Ok(())
+}
+
 /// A BCP instance: intervals over `num_colors` colors plus optional
 /// per-color baseline loads.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -411,6 +468,13 @@ pub struct BcpInstance {
     num_colors: usize,
     intervals: Vec<Interval>,
     baseline: Vec<u64>,
+    /// Per-interval loads for weighted objectives. Lazily populated:
+    /// empty means every interval has unit load (the canonical
+    /// representation for unweighted instances, so derived equality and
+    /// memory stay exactly as before). Once any non-unit load is added
+    /// the vector is back-filled with 1s and kept in sync with
+    /// `intervals`.
+    loads: Vec<u64>,
 }
 
 /// A color assignment: `colors[i]` is the color given to interval `i` (in
@@ -466,6 +530,7 @@ impl BcpInstance {
             num_colors,
             intervals: Vec::new(),
             baseline: vec![0; num_colors],
+            loads: Vec::new(),
         }
     }
 
@@ -483,7 +548,58 @@ impl BcpInstance {
             });
         }
         self.intervals.push(interval);
+        if !self.loads.is_empty() {
+            self.loads.push(1);
+        }
         Ok(())
+    }
+
+    /// Adds an interval carrying `load` toggle weight (a weighted
+    /// objective's fixed-point cost for this pin's one transition).
+    /// `add_weighted_interval(iv, 1)` is exactly `add_interval(iv)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::IntervalOutOfRange`] when the interval's end
+    /// is not a valid color and [`BcpError::ZeroLoad`] when `load == 0`
+    /// (weight-0 pins must be rejected before reaching the solver).
+    pub fn add_weighted_interval(&mut self, interval: Interval, load: u64) -> Result<(), BcpError> {
+        if load == 0 {
+            return Err(BcpError::ZeroLoad { interval });
+        }
+        if interval.end() as usize >= self.num_colors {
+            return Err(BcpError::IntervalOutOfRange {
+                interval,
+                num_colors: self.num_colors,
+            });
+        }
+        let tracked = !self.loads.is_empty() || load != 1;
+        if load != 1 && self.loads.is_empty() {
+            // First non-unit load: back-fill unit loads for every
+            // interval added so far.
+            self.loads = vec![1; self.intervals.len()];
+        }
+        self.intervals.push(interval);
+        if tracked {
+            self.loads.push(load);
+        }
+        Ok(())
+    }
+
+    /// Load carried by interval `i` (1 for unweighted instances).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; out-of-range indices report load 1 (callers index
+    /// by instance order).
+    pub fn interval_load(&self, i: usize) -> u64 {
+        self.loads.get(i).copied().unwrap_or(1)
+    }
+
+    /// `true` when every interval carries unit load — the solver then
+    /// routes through the unweighted engines verbatim.
+    pub fn is_unit(&self) -> bool {
+        self.loads.iter().all(|&w| w == 1)
     }
 
     /// Adds a forced (unavoidable) load at color `t`.
@@ -559,8 +675,18 @@ impl BcpInstance {
     /// # Errors
     ///
     /// Returns [`BcpError::Overflow`] when the bound exceeds `u64`.
+    ///
+    /// On weighted instances (any interval load > 1) the windowed sums
+    /// weigh each interval by its load and the engine switches to the
+    /// weighted parametric probe — still exact for the windowed bound,
+    /// though the integral weighted optimum may exceed it (the problem
+    /// is NP-hard).
     pub fn lower_bound(&self) -> Result<u64, BcpError> {
-        self.certified_bound(true, None)
+        if self.is_unit() {
+            self.certified_bound(true, None)
+        } else {
+            self.certified_bound_weighted(None)
+        }
     }
 
     /// Algorithm 1 verbatim: the O(C²) row dynamic program over
@@ -673,6 +799,109 @@ impl BcpInstance {
                             what: "windowed load (intervals + baseline)",
                         })?;
                     }
+                }
+                let len = (j - i + 1) as u64;
+                best = best.max(numerator.div_ceil(len));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Weighted Algorithm 1: the O(C²) row DP with each interval
+    /// contributing its load to `T[i][j]` instead of 1. Always
+    /// baseline-aware (weighted solves target the true objective).
+    /// Equals [`BcpInstance::lower_bound`] wherever neither engine
+    /// overflows (differential-tested); selected by
+    /// [`BoundMode::QuadraticDp`] on weighted solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when a windowed load sum exceeds
+    /// `u64`.
+    pub fn lower_bound_dp_weighted(&self) -> Result<u64, BcpError> {
+        let c = self.num_colors;
+        if c == 0 {
+            return Ok(0);
+        }
+        let overflow = || BcpError::Overflow {
+            what: "windowed weighted load",
+        };
+        // exact_by_start[i] lists (end, load) of intervals starting at i.
+        let mut exact_by_start: Vec<Vec<(u32, u64)>> = vec![Vec::new(); c];
+        for (i, iv) in self.intervals.iter().enumerate() {
+            exact_by_start[iv.start() as usize].push((iv.end(), self.interval_load(i)));
+        }
+        let mut pre = vec![0u64; c + 1];
+        for t in 0..c {
+            pre[t + 1] = pre[t]
+                .checked_add(self.baseline[t])
+                .ok_or(BcpError::Overflow {
+                    what: "baseline prefix sum",
+                })?;
+        }
+        let mut best: u64 = self.baseline.iter().copied().max().unwrap_or(0);
+        let mut prev = vec![0u64; c];
+        let mut cur = vec![0u64; c];
+        let mut add = vec![0u64; c];
+        for i in (0..c).rev() {
+            for a in add.iter_mut() {
+                *a = 0;
+            }
+            for &(e, w) in &exact_by_start[i] {
+                add[e as usize] = add[e as usize].checked_add(w).ok_or_else(overflow)?;
+            }
+            for j in 0..c {
+                if j < i {
+                    cur[j] = 0;
+                    continue;
+                }
+                let t_left = if j > i { cur[j - 1] } else { 0 };
+                let t_down = prev[j];
+                let t_diag = if j > i { prev[j - 1] } else { 0 };
+                // T[i][j-1] ⊇ T[i+1][j-1], so the subtraction cannot
+                // underflow, and ordering it first avoids a spurious
+                // intermediate overflow.
+                cur[j] = (t_left - t_diag)
+                    .checked_add(t_down)
+                    .and_then(|v| v.checked_add(add[j]))
+                    .ok_or_else(overflow)?;
+                let len = (j - i + 1) as u64;
+                let numerator = cur[j]
+                    .checked_add(pre[j + 1] - pre[i])
+                    .ok_or_else(overflow)?;
+                best = best.max(numerator.div_ceil(len));
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        Ok(best)
+    }
+
+    /// Weighted reference bound: direct load summation per window,
+    /// O(C²·k), baseline-aware. Cross-checks the weighted parametric
+    /// and DP engines in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Overflow`] when a windowed load sum exceeds
+    /// `u64`.
+    pub fn lower_bound_naive_weighted(&self) -> Result<u64, BcpError> {
+        let c = self.num_colors;
+        let overflow = || BcpError::Overflow {
+            what: "windowed weighted load",
+        };
+        let mut best: u64 = self.baseline.iter().copied().max().unwrap_or(0);
+        for i in 0..c {
+            for j in i..c {
+                let mut numerator = 0u64;
+                for (idx, iv) in self.intervals.iter().enumerate() {
+                    if iv.within(i as u32, j as u32) {
+                        numerator = numerator
+                            .checked_add(self.interval_load(idx))
+                            .ok_or_else(overflow)?;
+                    }
+                }
+                for &b in &self.baseline[i..=j] {
+                    numerator = numerator.checked_add(b).ok_or_else(overflow)?;
                 }
                 let len = (j - i + 1) as u64;
                 best = best.max(numerator.div_ceil(len));
@@ -805,6 +1034,163 @@ impl BcpInstance {
                 .collect();
             let feas = minipool::parallel_indexed(pivots.len(), |i| {
                 self.probe_feasible(&by_start, pivots[i], with_baseline)
+            });
+            match feas.iter().position(|&f| f) {
+                Some(j) => {
+                    good = pivots[j];
+                    if j > 0 {
+                        bad = pivots[j - 1];
+                    }
+                }
+                None => bad = pivots[m as usize - 1],
+            }
+        }
+        Ok(good)
+    }
+
+    /// Weighted fractional feasibility probe: can every interval's load
+    /// be placed within per-color capacity `peak − baseline_t` when
+    /// loads are divisible? Preemptive EDF is optimal for divisible
+    /// jobs with release times and deadlines, so the sweep is exact for
+    /// the relaxation and feasibility is monotone in `peak`. The
+    /// minimum feasible integral peak equals
+    /// `max(max_t baseline_t, max_{i≤j} ⌈(W[i][j] + B[i][j])/(j−i+1)⌉)`
+    /// (Gale–Hoffman on contiguous windows) — a true lower bound for
+    /// the integral weighted problem.
+    fn probe_feasible_fractional(&self, by_start: &[Vec<u32>], peak: u64) -> bool {
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> =
+            BinaryHeap::with_capacity(self.intervals.len());
+        let mut remaining: Vec<u64> = (0..self.intervals.len())
+            .map(|i| self.interval_load(i))
+            .collect();
+        for (t, starts) in by_start.iter().enumerate().take(self.num_colors) {
+            for &idx in starts {
+                heap.push(Reverse((self.intervals[idx as usize].end(), idx)));
+            }
+            let mut quota = peak.saturating_sub(self.baseline[t]);
+            while quota > 0 {
+                let Some(&Reverse((end, idx))) = heap.peek() else {
+                    break;
+                };
+                if (end as usize) < t {
+                    return false;
+                }
+                let r = remaining[idx as usize];
+                if r <= quota {
+                    quota -= r;
+                    heap.pop();
+                } else {
+                    remaining[idx as usize] = r - quota;
+                    quota = 0;
+                }
+            }
+            if let Some(&Reverse((end, _))) = heap.peek() {
+                if (end as usize) < t {
+                    return false;
+                }
+            }
+        }
+        heap.is_empty()
+    }
+
+    /// Weighted integral feasibility probe: one serial blocking-EDF
+    /// sweep ([`edf_span_weighted`]). Success certifies an achievable
+    /// peak; failure does **not** certify infeasibility (weighted
+    /// bottleneck coloring is NP-hard and blocking EDF is a heuristic
+    /// above the fractional bound).
+    fn probe_feasible_blocking(&self, by_start: &[Vec<u32>], peak: u64) -> bool {
+        let mut heap = BinaryHeap::with_capacity(self.intervals.len());
+        let placed = edf_span_weighted(
+            &self.intervals,
+            &self.loads,
+            by_start,
+            0..self.num_colors,
+            &mut heap,
+            &|t| peak.saturating_sub(self.baseline[t]),
+            |_, _| {},
+        );
+        placed.is_ok() && heap.is_empty()
+    }
+
+    /// [`BcpInstance::ladder_best`] with each interval contributing its
+    /// load instead of 1, always baseline-aware. Saturation
+    /// undercounts, keeping every level a valid lower bound.
+    fn ladder_best_weighted(&self) -> u64 {
+        let c = self.num_colors;
+        if c == 0 {
+            return 0;
+        }
+        let top = bitlen(c - 1).min(63);
+        let maxima = minipool::parallel_indexed(top + 1, |l| {
+            let mut counts = vec![0u64; ((c - 1) >> l) + 1];
+            for (i, iv) in self.intervals.iter().enumerate() {
+                if iv.aligned_level() as usize <= l {
+                    let q = (iv.start() as usize) >> l;
+                    counts[q] = counts[q].saturating_add(self.interval_load(i));
+                }
+            }
+            for (t, &b) in self.baseline.iter().enumerate() {
+                counts[t >> l] = counts[t >> l].saturating_add(b);
+            }
+            let width = 1u64 << l;
+            counts.iter().map(|&n| n.div_ceil(width)).max().unwrap_or(0)
+        });
+        maxima.into_iter().max().unwrap_or(0)
+    }
+
+    /// The weighted parametric lower-bound engine: minimum peak
+    /// feasible for the *fractional* relaxation, found exactly like the
+    /// unit engine — warm/ladder/density floor, gallop, k-ary panel
+    /// narrowing. The fractional predicate is monotone, so the result
+    /// is deterministic at any thread count. Warm candidates stay
+    /// valid: loads are ≥ 1, so any unit-load bound is below the
+    /// weighted bound.
+    fn certified_bound_weighted(&self, warm: Option<u64>) -> Result<u64, BcpError> {
+        let c = self.num_colors;
+        if c == 0 {
+            return Ok(0);
+        }
+        let mut lo = warm.unwrap_or(0).max(self.ladder_best_weighted());
+        lo = lo.max(self.baseline.iter().copied().max().unwrap_or(0));
+        // Saturation undercounts, keeping the candidate a valid bound.
+        let total = (0..self.intervals.len())
+            .map(|i| self.interval_load(i))
+            .fold(0u64, |a, w| a.saturating_add(w));
+        let total = self
+            .baseline
+            .iter()
+            .fold(total, |a, &b| a.saturating_add(b));
+        lo = lo.max(total.div_ceil(c as u64));
+        let by_start = self.by_start();
+        if self.probe_feasible_fractional(&by_start, lo) {
+            return Ok(lo);
+        }
+        // Gallop to an infeasible/feasible bracket (bad, good].
+        let mut bad = lo;
+        let mut step = 1u64;
+        let mut good;
+        loop {
+            let p = bad.saturating_add(step);
+            if self.probe_feasible_fractional(&by_start, p) {
+                good = p;
+                break;
+            }
+            if p == u64::MAX {
+                return Err(BcpError::Overflow {
+                    what: "weighted BCP lower bound (exceeds u64)",
+                });
+            }
+            bad = p;
+            step = step.saturating_mul(2);
+        }
+        while good - bad > 1 {
+            let gap = good - bad - 1;
+            let m = (minipool::current_threads().max(1) as u64).min(gap).min(16);
+            let pivots: Vec<u64> = (1..=m)
+                .map(|i| bad + ((good - bad) as u128 * i as u128 / (m + 1) as u128) as u64)
+                .collect();
+            let feas = minipool::parallel_indexed(pivots.len(), |i| {
+                self.probe_feasible_fractional(&by_start, pivots[i])
             });
             match feas.iter().position(|&f| f) {
                 Some(j) => {
@@ -977,6 +1363,124 @@ impl BcpInstance {
         Ok(Coloring { colors })
     }
 
+    /// Weighted [`BcpInstance::color_edf`]: serial blocking-EDF sweep
+    /// with per-color capacity `peak − baseline_t`, each interval
+    /// consuming its load. On unit loads places exactly like
+    /// [`BcpInstance::color_edf`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Infeasible`] when the blocking sweep cannot
+    /// meet `peak`.
+    pub fn color_edf_weighted(&self, peak: u64) -> Result<Coloring, BcpError> {
+        self.color_edf_weighted_sharded(peak, usize::MAX)
+    }
+
+    /// [`BcpInstance::color_edf_weighted`] sharded across color windows
+    /// of `shard_width` colors — the same speculative seam-walk as the
+    /// unit sweep (blocking EDF is a pure function of the carry-in heap
+    /// and the quota, so accepted speculation *is* the serial sweep),
+    /// hence byte-identical output and errors at any thread count and
+    /// any width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::Infeasible`] when the blocking sweep cannot
+    /// meet `peak`.
+    pub fn color_edf_weighted_sharded(
+        &self,
+        peak: u64,
+        shard_width: usize,
+    ) -> Result<Coloring, BcpError> {
+        let capacity = |t: usize| peak.saturating_sub(self.baseline[t]);
+        let c = self.num_colors;
+        let k = self.intervals.len();
+        let mut colors = vec![u32::MAX; k];
+        if k == 0 {
+            return Ok(Coloring { colors });
+        }
+        let infeasible = |color: u32| BcpError::Infeasible { peak, color };
+        let width = shard_width.max(1);
+        let shards = c.div_ceil(width);
+        let by_start = self.by_start();
+        if shards <= 1 {
+            let mut heap = BinaryHeap::with_capacity(k);
+            edf_span_weighted(
+                &self.intervals,
+                &self.loads,
+                &by_start,
+                0..c,
+                &mut heap,
+                &capacity,
+                |idx, t| {
+                    colors[idx as usize] = t;
+                },
+            )
+            .map_err(infeasible)?;
+            if let Some(&Reverse((end, _))) = heap.peek() {
+                return Err(infeasible(end));
+            }
+            return Ok(Coloring { colors });
+        }
+        struct Speculative {
+            placed: Vec<(u32, u32)>,
+            carry: Vec<Reverse<(u32, u32)>>,
+            miss: Option<u32>,
+        }
+        let runs: Vec<Speculative> = minipool::parallel_indexed(shards, |s| {
+            let span = s * width..((s + 1) * width).min(c);
+            let mut heap = BinaryHeap::new();
+            let mut placed = Vec::new();
+            let miss = edf_span_weighted(
+                &self.intervals,
+                &self.loads,
+                &by_start,
+                span,
+                &mut heap,
+                &capacity,
+                |idx, t| {
+                    placed.push((idx, t));
+                },
+            )
+            .err();
+            Speculative {
+                placed,
+                carry: heap.into_vec(),
+                miss,
+            }
+        });
+        let mut carry: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for (s, run) in runs.into_iter().enumerate() {
+            if carry.is_empty() {
+                if let Some(color) = run.miss {
+                    return Err(infeasible(color));
+                }
+                for (idx, t) in run.placed {
+                    colors[idx as usize] = t;
+                }
+                carry = BinaryHeap::from(run.carry);
+            } else {
+                let span = s * width..((s + 1) * width).min(c);
+                edf_span_weighted(
+                    &self.intervals,
+                    &self.loads,
+                    &by_start,
+                    span,
+                    &mut carry,
+                    &capacity,
+                    |idx, t| {
+                        colors[idx as usize] = t;
+                    },
+                )
+                .map_err(infeasible)?;
+            }
+        }
+        if let Some(&Reverse((end, _))) = carry.peek() {
+            return Err(infeasible(end));
+        }
+        Ok(Coloring { colors })
+    }
+
     /// Verifies a coloring: every interval colored inside its window.
     /// Returns the achieved peaks.
     ///
@@ -994,13 +1498,18 @@ impl BcpInstance {
             )));
         }
         let mut load = vec![0u64; self.num_colors];
-        for (iv, &color) in self.intervals.iter().zip(&coloring.colors) {
+        for (i, (iv, &color)) in self.intervals.iter().zip(&coloring.colors).enumerate() {
             if !iv.contains(color) {
                 return Err(BcpError::InvalidColoring(format!(
                     "interval {iv} colored {color}"
                 )));
             }
-            load[color as usize] += 1;
+            let slot = &mut load[color as usize];
+            *slot = slot
+                .checked_add(self.interval_load(i))
+                .ok_or(BcpError::Overflow {
+                    what: "verified peak (load + baseline)",
+                })?;
         }
         let intervals_only = load.iter().copied().max().unwrap_or(0);
         let mut with_baseline = self.baseline.iter().copied().max().unwrap_or(0);
@@ -1016,18 +1525,107 @@ impl BcpInstance {
         })
     }
 
+    /// Secondary-objective tie-break: shifts each interval as far as
+    /// its slack allows in the desired direction without raising any
+    /// per-color peak above `peak`. `desire[i] > 0` moves interval
+    /// `i`'s transition as late as possible (more cubes hold the left
+    /// value of its stretch), `< 0` as early as possible, `0` leaves it
+    /// in place. One deterministic pass in instance order; the result
+    /// re-verifies at the same or a lower peak, so a peak-optimal
+    /// coloring stays peak-optimal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BcpError::InvalidColoring`] when the coloring is
+    /// malformed, `desire` has the wrong length, or the coloring's
+    /// verified peak already exceeds `peak`; [`BcpError::Overflow`]
+    /// when verification overflows.
+    pub fn shift_within_slack(
+        &self,
+        coloring: &Coloring,
+        desire: &[i8],
+        peak: u64,
+    ) -> Result<Coloring, BcpError> {
+        if desire.len() != self.intervals.len() {
+            return Err(BcpError::InvalidColoring(format!(
+                "{} desires for {} intervals",
+                desire.len(),
+                self.intervals.len()
+            )));
+        }
+        let verified = self.verify(coloring)?;
+        if verified.with_baseline > peak {
+            return Err(BcpError::InvalidColoring(format!(
+                "verified peak {} exceeds shift budget {peak}",
+                verified.with_baseline
+            )));
+        }
+        let mut load = vec![0u64; self.num_colors];
+        for (i, &color) in coloring.colors.iter().enumerate() {
+            // verify() above proved these sums fit in u64.
+            load[color as usize] += self.interval_load(i);
+        }
+        let mut colors = coloring.colors.clone();
+        for i in 0..colors.len() {
+            let dir = desire[i];
+            if dir == 0 {
+                continue;
+            }
+            let iv = self.intervals[i];
+            let w = self.interval_load(i);
+            let cur = colors[i] as usize;
+            load[cur] -= w;
+            let fits = |t: usize, load: &[u64]| {
+                self.baseline[t].saturating_add(load[t]).saturating_add(w) <= peak
+            };
+            let mut chosen = cur;
+            if dir > 0 {
+                // Farthest color to the right that still fits.
+                let mut t = iv.end() as usize;
+                while t > cur {
+                    if fits(t, &load) {
+                        chosen = t;
+                        break;
+                    }
+                    t -= 1;
+                }
+            } else {
+                // Farthest color to the left that still fits.
+                for t in iv.start() as usize..cur {
+                    if fits(t, &load) {
+                        chosen = t;
+                        break;
+                    }
+                }
+            }
+            load[chosen] += w;
+            colors[i] = chosen as u32;
+        }
+        Ok(Coloring { colors })
+    }
+
     /// Solves with the generalized (baseline-aware) algorithm under
     /// explicit [`SolveOptions`]; the returned peak is optimal for
     /// `max_t (baseline_t + load_t)`. The solution is identical for
     /// every option combination (the options pick engines, not
     /// answers) — differential-tested.
     ///
+    /// Weighted instances (any interval load > 1) route to the weighted
+    /// engines: the certified `lower_bound` is the exact fractional
+    /// windowed bound, and `peak` may exceed it on instances beyond the
+    /// exact-search budget (weighted bottleneck coloring is NP-hard).
+    /// Unit instances run the unweighted engines verbatim.
+    ///
     /// # Errors
     ///
     /// Returns [`BcpError::Overflow`] when the bound exceeds `u64`;
-    /// propagates [`BcpError::Infeasible`] — which would indicate a
-    /// solver bug, as the generalized lower bound is always achievable.
+    /// propagates [`BcpError::Infeasible`] — which on unit instances
+    /// would indicate a solver bug, as the generalized lower bound is
+    /// always achievable.
     pub fn solve_with(&self, opts: &SolveOptions) -> Result<BcpSolution, BcpError> {
+        if !self.is_unit() {
+            return self.solve_weighted_with(opts);
+        }
         let lb = match opts.bound {
             BoundMode::Incremental => self.certified_bound(true, opts.warm_lb)?,
             BoundMode::QuadraticDp => self.lower_bound_dp(true)?,
@@ -1040,6 +1638,155 @@ impl BcpInstance {
             lower_bound: lb,
             peak,
         })
+    }
+
+    /// Weighted solve: certify the fractional windowed bound, find a
+    /// blocking-EDF-feasible peak by deterministic galloping and serial
+    /// bisection (blocking feasibility need not be monotone, so the
+    /// search must not depend on the thread count), color sharded, then
+    /// close any remaining gap with a bounded exact branch-and-bound.
+    /// Weighted bottleneck coloring is NP-hard, so
+    /// `peak == lower_bound` is not guaranteed on instances beyond the
+    /// search budget; inside it the peak is exactly optimal
+    /// (differential-tested against brute force).
+    fn solve_weighted_with(&self, opts: &SolveOptions) -> Result<BcpSolution, BcpError> {
+        let lb = match opts.bound {
+            BoundMode::Incremental => self.certified_bound_weighted(opts.warm_lb)?,
+            BoundMode::QuadraticDp => self.lower_bound_dp_weighted()?,
+        };
+        let by_start = self.by_start();
+        let mut target = lb;
+        if !self.probe_feasible_blocking(&by_start, target) {
+            let mut bad = target;
+            let mut step = 1u64;
+            let mut good;
+            loop {
+                let p = bad.saturating_add(step);
+                if self.probe_feasible_blocking(&by_start, p) {
+                    good = p;
+                    break;
+                }
+                if p == u64::MAX {
+                    return Err(BcpError::Overflow {
+                        what: "weighted BCP peak (exceeds u64)",
+                    });
+                }
+                bad = p;
+                step = step.saturating_mul(2);
+            }
+            // Bisect; the invariant "good is feasible" holds throughout,
+            // so the result is a deterministic achievable peak even if
+            // the predicate has non-monotone pockets.
+            while good - bad > 1 {
+                let mid = bad + (good - bad) / 2;
+                if self.probe_feasible_blocking(&by_start, mid) {
+                    good = mid;
+                } else {
+                    bad = mid;
+                }
+            }
+            target = good;
+        }
+        let width = opts.shards.resolve_width(self.num_colors);
+        let mut coloring = self.color_edf_weighted_sharded(target, width)?;
+        let mut peak = self.verify(&coloring)?;
+        if peak.with_baseline > lb {
+            if let Some(improved) = self.exact_refine(lb, peak.with_baseline) {
+                let improved = Coloring { colors: improved };
+                let improved_peak = self.verify(&improved)?;
+                if improved_peak.with_baseline < peak.with_baseline {
+                    coloring = improved;
+                    peak = improved_peak;
+                }
+            }
+        }
+        Ok(BcpSolution {
+            coloring,
+            lower_bound: lb,
+            peak,
+        })
+    }
+
+    /// Bounded deterministic branch-and-bound over interval placements:
+    /// seeded with `seed_peak` (the greedy result, strict upper bound)
+    /// and cut off at `lb` (provably optimal when reached). Intervals
+    /// are visited tightest-deadline first; the node budget and depth
+    /// gate bound worst-case work, so large instances simply keep the
+    /// greedy coloring. Entirely serial — identical at any thread count
+    /// or shard width.
+    fn exact_refine(&self, lb: u64, seed_peak: u64) -> Option<Vec<u32>> {
+        const NODE_BUDGET: u64 = 2_000_000;
+        const MAX_DEPTH: usize = 2_000;
+        let k = self.intervals.len();
+        if k == 0 || k > MAX_DEPTH || seed_peak <= lb {
+            return None;
+        }
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let iv = self.intervals[i as usize];
+            (iv.end(), iv.start(), i)
+        });
+        struct Search<'a> {
+            inst: &'a BcpInstance,
+            order: Vec<u32>,
+            load: Vec<u64>,
+            colors: Vec<u32>,
+            best: Option<Vec<u32>>,
+            best_peak: u64,
+            lb: u64,
+            budget: u64,
+        }
+        impl Search<'_> {
+            fn dfs(&mut self, depth: usize, cur_peak: u64) {
+                if self.best_peak == self.lb || self.budget == 0 {
+                    return;
+                }
+                if depth == self.order.len() {
+                    if cur_peak < self.best_peak {
+                        self.best_peak = cur_peak;
+                        self.best = Some(self.colors.clone());
+                    }
+                    return;
+                }
+                let idx = self.order[depth] as usize;
+                let iv = self.inst.intervals[idx];
+                let w = self.inst.interval_load(idx);
+                for t in iv.start()..=iv.end() {
+                    if self.budget == 0 {
+                        return;
+                    }
+                    self.budget -= 1;
+                    let slot = t as usize;
+                    let new_load = self.load[slot].saturating_add(w);
+                    // Prune: this color would already match the best peak.
+                    if new_load >= self.best_peak {
+                        continue;
+                    }
+                    self.load[slot] = new_load;
+                    self.colors[idx] = t;
+                    self.dfs(depth + 1, cur_peak.max(new_load));
+                    self.load[slot] = new_load - w;
+                    if self.best_peak == self.lb {
+                        return;
+                    }
+                }
+            }
+        }
+        let mut search = Search {
+            inst: self,
+            order,
+            // `load` carries the baseline, so per-color sums are the
+            // true objective directly.
+            load: self.baseline.clone(),
+            colors: vec![u32::MAX; k],
+            best: None,
+            best_peak: seed_peak,
+            lb,
+            budget: NODE_BUDGET,
+        };
+        let start_peak = search.load.iter().copied().max().unwrap_or(0);
+        search.dfs(0, start_peak);
+        search.best
     }
 
     /// Solves with the generalized (baseline-aware) algorithm under the
@@ -1055,7 +1802,10 @@ impl BcpInstance {
     /// Solves with the paper's Algorithms 1+2 (baseline ignored during
     /// optimization, but reported in the verified peak) under explicit
     /// [`SolveOptions`]. [`SolveOptions::warm_lb`] is ignored: warm
-    /// bounds are certified for the generalized objective.
+    /// bounds are certified for the generalized objective. Interval
+    /// loads are also ignored — the published algorithms are defined
+    /// for unit loads; weighted instances must use
+    /// [`BcpInstance::solve_with`].
     ///
     /// # Errors
     ///
@@ -1070,8 +1820,8 @@ impl BcpInstance {
         let coloring =
             self.color_greedy_paper_sharded(lb, opts.shards.resolve_width(self.num_colors))?;
         let peak = self.verify(&coloring)?;
-        debug_assert_eq!(
-            peak.intervals_only, lb,
+        debug_assert!(
+            !self.is_unit() || peak.intervals_only == lb,
             "greedy must meet Algorithm 1's bound"
         );
         Ok(BcpSolution {
@@ -1107,14 +1857,17 @@ impl BcpInstance {
                 return;
             }
             let iv = instance.intervals[idx];
+            let w = instance.interval_load(idx);
             for t in iv.start()..=iv.end() {
-                load[t as usize] += 1;
+                let slot = t as usize;
+                let old = load[slot];
+                load[slot] = old.saturating_add(w);
                 // Prune: partial peak already ≥ best.
-                let partial = load[t as usize].saturating_add(instance.baseline[t as usize]);
+                let partial = load[slot].saturating_add(instance.baseline[slot]);
                 if partial < *best || *best == 0 {
                     rec(instance, idx + 1, load, best);
                 }
-                load[t as usize] -= 1;
+                load[slot] = old;
             }
         }
         if self.num_colors == 0 {
@@ -1567,5 +2320,245 @@ mod tests {
                 assert_eq!(sol, reference, "{bound:?} {shards:?}");
             }
         }
+    }
+
+    /// Deterministic pseudo-random weight in 1..=16.
+    fn pseudo_weight(seed: u64) -> u64 {
+        (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) + 1
+    }
+
+    fn weighted_instance(n_colors: usize, ivs: &[(u32, u32, u64)]) -> BcpInstance {
+        let mut inst = BcpInstance::new(n_colors);
+        for &(s, e, w) in ivs {
+            inst.add_weighted_interval(Interval::new(s, e), w).unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn unit_loads_stay_in_the_canonical_representation() {
+        let mut inst = BcpInstance::new(4);
+        inst.add_weighted_interval(Interval::new(0, 2), 1).unwrap();
+        inst.add_interval(Interval::new(1, 3)).unwrap();
+        assert!(inst.is_unit());
+        // Unit weighted adds leave the instance equal to the plain one.
+        let plain = instance(4, &[(0, 2), (1, 3)]);
+        assert_eq!(inst, plain);
+        // A non-unit load back-fills and stays in sync afterwards.
+        inst.add_weighted_interval(Interval::new(0, 0), 5).unwrap();
+        inst.add_interval(Interval::new(2, 3)).unwrap();
+        assert!(!inst.is_unit());
+        assert_eq!(
+            (0..4).map(|i| inst.interval_load(i)).collect::<Vec<_>>(),
+            vec![1, 1, 5, 1]
+        );
+    }
+
+    #[test]
+    fn zero_load_intervals_are_rejected() {
+        let mut inst = BcpInstance::new(4);
+        let err = inst
+            .add_weighted_interval(Interval::new(1, 2), 0)
+            .unwrap_err();
+        assert!(matches!(err, BcpError::ZeroLoad { .. }));
+        assert_eq!(inst.intervals().len(), 0);
+    }
+
+    #[test]
+    fn weighted_bound_engines_agree() {
+        let mut seed = 0u64;
+        for n_colors in [1usize, 3, 7, 12] {
+            for k in [0usize, 1, 4, 9] {
+                let mut inst = BcpInstance::new(n_colors);
+                for _ in 0..k {
+                    seed += 1;
+                    let s = (pseudo_weight(seed * 3) - 1) as u32 % n_colors as u32;
+                    seed += 1;
+                    let e = s + (pseudo_weight(seed * 5) as u32 - 1) % (n_colors as u32 - s);
+                    seed += 1;
+                    inst.add_weighted_interval(Interval::new(s, e), pseudo_weight(seed))
+                        .unwrap();
+                }
+                for t in 0..n_colors {
+                    seed += 1;
+                    if pseudo_weight(seed) > 12 {
+                        inst.add_baseline(t, pseudo_weight(seed * 7)).unwrap();
+                    }
+                }
+                let parametric = inst.lower_bound().unwrap();
+                assert_eq!(parametric, inst.lower_bound_dp_weighted().unwrap());
+                assert_eq!(parametric, inst.lower_bound_naive_weighted().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_dp_matches_unit_dp_on_unit_instances() {
+        let mut inst = instance(9, &[(0, 8), (2, 3), (2, 3), (5, 5), (6, 8), (0, 1)]);
+        inst.set_baseline(vec![1, 0, 0, 2, 0, 1, 0, 0, 0]).unwrap();
+        assert_eq!(
+            inst.lower_bound_dp_weighted().unwrap(),
+            inst.lower_bound_dp(true).unwrap()
+        );
+    }
+
+    #[test]
+    fn weighted_solve_matches_brute_force_on_small_instances() {
+        // Random small weighted instances: the bounded exact search
+        // must close the greedy gap, making the solver peak optimal.
+        let mut seed = 1000u64;
+        for trial in 0..40 {
+            let n_colors = 2 + (trial % 7);
+            let k = 1 + (trial % 6);
+            let mut inst = BcpInstance::new(n_colors);
+            for _ in 0..k {
+                seed += 1;
+                let s = (pseudo_weight(seed * 3) as u32 - 1) % n_colors as u32;
+                seed += 1;
+                let e = s + (pseudo_weight(seed * 5) as u32 - 1) % (n_colors as u32 - s);
+                seed += 1;
+                inst.add_weighted_interval(Interval::new(s, e), pseudo_weight(seed))
+                    .unwrap();
+            }
+            seed += 1;
+            if pseudo_weight(seed) > 8 {
+                inst.add_baseline((seed % n_colors as u64) as usize, pseudo_weight(seed * 11))
+                    .unwrap();
+            }
+            let expect = inst.brute_force_min_peak();
+            let sol = inst.solve().unwrap();
+            assert_eq!(sol.peak.with_baseline, expect, "trial {trial}: {inst:?}");
+            assert!(sol.lower_bound <= expect, "trial {trial}");
+            assert_eq!(inst.verify(&sol.coloring).unwrap(), sol.peak);
+        }
+    }
+
+    #[test]
+    fn weighted_sharded_solve_is_identical_to_serial() {
+        let inst = {
+            let mut inst = weighted_instance(
+                11,
+                &[
+                    (0, 10, 3),
+                    (0, 0, 7),
+                    (3, 7, 2),
+                    (3, 7, 5),
+                    (4, 4, 1),
+                    (8, 10, 9),
+                    (9, 10, 4),
+                    (2, 6, 6),
+                    (0, 5, 2),
+                ],
+            );
+            inst.set_baseline(vec![0, 2, 0, 1, 0, 0, 3, 0, 0, 1, 0])
+                .unwrap();
+            inst
+        };
+        let serial = inst
+            .solve_with(&SolveOptions {
+                bound: BoundMode::Incremental,
+                shards: ShardSpec::Serial,
+                warm_lb: None,
+            })
+            .unwrap();
+        let peak = serial.peak.with_baseline;
+        let serial_coloring = inst.color_edf_weighted(peak).unwrap();
+        for width in [1, 2, 3, 5, 7, 11, 64] {
+            assert_eq!(
+                inst.color_edf_weighted_sharded(peak, width).unwrap(),
+                serial_coloring,
+                "shard width {width}"
+            );
+        }
+        for bound in [BoundMode::Incremental, BoundMode::QuadraticDp] {
+            for shards in [
+                ShardSpec::Auto,
+                ShardSpec::Serial,
+                ShardSpec::Width(1),
+                ShardSpec::Width(4),
+            ] {
+                let sol = inst
+                    .solve_with(&SolveOptions {
+                        bound,
+                        shards,
+                        warm_lb: None,
+                    })
+                    .unwrap();
+                assert_eq!(sol, serial, "{bound:?} {shards:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_coloring_with_unit_loads_places_like_the_unit_sweep() {
+        let mut inst = instance(9, &[(0, 8), (2, 3), (2, 3), (5, 5), (6, 8), (0, 1)]);
+        inst.set_baseline(vec![1, 0, 0, 2, 0, 1, 0, 0, 0]).unwrap();
+        let lb = inst.lower_bound().unwrap();
+        assert_eq!(
+            inst.color_edf_weighted(lb).unwrap(),
+            inst.color_edf(lb).unwrap()
+        );
+        // And the miss reports match too.
+        if lb > 0 {
+            let unit_err = inst.color_edf(lb - 1).unwrap_err();
+            let weighted_err = inst.color_edf_weighted(lb - 1).unwrap_err();
+            assert_eq!(format!("{unit_err}"), format!("{weighted_err}"));
+        }
+    }
+
+    #[test]
+    fn weighted_overflow_reports_typed_errors_at_extreme_weights() {
+        // Two max-weight intervals forced onto one color: the bound
+        // exceeds u64 and must surface as Overflow, not wrap or panic.
+        let inst = weighted_instance(1, &[(0, 0, u64::MAX), (0, 0, u64::MAX)]);
+        assert!(matches!(inst.lower_bound(), Err(BcpError::Overflow { .. })));
+        assert!(matches!(inst.solve(), Err(BcpError::Overflow { .. })));
+        assert!(matches!(
+            inst.lower_bound_naive_weighted(),
+            Err(BcpError::Overflow { .. })
+        ));
+        assert!(matches!(
+            inst.lower_bound_dp_weighted(),
+            Err(BcpError::Overflow { .. })
+        ));
+        // A single max-weight interval is fine.
+        let single = weighted_instance(1, &[(0, 0, u64::MAX)]);
+        assert_eq!(single.solve().unwrap().peak.with_baseline, u64::MAX);
+    }
+
+    #[test]
+    fn shift_within_slack_moves_only_where_the_peak_allows() {
+        // Three unit intervals over 3 colors, peak 1: the coloring is a
+        // permutation; desires can only shuffle within slack.
+        let inst = instance(3, &[(0, 2), (0, 2), (0, 2)]);
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 1);
+        // Pull everything rightward: the last-placed can't move (the
+        // other colors are full), so the shifted coloring must still
+        // verify at peak 1.
+        let shifted = inst
+            .shift_within_slack(&sol.coloring, &[1, 1, 1], 1)
+            .unwrap();
+        let peak = inst.verify(&shifted).unwrap();
+        assert_eq!(peak.with_baseline, 1);
+        // With peak budget 3 everything piles onto the rightmost color.
+        let shifted = inst
+            .shift_within_slack(&sol.coloring, &[1, 1, 1], 3)
+            .unwrap();
+        assert_eq!(shifted.colors(), &[2, 2, 2]);
+        let leftward = inst
+            .shift_within_slack(&sol.coloring, &[-1, -1, -1], 3)
+            .unwrap();
+        assert_eq!(leftward.colors(), &[0, 0, 0]);
+        // Zero desire is the identity.
+        let same = inst
+            .shift_within_slack(&sol.coloring, &[0, 0, 0], 1)
+            .unwrap();
+        assert_eq!(&same, &sol.coloring);
+        // Bad budget and bad lengths are typed errors.
+        assert!(inst.shift_within_slack(&sol.coloring, &[0, 0], 1).is_err());
+        assert!(inst
+            .shift_within_slack(&sol.coloring, &[0, 0, 0], 0)
+            .is_err());
     }
 }

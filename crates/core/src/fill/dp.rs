@@ -14,21 +14,44 @@ use dpfill_cubes::CubeSet;
 
 use crate::bcp::{BcpError, BcpSolution, SolveOptions};
 use crate::mapping::MatrixMapping;
+use crate::objective::{FillObjective, ObjectiveError};
 
 use super::FillStrategy;
 
-/// Typed failure from DP-fill's internal BCP solve.
+/// What failed inside a DP-fill run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FillErrorSource {
+    /// The internal BCP solve failed.
+    Solve(BcpError),
+    /// The fill objective does not fit the input (bad weight table
+    /// width, weighted load overflow).
+    Objective(ObjectiveError),
+}
+
+impl fmt::Display for FillErrorSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FillErrorSource::Solve(e) => e.fmt(f),
+            FillErrorSource::Objective(e) => e.fmt(f),
+        }
+    }
+}
+
+/// Typed failure from DP-fill's internal BCP solve or objective
+/// application.
 ///
 /// [`MatrixMapping`] always produces instances the solvers can color at
 /// their lower bound (Hall's condition holds for unit jobs with interval
 /// windows — see `mapping_instances_are_always_solvable` in the tests),
-/// so this error is unreachable through the public entry points unless
-/// that invariant is broken by a solver bug. It exists so wide-input
-/// callers can handle the condition instead of unwinding.
+/// so the [`FillErrorSource::Solve`] arm is unreachable through the
+/// public entry points unless that invariant is broken by a solver bug.
+/// [`FillErrorSource::Objective`] is reachable: a weight table that does
+/// not cover the input's pins is a user error.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DpFillError {
-    /// The underlying solver error.
-    pub source: BcpError,
+    /// The underlying error.
+    pub source: FillErrorSource,
     /// Shape of the offending input (`cubes`, `pins`).
     pub shape: (usize, usize),
 }
@@ -45,7 +68,10 @@ impl fmt::Display for DpFillError {
 
 impl Error for DpFillError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(&self.source)
+        match &self.source {
+            FillErrorSource::Solve(e) => Some(e),
+            FillErrorSource::Objective(e) => Some(e),
+        }
     }
 }
 
@@ -80,10 +106,11 @@ pub enum DpMode {
 /// assert_eq!(report.peak, 1); // the two toggles spread over 2 transitions
 /// assert_eq!(peak_toggles(&report.filled).unwrap(), 1);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DpFill {
     mode: DpMode,
     solve: SolveOptions,
+    objective: FillObjective,
 }
 
 impl Default for DpFill {
@@ -98,15 +125,23 @@ pub struct DpFillReport {
     /// The filled patterns.
     pub filled: CubeSet,
     /// Achieved peak toggles `max_j hd(T_j, T_{j+1})` (with forced
-    /// toggles counted — the true objective).
+    /// toggles counted). Under the default objective this is what the
+    /// solver minimized; under a weighted objective it is the measured
+    /// unweighted peak of the weighted-optimal fill (reported for
+    /// comparison, not itself minimized).
     pub peak: u64,
-    /// The certified lower bound (equals `peak` in [`DpMode::Exact`]:
-    /// the optimality certificate).
+    /// The certified lower bound in objective units (equals
+    /// `objective_peak` in [`DpMode::Exact`] when the solver certified
+    /// optimality).
     pub lower_bound: u64,
     /// Number of BCP intervals (transition stretches).
     pub interval_count: usize,
     /// Total forced toggles (baseline sum).
     pub forced_toggles: u64,
+    /// Achieved peak in *objective units* — fixed-point weighted toggle
+    /// load under a weighted objective, identical to `peak` under the
+    /// default one.
+    pub objective_peak: u64,
     /// The underlying BCP solution.
     pub solution: BcpSolution,
 }
@@ -118,6 +153,7 @@ impl DpFill {
         DpFill {
             mode: DpMode::Exact,
             solve: SolveOptions::from_env(),
+            objective: FillObjective::default(),
         }
     }
 
@@ -126,6 +162,7 @@ impl DpFill {
         DpFill {
             mode,
             solve: SolveOptions::from_env(),
+            objective: FillObjective::default(),
         }
     }
 
@@ -135,6 +172,17 @@ impl DpFill {
     /// engines, not answers.
     pub fn with_solve_options(mut self, solve: SolveOptions) -> DpFill {
         self.solve = solve;
+        self
+    }
+
+    /// Overrides the fill objective. The default ([`FillObjective::peak_toggles`])
+    /// reproduces the paper's unweighted metric byte-for-byte; weighted
+    /// objectives change which fill is optimal. Under
+    /// [`DpMode::PaperExact`] the weights still charge the instance but
+    /// the paper solver optimizes the unweighted interval count
+    /// verbatim — use [`DpMode::Exact`] for weighted optimality.
+    pub fn with_objective(mut self, objective: FillObjective) -> DpFill {
+        self.objective = objective;
         self
     }
 
@@ -148,34 +196,63 @@ impl DpFill {
         self.solve
     }
 
+    /// The configured fill objective.
+    pub fn objective(&self) -> &FillObjective {
+        &self.objective
+    }
+
     /// Fills `cubes` and returns the full report (filled set, peak,
     /// optimality certificate), propagating solver failures as a typed
     /// [`DpFillError`] instead of panicking.
     ///
     /// # Errors
     ///
-    /// Returns [`DpFillError`] if the internal BCP solve fails. This is
-    /// unreachable for instances produced by [`MatrixMapping`] (the
-    /// documented invariant, exercised by the randomized totality test);
-    /// it exists so production callers on untrusted or very wide inputs
-    /// degrade gracefully.
+    /// Returns [`DpFillError`] if the objective does not fit the input
+    /// (wrong weight-table width, weighted load overflow) or if the
+    /// internal BCP solve fails. The solve arm is unreachable for
+    /// instances produced by [`MatrixMapping`] (the documented
+    /// invariant, exercised by the randomized totality test); it exists
+    /// so production callers on untrusted or very wide inputs degrade
+    /// gracefully.
     pub fn try_run(&self, cubes: &CubeSet) -> Result<DpFillReport, DpFillError> {
-        let mapping = MatrixMapping::analyze(cubes);
+        let shape = (cubes.len(), cubes.width());
+        let fill_error = |source| DpFillError { source, shape };
+        let mapping = MatrixMapping::analyze_with(cubes, &self.objective)
+            .map_err(|e| fill_error(FillErrorSource::Objective(e)))?;
         let instance = mapping.instance();
-        let solution = match self.mode {
+        let mut solution = match self.mode {
             DpMode::Exact => instance.solve_with(&self.solve),
             DpMode::PaperExact => instance.solve_paper_with(&self.solve),
         }
-        .map_err(|source| DpFillError {
-            source,
-            shape: (cubes.len(), cubes.width()),
-        })?;
+        .map_err(|e| fill_error(FillErrorSource::Solve(e)))?;
+        if !mapping.desire().is_empty() {
+            // Secondary objective: slide intervals toward their
+            // preferred rest value without raising the achieved peak.
+            let shifted = instance
+                .shift_within_slack(
+                    &solution.coloring,
+                    mapping.desire(),
+                    solution.peak.with_baseline,
+                )
+                .map_err(|e| fill_error(FillErrorSource::Solve(e)))?;
+            solution.peak = instance
+                .verify(&shifted)
+                .map_err(|e| fill_error(FillErrorSource::Solve(e)))?;
+            solution.coloring = shifted;
+        }
         let filled = mapping.apply_coloring(&solution.coloring);
+        let objective_peak = solution.peak.with_baseline;
+        let peak = if self.objective.is_unit() {
+            objective_peak
+        } else {
+            dpfill_cubes::peak_toggles(&filled).map_or(0, |p| p as u64)
+        };
         Ok(DpFillReport {
-            peak: solution.peak.with_baseline,
+            peak,
             lower_bound: solution.lower_bound,
             interval_count: instance.intervals().len(),
             forced_toggles: mapping.forced_total(),
+            objective_peak,
             solution,
             filled,
         })
@@ -331,13 +408,131 @@ mod tests {
     fn error_type_is_displayable_and_sourced() {
         use std::error::Error as _;
         let err = DpFillError {
-            source: crate::bcp::BcpError::Infeasible { peak: 3, color: 7 },
+            source: FillErrorSource::Solve(crate::bcp::BcpError::Infeasible { peak: 3, color: 7 }),
             shape: (10, 20),
         };
         let msg = err.to_string();
         assert!(msg.contains("10x20") && msg.contains("peak 3"), "{msg}");
         assert!(err.source().is_some());
+        let err = DpFillError {
+            source: FillErrorSource::Objective(ObjectiveError::WidthMismatch {
+                expected: 20,
+                found: 3,
+            }),
+            shape: (10, 20),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("10x20") && msg.contains("3 pins"), "{msg}");
+        assert!(err.source().is_some());
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DpFillError>();
+    }
+
+    #[test]
+    fn objective_width_mismatch_is_a_typed_fill_error() {
+        let cubes = CubeSet::parse_rows(&["0XX1", "1XXX"]).unwrap();
+        let table = crate::objective::WeightTable::new(vec![1, 2], None).unwrap();
+        let err = DpFill::new()
+            .with_objective(crate::objective::FillObjective::weighted(table))
+            .try_run(&cubes)
+            .unwrap_err();
+        assert!(matches!(
+            err.source,
+            FillErrorSource::Objective(ObjectiveError::WidthMismatch {
+                expected: 4,
+                found: 2
+            })
+        ));
+        assert_eq!(err.shape, (2, 4));
+    }
+
+    #[test]
+    fn default_objective_report_is_unchanged() {
+        // The explicit default objective must be a no-op: identical
+        // bytes, identical certificate, objective_peak == peak.
+        for seed in 0..8u64 {
+            let cubes = random_cube_set(9, 12, 0.6, seed);
+            let plain = DpFill::new().run(&cubes);
+            let with_default = DpFill::new()
+                .with_objective(crate::objective::FillObjective::peak_toggles())
+                .run(&cubes);
+            assert_eq!(plain.filled, with_default.filled, "seed {seed}");
+            assert_eq!(plain.peak, with_default.peak);
+            assert_eq!(with_default.objective_peak, with_default.peak);
+        }
+    }
+
+    #[test]
+    fn weighted_objective_minimizes_the_weighted_peak() {
+        use crate::objective::{FillObjective, WeightTable};
+        // Pin 0 is 100x as expensive as the rest: the weighted fill
+        // must keep pin-0 toggles out of the busiest transition even
+        // when the unweighted fill would not bother.
+        for seed in 0..10u64 {
+            let cubes = random_cube_set(5, 6, 0.6, seed);
+            let table = WeightTable::new(vec![100, 1, 1, 1, 1], None).unwrap();
+            let report = DpFill::new()
+                .with_objective(FillObjective::weighted(table.clone()))
+                .run(&cubes);
+            assert!(CubeSet::is_filling_of(&report.filled, &cubes));
+            // The bound is in objective units and bounds from below
+            // (the weighted bound is the fractional relaxation, so
+            // equality is not guaranteed the way it is for unit loads).
+            assert!(report.lower_bound <= report.objective_peak, "seed {seed}");
+            // The report matches the weighted peak measured on the bytes.
+            let measured =
+                dpfill_cubes::weighted_peak_toggles(&report.filled, table.weights()).unwrap();
+            assert_eq!(report.objective_peak, measured, "seed {seed}");
+            // The unweighted peak of the weighted fill can't beat the
+            // unweighted optimum.
+            let unweighted = DpFill::new().run(&cubes);
+            assert!(report.peak >= unweighted.peak);
+            // And the weighted fill is truly weighted-optimal: check
+            // against exhaustive enumeration of every X assignment.
+            let x_positions: Vec<(usize, usize)> = cubes
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, c)| {
+                    c.into_iter()
+                        .enumerate()
+                        .filter(|(_, b)| b.is_x())
+                        .map(move |(pi, _)| (ci, pi))
+                })
+                .collect();
+            if x_positions.len() > 14 {
+                continue;
+            }
+            let mut best = u64::MAX;
+            for mask in 0u32..(1 << x_positions.len()) {
+                let mut filled: Vec<TestCube> = cubes.iter().collect();
+                for (bit, &(ci, pi)) in x_positions.iter().enumerate() {
+                    filled[ci].set(pi, Bit::from_bool(mask >> bit & 1 == 1));
+                }
+                let set = CubeSet::from_cubes(filled).unwrap();
+                best =
+                    best.min(dpfill_cubes::weighted_peak_toggles(&set, table.weights()).unwrap());
+            }
+            assert_eq!(report.objective_peak, best, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn preference_tie_break_keeps_the_peak_and_biases_rest_values() {
+        use crate::objective::{FillObjective, WeightTable};
+        for seed in 0..10u64 {
+            let cubes = random_cube_set(6, 8, 0.5, seed);
+            let width = cubes.width();
+            let baseline = DpFill::new().run(&cubes);
+            for bit in [Bit::Zero, Bit::One] {
+                let table = WeightTable::new(vec![1; width], Some(vec![bit; width])).unwrap();
+                let report = DpFill::new()
+                    .with_objective(FillObjective::leakage(table))
+                    .run(&cubes);
+                assert!(CubeSet::is_filling_of(&report.filled, &cubes));
+                // Unit weights: the tie-break must not raise the peak.
+                assert_eq!(report.peak, baseline.peak, "seed {seed} {bit:?}");
+                assert_eq!(report.objective_peak, report.peak);
+            }
+        }
     }
 }

@@ -21,7 +21,7 @@ mod simple;
 mod xstat;
 
 pub use bfill::BFill;
-pub use dp::{DpFill, DpFillError, DpFillReport, DpMode};
+pub use dp::{DpFill, DpFillError, DpFillReport, DpMode, FillErrorSource};
 pub use simple::{AdjFill, MtFill, OneFill, RandomFill, ZeroFill};
 pub use xstat::XStatFill;
 
@@ -88,13 +88,35 @@ impl FillMethod {
 
     /// Runs the fill.
     pub fn fill(self, cubes: &CubeSet) -> CubeSet {
+        self.fill_with(cubes, &crate::objective::FillObjective::default())
+    }
+
+    /// Runs the fill under an explicit [`FillObjective`].
+    ///
+    /// Only DP-fill consumes the objective (it is the only optimizer
+    /// here); the heuristic fills are objective-blind and produce the
+    /// same bytes for every objective — the sweeps then *score* them
+    /// under the objective's weights. The default objective is
+    /// byte-identical to [`FillMethod::fill`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the objective does not fit `cubes` (weight-table
+    /// width mismatch); validate with
+    /// [`FillObjective::check_width`](crate::objective::FillObjective::check_width)
+    /// first on untrusted tables.
+    pub fn fill_with(
+        self,
+        cubes: &CubeSet,
+        objective: &crate::objective::FillObjective,
+    ) -> CubeSet {
         match self {
             FillMethod::Mt => MtFill.fill(cubes),
             FillMethod::Random(seed) => RandomFill::new(seed).fill(cubes),
             FillMethod::Zero => ZeroFill.fill(cubes),
             FillMethod::One => OneFill.fill(cubes),
             FillMethod::B => BFill.fill(cubes),
-            FillMethod::Dp => DpFill::new().fill(cubes),
+            FillMethod::Dp => DpFill::new().with_objective(objective.clone()).fill(cubes),
             FillMethod::XStat => XStatFill.fill(cubes),
             FillMethod::Adj => AdjFill.fill(cubes),
         }

@@ -15,6 +15,9 @@
 //!   reconstruction (§V-D);
 //! * [`fill`] — [`fill::DpFill`] plus every baseline of Tables II–IV
 //!   (MT/R/0/1/B, XStat [22], Adj-fill [21]);
+//! * [`objective`] — pluggable fill objectives ([`FillObjective`]):
+//!   weighted per-pin toggle loads and leakage/IR-drop preferences,
+//!   compiled to fixed-point weight tables the solver consumes exactly;
 //! * [`ordering`] — Tool, XStat [22], simulated-annealing (ISA, [20]) and
 //!   the paper's I-ordering (Algorithm 3, [`ordering::IOrdering`]);
 //! * [`pipeline`] — ordering+fill techniques and the sweeps behind the
@@ -50,6 +53,7 @@ pub mod bcp;
 pub mod fill;
 mod interval;
 pub mod mapping;
+pub mod objective;
 pub mod ordering;
 pub mod pipeline;
 pub mod stream;
@@ -60,7 +64,10 @@ pub use bcp::{
 };
 pub use interval::Interval;
 pub use mapping::{IntervalSite, MatrixMapping};
-pub use pipeline::{percent_improvement, sweep_fills, Technique, TechniqueResult};
+pub use objective::{FillObjective, ObjectiveError, ObjectiveKind, WeightTable};
+pub use pipeline::{
+    percent_improvement, sweep_fills, sweep_fills_with, Technique, TechniqueResult,
+};
 pub use stream::{
     BandedOrder, ChaosPlan, DegradeEvent, StreamError, StreamOptions, StreamPass, StreamReport,
     StreamingFill, WindowSpec,

@@ -22,7 +22,12 @@ use dpfill_cubes::stretch::{for_each_stretch_dense, is_dense_row, scan_row_mut, 
 use dpfill_cubes::{Bit, CubeSet, PinMatrix};
 
 use crate::bcp::{BcpInstance, Coloring};
+use crate::objective::{FillObjective, ObjectiveError};
 use crate::Interval;
+
+/// One analysis chunk's events: interval sites plus forced
+/// `(row, transition)` toggles.
+type ChunkSites = (Vec<IntervalSite>, Vec<(usize, usize)>);
 
 /// Where an interval came from: the row and the delimiting care columns.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +49,11 @@ pub struct MatrixMapping {
     prefilled: PackedMatrix,
     instance: BcpInstance,
     sites: Vec<IntervalSite>,
+    /// Secondary-objective shift direction per interval (aligned with
+    /// `sites`): `+1` favors late transitions (hold the left value),
+    /// `-1` early ones, `0` no preference. Empty when the objective has
+    /// no fill-value preference.
+    desire: Vec<i8>,
 }
 
 impl MatrixMapping {
@@ -52,6 +62,26 @@ impl MatrixMapping {
     /// plus the `trailing_zeros` stretch scan — no scalar work.
     pub fn analyze(cubes: &CubeSet) -> MatrixMapping {
         Self::analyze_packed(PackedMatrix::from_packed_set(cubes.as_packed()))
+    }
+
+    /// [`MatrixMapping::analyze`] under a [`FillObjective`]: each
+    /// interval carries the objective's fixed-point weight for its pin
+    /// row, forced toggles charge the weighted baseline, and the
+    /// per-interval shift desires ([`MatrixMapping::desire`]) encode
+    /// the fill-value preference. With the default objective this is
+    /// exactly [`MatrixMapping::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectiveError::WidthMismatch`] when the weight table
+    /// does not cover the matrix's pin rows, and
+    /// [`ObjectiveError::Overflow`] when a weighted forced-toggle load
+    /// exceeds `u64`.
+    pub fn analyze_with(
+        cubes: &CubeSet,
+        objective: &FillObjective,
+    ) -> Result<MatrixMapping, ObjectiveError> {
+        Self::analyze_packed_with(PackedMatrix::from_packed_set(cubes.as_packed()), objective)
     }
 
     /// Analyzes `cubes` *as seen through* the permutation `order`
@@ -64,6 +94,27 @@ impl MatrixMapping {
     /// Panics if an index in `order` is out of range.
     pub fn analyze_reordered(cubes: &CubeSet, order: &[usize]) -> MatrixMapping {
         Self::analyze_packed(PackedMatrix::from_reordered_set(cubes.as_packed(), order))
+    }
+
+    /// [`MatrixMapping::analyze_reordered`] under a [`FillObjective`]
+    /// (see [`MatrixMapping::analyze_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`MatrixMapping::analyze_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `order` is out of range.
+    pub fn analyze_reordered_with(
+        cubes: &CubeSet,
+        order: &[usize],
+        objective: &FillObjective,
+    ) -> Result<MatrixMapping, ObjectiveError> {
+        Self::analyze_packed_with(
+            PackedMatrix::from_reordered_set(cubes.as_packed(), order),
+            objective,
+        )
     }
 
     /// Analyzes an already-transposed scalar matrix.
@@ -91,10 +142,27 @@ impl MatrixMapping {
     /// merge back **in row order**, so the interval sequence, the sites
     /// and the baseline are bit-identical to the serial sparse walk at
     /// any thread count.
-    pub fn analyze_packed(mut matrix: PackedMatrix) -> MatrixMapping {
+    pub fn analyze_packed(matrix: PackedMatrix) -> MatrixMapping {
+        Self::analyze_packed_with(matrix, &FillObjective::default())
+            .unwrap_or_else(|e| unreachable!("the default objective carries no table: {e}"))
+    }
+
+    /// [`MatrixMapping::analyze_packed`] under a [`FillObjective`] (see
+    /// [`MatrixMapping::analyze_with`]). The scan itself is identical —
+    /// the objective only changes how the emitted events charge the BCP
+    /// instance — so the unit-objective mapping stays bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// See [`MatrixMapping::analyze_with`].
+    pub fn analyze_packed_with(
+        mut matrix: PackedMatrix,
+        objective: &FillObjective,
+    ) -> Result<MatrixMapping, ObjectiveError> {
+        objective.check_width(matrix.rows())?;
         let cols = matrix.cols();
         let num_colors = cols.saturating_sub(1);
-        let chunks: Vec<(Vec<IntervalSite>, Vec<usize>)> =
+        let chunks: Vec<ChunkSites> =
             minipool::parallel_chunks_mut(matrix.packed_rows_mut(), 4, |start, rows| {
                 let mut sites = Vec::new();
                 let mut forced = Vec::new();
@@ -116,7 +184,7 @@ impl MatrixMapping {
                             right,
                             left_value,
                         }),
-                        Stretch::ForcedToggle { col } => forced.push(col),
+                        Stretch::ForcedToggle { col } => forced.push((row, col)),
                         _ => unreachable!("safe stretches handled by splice_safe"),
                     };
                     if is_dense_row(r) {
@@ -138,29 +206,54 @@ impl MatrixMapping {
                 (sites, forced)
             });
 
+        let weights = objective.weights();
+        let preferred = objective.preferred();
         let mut instance = BcpInstance::new(num_colors);
         let mut sites = Vec::new();
+        let mut desire = Vec::new();
         for (chunk_sites, chunk_forced) in chunks {
             for site in chunk_sites {
                 // Interval (k, l-1): the toggle may sit at any
                 // transition between columns left and right.
                 let interval = Interval::new(site.left as u32, (site.right - 1) as u32);
+                let load = weights.map_or(1, |w| w[site.row]);
                 instance
-                    .add_interval(interval)
-                    .unwrap_or_else(|e| unreachable!("stretch bounds are valid transitions: {e}"));
+                    .add_weighted_interval(interval, load)
+                    .unwrap_or_else(|e| {
+                        unreachable!("stretch bounds and table weights are valid: {e}")
+                    });
+                if let Some(pref) = preferred {
+                    desire.push(match pref[site.row] {
+                        Bit::X => 0,
+                        p if p == site.left_value => 1,
+                        _ => -1,
+                    });
+                }
                 sites.push(site);
             }
-            for col in chunk_forced {
-                instance.add_baseline(col, 1).unwrap_or_else(|e| {
-                    unreachable!("forced toggles index valid transitions: {e}")
-                });
+            for (row, col) in chunk_forced {
+                let load = weights.map_or(1, |w| w[row]);
+                instance
+                    .add_baseline(col, load)
+                    .map_err(|_| ObjectiveError::Overflow {
+                        what: "weighted forced-toggle load on one transition",
+                    })?;
             }
         }
-        MatrixMapping {
+        Ok(MatrixMapping {
             prefilled: matrix,
             instance,
             sites,
-        }
+            desire,
+        })
+    }
+
+    /// Per-interval shift desires for the objective's fill-value
+    /// preference (aligned with [`MatrixMapping::sites`]; empty when
+    /// the objective has none). Feed to
+    /// [`BcpInstance::shift_within_slack`] with the solved peak.
+    pub fn desire(&self) -> &[i8] {
+        &self.desire
     }
 
     /// The BCP instance extracted from the matrix.
@@ -370,6 +463,84 @@ mod tests {
         assert_eq!(direct.instance(), via_set.instance());
         assert_eq!(direct.sites(), via_set.sites());
         assert_eq!(direct.prefilled(), via_set.prefilled());
+    }
+
+    #[test]
+    fn objective_weights_charge_intervals_and_baseline() {
+        use crate::objective::{FillObjective, WeightTable};
+        // Pin 0: 0 X 1  -> one interval, weight 3.
+        // Pin 1: 0 1 1  -> one forced toggle at transition 0, weight 5.
+        let cubes = set(&["00", "X1", "11"]);
+        let table = WeightTable::new(vec![3, 5], None).unwrap();
+        let m = MatrixMapping::analyze_with(&cubes, &FillObjective::weighted(table)).unwrap();
+        assert_eq!(m.instance().intervals(), &[Interval::new(0, 1)]);
+        assert_eq!(m.instance().interval_load(0), 3);
+        assert_eq!(m.instance().baseline(), &[5, 0]);
+        assert!(m.desire().is_empty());
+        // The weighted solve pushes the interval off the forced column.
+        let sol = m.instance().solve().unwrap();
+        assert_eq!(sol.peak.with_baseline, 5);
+        assert_eq!(sol.coloring.colors(), &[1]);
+    }
+
+    #[test]
+    fn objective_preference_builds_desires_and_shifts_fill() {
+        use crate::objective::{FillObjective, WeightTable};
+        use dpfill_cubes::toggle_profile;
+        // Pin row 0 X X X 1 prefers rest value 0: the transition should
+        // land as late as possible (left value 0 == preferred -> +1).
+        let cubes = set(&["0", "X", "X", "X", "1"]);
+        let table = WeightTable::new(vec![1], Some(vec![Bit::Zero])).unwrap();
+        let m = MatrixMapping::analyze_with(&cubes, &FillObjective::leakage(table)).unwrap();
+        assert_eq!(m.desire(), &[1]);
+        let sol = m.instance().solve().unwrap();
+        let shifted = m
+            .instance()
+            .shift_within_slack(&sol.coloring, m.desire(), sol.peak.with_baseline)
+            .unwrap();
+        let filled = m.apply_coloring(&shifted);
+        assert!(CubeSet::is_filling_of(&filled, &cubes));
+        // Toggle pushed to the last transition; all earlier cubes rest at 0.
+        assert_eq!(toggle_profile(&filled).unwrap(), vec![0, 0, 0, 1]);
+        // Preferring 1 pulls it to the first transition instead.
+        let table = WeightTable::new(vec![1], Some(vec![Bit::One])).unwrap();
+        let m = MatrixMapping::analyze_with(&cubes, &FillObjective::leakage(table)).unwrap();
+        assert_eq!(m.desire(), &[-1]);
+        let sol = m.instance().solve().unwrap();
+        let shifted = m
+            .instance()
+            .shift_within_slack(&sol.coloring, m.desire(), sol.peak.with_baseline)
+            .unwrap();
+        let filled = m.apply_coloring(&shifted);
+        assert_eq!(toggle_profile(&filled).unwrap(), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn default_objective_analysis_is_identical() {
+        use crate::objective::FillObjective;
+        let cubes = set(&["0X1X0", "1XX00", "X01XX", "0XXX1", "10X0X", "XX10X"]);
+        let plain = MatrixMapping::analyze(&cubes);
+        let via_objective =
+            MatrixMapping::analyze_with(&cubes, &FillObjective::peak_toggles()).unwrap();
+        assert_eq!(plain.instance(), via_objective.instance());
+        assert_eq!(plain.sites(), via_objective.sites());
+        assert_eq!(plain.prefilled(), via_objective.prefilled());
+        assert!(via_objective.desire().is_empty());
+    }
+
+    #[test]
+    fn objective_width_mismatch_is_a_typed_error() {
+        use crate::objective::{FillObjective, ObjectiveError, WeightTable};
+        let cubes = set(&["00", "X1", "11"]);
+        let table = WeightTable::new(vec![1, 2, 3], None).unwrap();
+        let err = MatrixMapping::analyze_with(&cubes, &FillObjective::weighted(table)).unwrap_err();
+        assert_eq!(
+            err,
+            ObjectiveError::WidthMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
     }
 
     #[test]

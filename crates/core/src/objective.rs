@@ -1,0 +1,500 @@
+//! Pluggable fill objectives — what the solve minimizes.
+//!
+//! The paper's pipeline minimizes exactly one quantity: the unweighted
+//! peak toggle count `max_j hd(T_j, T_{j+1})`. This module generalizes
+//! the metric to a [`FillObjective`]: a per-pin **weight table** (what
+//! does a toggle on this pin cost?) plus an optional secondary
+//! **fill-value preference** (among peak-optimal colorings, which value
+//! should the X-runs lean toward?). The concrete objectives:
+//!
+//! * [`ObjectiveKind::PeakToggles`] — the paper's metric; all weights
+//!   `1`, no preference. This routes through the *exact same* unit code
+//!   paths as before, so the default output is byte-identical.
+//! * [`ObjectiveKind::Weighted`] — user-supplied per-pin weights
+//!   (Reshma's observation that not every scan cell contributes
+//!   equally).
+//! * [`ObjectiveKind::Leakage`] — weights plus a per-pin preferred
+//!   rest value (Sharifi et al.: the X-freedom buys static-power
+//!   reduction at no dynamic cost — applied here as a tie-break among
+//!   peak-optimal colorings).
+//! * [`ObjectiveKind::IrDrop`] — weights concentrated on power-grid
+//!   hotspot pins ([`GridModel`](../../dpfill_power) regions).
+//!
+//! Physical models produce `f64` weights; the solver wants exact
+//! integer arithmetic (bit-identical parallel reductions, typed
+//! overflow). [`WeightTable::from_f64`] bridges the two with a
+//! deterministic fixed-point quantization.
+
+use std::fmt;
+
+use dpfill_cubes::Bit;
+
+/// Errors produced validating, compiling or parsing weight tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObjectiveError {
+    /// The weight table holds no pins.
+    Empty,
+    /// The weight table's pin count differs from the pattern width.
+    WidthMismatch {
+        /// Pattern width the table must match.
+        expected: usize,
+        /// Pins in the offending table.
+        found: usize,
+    },
+    /// A pin's weight is zero. Zero-weight pins would let the solver
+    /// toggle them freely and report a peak that ignores real switching;
+    /// encode "don't care much" as weight 1 instead.
+    ZeroWeight {
+        /// The offending pin row.
+        row: usize,
+    },
+    /// A physical weight was negative, NaN or infinite.
+    NonFinite {
+        /// The offending pin row.
+        row: usize,
+    },
+    /// A weights-file line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// Applying the weights to a matrix overflowed `u64` (e.g. the
+    /// weighted forced-toggle load on one transition).
+    Overflow {
+        /// What overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ObjectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectiveError::Empty => write!(f, "weight table holds no pins"),
+            ObjectiveError::WidthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "weight table covers {found} pins but the patterns have {expected}"
+                )
+            }
+            ObjectiveError::ZeroWeight { row } => {
+                write!(f, "pin {row} has weight 0 (weights must be at least 1)")
+            }
+            ObjectiveError::NonFinite { row } => {
+                write!(f, "pin {row} has a negative or non-finite weight")
+            }
+            ObjectiveError::Parse { line, message } => {
+                write!(f, "weights file line {line}: {message}")
+            }
+            ObjectiveError::Overflow { what } => {
+                write!(f, "arithmetic overflow applying weights: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectiveError {}
+
+/// Which quantity the fill minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ObjectiveKind {
+    /// The paper's unweighted peak toggle count (the default).
+    #[default]
+    PeakToggles,
+    /// Weighted peak toggles under a per-pin weight table.
+    Weighted,
+    /// Weighted peak toggles with a leakage-preferred rest value per
+    /// pin, applied as a tie-break among peak-optimal colorings.
+    Leakage,
+    /// Weighted peak toggles with weights concentrated on IR-drop
+    /// hotspot pins.
+    IrDrop,
+}
+
+impl ObjectiveKind {
+    /// The CLI spelling (`--objective` value) of this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObjectiveKind::PeakToggles => "peak-toggles",
+            ObjectiveKind::Weighted => "weighted",
+            ObjectiveKind::Leakage => "leakage",
+            ObjectiveKind::IrDrop => "ir-drop",
+        }
+    }
+}
+
+/// Fixed-point resolution of the `f64` quantization: physical weights
+/// are scaled so the largest maps to `2^16`, preserving ~4.8 decimal
+/// digits of relative precision while leaving 48 bits of headroom in
+/// the `u64` accumulators.
+const FIXED_POINT_ONE: f64 = 65536.0;
+
+/// A validated per-pin weight table: every pin's toggle cost (a
+/// positive fixed-point integer) plus an optional preferred fill value
+/// per pin (`Bit::X` = no preference).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightTable {
+    weights: Vec<u64>,
+    preferred: Option<Vec<Bit>>,
+}
+
+impl WeightTable {
+    /// Builds a table from integer weights, validating that it is
+    /// non-empty, zero-free, and that `preferred` (when given) covers
+    /// the same pins.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::Empty`], [`ObjectiveError::ZeroWeight`], or
+    /// [`ObjectiveError::WidthMismatch`] (preferred-vector length).
+    pub fn new(
+        weights: Vec<u64>,
+        preferred: Option<Vec<Bit>>,
+    ) -> Result<WeightTable, ObjectiveError> {
+        if weights.is_empty() {
+            return Err(ObjectiveError::Empty);
+        }
+        if let Some(row) = weights.iter().position(|&w| w == 0) {
+            return Err(ObjectiveError::ZeroWeight { row });
+        }
+        if let Some(p) = &preferred {
+            if p.len() != weights.len() {
+                return Err(ObjectiveError::WidthMismatch {
+                    expected: weights.len(),
+                    found: p.len(),
+                });
+            }
+        }
+        Ok(WeightTable { weights, preferred })
+    }
+
+    /// Compiles physical (`f64`) weights to fixed point: the largest
+    /// value maps to `2^16` and every pin gets
+    /// `max(1, round(v · 2^16 / max))`, so relative costs survive to
+    /// ~4.8 digits, no live pin collapses to weight 0, and the result
+    /// is deterministic (pure `f64` ops, no environment dependence).
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::Empty`] for an empty slice and
+    /// [`ObjectiveError::NonFinite`] for negative/NaN/infinite entries.
+    pub fn from_f64(
+        values: &[f64],
+        preferred: Option<Vec<Bit>>,
+    ) -> Result<WeightTable, ObjectiveError> {
+        if values.is_empty() {
+            return Err(ObjectiveError::Empty);
+        }
+        if let Some(row) = values.iter().position(|v| !v.is_finite() || *v < 0.0) {
+            return Err(ObjectiveError::NonFinite { row });
+        }
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        let weights = if max == 0.0 {
+            vec![1u64; values.len()]
+        } else {
+            values
+                .iter()
+                .map(|v| ((v * FIXED_POINT_ONE / max).round() as u64).max(1))
+                .collect()
+        };
+        WeightTable::new(weights, preferred)
+    }
+
+    /// Parses the plain-text weights-file format: one pin per line,
+    /// `WEIGHT` or `WEIGHT PREFERRED` where `WEIGHT` is a non-negative
+    /// decimal (fixed-point-compiled like [`WeightTable::from_f64`])
+    /// and `PREFERRED` is `0`, `1` or `-` (no preference). `#` starts a
+    /// comment; blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::Parse`] naming the offending 1-based line, or
+    /// any [`WeightTable::from_f64`] error.
+    pub fn parse(text: &str) -> Result<WeightTable, ObjectiveError> {
+        let mut values = Vec::new();
+        let mut preferred = Vec::new();
+        let mut any_preference = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let weight_text = match fields.next() {
+                Some(t) => t,
+                None => continue,
+            };
+            let weight: f64 = weight_text.parse().map_err(|_| ObjectiveError::Parse {
+                line: i + 1,
+                message: format!("{weight_text:?} is not a number"),
+            })?;
+            let bit = match fields.next() {
+                None | Some("-") => Bit::X,
+                Some("0") => Bit::Zero,
+                Some("1") => Bit::One,
+                Some(other) => {
+                    return Err(ObjectiveError::Parse {
+                        line: i + 1,
+                        message: format!("preferred value {other:?} is not 0, 1 or -"),
+                    })
+                }
+            };
+            if let Some(extra) = fields.next() {
+                return Err(ObjectiveError::Parse {
+                    line: i + 1,
+                    message: format!("unexpected trailing field {extra:?}"),
+                });
+            }
+            any_preference |= bit != Bit::X;
+            values.push(weight);
+            preferred.push(bit);
+        }
+        WeightTable::from_f64(&values, any_preference.then_some(preferred))
+    }
+
+    /// Pins covered by the table.
+    pub fn width(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The fixed-point weight per pin (all entries ≥ 1).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// The preferred fill value per pin, when any pin has one.
+    pub fn preferred(&self) -> Option<&[Bit]> {
+        self.preferred.as_deref()
+    }
+
+    /// `true` when every weight is `1` — the table adds nothing over
+    /// the unit metric (a preference may still apply).
+    pub fn is_unit_weights(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1)
+    }
+}
+
+/// The objective a fill run minimizes: a kind plus, for the non-default
+/// kinds, the validated weight table it compiles to.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FillObjective {
+    kind: ObjectiveKind,
+    table: Option<WeightTable>,
+}
+
+impl FillObjective {
+    /// The paper's objective: unweighted peak toggles. Runs the exact
+    /// unit code paths — output is byte-identical to a build without
+    /// the objective layer.
+    pub fn peak_toggles() -> FillObjective {
+        FillObjective::default()
+    }
+
+    /// Weighted peak toggles under `table`.
+    pub fn weighted(table: WeightTable) -> FillObjective {
+        FillObjective {
+            kind: ObjectiveKind::Weighted,
+            table: Some(table),
+        }
+    }
+
+    /// Leakage objective: `table` carries the dynamic weights and the
+    /// per-pin leakage-preferred rest values.
+    pub fn leakage(table: WeightTable) -> FillObjective {
+        FillObjective {
+            kind: ObjectiveKind::Leakage,
+            table: Some(table),
+        }
+    }
+
+    /// IR-drop objective: `table`'s weights are concentrated on grid
+    /// hotspot pins.
+    pub fn ir_drop(table: WeightTable) -> FillObjective {
+        FillObjective {
+            kind: ObjectiveKind::IrDrop,
+            table: Some(table),
+        }
+    }
+
+    /// Which objective this is.
+    pub fn kind(&self) -> ObjectiveKind {
+        self.kind
+    }
+
+    /// The weight table, for the non-default kinds.
+    pub fn table(&self) -> Option<&WeightTable> {
+        self.table.as_ref()
+    }
+
+    /// The per-pin weights, when a table is attached.
+    pub fn weights(&self) -> Option<&[u64]> {
+        self.table.as_ref().map(WeightTable::weights)
+    }
+
+    /// The per-pin preferred fill values, when any.
+    pub fn preferred(&self) -> Option<&[Bit]> {
+        self.table.as_ref().and_then(WeightTable::preferred)
+    }
+
+    /// `true` when the solve can run the unit (unweighted) code paths:
+    /// either the default objective or a table whose weights are all
+    /// `1`. The preference tie-break still applies afterwards.
+    pub fn is_unit(&self) -> bool {
+        match &self.table {
+            None => true,
+            Some(t) => t.is_unit_weights(),
+        }
+    }
+
+    /// Validates the table against the pattern width.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::WidthMismatch`] when a table is attached and
+    /// its pin count differs from `width`.
+    pub fn check_width(&self, width: usize) -> Result<(), ObjectiveError> {
+        match &self.table {
+            Some(t) if t.width() != width => Err(ObjectiveError::WidthMismatch {
+                expected: width,
+                found: t.width(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The objective's label, e.g. for `--stats` lines.
+    pub fn label(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    /// Bytes resident for the weight table (weights + preferences) —
+    /// what the streaming budget governor charges for a non-default
+    /// objective.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.table {
+            None => 0,
+            Some(t) => {
+                (t.weights.len() * std::mem::size_of::<u64>()) as u64
+                    + t.preferred
+                        .as_ref()
+                        .map_or(0, |p| (p.len() * std::mem::size_of::<Bit>()) as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_objective_is_unit_peak_toggles() {
+        let o = FillObjective::default();
+        assert_eq!(o.kind(), ObjectiveKind::PeakToggles);
+        assert!(o.is_unit());
+        assert!(o.weights().is_none());
+        assert_eq!(o.label(), "peak-toggles");
+        assert_eq!(o.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_and_empty_tables_are_rejected() {
+        assert_eq!(WeightTable::new(vec![], None), Err(ObjectiveError::Empty));
+        assert_eq!(
+            WeightTable::new(vec![3, 0, 1], None),
+            Err(ObjectiveError::ZeroWeight { row: 1 })
+        );
+        assert_eq!(
+            WeightTable::new(vec![1, 2], Some(vec![Bit::X])),
+            Err(ObjectiveError::WidthMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn objective_width_check() {
+        let table = WeightTable::new(vec![1, 2, 3], None).unwrap();
+        let o = FillObjective::weighted(table);
+        assert!(o.check_width(3).is_ok());
+        assert_eq!(
+            o.check_width(4),
+            Err(ObjectiveError::WidthMismatch {
+                expected: 4,
+                found: 3
+            })
+        );
+        assert!(FillObjective::peak_toggles().check_width(99).is_ok());
+    }
+
+    #[test]
+    fn fixed_point_compile_is_deterministic_and_zero_free() {
+        let t = WeightTable::from_f64(&[1.0, 2.0, 1e-12, 0.0], None).unwrap();
+        assert_eq!(t.weights()[1], 65536);
+        assert_eq!(t.weights()[0], 32768);
+        // Tiny and zero weights clamp to 1, never 0.
+        assert_eq!(t.weights()[2], 1);
+        assert_eq!(t.weights()[3], 1);
+        // All-zero physical vectors degrade to the unit metric.
+        let flat = WeightTable::from_f64(&[0.0, 0.0], None).unwrap();
+        assert!(flat.is_unit_weights());
+        assert_eq!(
+            WeightTable::from_f64(&[1.0, f64::NAN], None),
+            Err(ObjectiveError::NonFinite { row: 1 })
+        );
+        assert_eq!(
+            WeightTable::from_f64(&[-1.0], None),
+            Err(ObjectiveError::NonFinite { row: 0 })
+        );
+    }
+
+    #[test]
+    fn weights_file_round_trip() {
+        let text = "# per-pin weights\n1.0 0\n2.0 1\n0.5 -\n4.0\n";
+        let t = WeightTable::parse(text).unwrap();
+        assert_eq!(t.width(), 4);
+        assert_eq!(t.weights()[3], 65536);
+        assert_eq!(t.weights()[0], 16384);
+        assert_eq!(
+            t.preferred().unwrap(),
+            &[Bit::Zero, Bit::One, Bit::X, Bit::X]
+        );
+    }
+
+    #[test]
+    fn weights_file_errors_name_the_line() {
+        assert_eq!(
+            WeightTable::parse("1.0\nbogus\n"),
+            Err(ObjectiveError::Parse {
+                line: 2,
+                message: "\"bogus\" is not a number".to_owned()
+            })
+        );
+        assert!(matches!(
+            WeightTable::parse("1.0 2\n"),
+            Err(ObjectiveError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            WeightTable::parse("1.0 0 junk\n"),
+            Err(ObjectiveError::Parse { line: 1, .. })
+        ));
+        assert_eq!(
+            WeightTable::parse("# only comments\n"),
+            Err(ObjectiveError::Empty)
+        );
+    }
+
+    #[test]
+    fn unit_weight_tables_report_is_unit() {
+        let t = WeightTable::new(vec![1, 1, 1], Some(vec![Bit::Zero; 3])).unwrap();
+        let o = FillObjective::leakage(t);
+        assert!(o.is_unit());
+        assert!(o.preferred().is_some());
+        assert!(o.resident_bytes() > 0);
+        let w = WeightTable::new(vec![1, 2, 1], None).unwrap();
+        assert!(!FillObjective::weighted(w).is_unit());
+    }
+}

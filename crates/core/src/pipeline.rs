@@ -11,6 +11,7 @@
 use dpfill_cubes::CubeSet;
 
 use crate::fill::FillMethod;
+use crate::objective::{FillObjective, ObjectiveError};
 use crate::ordering::OrderingMethod;
 
 /// One ordering + one fill, evaluated together.
@@ -31,6 +32,9 @@ pub struct TechniqueResult {
     pub filled: CubeSet,
     /// Peak input toggles `max_j hd(T_j, T_{j+1})`.
     pub peak: usize,
+    /// Peak in objective units (fixed-point weighted toggles under a
+    /// weighted objective; equals `peak` under the default).
+    pub objective_peak: u64,
     /// Per-transition toggle profile.
     pub profile: Vec<usize>,
 }
@@ -78,7 +82,32 @@ impl Technique {
     /// errors are unreachable for table-scale inputs (the bottleneck
     /// load model only overflows `u64` on absurd widths).
     pub fn evaluate(&self, cubes: &CubeSet) -> TechniqueResult {
+        self.evaluate_with(cubes, &FillObjective::default())
+            .unwrap_or_else(|e| unreachable!("the default objective always fits: {e}"))
+    }
+
+    /// Orders, fills and measures `cubes` under an explicit
+    /// [`FillObjective`]: DP-fill optimizes it, the heuristic fills are
+    /// objective-blind, and every technique is *scored* in objective
+    /// units ([`TechniqueResult::objective_peak`]). The default
+    /// objective reproduces [`Technique::evaluate`] byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::WidthMismatch`] when the objective's weight
+    /// table does not cover `cubes`' pins, [`ObjectiveError::Overflow`]
+    /// when weighted scoring overflows `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cube set, like [`Technique::evaluate`].
+    pub fn evaluate_with(
+        &self,
+        cubes: &CubeSet,
+        objective: &FillObjective,
+    ) -> Result<TechniqueResult, ObjectiveError> {
         assert!(!cubes.is_empty(), "cannot evaluate an empty cube set");
+        objective.check_width(cubes.width())?;
         let order = self
             .ordering
             .order(cubes)
@@ -86,17 +115,37 @@ impl Technique {
         let reordered = cubes
             .reordered(&order)
             .unwrap_or_else(|e| unreachable!("ordering strategies return permutations: {e}"));
-        let filled = self.fill.fill(&reordered);
+        let filled = self.fill.fill_with(&reordered, objective);
         debug_assert!(CubeSet::is_filling_of(&filled, &reordered));
         // Both metrics come straight off the filled set's packed planes.
         let profile = filled.as_packed().toggle_profile();
         let peak = profile.iter().copied().max().unwrap_or(0);
-        TechniqueResult {
+        let objective_peak = objective_score(&filled, objective, peak)?;
+        Ok(TechniqueResult {
             order,
             filled,
             peak,
+            objective_peak,
             profile,
-        }
+        })
+    }
+}
+
+/// Scores a filled set in objective units: the unit peak verbatim for
+/// unit weights, one weighted popcount sweep otherwise.
+fn objective_score(
+    filled: &CubeSet,
+    objective: &FillObjective,
+    unit_peak: usize,
+) -> Result<u64, ObjectiveError> {
+    match objective.weights() {
+        Some(weights) if !objective.is_unit() => filled
+            .as_packed()
+            .weighted_peak_toggles(weights)
+            .map_err(|_| ObjectiveError::Overflow {
+                what: "weighted peak-toggle score",
+            }),
+        _ => Ok(unit_peak as u64),
     }
 }
 
@@ -120,6 +169,42 @@ pub fn sweep_fills(cubes: &CubeSet, ordering: OrderingMethod) -> Vec<(FillMethod
             let filled = fill.fill(&reordered);
             let peak = filled.as_packed().peak_toggles();
             (fill, peak)
+        })
+        .collect()
+}
+
+/// Objective-scored peak of every fill under one ordering — one row of
+/// the objective Pareto tables. DP-fill optimizes the objective; the
+/// heuristic columns are objective-blind but scored in the same units,
+/// so the row is directly comparable.
+///
+/// # Errors
+///
+/// [`ObjectiveError::WidthMismatch`] when the table does not cover the
+/// pins, [`ObjectiveError::Overflow`] when weighted scoring overflows.
+///
+/// # Panics
+///
+/// Panics on an empty cube set, like [`sweep_fills`].
+pub fn sweep_fills_with(
+    cubes: &CubeSet,
+    ordering: OrderingMethod,
+    objective: &FillObjective,
+) -> Result<Vec<(FillMethod, u64)>, ObjectiveError> {
+    assert!(!cubes.is_empty(), "cannot sweep an empty cube set");
+    objective.check_width(cubes.width())?;
+    let order = ordering
+        .order(cubes)
+        .unwrap_or_else(|e| unreachable!("table-scale bounds fit u64: {e}"));
+    let reordered = cubes
+        .reordered(&order)
+        .unwrap_or_else(|e| unreachable!("ordering strategies return permutations: {e}"));
+    FillMethod::TABLE_COLUMNS
+        .iter()
+        .map(|&fill| {
+            let filled = fill.fill_with(&reordered, objective);
+            let unit_peak = filled.as_packed().peak_toggles();
+            objective_score(&filled, objective, unit_peak).map(|score| (fill, score))
         })
         .collect()
 }
@@ -197,6 +282,61 @@ mod tests {
     fn labels() {
         assert_eq!(Technique::proposed().label(), "I-order + DP-fill");
         assert_eq!(Technique::adj_fill().label(), "Tool + Adj-fill");
+    }
+
+    #[test]
+    fn default_objective_evaluation_is_identical() {
+        let cubes = cubes();
+        let plain = Technique::proposed().evaluate(&cubes);
+        let explicit = Technique::proposed()
+            .evaluate_with(&cubes, &FillObjective::default())
+            .unwrap();
+        assert_eq!(plain, explicit);
+        assert_eq!(plain.objective_peak, plain.peak as u64);
+    }
+
+    #[test]
+    fn weighted_sweep_keeps_dp_fill_the_best_column() {
+        use crate::objective::WeightTable;
+        let cubes = cubes();
+        let width = cubes.width();
+        let weights: Vec<u64> = (0..width).map(|i| 1 + (i as u64 % 7) * 9).collect();
+        let objective = FillObjective::weighted(WeightTable::new(weights.clone(), None).unwrap());
+        let sweep = sweep_fills_with(&cubes, OrderingMethod::Interleaved, &objective).unwrap();
+        let dp = sweep
+            .iter()
+            .find(|(f, _)| matches!(f, FillMethod::Dp))
+            .unwrap()
+            .1;
+        for (fill, score) in &sweep {
+            assert!(dp <= *score, "weighted DP {dp} vs {} {score}", fill.label());
+        }
+        // The evaluated technique agrees with its sweep column.
+        let result = Technique::proposed()
+            .evaluate_with(&cubes, &objective)
+            .unwrap();
+        assert_eq!(result.objective_peak, dp);
+        assert_eq!(
+            result.objective_peak,
+            result
+                .filled
+                .as_packed()
+                .weighted_peak_toggles(&weights)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn objective_width_mismatch_is_reported_not_panicked() {
+        use crate::objective::WeightTable;
+        let cubes = cubes();
+        let objective = FillObjective::weighted(WeightTable::new(vec![1, 2], None).unwrap());
+        let err = Technique::proposed()
+            .evaluate_with(&cubes, &objective)
+            .unwrap_err();
+        assert!(matches!(err, ObjectiveError::WidthMismatch { .. }));
+        let err = sweep_fills_with(&cubes, OrderingMethod::Tool, &objective).unwrap_err();
+        assert!(matches!(err, ObjectiveError::WidthMismatch { .. }));
     }
 
     #[test]

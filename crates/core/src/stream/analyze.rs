@@ -75,7 +75,8 @@ pub(crate) struct Analysis {
     /// [`MatrixMapping::analyze`](crate::MatrixMapping::analyze), so the
     /// EDF solve ties break identically.
     pub sites: Vec<IntervalSite>,
-    /// Forced toggles per transition (length `cols.saturating_sub(1)`).
+    /// Forced toggles per transition (length `cols.saturating_sub(1)`),
+    /// in objective units when the analyzer carries weights.
     pub baseline: Vec<u64>,
     /// Total columns (cubes) analyzed.
     pub cols: usize,
@@ -83,6 +84,10 @@ pub(crate) struct Analysis {
     /// [`IncrementalBound`] ladder's final value) — a warm start for the
     /// global solve, never above the true bound.
     pub warm_lb: u64,
+    /// Set when accumulating a weighted baseline overflowed `u64`; the
+    /// plan resolution turns this into a typed error instead of solving
+    /// on a silently saturated instance.
+    pub overflow: bool,
 }
 
 /// The streaming analyzer: feed windows left to right, then
@@ -93,6 +98,13 @@ pub(crate) struct WindowedAnalyzer {
     sites: Vec<IntervalSite>,
     baseline: Vec<u64>,
     cols: usize,
+    /// Per-pin objective weights (`None` = the unit metric); charged to
+    /// the interval loads of the online ladder and to the forced
+    /// baseline, exactly like the weighted monolithic mapping.
+    weights: Option<Vec<u64>>,
+    /// A weighted baseline accumulation left `u64` (see
+    /// [`Analysis::overflow`]).
+    overflow: bool,
     /// The BCP lower bound, maintained as sites and forced toggles are
     /// discovered — by the time the stream ends, the global solve
     /// starts from this value instead of rebuilding its ladder from the
@@ -101,15 +113,28 @@ pub(crate) struct WindowedAnalyzer {
 }
 
 impl WindowedAnalyzer {
-    pub fn new(width: usize) -> WindowedAnalyzer {
+    /// An analyzer whose events are charged in objective units:
+    /// `weights[row]` per stretch interval and per forced toggle.
+    /// `None` (and all-unit weights) give the unit peak-toggle metric.
+    pub fn with_weights(width: usize, weights: Option<Vec<u64>>) -> WindowedAnalyzer {
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), width, "weight table width mismatch");
+        }
         WindowedAnalyzer {
             states: vec![PinState::default(); width],
             segments: Vec::new(),
             sites: Vec::new(),
             baseline: Vec::new(),
             cols: 0,
+            weights,
+            overflow: false,
             bound: IncrementalBound::new(),
         }
+    }
+
+    /// The objective weight of pin `row` (1 under the unit metric).
+    fn weight(&self, row: usize) -> u64 {
+        self.weights.as_ref().map_or(1, |w| w[row])
     }
 
     /// Ingests the next window, already transposed to pin rows. The
@@ -127,7 +152,7 @@ impl WindowedAnalyzer {
             start_col + matrix.cols() <= u32::MAX as usize,
             "streaming analysis supports at most 2^32 - 1 cubes"
         );
-        type ChunkEvents = (Vec<Segment>, Vec<IntervalSite>, Vec<usize>);
+        type ChunkEvents = (Vec<Segment>, Vec<IntervalSite>, Vec<(usize, usize)>);
         let chunks: Vec<ChunkEvents> =
             minipool::parallel_chunks_mut(&mut self.states, 4, |row0, states| {
                 let mut segments = Vec::new();
@@ -148,7 +173,7 @@ impl WindowedAnalyzer {
                             Some((left, left_value)) => {
                                 if col == left + 1 {
                                     if left_value.conflicts(value) {
-                                        forced.push(left);
+                                        forced.push((row, left));
                                     }
                                 } else if left_value == value {
                                     segments.push(Segment::new(row, left + 1, col, left_value));
@@ -174,14 +199,22 @@ impl WindowedAnalyzer {
         for (segments, sites, forced) in chunks {
             self.segments.extend(segments);
             for site in &sites {
-                // Interval (left, right-1): the exact interval the
-                // global solve will add for this site.
-                self.bound.add_load(site.left, site.right - 1, 1);
+                // Interval (left, right-1): the exact interval (and the
+                // exact load) the global solve will add for this site.
+                self.bound
+                    .add_load(site.left, site.right - 1, self.weight(site.row));
             }
             self.sites.extend(sites);
-            for col in forced {
-                self.baseline[col] += 1;
-                self.bound.add_baseline(col, 1);
+            for (row, col) in forced {
+                let w = self.weight(row);
+                match self.baseline[col].checked_add(w) {
+                    Some(v) => self.baseline[col] = v,
+                    None => self.overflow = true,
+                }
+                // The ladder saturates internally, which keeps its
+                // bound valid (never above the true one) even past an
+                // overflow the plan resolution will reject anyway.
+                self.bound.add_baseline(col, w);
             }
         }
     }
@@ -209,7 +242,11 @@ impl WindowedAnalyzer {
         (self.segments.len() * size_of::<Segment>()
             + self.sites.len() * size_of::<IntervalSite>()
             + self.baseline.len() * size_of::<u64>()
-            + self.states.len() * size_of::<PinState>()) as u64
+            + self.states.len() * size_of::<PinState>()
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * size_of::<u64>())) as u64
             + self.bound.approx_bytes()
     }
 
@@ -244,6 +281,7 @@ impl WindowedAnalyzer {
             baseline: self.baseline,
             cols: n,
             warm_lb: self.bound.current(),
+            overflow: self.overflow,
         }
     }
 }
@@ -258,7 +296,15 @@ mod tests {
 
     /// Feeds `cubes` to the analyzer in windows of `window` columns.
     fn analyze_windowed(cubes: &CubeSet, window: usize) -> Analysis {
-        let mut analyzer = WindowedAnalyzer::new(cubes.width());
+        analyze_windowed_weighted(cubes, window, None)
+    }
+
+    fn analyze_windowed_weighted(
+        cubes: &CubeSet,
+        window: usize,
+        weights: Option<Vec<u64>>,
+    ) -> Analysis {
+        let mut analyzer = WindowedAnalyzer::with_weights(cubes.width(), weights);
         let packed = cubes.as_packed();
         let mut start = 0;
         while start < cubes.len() {
@@ -302,6 +348,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn weighted_analyzer_matches_the_weighted_mapping() {
+        use crate::objective::{FillObjective, WeightTable};
+        for seed in [1u64, 2, 3] {
+            let cubes = random_cube_set(40, 21, 0.5, seed);
+            let weights: Vec<u64> = (0..cubes.width())
+                .map(|i| 1 + (i as u64 * 13) % 97)
+                .collect();
+            let objective =
+                FillObjective::weighted(WeightTable::new(weights.clone(), None).unwrap());
+            let mapping = MatrixMapping::analyze_with(&cubes, &objective).unwrap();
+            let lb = mapping.instance().lower_bound().unwrap();
+            for window in [1, 3, 8, 21] {
+                let analysis = analyze_windowed_weighted(&cubes, window, Some(weights.clone()));
+                assert_eq!(
+                    analysis.sites,
+                    mapping.sites(),
+                    "seed {seed} window {window}"
+                );
+                assert_eq!(
+                    analysis.baseline,
+                    mapping.instance().baseline(),
+                    "seed {seed} window {window}"
+                );
+                assert!(!analysis.overflow);
+                assert!(
+                    analysis.warm_lb <= lb,
+                    "seed {seed} window {window}: warm {} > weighted bound {lb}",
+                    analysis.warm_lb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_baseline_overflow_is_flagged_not_wrapped() {
+        // Two adjacent forced toggles on two max-weight pins hit the
+        // same transition: the sum leaves u64 and must be flagged.
+        let cubes = CubeSet::parse_rows(&["00", "11"]).unwrap();
+        let analysis = analyze_windowed_weighted(&cubes, 1, Some(vec![u64::MAX, u64::MAX]));
+        assert!(analysis.overflow);
     }
 
     #[test]

@@ -101,7 +101,8 @@ use dpfill_cubes::packed::{PackedBits, PackedMatrix};
 use dpfill_cubes::{Bit, CubeSet};
 
 use crate::bcp::{BcpInstance, SolveOptions};
-use crate::fill::{DpFillError, FillMethod};
+use crate::fill::{DpFillError, FillErrorSource, FillMethod};
+use crate::objective::{FillObjective, ObjectiveError};
 use crate::ordering::OrderingError;
 use crate::Interval;
 
@@ -208,6 +209,17 @@ pub struct StreamOptions {
     /// the differential suites can pin explicit shard widths without
     /// process-global environment races.
     pub solve: SolveOptions,
+    /// The fill objective. The default
+    /// ([`FillObjective::peak_toggles`]) keeps every code path and every
+    /// emitted byte identical to a build without the objective layer; a
+    /// weighted objective charges the analyzer's ladder, the global
+    /// solve and the emitted metrics in objective units, and a
+    /// preference-carrying objective applies the slack-shift tie-break
+    /// after the solve — exactly like the monolithic
+    /// [`DpFill::with_objective`](crate::fill::DpFill::with_objective).
+    /// Its weight table is charged to the memory-budget governor in
+    /// both passes.
+    pub objective: FillObjective,
 }
 
 impl Default for StreamOptions {
@@ -220,6 +232,7 @@ impl Default for StreamOptions {
             collect_baseline: false,
             chaos: ChaosPlan::default(),
             solve: SolveOptions::from_env(),
+            objective: FillObjective::default(),
         }
     }
 }
@@ -241,6 +254,10 @@ pub struct StreamReport {
     /// Peak toggles of the emitted patterns (boundary transitions
     /// stitched across windows).
     pub peak_toggles: usize,
+    /// Peak of the emitted patterns in objective units (fixed-point
+    /// weighted toggles under a weighted [`StreamOptions::objective`];
+    /// equals `peak_toggles` under the default).
+    pub objective_peak: u64,
     /// Peak toggles of the 0-filled as-given input, when
     /// [`StreamOptions::collect_baseline`] was set.
     pub baseline_peak: Option<usize>,
@@ -264,8 +281,11 @@ pub enum StreamError {
     Write(io::Error),
     /// Opening the input failed.
     Open(io::Error),
-    /// The global BCP solve failed (unreachable for instances produced
-    /// by the analyzer; kept total like [`crate::fill::DpFill::try_run`]).
+    /// The global BCP solve or the objective application failed. The
+    /// solve arm is unreachable for instances produced by the analyzer
+    /// (kept total like [`crate::fill::DpFill::try_run`]); objective
+    /// errors (weight-table width mismatch, weighted overflow) are
+    /// reachable user errors.
     Solve(DpFillError),
     /// The configured fill needs the whole set resident.
     UnsupportedFill(FillMethod),
@@ -489,6 +509,28 @@ impl StreamingFill {
         &self.opts
     }
 
+    /// Validates the configured objective against the stream's cube
+    /// width, as soon as the width is known.
+    fn check_objective(&self, width: usize, cubes: usize) -> Result<(), StreamError> {
+        self.opts.objective.check_width(width).map_err(|e| {
+            StreamError::Solve(DpFillError {
+                source: FillErrorSource::Objective(e),
+                shape: (cubes, width),
+            })
+        })
+    }
+
+    /// The per-pin weights the analyzer charges, or `None` for unit
+    /// weights — keeping the unit path's state (and bytes) identical to
+    /// an objective-less build.
+    fn analyzer_weights(&self) -> Option<Vec<u64>> {
+        if self.opts.objective.is_unit() {
+            None
+        } else {
+            self.opts.objective.weights().map(<[u64]>::to_vec)
+        }
+    }
+
     /// How many times [`StreamingFill::run`] will call `open`: 2 for
     /// the planned fills (DP/MT analyze first, then re-read to emit),
     /// 1 for the per-cube fills. Callers feeding a non-seekable source
@@ -543,6 +585,7 @@ impl StreamingFill {
                 windows: 0,
                 x_count: 0,
                 peak_toggles: 0,
+                objective_peak: 0,
                 baseline_peak: self.opts.collect_baseline.then_some(0),
                 resident_peak_cubes: 0,
                 degradations: Vec::new(),
@@ -581,12 +624,13 @@ impl StreamingFill {
             return Ok(None);
         };
         let width = first.width();
+        self.check_objective(width, 0)?;
         let mut governor = match self.opts.window {
             WindowSpec::MemoryBudgetMiB(mib) => Some(BudgetGovernor::new(mib, width)?),
             WindowSpec::Cubes(_) => None,
         };
         let mut window = self.opts.window.window_for_width(width)?;
-        let mut analyzer = WindowedAnalyzer::new(width);
+        let mut analyzer = WindowedAnalyzer::with_weights(width, self.analyzer_weights());
         let mut win_idx = 0usize;
         let mut offset = 0usize;
         let mut first = Some(first);
@@ -653,12 +697,13 @@ impl StreamingFill {
         let Some(width) = stage.peek_width()? else {
             return Ok(None);
         };
+        self.check_objective(width, 0)?;
         let mut governor = match self.opts.window {
             WindowSpec::MemoryBudgetMiB(mib) => Some(BudgetGovernor::new(mib, width)?),
             WindowSpec::Cubes(_) => None,
         };
         let mut window = self.opts.window.window_for_width(width)?;
-        let mut analyzer = WindowedAnalyzer::new(width);
+        let mut analyzer = WindowedAnalyzer::with_weights(width, self.analyzer_weights());
         let mut win_idx = 0usize;
         let mut offset = 0usize;
         // The analyzer's incremental ladder doubles as the banded
@@ -714,21 +759,37 @@ impl StreamingFill {
     ) -> Result<FillPlan, StreamError> {
         let solve_error = |source| {
             StreamError::Solve(DpFillError {
-                source,
+                source: FillErrorSource::Solve(source),
                 shape: (cubes, width),
             })
         };
+        let objective_error = |e| {
+            StreamError::Solve(DpFillError {
+                source: FillErrorSource::Objective(e),
+                shape: (cubes, width),
+            })
+        };
+        if analysis.overflow {
+            return Err(objective_error(ObjectiveError::Overflow {
+                what: "weighted forced-toggle load on one transition",
+            }));
+        }
         let plan = match self.opts.fill {
             FillMethod::Dp => {
                 let num_colors = analysis.cols.saturating_sub(1);
+                let weights = self.analyzer_weights();
                 let mut instance = BcpInstance::new(num_colors);
                 for site in &analysis.sites {
                     // Stretch bounds are valid transitions by
                     // construction; a violation is a solver-input bug
                     // and surfaces as a typed Solve error, not a panic.
-                    instance
-                        .add_interval(Interval::new(site.left as u32, (site.right - 1) as u32))
-                        .map_err(solve_error)?;
+                    let interval = Interval::new(site.left as u32, (site.right - 1) as u32);
+                    match &weights {
+                        Some(w) => instance
+                            .add_weighted_interval(interval, w[site.row])
+                            .map_err(solve_error)?,
+                        None => instance.add_interval(interval).map_err(solve_error)?,
+                    }
                 }
                 instance
                     .set_baseline(analysis.baseline)
@@ -740,7 +801,28 @@ impl StreamingFill {
                 // re-deriving it from the whole event stream.
                 let mut solve_opts = self.opts.solve;
                 solve_opts.warm_lb = Some(analysis.warm_lb);
-                let solution = instance.solve_with(&solve_opts).map_err(solve_error)?;
+                let mut solution = instance.solve_with(&solve_opts).map_err(solve_error)?;
+                if let Some(preferred) = self.opts.objective.preferred() {
+                    // The monolithic DpFill's preference tie-break,
+                    // verbatim: slide stretches toward their preferred
+                    // rest value wherever the achieved peak allows.
+                    let desire: Vec<i8> = analysis
+                        .sites
+                        .iter()
+                        .map(|site| match preferred[site.row] {
+                            Bit::X => 0,
+                            p if p == site.left_value => 1,
+                            _ => -1,
+                        })
+                        .collect();
+                    solution.coloring = instance
+                        .shift_within_slack(
+                            &solution.coloring,
+                            &desire,
+                            solution.peak.with_baseline,
+                        )
+                        .map_err(solve_error)?;
+                }
                 FillPlan::with_coloring(
                     width,
                     analysis.segments,
@@ -774,11 +856,22 @@ impl StreamingFill {
         };
         let mut writer = PatternWriter::new(sink);
         let batch_windows = minipool::current_threads().max(1);
-        // The emit pass's fixed memory cost: the resolved plan stays
-        // resident for its whole duration.
+        // The emit pass's fixed memory cost: the resolved plan (and the
+        // objective's weight table, kept resident for scoring) stays
+        // for its whole duration.
         let plan_bytes = match fill {
             ResolvedFill::Planned(plan) => plan.approx_bytes(),
             ResolvedFill::Local => 0,
+        } + self.opts.objective.resident_bytes();
+        // Weighted emit scoring (None = the unit metric, where
+        // `objective_peak` just mirrors `peak_toggles`).
+        let score_weights = if self.opts.objective.is_unit() {
+            None
+        } else {
+            self.opts.objective.weights()
+        };
+        let score_overflow = |_| StreamError::Overflow {
+            what: "weighted toggle score".to_string(),
         };
 
         let mut width: Option<usize> = pass1.map(|(_, w)| w);
@@ -805,6 +898,7 @@ impl StreamingFill {
             // window capacity, or a band that could cover the whole
             // set would order only its first sliver globally.
             if let Some(w) = stage.peek_width()? {
+                self.check_objective(w, 0)?;
                 width = Some(w);
                 match self.opts.window {
                     WindowSpec::MemoryBudgetMiB(mib) => {
@@ -823,6 +917,7 @@ impl StreamingFill {
         let mut windows = 0usize;
         let mut x_count = 0usize;
         let mut peak = 0usize;
+        let mut objective_peak = 0u64;
         let mut baseline_peak = 0usize;
         let mut resident_peak = 0usize;
         // The one-cube overlap: the previous window's frozen tail, for
@@ -839,6 +934,7 @@ impl StreamingFill {
                     break;
                 };
                 if width.is_none() {
+                    self.check_objective(set.width(), 0)?;
                     width = Some(set.width());
                     match self.opts.window {
                         WindowSpec::MemoryBudgetMiB(mib) => {
@@ -925,6 +1021,17 @@ impl StreamingFill {
                 for t in packed.toggle_profile() {
                     peak = peak.max(t);
                 }
+                if let Some(ws) = score_weights {
+                    if let Some(tail) = &filled_tail {
+                        objective_peak = objective_peak.max(
+                            tail.weighted_hamming(packed.cube(0), ws)
+                                .map_err(score_overflow)?,
+                        );
+                    }
+                    for t in packed.weighted_toggle_profile(ws).map_err(score_overflow)? {
+                        objective_peak = objective_peak.max(t);
+                    }
+                }
                 filled_tail = Some(packed.cube(packed.len() - 1).clone());
                 if self.opts.collect_baseline {
                     let mut zeroed = original.as_packed().clone();
@@ -972,6 +1079,11 @@ impl StreamingFill {
             windows,
             x_count,
             peak_toggles: peak,
+            objective_peak: if score_weights.is_some() {
+                objective_peak
+            } else {
+                peak as u64
+            },
             baseline_peak: self.opts.collect_baseline.then_some(baseline_peak),
             resident_peak_cubes: resident_peak,
             degradations,
@@ -1086,6 +1198,119 @@ mod tests {
             assert_eq!(
                 report.peak_toggles,
                 dpfill_cubes::peak_toggles(&filled).unwrap(),
+                "{}",
+                fill.label()
+            );
+        }
+    }
+
+    fn run_objective(
+        text: &str,
+        fill: FillMethod,
+        window: WindowSpec,
+        objective: FillObjective,
+    ) -> Result<(Vec<u8>, StreamReport), StreamError> {
+        let opts = StreamOptions {
+            window,
+            fill,
+            objective,
+            ..StreamOptions::default()
+        };
+        let mut out = Vec::new();
+        let report = StreamingFill::new(opts).run(|| Ok(text.as_bytes()), &mut out)?;
+        Ok((out, report))
+    }
+
+    #[test]
+    fn weighted_streaming_matches_the_monolithic_weighted_fill() {
+        use crate::objective::WeightTable;
+        use dpfill_cubes::gen::random_cube_set;
+        for seed in [3u64, 11] {
+            let cubes = random_cube_set(6, 13, 0.55, seed);
+            let mut text = Vec::new();
+            format::write_patterns(&mut text, &cubes, None).unwrap();
+            let text = String::from_utf8(text).unwrap();
+            let weights: Vec<u64> = (0..6).map(|i| [7, 1, 100, 3, 1, 19][i]).collect();
+            for preferred in [None, Some(vec![Bit::One; 6]), Some(vec![Bit::Zero; 6])] {
+                let table = WeightTable::new(weights.clone(), preferred).unwrap();
+                let objective = FillObjective::weighted(table.clone());
+                // The monolithic reference: DpFill under the same
+                // objective.
+                use crate::fill::FillStrategy as _;
+                let filled = crate::fill::DpFill::new()
+                    .with_objective(objective.clone())
+                    .fill(&cubes);
+                let mut whole = Vec::new();
+                format::write_patterns(&mut whole, &filled, None).unwrap();
+                for window in [1, 2, 5, 64] {
+                    let (out, report) = run_objective(
+                        &text,
+                        FillMethod::Dp,
+                        WindowSpec::Cubes(window),
+                        objective.clone(),
+                    )
+                    .unwrap();
+                    assert_eq!(out, whole, "seed {seed} window {window}");
+                    assert_eq!(
+                        report.objective_peak,
+                        filled.as_packed().weighted_peak_toggles(&weights).unwrap(),
+                        "seed {seed} window {window}"
+                    );
+                    assert_eq!(
+                        report.peak_toggles,
+                        dpfill_cubes::peak_toggles(&filled).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_objective_report_mirrors_peak_toggles() {
+        let text = "0XX1\nXX0X\n1X0X\nX1XX\n0XX1\n";
+        let (out, report) = run_windowed(text, FillMethod::Dp, WindowSpec::Cubes(2));
+        assert_eq!(out, monolithic(text, FillMethod::Dp));
+        assert_eq!(report.objective_peak, report.peak_toggles as u64);
+    }
+
+    #[test]
+    fn objective_width_mismatch_is_a_typed_stream_error() {
+        use crate::objective::WeightTable;
+        let objective = FillObjective::weighted(WeightTable::new(vec![1, 2, 3], None).unwrap());
+        for fill in [FillMethod::Dp, FillMethod::Zero] {
+            let err = run_objective("0X\n1X\n", fill, WindowSpec::Cubes(2), objective.clone())
+                .unwrap_err();
+            match err {
+                StreamError::Solve(e) => {
+                    assert!(matches!(
+                        e.source,
+                        FillErrorSource::Objective(ObjectiveError::WidthMismatch {
+                            expected: 2,
+                            found: 3
+                        })
+                    ));
+                }
+                other => panic!("expected a typed objective error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_scoring_covers_the_single_pass_fills() {
+        use crate::objective::WeightTable;
+        let text = "0XX1\nXX0X\n1X0X\nX1XX\n0XX1\n";
+        let weights = vec![5u64, 1, 9, 2];
+        let objective = FillObjective::weighted(WeightTable::new(weights.clone(), None).unwrap());
+        for fill in [FillMethod::Zero, FillMethod::Adj] {
+            let (out, report) =
+                run_objective(text, fill, WindowSpec::Cubes(2), objective.clone()).unwrap();
+            // Objective-blind fills emit the same bytes; only the score
+            // is objective-aware.
+            assert_eq!(out, monolithic(text, fill), "{}", fill.label());
+            let filled = format::parse_patterns(std::str::from_utf8(&out).unwrap()).unwrap();
+            assert_eq!(
+                report.objective_peak,
+                filled.as_packed().weighted_peak_toggles(&weights).unwrap(),
                 "{}",
                 fill.label()
             );

@@ -132,6 +132,74 @@ pub fn peak_toggles_scalar(set: &CubeSet) -> Result<usize, CubeError> {
     Ok(toggle_profile_scalar(set)?.into_iter().max().unwrap_or(0))
 }
 
+/// Weighted per-transition toggle loads under a per-pin weight table:
+/// element `j` is `Σ_i w_i · [T_j and T_{j+1} conflict at pin i]`. The
+/// weighted objective generalizes the paper's unit metric — leakage and
+/// IR-drop objectives compile down to these fixed-point weights — and
+/// with all weights `1` it equals [`toggle_profile`] exactly.
+///
+/// # Errors
+///
+/// Returns [`CubeError::EmptySet`] for an empty set,
+/// [`CubeError::WidthMismatch`] when the weight table's length differs
+/// from the set width, and [`CubeError::Overflow`] when a transition's
+/// weighted sum exceeds `u64`.
+pub fn weighted_toggle_profile(set: &CubeSet, weights: &[u64]) -> Result<Vec<u64>, CubeError> {
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
+    set.as_packed().weighted_toggle_profile(weights)
+}
+
+/// Reference per-bit weighted profile (differential-test twin of
+/// [`weighted_toggle_profile`]): decodes each pair to the scalar compat
+/// view and accumulates weights bit by bit.
+///
+/// # Errors
+///
+/// Same as [`weighted_toggle_profile`].
+pub fn weighted_toggle_profile_scalar(
+    set: &CubeSet,
+    weights: &[u64],
+) -> Result<Vec<u64>, CubeError> {
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
+    if weights.len() != set.width() {
+        return Err(CubeError::WidthMismatch {
+            expected: set.width(),
+            found: weights.len(),
+        });
+    }
+    (0..set.len() - 1)
+        .map(|j| {
+            let (a, b) = (set.cube(j), set.cube(j + 1));
+            let mut total = 0u64;
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                if x.conflicts(y) {
+                    total = total.checked_add(weights[i]).ok_or(CubeError::Overflow {
+                        what: "weighted toggle load",
+                    })?;
+                }
+            }
+            Ok(total)
+        })
+        .collect()
+}
+
+/// Weighted peak toggle load `max_j whd(T_j, T_{j+1})` — the weighted
+/// objective's analogue of [`peak_toggles`].
+///
+/// # Errors
+///
+/// Same as [`weighted_toggle_profile`].
+pub fn weighted_peak_toggles(set: &CubeSet, weights: &[u64]) -> Result<u64, CubeError> {
+    if set.is_empty() {
+        return Err(CubeError::EmptySet);
+    }
+    set.as_packed().weighted_peak_toggles(weights)
+}
+
 /// Total toggles across the sequence (the *average power* proxy, reported
 /// alongside the peak in the extension experiments).
 ///
@@ -232,6 +300,72 @@ mod tests {
                 assert_eq!(hamming_distance(&a, &b), hamming_distance_scalar(&a, &b));
             }
         }
+    }
+
+    #[test]
+    fn unit_weights_equal_the_unweighted_profile() {
+        for seed in 0..6u64 {
+            let width = 50 + (seed as usize) * 17; // straddles the word boundary
+            let set = crate::gen::random_cube_set(width, 24, 0.6, seed);
+            let ones = vec![1u64; width];
+            let weighted = weighted_toggle_profile(&set, &ones).unwrap();
+            let unit: Vec<u64> = toggle_profile(&set)
+                .unwrap()
+                .into_iter()
+                .map(|c| c as u64)
+                .collect();
+            assert_eq!(weighted, unit, "seed {seed}");
+            assert_eq!(
+                weighted_peak_toggles(&set, &ones).unwrap(),
+                peak_toggles(&set).unwrap() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_packed_and_scalar_paths_agree() {
+        for seed in 0..6u64 {
+            let width = 60 + (seed as usize) * 13;
+            let set = crate::gen::random_cube_set(width, 20, 0.5, seed);
+            // Deterministic pseudo-random weights, including zeros.
+            let weights: Vec<u64> = (0..width)
+                .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56)
+                .collect();
+            assert_eq!(
+                weighted_toggle_profile(&set, &weights).unwrap(),
+                weighted_toggle_profile_scalar(&set, &weights).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_bad_tables_and_overflow() {
+        let set = set_of(&["000", "111"]);
+        assert!(matches!(
+            weighted_toggle_profile(&set, &[1, 1]),
+            Err(CubeError::WidthMismatch {
+                expected: 3,
+                found: 2
+            })
+        ));
+        // Two max-weight conflicting pins overflow the u64 accumulator.
+        let max = vec![u64::MAX; 3];
+        assert_eq!(
+            weighted_toggle_profile(&set, &max),
+            Err(CubeError::Overflow {
+                what: "weighted toggle load"
+            })
+        );
+        assert_eq!(
+            weighted_toggle_profile_scalar(&set, &max),
+            Err(CubeError::Overflow {
+                what: "weighted toggle load"
+            })
+        );
+        // A single max-weight conflict is fine.
+        let one_hot = set_of(&["0XX", "1XX"]);
+        assert_eq!(weighted_peak_toggles(&one_hot, &max).unwrap(), u64::MAX);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub enum CubeError {
     /// An operation that requires at least one cube was called on an empty
     /// set (for example peak-toggle evaluation).
     EmptySet,
+    /// A weighted reduction overflowed `u64` instead of silently
+    /// wrapping; `what` names the accumulated quantity.
+    Overflow {
+        /// The quantity whose accumulation overflowed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CubeError {
@@ -52,6 +58,9 @@ impl fmt::Display for CubeError {
                 write!(f, "pattern file line {line}: {message}")
             }
             CubeError::EmptySet => write!(f, "operation requires a non-empty cube set"),
+            CubeError::Overflow { what } => {
+                write!(f, "arithmetic overflow computing {what}")
+            }
         }
     }
 }

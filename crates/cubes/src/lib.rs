@@ -74,7 +74,8 @@ pub use cube::TestCube;
 pub use distance::{
     conflict_distance, hamming_distance, hamming_distance_scalar, peak_toggles,
     peak_toggles_scalar, toggle_profile, toggle_profile_scalar, total_toggles,
-    total_toggles_scalar,
+    total_toggles_scalar, weighted_peak_toggles, weighted_toggle_profile,
+    weighted_toggle_profile_scalar,
 };
 pub use error::CubeError;
 pub use format::PatternError;

@@ -328,6 +328,51 @@ impl PackedBits {
         kernel.masked_xor_popcount(&self.val, &other.val, &self.care, &other.care)
     }
 
+    /// Weighted Hamming distance: `Σ weights[i]` over positions `i`
+    /// where both vectors carry opposite care bits — the per-pair step
+    /// of the weighted sweeps behind the pluggable fill objectives.
+    /// Weights are fixed-point integers so the reduction is exact and
+    /// order-independent; the conflict mask is the same
+    /// `(a.val ^ b.val) & a.care & b.care` word the unit kernel
+    /// popcounts, walked by `trailing_zeros` hops (conflict masks are
+    /// sparse on ATPG-shaped inputs, so per-set-bit hops beat a full
+    /// per-bit multiply-accumulate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the vector widths or
+    /// the weight-table length differ from this vector's width, and
+    /// [`CubeError::Overflow`] when the weighted sum exceeds `u64`.
+    pub fn weighted_hamming(&self, other: &PackedBits, weights: &[u64]) -> Result<u64, CubeError> {
+        self.check_width(other)?;
+        if weights.len() != self.len {
+            return Err(CubeError::WidthMismatch {
+                expected: self.len,
+                found: weights.len(),
+            });
+        }
+        let mut total = 0u64;
+        for (w, ((&va, &vb), (&ca, &cb))) in self
+            .val
+            .iter()
+            .zip(&other.val)
+            .zip(self.care.iter().zip(&other.care))
+            .enumerate()
+        {
+            let mut m = (va ^ vb) & ca & cb;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                total = total
+                    .checked_add(weights[w * WORD + b])
+                    .ok_or(CubeError::Overflow {
+                        what: "weighted toggle load",
+                    })?;
+                m &= m - 1;
+            }
+        }
+        Ok(total)
+    }
+
     /// Typed width guard shared by the fallible plane kernels.
     #[inline]
     fn check_width(&self, other: &PackedBits) -> Result<(), CubeError> {
@@ -893,6 +938,81 @@ impl PackedCubeSet {
         pairs
             .iter()
             .map(|&(a, b)| self.cubes[a].hamming_with(kernel, &self.cubes[b]))
+            .collect()
+    }
+
+    /// Weighted per-transition toggle loads: element `j` is the
+    /// weighted Hamming distance between cubes `j` and `j + 1` under
+    /// the per-pin `weights` table — the weighted twin of
+    /// [`PackedCubeSet::toggle_profile`], batched the same way (one
+    /// sweep over adjacent pairs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CubeError::WidthMismatch`] when the weight table's
+    /// length differs from the set width, and [`CubeError::Overflow`]
+    /// when any transition's weighted sum exceeds `u64`.
+    pub fn weighted_toggle_profile(&self, weights: &[u64]) -> Result<Vec<u64>, CubeError> {
+        self.cubes
+            .windows(2)
+            .map(|w| w[0].weighted_hamming(&w[1], weights))
+            .collect()
+    }
+
+    /// Weighted peak toggle load `max_j whd(T_j, T_{j+1})`; `0` for
+    /// fewer than two cubes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PackedCubeSet::weighted_toggle_profile`].
+    pub fn weighted_peak_toggles(&self, weights: &[u64]) -> Result<u64, CubeError> {
+        let mut peak = 0u64;
+        for w in self.cubes.windows(2) {
+            peak = peak.max(w[0].weighted_hamming(&w[1], weights)?);
+        }
+        Ok(peak)
+    }
+
+    /// Weighted one-vs-all distance sweep — the weighted twin of
+    /// [`PackedCubeSet::distances_from`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PackedCubeSet::weighted_toggle_profile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= self.len()`.
+    pub fn weighted_distances_from(
+        &self,
+        from: usize,
+        weights: &[u64],
+    ) -> Result<Vec<u64>, CubeError> {
+        let anchor = &self.cubes[from];
+        self.cubes
+            .iter()
+            .map(|c| anchor.weighted_hamming(c, weights))
+            .collect()
+    }
+
+    /// Weighted batched distance sweep over arbitrary index pairs — the
+    /// weighted twin of [`PackedCubeSet::hamming_pairs`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PackedCubeSet::weighted_toggle_profile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn weighted_hamming_pairs(
+        &self,
+        pairs: &[(usize, usize)],
+        weights: &[u64],
+    ) -> Result<Vec<u64>, CubeError> {
+        pairs
+            .iter()
+            .map(|&(a, b)| self.cubes[a].weighted_hamming(&self.cubes[b], weights))
             .collect()
     }
 

@@ -28,6 +28,18 @@
 //!                         resident and re-ordered before windows
 //!                         freeze out (default: 2; needs streaming
 //!                         mode and an ordering)
+//!   --objective OBJ       peak-toggles|weighted|leakage|ir-drop
+//!                         (default: peak-toggles — the paper's metric,
+//!                         byte-identical to builds without the flag).
+//!                         weighted needs --weights; leakage/ir-drop
+//!                         derive their tables from --circuit (or
+//!                         --weights), falling back to synthetic models
+//!                         in monolithic mode
+//!   --weights FILE        per-pin weight table (one line per pin:
+//!                         `WEIGHT [0|1|-]`, `#` comments); supplies or
+//!                         overrides the objective's physical model
+//!   --circuit NAME        ITC'99 benchmark (b01..b22) whose synthetic
+//!                         netlist powers the leakage/ir-drop models
 //!   --output FILE         write here instead of stdout
 //!   --stats               print peak/ordering statistics to stderr
 //! ```
@@ -39,7 +51,8 @@
 //! configuration, 3 input I/O, 4 malformed input, 5 output write,
 //! 6 source changed between passes, 7 contained worker panic,
 //! 8 memory budget exhausted, 9 arithmetic overflow, 10 no patterns,
-//! 11 solver failure, 70 escaped-panic backstop.
+//! 11 solver failure, 12 invalid weight table, 70 escaped-panic
+//! backstop.
 //!
 //! The `DPFILL_CHAOS` environment variable (`fill:N`, `analyze:N`, or
 //! both comma-separated) makes the streaming pipeline panic inside the
@@ -59,14 +72,17 @@ use std::panic::catch_unwind;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use dpfill_core::fill::FillMethod;
+use dpfill_core::fill::{FillErrorSource, FillMethod};
 use dpfill_core::ordering::{BandedMethod, OrderingMethod};
 use dpfill_core::stream::{
     BandedOrder, ChaosPlan, StreamError, StreamOptions, StreamingFill, WindowSpec,
 };
+use dpfill_core::{FillObjective, ObjectiveError, ObjectiveKind, WeightTable};
 use dpfill_cubes::format::PatternError;
 use dpfill_cubes::retry::{self, RetryReader};
-use dpfill_cubes::{format, peak_toggles, CubeSet};
+use dpfill_cubes::{format, peak_toggles, weighted_peak_toggles, Bit, CubeSet};
+use dpfill_netlist::CombView;
+use dpfill_power::{input_switch_caps, CapacitanceModel, GridModel, LeakageModel, PowerConfig};
 
 /// The process exit codes, one per failure class. Scripts driving huge
 /// fill jobs dispatch on these (retry transient I/O, page on solver
@@ -92,6 +108,10 @@ mod exit {
     pub const NO_PATTERNS: u8 = 10;
     /// The global BCP solve failed (solver-input bug, never expected).
     pub const SOLVE: u8 = 11;
+    /// The weight table behind `--objective`/`--weights` is invalid
+    /// (parse error, zero/non-finite weight, width mismatch with the
+    /// patterns).
+    pub const BAD_WEIGHTS: u8 = 12;
     /// A panic escaped all containment — the `main` backstop (EX_SOFTWARE).
     pub const PANIC: u8 = 70;
     /// Any failure without a more specific class.
@@ -125,7 +145,13 @@ fn stream_error(label: &str, e: &StreamError) -> CliError {
         StreamError::Open(_) | StreamError::Pattern(PatternError::Io(_)) => exit::INPUT_IO,
         StreamError::Pattern(PatternError::Cube(_)) => exit::MALFORMED,
         StreamError::Write(_) => exit::OUTPUT,
-        StreamError::Solve(_) => exit::SOLVE,
+        // A bad weight table is the caller's error (12) — except a
+        // weighted overflow, which joins the window-arithmetic class.
+        StreamError::Solve(e) => match &e.source {
+            FillErrorSource::Objective(ObjectiveError::Overflow { .. }) => exit::OVERFLOW,
+            FillErrorSource::Objective(_) => exit::BAD_WEIGHTS,
+            _ => exit::SOLVE,
+        },
         StreamError::UnsupportedFill(_) => exit::USAGE,
         StreamError::Order(_) => exit::SOLVE,
         StreamError::SourceChanged { .. } => exit::SOURCE_CHANGED,
@@ -162,6 +188,9 @@ struct Options {
     window: Option<usize>,
     memory_budget: Option<usize>,
     band: Option<usize>,
+    objective: ObjectiveKind,
+    weights: Option<String>,
+    circuit: Option<String>,
     stats: bool,
 }
 
@@ -176,6 +205,9 @@ fn parse_args() -> Result<Options, String> {
         window: None,
         memory_budget: None,
         band: None,
+        objective: ObjectiveKind::PeakToggles,
+        weights: None,
+        circuit: None,
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -242,6 +274,21 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.band = Some(band);
             }
+            "--objective" => {
+                opts.objective = match args.next().as_deref() {
+                    Some("peak-toggles") => ObjectiveKind::PeakToggles,
+                    Some("weighted") => ObjectiveKind::Weighted,
+                    Some("leakage") => ObjectiveKind::Leakage,
+                    Some("ir-drop") => ObjectiveKind::IrDrop,
+                    other => return Err(format!("unknown --objective {other:?}")),
+                };
+            }
+            "--weights" => {
+                opts.weights = Some(args.next().ok_or("--weights needs a path")?);
+            }
+            "--circuit" => {
+                opts.circuit = Some(args.next().ok_or("--circuit needs a benchmark name")?);
+            }
             "--output" => {
                 opts.output = Some(args.next().ok_or("--output needs a path")?);
             }
@@ -252,6 +299,8 @@ fn parse_args() -> Result<Options, String> {
                      usage: dpfill-xfill [--fill dp|b|xstat|adj|mt|0|1|random]\n\
                      \u{20}      [--order keep|interleave|xstat|isa] [--threads N]\n\
                      \u{20}      [--window CUBES | --memory-budget MB] [--band B]\n\
+                     \u{20}      [--objective peak-toggles|weighted|leakage|ir-drop]\n\
+                     \u{20}      [--weights FILE] [--circuit NAME]\n\
                      \u{20}      [--output FILE] [--stats] [INPUT|-]"
                 );
                 std::process::exit(0);
@@ -287,6 +336,116 @@ fn chaos_from_env() -> Result<ChaosPlan, CliError> {
         }
     }
     Ok(plan)
+}
+
+/// Loads and parses the `--weights` file into a validated table.
+fn weights_from_file(path: &str) -> Result<WeightTable, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(exit::INPUT_IO, format!("cannot open {path}: {e}")))?;
+    WeightTable::parse(&text).map_err(|e| CliError::new(exit::BAD_WEIGHTS, format!("{path}: {e}")))
+}
+
+/// Compiles the physical leakage/IR-drop vectors of an ITC'99
+/// benchmark's synthetic netlist into the objective's weight table.
+fn table_from_circuit(name: &str, kind: ObjectiveKind) -> Result<WeightTable, CliError> {
+    let profile = dpfill_circuits::itc99(name)
+        .ok_or_else(|| CliError::usage(format!("--circuit {name:?} is not an ITC'99 benchmark")))?;
+    let netlist = profile.generate();
+    let view = CombView::new(&netlist);
+    let config = PowerConfig::default();
+    let caps = CapacitanceModel::of(&netlist, &config);
+    let bad = |e: ObjectiveError| {
+        CliError::new(exit::BAD_WEIGHTS, format!("circuit {name} weights: {e}"))
+    };
+    match kind {
+        // Dynamic cost = switched capacitance; rest values from the
+        // state-dependent leakage model.
+        ObjectiveKind::Leakage => {
+            let rest = LeakageModel::of(&view).preferred_rest();
+            WeightTable::from_f64(&input_switch_caps(&view, &caps), Some(rest)).map_err(bad)
+        }
+        // Droop each column contributes per toggle through the grid.
+        ObjectiveKind::IrDrop => {
+            let weights = GridModel::default().hotspot_weights(&view, &caps, &config);
+            WeightTable::from_f64(&weights, None).map_err(bad)
+        }
+        ObjectiveKind::PeakToggles | ObjectiveKind::Weighted => {
+            unreachable!("only the physical objectives consult --circuit")
+        }
+    }
+}
+
+/// Resolves `--objective`/`--weights`/`--circuit` into the objective
+/// both pipelines minimize. `width` is the pattern width when already
+/// known (monolithic mode); the physical objectives fall back to
+/// width-sized synthetic models without it only in that mode, so the
+/// streaming pipeline requires `--weights` or `--circuit` for them.
+fn objective_for(opts: &Options, width: Option<usize>) -> Result<FillObjective, CliError> {
+    if opts.weights.is_some() && opts.objective == ObjectiveKind::PeakToggles {
+        return Err(CliError::usage(
+            "--weights needs --objective weighted, leakage or ir-drop",
+        ));
+    }
+    if opts.circuit.is_some()
+        && !matches!(
+            opts.objective,
+            ObjectiveKind::Leakage | ObjectiveKind::IrDrop
+        )
+    {
+        return Err(CliError::usage(
+            "--circuit powers the physical models: pass --objective leakage or ir-drop",
+        ));
+    }
+    match opts.objective {
+        ObjectiveKind::PeakToggles => Ok(FillObjective::peak_toggles()),
+        ObjectiveKind::Weighted => match &opts.weights {
+            Some(path) => Ok(FillObjective::weighted(weights_from_file(path)?)),
+            None => Err(CliError::usage("--objective weighted needs --weights FILE")),
+        },
+        ObjectiveKind::Leakage => {
+            let table = match (&opts.weights, &opts.circuit, width) {
+                (Some(path), _, _) => weights_from_file(path)?,
+                (None, Some(name), _) => table_from_circuit(name, opts.objective)?,
+                // Netlist-free fallback: no dynamic weighting, rest
+                // low — every CMOS stack leaks least fully off.
+                (None, None, Some(width)) => {
+                    WeightTable::new(vec![1; width], Some(vec![Bit::Zero; width])).map_err(|e| {
+                        CliError::new(exit::BAD_WEIGHTS, format!("synthetic leakage model: {e}"))
+                    })?
+                }
+                (None, None, None) => {
+                    return Err(CliError::usage(
+                        "--objective leakage in streaming mode needs --circuit or --weights",
+                    ))
+                }
+            };
+            Ok(FillObjective::leakage(table))
+        }
+        ObjectiveKind::IrDrop => {
+            let table = match (&opts.weights, &opts.circuit, width) {
+                (Some(path), _, _) => weights_from_file(path)?,
+                (None, Some(name), _) => table_from_circuit(name, opts.objective)?,
+                // Netlist-free fallback: a triangular hotspot peaking
+                // at the center column — the classic worst-droop spot
+                // of a uniform grid.
+                (None, None, Some(width)) => {
+                    let mid = (width.saturating_sub(1)) as f64 / 2.0;
+                    let profile: Vec<f64> = (0..width)
+                        .map(|i| 2.0 - (i as f64 - mid).abs() / (mid + 1.0))
+                        .collect();
+                    WeightTable::from_f64(&profile, None).map_err(|e| {
+                        CliError::new(exit::BAD_WEIGHTS, format!("synthetic ir-drop model: {e}"))
+                    })?
+                }
+                (None, None, None) => {
+                    return Err(CliError::usage(
+                        "--objective ir-drop in streaming mode needs --circuit or --weights",
+                    ))
+                }
+            };
+            Ok(FillObjective::ir_drop(table))
+        }
+    }
 }
 
 /// A spool file for non-seekable stdin in streaming mode; removed on
@@ -532,6 +691,7 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
         ));
     }
     let order = streaming_order(opts)?;
+    let objective = objective_for(opts, None)?;
     let window = match (opts.window, opts.memory_budget) {
         (Some(cubes), _) => WindowSpec::Cubes(cubes),
         (None, Some(mib)) => WindowSpec::MemoryBudgetMiB(mib),
@@ -544,6 +704,7 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
         header: Some(output_header(opts)),
         collect_baseline: opts.stats,
         chaos: chaos_from_env()?,
+        objective: objective.clone(),
         ..StreamOptions::default()
     });
     let label = opts.input.as_deref().unwrap_or("<stdin>");
@@ -576,6 +737,13 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
             opts.fill.label(),
             report.peak_toggles
         );
+        if objective.kind() != ObjectiveKind::PeakToggles {
+            eprintln!(
+                "objective {}: weighted peak {} (fixed-point units)",
+                objective.label(),
+                report.objective_peak
+            );
+        }
         eprintln!(
             "streamed {} windows of {} cubes; peak resident cubes {}",
             report.windows, report.window_cubes, report.resident_peak_cubes
@@ -650,7 +818,11 @@ fn run(opts: &Options) -> Result<(), CliError> {
                 .map_err(|e| CliError::new(exit::OTHER, e.to_string()))?
         }
     };
-    let filled = opts.fill.fill(&ordered);
+    let objective = objective_for(opts, Some(ordered.width()))?;
+    objective
+        .check_width(ordered.width())
+        .map_err(|e| CliError::new(exit::BAD_WEIGHTS, e.to_string()))?;
+    let filled = opts.fill.fill_with(&ordered, &objective);
     debug_assert!(CubeSet::is_filling_of(&filled, &ordered));
 
     if opts.stats {
@@ -666,6 +838,15 @@ fn run(opts: &Options) -> Result<(), CliError> {
             opts.fill.label(),
             after
         );
+        if let Some(weights) = objective.weights() {
+            let weighted = weighted_peak_toggles(&filled, weights)
+                .map_err(|e| CliError::new(exit::OVERFLOW, e.to_string()))?;
+            eprintln!(
+                "objective {}: weighted peak {} (fixed-point units)",
+                objective.label(),
+                weighted
+            );
+        }
     }
 
     // Emit incrementally — no full-set String is ever buffered, on

@@ -1,0 +1,268 @@
+//! End-to-end checks of `dpfill-xfill --objective`: the default
+//! objective is byte-identical to builds without the flag across fills,
+//! windows and thread counts; the physical objectives run end to end
+//! (synthetic model, weights file, and `--circuit` netlist); and every
+//! invalid weight table exits with the documented code 12.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const INPUT: &str = "\
+# cube dump from some ATPG
+0XX1XXXX0X
+XX1XXX0XXX
+1XXXX0XX1X
+XXX0XXXX0X
+X1XXXXXX1X
+XXXX1XX0XX
+0XXXXX1XXX
+XX0XXXXXX1
+";
+
+/// Five-pin cubes matching ITC'99 b01's scan width (2 PIs + 3 FFs).
+const INPUT_B01: &str = "0XX1X\nX1XX0\nXX0XX\n1XXX1\nXX1X0\n";
+
+fn run_xfill(args: &[&str], input: &str) -> (String, String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dpfill-xfill"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dpfill-xfill");
+    // A run that rejects its arguments exits before reading stdin, so
+    // the pipe may already be closed — that is the behavior under test,
+    // not a failure.
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes());
+    let out = child.wait_with_output().expect("dpfill-xfill exit");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.code(),
+    )
+}
+
+fn weights_file(lines: &str) -> tempfile::NamedTempPath {
+    tempfile::named(lines)
+}
+
+/// A minimal exclusive temp-file helper (no external crates).
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct NamedTempPath(PathBuf);
+
+    impl NamedTempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 temp path")
+        }
+    }
+
+    impl Drop for NamedTempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn named(content: &str) -> NamedTempPath {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        let path = std::env::temp_dir().join(format!(
+            "dpfill-objective-test-{}-{nanos}.weights",
+            std::process::id()
+        ));
+        std::fs::write(&path, content).expect("write weights file");
+        NamedTempPath(path)
+    }
+}
+
+#[test]
+fn default_objective_is_byte_identical_across_fills_windows_and_threads() {
+    for fill in ["dp", "mt", "adj", "0"] {
+        let (reference, _, code) = run_xfill(&["--fill", fill, "--order", "keep"], INPUT);
+        assert_eq!(code, Some(0), "monolithic --fill {fill} failed");
+        // The flag spelled out must change nothing...
+        let (out, _, code) = run_xfill(
+            &[
+                "--fill",
+                fill,
+                "--order",
+                "keep",
+                "--objective",
+                "peak-toggles",
+            ],
+            INPUT,
+        );
+        assert_eq!(code, Some(0));
+        assert_eq!(out, reference, "--objective peak-toggles drifted ({fill})");
+        // ...nor may it at any window size or thread count.
+        for window in ["1", "3", "64"] {
+            for threads in ["1", "2", "8"] {
+                let (out, stderr, code) = run_xfill(
+                    &[
+                        "--fill",
+                        fill,
+                        "--order",
+                        "keep",
+                        "--objective",
+                        "peak-toggles",
+                        "--window",
+                        window,
+                        "--threads",
+                        threads,
+                    ],
+                    INPUT,
+                );
+                assert_eq!(code, Some(0), "window {window} threads {threads}: {stderr}");
+                assert_eq!(
+                    out, reference,
+                    "--fill {fill} --window {window} --threads {threads} drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn leakage_objective_runs_end_to_end() {
+    // Synthetic fallback (no netlist): valid filling, stats line names
+    // the objective.
+    let (out, stderr, code) = run_xfill(&["--objective", "leakage", "--stats"], INPUT);
+    assert_eq!(code, Some(0), "leakage run failed: {stderr}");
+    assert!(!out.is_empty());
+    assert!(out
+        .lines()
+        .skip(1)
+        .all(|l| l.chars().all(|c| c == '0' || c == '1')));
+    assert!(stderr.contains("objective leakage"), "stats: {stderr}");
+    // The leakage preference (rest low) biases X-runs toward 0 without
+    // raising the peak: the filled output differs from the default
+    // objective only in rest values, never in validity.
+    let (default_out, _, code) = run_xfill(&[], INPUT);
+    assert_eq!(code, Some(0));
+    assert_eq!(out.lines().count(), default_out.lines().count());
+}
+
+#[test]
+fn circuit_powered_objectives_run_in_both_pipelines() {
+    for objective in ["leakage", "ir-drop"] {
+        let (mono, stderr, code) = run_xfill(
+            &["--objective", objective, "--circuit", "b01", "--stats"],
+            INPUT_B01,
+        );
+        assert_eq!(code, Some(0), "monolithic {objective}: {stderr}");
+        assert!(
+            stderr.contains(&format!("objective {objective}")),
+            "{stderr}"
+        );
+        let (streamed, stderr, code) = run_xfill(
+            &[
+                "--objective",
+                objective,
+                "--circuit",
+                "b01",
+                "--stats",
+                "--window",
+                "2",
+                "--order",
+                "keep",
+            ],
+            INPUT_B01,
+        );
+        assert_eq!(code, Some(0), "streaming {objective}: {stderr}");
+        assert!(
+            stderr.contains(&format!("objective {objective}")),
+            "{stderr}"
+        );
+        assert!(!streamed.is_empty());
+        // Same circuit, same table → the monolithic ordered run and the
+        // kept-order stream agree on shape (ordering differs: the
+        // monolithic default orders, --order keep does not).
+        assert_eq!(streamed.lines().count(), mono.lines().count());
+    }
+}
+
+#[test]
+fn weighted_objective_consumes_a_weights_file() {
+    let weights =
+        weights_file("5.0 0\n1.0 -\n1.0 -\n1.0 -\n9.0 1\n2.0 -\n1.0 -\n1.0 -\n1.0 -\n3.0 -\n");
+    let (out, stderr, code) = run_xfill(
+        &[
+            "--objective",
+            "weighted",
+            "--weights",
+            weights.as_str(),
+            "--stats",
+        ],
+        INPUT,
+    );
+    assert_eq!(code, Some(0), "weighted run failed: {stderr}");
+    assert!(!out.is_empty());
+    assert!(stderr.contains("objective weighted"), "stats: {stderr}");
+}
+
+#[test]
+fn invalid_weight_tables_exit_with_code_12() {
+    // A parse error in the weights file.
+    let bad = weights_file("1.0\nbogus\n");
+    let (_, stderr, code) = run_xfill(
+        &["--objective", "weighted", "--weights", bad.as_str()],
+        INPUT,
+    );
+    assert_eq!(code, Some(12), "parse error: {stderr}");
+    assert!(
+        stderr.contains("line 2"),
+        "diagnostic names the line: {stderr}"
+    );
+
+    // A table that does not cover the patterns' pins — both pipelines.
+    let narrow = weights_file("1.0\n2.0\n3.0\n");
+    let (_, stderr, code) = run_xfill(
+        &["--objective", "weighted", "--weights", narrow.as_str()],
+        INPUT,
+    );
+    assert_eq!(code, Some(12), "monolithic width mismatch: {stderr}");
+    let (_, stderr, code) = run_xfill(
+        &[
+            "--objective",
+            "weighted",
+            "--weights",
+            narrow.as_str(),
+            "--window",
+            "4",
+            "--order",
+            "keep",
+        ],
+        INPUT,
+    );
+    assert_eq!(code, Some(12), "streaming width mismatch: {stderr}");
+
+    // A circuit whose scan width does not match the patterns.
+    let (_, stderr, code) = run_xfill(&["--objective", "leakage", "--circuit", "b03"], INPUT_B01);
+    assert_eq!(code, Some(12), "circuit width mismatch: {stderr}");
+}
+
+#[test]
+fn objective_flag_combinations_are_validated() {
+    // --weights without a weighted-capable objective.
+    let w = weights_file("1.0\n");
+    let (_, _, code) = run_xfill(&["--weights", w.as_str()], INPUT);
+    assert_eq!(code, Some(2));
+    // --circuit with a non-physical objective.
+    let (_, _, code) = run_xfill(&["--circuit", "b01"], INPUT);
+    assert_eq!(code, Some(2));
+    // weighted without --weights.
+    let (_, _, code) = run_xfill(&["--objective", "weighted"], INPUT);
+    assert_eq!(code, Some(2));
+    // Unknown circuit name.
+    let (_, _, code) = run_xfill(&["--objective", "leakage", "--circuit", "zz9"], INPUT);
+    assert_eq!(code, Some(2));
+    // Physical objectives in streaming mode need a width-defining model.
+    let (_, _, code) = run_xfill(&["--objective", "ir-drop", "--window", "2"], INPUT);
+    assert_eq!(code, Some(2));
+}

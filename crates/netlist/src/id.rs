@@ -25,7 +25,9 @@ impl SignalId {
     /// Panics if `index` exceeds `u32::MAX`.
     #[inline]
     pub fn new(index: usize) -> SignalId {
-        SignalId(u32::try_from(index).expect("netlist larger than u32::MAX signals"))
+        SignalId(
+            u32::try_from(index).unwrap_or_else(|_| panic!("netlist larger than u32::MAX signals")),
+        )
     }
 
     /// The dense index of this signal.

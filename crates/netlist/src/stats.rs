@@ -41,7 +41,7 @@ impl NetlistStats {
             let pos = GateKind::ALL
                 .iter()
                 .position(|k| *k == sig.kind())
-                .expect("ALL covers every kind");
+                .unwrap_or_else(|| unreachable!("ALL covers every kind"));
             kind_counts[pos] += 1;
             let f = netlist.fanout_count(id);
             fanout_sum += f;
@@ -70,7 +70,7 @@ impl NetlistStats {
         let pos = GateKind::ALL
             .iter()
             .position(|k| *k == kind)
-            .expect("ALL covers every kind");
+            .unwrap_or_else(|| unreachable!("ALL covers every kind"));
         self.kind_counts[pos]
     }
 }

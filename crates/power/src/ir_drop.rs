@@ -43,6 +43,28 @@ impl Default for GridModel {
     }
 }
 
+impl GridModel {
+    /// Grid droop each pattern column contributes per toggle, in volts:
+    /// `R_eff · C_i · Vdd · f`, the switching current of that input's
+    /// net through the effective grid resistance. This is the weight
+    /// vector of the *ir-drop* fill objective — columns whose nets carry
+    /// more switched capacitance droop the grid harder, so the solver
+    /// should spread their toggles first. Ordered for
+    /// [`CombView::inputs`] (pattern-column order).
+    pub fn hotspot_weights(
+        &self,
+        view: &CombView<'_>,
+        caps: &CapacitanceModel,
+        config: &PowerConfig,
+    ) -> Vec<f64> {
+        let volts_per_farad = self.effective_resistance * config.vdd * config.frequency;
+        crate::input_switch_caps(view, caps)
+            .into_iter()
+            .map(|c| c * volts_per_farad)
+            .collect()
+    }
+}
+
 /// The droop verdict for one pattern set.
 #[derive(Clone, Debug, PartialEq)]
 pub struct IrDropReport {
@@ -179,6 +201,33 @@ mod tests {
         let r = report_for(100, &["0", "1"], &absurd);
         assert!(r.droop_v <= PowerConfig::default().vdd + 1e-12);
         assert!(r.stretched_path_fraction.is_finite());
+    }
+
+    #[test]
+    fn hotspot_weights_scale_with_fanout_and_resistance() {
+        let n = wide_buffer_tree(40);
+        let view = CombView::new(&n);
+        let cfg = PowerConfig::default();
+        let caps = CapacitanceModel::of(&n, &cfg);
+        let grid = GridModel::default();
+        let w = grid.hotspot_weights(&view, &caps, &cfg);
+        assert_eq!(w.len(), view.input_count());
+        assert!(w.iter().all(|v| *v > 0.0 && v.is_finite()));
+        // Double the grid resistance, double the droop per toggle.
+        let stiff = GridModel {
+            effective_resistance: 2.0 * grid.effective_resistance,
+            ..grid
+        };
+        let w2 = stiff.hotspot_weights(&view, &caps, &cfg);
+        for (a, b) in w.iter().zip(&w2) {
+            assert!((2.0 * a - b).abs() < 1e-18);
+        }
+        // The lone input drives 40 gates; a 2-gate tree's input droops less.
+        let small = wide_buffer_tree(2);
+        let sview = CombView::new(&small);
+        let scaps = CapacitanceModel::of(&small, &cfg);
+        let sw = grid.hotspot_weights(&sview, &scaps, &cfg);
+        assert!(w[0] > sw[0]);
     }
 
     #[test]

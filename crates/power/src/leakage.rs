@@ -1,0 +1,207 @@
+//! Static-leakage modeling — the physical source of the *leakage*
+//! fill objective.
+//!
+//! Between launch and capture, most scan cells sit still; the values
+//! they rest at decide the chip's static power. Subthreshold leakage is
+//! strongly state-dependent at 45 nm: a `0` on a NAND-stack input cuts
+//! the leak path (the stack effect), while NOR-style pull-ups leak more
+//! with a grounded input. This module folds a per-kind, per-state
+//! leakage table over each combinational input's fanout pins and
+//! answers two questions per pattern column:
+//!
+//! * which rest value leaks less (`preferred_rest`), and
+//! * how much choosing the other value costs (`rest_penalty_nw`).
+//!
+//! The vectors are plain `f64`/[`Bit`] data: the core crate's objective
+//! layer compiles them to the fixed-point weight tables the solver
+//! consumes, keeping this crate free of any solver dependency.
+
+use dpfill_cubes::Bit;
+use dpfill_netlist::{CombView, GateKind};
+
+use crate::CapacitanceModel;
+
+/// Leakage, in nanowatts, a gate contributes when this particular input
+/// pin rests at `value` — a 45 nm-flavoured relative table. Series
+/// stacks (NAND/AND) leak less with a `0` on a pin; parallel pull-down
+/// networks (NOR/OR) leak less with a `1` holding their pull-up off;
+/// symmetric gates (XOR, DFF data pins, buffers) barely care.
+fn pin_leak_nw(kind: GateKind, value: bool) -> f64 {
+    match kind {
+        GateKind::Nand | GateKind::And => {
+            if value {
+                5.0
+            } else {
+                1.5
+            }
+        }
+        GateKind::Nor | GateKind::Or => {
+            if value {
+                1.8
+            } else {
+                4.6
+            }
+        }
+        GateKind::Not | GateKind::Buf => {
+            if value {
+                2.6
+            } else {
+                2.2
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            if value {
+                6.1
+            } else {
+                5.9
+            }
+        }
+        GateKind::Dff => 3.0,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+    }
+}
+
+/// Per-pattern-column leakage model of a combinational view: for each
+/// input, the first-order leakage of its fanout pins at rest `0` and at
+/// rest `1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakageModel {
+    leak0_nw: Vec<f64>,
+    leak1_nw: Vec<f64>,
+}
+
+impl LeakageModel {
+    /// Folds the per-kind table over every gate pin each view input
+    /// drives. Columns follow [`CombView::inputs`] — the pattern-column
+    /// order of the fill pipeline.
+    pub fn of(view: &CombView<'_>) -> LeakageModel {
+        let mut leak0_nw = vec![0f64; view.input_count()];
+        let mut leak1_nw = vec![0f64; view.input_count()];
+        for (_, sig) in view.netlist().iter() {
+            for f in sig.fanins() {
+                if let Some(col) = view.input_index(*f) {
+                    leak0_nw[col] += pin_leak_nw(sig.kind(), false);
+                    leak1_nw[col] += pin_leak_nw(sig.kind(), true);
+                }
+            }
+        }
+        LeakageModel { leak0_nw, leak1_nw }
+    }
+
+    /// Pattern columns covered.
+    pub fn width(&self) -> usize {
+        self.leak0_nw.len()
+    }
+
+    /// The lower-leakage rest value per column. Ties (including fanless
+    /// columns) prefer `0`, matching the pipeline's all-X fill value.
+    pub fn preferred_rest(&self) -> Vec<Bit> {
+        self.leak0_nw
+            .iter()
+            .zip(&self.leak1_nw)
+            .map(|(l0, l1)| if l1 < l0 { Bit::One } else { Bit::Zero })
+            .collect()
+    }
+
+    /// How many nanowatts resting at the *wrong* value costs, per
+    /// column — the physical magnitude behind each preference.
+    pub fn rest_penalty_nw(&self) -> Vec<f64> {
+        self.leak0_nw
+            .iter()
+            .zip(&self.leak1_nw)
+            .map(|(l0, l1)| (l0 - l1).abs())
+            .collect()
+    }
+
+    /// Total first-order leakage, in nanowatts, of one rest pattern
+    /// (`X` columns charge their cheaper value, like the fill will).
+    pub fn total_nw(&self, rest: &[Bit]) -> f64 {
+        rest.iter()
+            .enumerate()
+            .map(|(i, b)| match b {
+                Bit::Zero => self.leak0_nw[i],
+                Bit::One => self.leak1_nw[i],
+                Bit::X => self.leak0_nw[i].min(self.leak1_nw[i]),
+            })
+            .sum()
+    }
+}
+
+/// Switched capacitance per pattern column, in farads: what one toggle
+/// of that input charges and discharges ([`CapacitanceModel`]'s
+/// per-signal estimate, selected and ordered for [`CombView::inputs`]).
+/// This is the physical dynamic-power weight vector behind the
+/// *weighted* and *leakage* fill objectives.
+pub fn input_switch_caps(view: &CombView<'_>, caps: &CapacitanceModel) -> Vec<f64> {
+    view.inputs()
+        .iter()
+        .map(|id| caps.per_signal()[id.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerConfig;
+    use dpfill_netlist::NetlistBuilder;
+
+    fn toy() -> dpfill_netlist::Netlist {
+        let mut b = NetlistBuilder::new("toy");
+        b.input("a");
+        b.input("b");
+        b.input("c");
+        b.gate("n", GateKind::Nand, &["a", "b"]).unwrap();
+        b.gate("o", GateKind::Nor, &["b", "c"]).unwrap();
+        b.output("n");
+        b.output("o");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nand_inputs_prefer_zero_nor_inputs_prefer_one() {
+        let n = toy();
+        let view = CombView::new(&n);
+        let model = LeakageModel::of(&view);
+        let preferred = model.preferred_rest();
+        assert_eq!(preferred.len(), 3);
+        // a drives only the NAND: rest at 0 cuts the stack.
+        assert_eq!(preferred[0], Bit::Zero);
+        // c drives only the NOR: rest at 1 holds the pull-up off.
+        assert_eq!(preferred[2], Bit::One);
+        // Every penalty is the |leak0 - leak1| gap.
+        for p in model.rest_penalty_nw() {
+            assert!(p >= 0.0 && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn preferred_rest_minimizes_total_leakage() {
+        let n = toy();
+        let view = CombView::new(&n);
+        let model = LeakageModel::of(&view);
+        let best = model.total_nw(&model.preferred_rest());
+        // Exhaust all 8 rest patterns: none beats the preferred one.
+        for mask in 0u32..8 {
+            let rest: Vec<Bit> = (0..3).map(|i| Bit::from_bool(mask >> i & 1 == 1)).collect();
+            assert!(model.total_nw(&rest) >= best - 1e-12, "mask {mask}");
+        }
+        // X rests charge their cheaper side, so all-X ties the best.
+        assert!((model.total_nw(&[Bit::X, Bit::X, Bit::X]) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_caps_follow_the_input_column_order() {
+        let n = toy();
+        let view = CombView::new(&n);
+        let caps = CapacitanceModel::of(&n, &PowerConfig::default());
+        let weights = input_switch_caps(&view, &caps);
+        assert_eq!(weights.len(), 3);
+        // b drives two gates; a and c drive one each — more switched
+        // capacitance on the shared column.
+        assert!(weights[1] > weights[0]);
+        assert!(weights[1] > weights[2]);
+        for w in weights {
+            assert!(w > 0.0 && w.is_finite());
+        }
+    }
+}

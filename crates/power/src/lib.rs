@@ -14,17 +14,26 @@
 //! * [`ir_drop_report`] — first-order grid droop + delay-stretch model:
 //!   does the peak transition risk the *false delay failures* the paper
 //!   sets out to prevent?
+//! * [`LeakageModel`] / [`input_switch_caps`] /
+//!   [`GridModel::hotspot_weights`] — per-pattern-column physical
+//!   vectors (preferred rest values, switched capacitance, droop per
+//!   toggle) that the fill stack compiles into its *leakage* and
+//!   *ir-drop* objectives.
 //!
 //! Absolute µW differ from the paper's silicon-calibrated flow, but the
 //! quantity is *linear in switched capacitance*, so technique-vs-technique
 //! ratios — what Table VI actually compares — are preserved.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod cap;
 mod config;
 mod ir_drop;
+mod leakage;
 mod report;
 
 pub use cap::CapacitanceModel;
 pub use config::PowerConfig;
 pub use ir_drop::{ir_drop_report, GridModel, IrDropReport};
+pub use leakage::{input_switch_caps, LeakageModel};
 pub use report::{peak_power, PowerReport};

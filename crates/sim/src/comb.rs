@@ -50,7 +50,10 @@ impl<'a> CombSim<'a> {
             let sig = netlist.signal(id);
             let value = match sig.kind() {
                 GateKind::Input | GateKind::Dff => {
-                    let pin = self.view.input_index(id).expect("sources are view inputs");
+                    let pin = self
+                        .view
+                        .input_index(id)
+                        .unwrap_or_else(|| unreachable!("sources are view inputs"));
                     inputs[pin]
                 }
                 kind => {
