@@ -74,6 +74,14 @@ use std::sync::OnceLock;
 
 use crate::Interval;
 
+/// Solver activity (relaxed no-ops unless a [`minitrace`] sink is
+/// live): ladder maintenance, parametric feasibility probes, and the
+/// per-shard speculation outcomes of the seam walk.
+static BCP_LADDER_LOADS: minitrace::Counter = minitrace::Counter::new("bcp.ladder.loads");
+static BCP_PROBES: minitrace::Counter = minitrace::Counter::new("bcp.probes");
+static BCP_SHARD_ACCEPTED: minitrace::Counter = minitrace::Counter::new("bcp.shard.accepted");
+static BCP_SHARD_REPLAYED: minitrace::Counter = minitrace::Counter::new("bcp.shard.replayed");
+
 /// Errors from BCP construction and solving.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -326,6 +334,7 @@ impl IncrementalBound {
     /// Panics if `lo > hi`.
     pub fn add_load(&mut self, lo: usize, hi: usize, amount: u64) {
         assert!(lo <= hi, "load window {lo} > {hi}");
+        BCP_LADDER_LOADS.add(1);
         // Grow the ladder so some level's aligned window covers `hi`.
         // Every previously recorded position fits strictly below any
         // level grown now (its own growth call saw to that), so seeding
@@ -922,6 +931,7 @@ impl BcpInstance {
     /// Can every interval be placed with peak `peak`? One EDF sweep,
     /// O(C + k log k); monotone in `peak`.
     fn probe_feasible(&self, by_start: &[Vec<u32>], peak: u64, with_baseline: bool) -> bool {
+        BCP_PROBES.add(1);
         let mut heap = BinaryHeap::with_capacity(self.intervals.len());
         let placed = if with_baseline {
             edf_span(
@@ -1058,6 +1068,7 @@ impl BcpInstance {
     /// (Gale–Hoffman on contiguous windows) — a true lower bound for
     /// the integral weighted problem.
     fn probe_feasible_fractional(&self, by_start: &[Vec<u32>], peak: u64) -> bool {
+        BCP_PROBES.add(1);
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> =
             BinaryHeap::with_capacity(self.intervals.len());
         let mut remaining: Vec<u64> = (0..self.intervals.len())
@@ -1099,6 +1110,7 @@ impl BcpInstance {
     /// bottleneck coloring is NP-hard and blocking EDF is a heuristic
     /// above the fractional bound).
     fn probe_feasible_blocking(&self, by_start: &[Vec<u32>], peak: u64) -> bool {
+        BCP_PROBES.add(1);
         let mut heap = BinaryHeap::with_capacity(self.intervals.len());
         let placed = edf_span_weighted(
             &self.intervals,
@@ -1335,6 +1347,7 @@ impl BcpInstance {
         let mut carry: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
         for (s, run) in runs.into_iter().enumerate() {
             if carry.is_empty() {
+                BCP_SHARD_ACCEPTED.add(1);
                 if let Some(color) = run.miss {
                     return Err(infeasible(color));
                 }
@@ -1343,6 +1356,7 @@ impl BcpInstance {
                 }
                 carry = BinaryHeap::from(run.carry);
             } else {
+                BCP_SHARD_REPLAYED.add(1);
                 let span = s * width..((s + 1) * width).min(c);
                 edf_span(
                     &self.intervals,
@@ -1452,6 +1466,7 @@ impl BcpInstance {
         let mut carry: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
         for (s, run) in runs.into_iter().enumerate() {
             if carry.is_empty() {
+                BCP_SHARD_ACCEPTED.add(1);
                 if let Some(color) = run.miss {
                     return Err(infeasible(color));
                 }
@@ -1460,6 +1475,7 @@ impl BcpInstance {
                 }
                 carry = BinaryHeap::from(run.carry);
             } else {
+                BCP_SHARD_REPLAYED.add(1);
                 let span = s * width..((s + 1) * width).min(c);
                 edf_span_weighted(
                     &self.intervals,
@@ -1623,6 +1639,14 @@ impl BcpInstance {
     /// would indicate a solver bug, as the generalized lower bound is
     /// always achievable.
     pub fn solve_with(&self, opts: &SolveOptions) -> Result<BcpSolution, BcpError> {
+        let _span = minitrace::span_with(
+            "bcp.solve",
+            &[
+                ("intervals", self.intervals.len().into()),
+                ("colors", self.num_colors.into()),
+                ("unit", u64::from(self.is_unit()).into()),
+            ],
+        );
         if !self.is_unit() {
             return self.solve_weighted_with(opts);
         }

@@ -34,6 +34,11 @@ use std::fmt;
 
 use super::StreamError;
 
+/// Governor activity (relaxed no-ops unless a [`minitrace`] sink is
+/// live): resident-set charges taken and window halvings issued.
+static BUDGET_CHARGES: minitrace::Counter = minitrace::Counter::new("stream.budget.charges");
+static BUDGET_DEGRADES: minitrace::Counter = minitrace::Counter::new("stream.budget.degrades");
+
 /// Which pass of the pipeline a degradation happened in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StreamPass {
@@ -188,6 +193,7 @@ impl BudgetGovernor {
         at_window: usize,
         fixed_bytes: u64,
     ) -> Result<(), StreamError> {
+        BUDGET_CHARGES.add(1);
         loop {
             let planes = (self.window as u64)
                 .checked_mul(self.cube_cost)
@@ -206,6 +212,7 @@ impl BudgetGovernor {
                 });
             }
             let to = self.window / 2;
+            BUDGET_DEGRADES.add(1);
             self.events.push(DegradeEvent {
                 pass,
                 window: at_window,

@@ -92,6 +92,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,6 +112,11 @@ use budget::BudgetGovernor;
 pub use budget::{DegradeEvent, StreamPass};
 use plan::FillPlan;
 pub use reorder::BandedOrder;
+
+/// Windows whose emit scoring ran in objective units (the weighted
+/// path) — a relaxed no-op unless a [`minitrace`] sink is live.
+static WEIGHTED_SCORE_WINDOWS: minitrace::Counter =
+    minitrace::Counter::new("stream.weighted_score.windows");
 use reorder::{ReorderStage, ReplayStream};
 
 /// How the window size is chosen.
@@ -270,6 +276,16 @@ pub struct StreamReport {
     /// fixed-window runs and for budget runs that stayed inside the
     /// reserve.
     pub degradations: Vec<DegradeEvent>,
+    /// Wall-clock nanoseconds of pass 1 (streamed analysis, excluding
+    /// the solve). Zero for single-pass fills, which have no pass 1.
+    pub pass1_ns: u64,
+    /// Wall-clock nanoseconds of the plan resolution (the global BCP
+    /// solve for DP, the copy-left splice for MT). Zero for
+    /// single-pass fills.
+    pub solve_ns: u64,
+    /// Wall-clock nanoseconds of pass 2 (re-stream, fill, score, emit)
+    /// — the only pass for per-cube fills.
+    pub pass2_ns: u64,
 }
 
 /// Failures of a streaming run.
@@ -484,6 +500,10 @@ struct AnalyzeOutcome {
     /// a banded ordering ran during pass 1; pass 2 replays it.
     perm: Option<Vec<u32>>,
     degradations: Vec<DegradeEvent>,
+    /// Wall-clock spent streaming the analysis (excluding the solve).
+    pass1_ns: u64,
+    /// Wall-clock spent resolving the plan (solve / splice).
+    solve_ns: u64,
 }
 
 /// Renders a contained panic payload: panics carry a `&str` or `String`
@@ -566,18 +586,19 @@ impl StreamingFill {
                     Some(pass1),
                     outcome.perm,
                     outcome.degradations,
+                    (outcome.pass1_ns, outcome.solve_ns),
                 )
             }),
             FillMethod::Zero | FillMethod::One | FillMethod::Adj | FillMethod::Random(_) => {
                 // Single pass; totals are discovered while emitting (and
                 // any banded ordering runs live in the emit loop).
-                Some((ResolvedFill::Local, None, None, Vec::new()))
+                Some((ResolvedFill::Local, None, None, Vec::new(), (0, 0)))
             }
             FillMethod::B | FillMethod::XStat => {
                 return Err(StreamError::UnsupportedFill(self.opts.fill))
             }
         };
-        let Some((fill, pass1, perm, degradations)) = resolved else {
+        let Some((fill, pass1, perm, degradations, phase_ns)) = resolved else {
             return Ok(StreamReport {
                 cubes: 0,
                 width: 0,
@@ -589,9 +610,12 @@ impl StreamingFill {
                 baseline_peak: self.opts.collect_baseline.then_some(0),
                 resident_peak_cubes: 0,
                 degradations: Vec::new(),
+                pass1_ns: 0,
+                solve_ns: 0,
+                pass2_ns: 0,
             });
         };
-        self.emit(&mut open, sink, &fill, pass1, perm, degradations)
+        self.emit(&mut open, sink, &fill, pass1, perm, degradations, phase_ns)
     }
 
     /// Convenience wrapper reading from a filesystem path.
@@ -614,6 +638,7 @@ impl StreamingFill {
         &self,
         open: &mut impl FnMut() -> io::Result<R>,
     ) -> Result<Option<AnalyzeOutcome>, StreamError> {
+        let pass_start = Instant::now();
         let mut stream = PatternStream::new(open().map_err(StreamError::Open)?);
         if let Some(order) = self.opts.order {
             return self.analyze_ordered(stream, order);
@@ -647,6 +672,10 @@ impl StreamingFill {
             // Contain worker panics at the window boundary: the minipool
             // scope rethrows a task panic on this thread, so catching
             // here covers the pooled per-pin fan-out inside `ingest`.
+            let _span = minitrace::span_with(
+                "stream.window.analyze",
+                &[("window", win_idx.into()), ("cubes", set.len().into())],
+            );
             let ingest = catch_unwind(AssertUnwindSafe(|| {
                 if self.opts.chaos.panic_in_analyze == Some(win_idx) {
                     panic!("chaos: injected panic while analyzing window {win_idx}");
@@ -668,6 +697,8 @@ impl StreamingFill {
         }
         let cubes = analyzer.cols();
         let analysis = analyzer.finish();
+        let pass1_ns = pass_start.elapsed().as_nanos() as u64;
+        let solve_start = Instant::now();
         let plan = self.resolve_plan(analysis, cubes, width)?;
         Ok(Some(AnalyzeOutcome {
             plan,
@@ -677,6 +708,8 @@ impl StreamingFill {
             degradations: governor
                 .map(BudgetGovernor::into_events)
                 .unwrap_or_default(),
+            pass1_ns,
+            solve_ns: solve_start.elapsed().as_nanos() as u64,
         }))
     }
 
@@ -691,6 +724,7 @@ impl StreamingFill {
         stream: PatternStream<R>,
         order: BandedOrder,
     ) -> Result<Option<AnalyzeOutcome>, StreamError> {
+        let pass_start = Instant::now();
         let mut stage = ReorderStage::new(stream, order);
         // One cube is peeked (into the ring, nothing forwarded) to
         // learn the width before the window size must be resolved.
@@ -712,6 +746,10 @@ impl StreamingFill {
         while let Some(set) = stage.next_window(window, analyzer.warm_bound(), win_idx)? {
             let cubes = offset..offset + set.len();
             offset = cubes.end;
+            let _span = minitrace::span_with(
+                "stream.window.analyze",
+                &[("window", win_idx.into()), ("cubes", set.len().into())],
+            );
             let ingest = catch_unwind(AssertUnwindSafe(|| {
                 if self.opts.chaos.panic_in_analyze == Some(win_idx) {
                     panic!("chaos: injected panic while analyzing window {win_idx}");
@@ -737,6 +775,8 @@ impl StreamingFill {
         }
         let cubes = analyzer.cols();
         let analysis = analyzer.finish();
+        let pass1_ns = pass_start.elapsed().as_nanos() as u64;
+        let solve_start = Instant::now();
         let plan = self.resolve_plan(analysis, cubes, width)?;
         Ok(Some(AnalyzeOutcome {
             plan,
@@ -746,6 +786,8 @@ impl StreamingFill {
             degradations: governor
                 .map(BudgetGovernor::into_events)
                 .unwrap_or_default(),
+            pass1_ns,
+            solve_ns: solve_start.elapsed().as_nanos() as u64,
         }))
     }
 
@@ -757,6 +799,14 @@ impl StreamingFill {
         cubes: usize,
         width: usize,
     ) -> Result<FillPlan, StreamError> {
+        let _span = minitrace::span_with(
+            "stream.solve",
+            &[
+                ("sites", analysis.sites.len().into()),
+                ("segments", analysis.segments.len().into()),
+                ("cubes", cubes.into()),
+            ],
+        );
         let solve_error = |source| {
             StreamError::Solve(DpFillError {
                 source: FillErrorSource::Solve(source),
@@ -839,6 +889,7 @@ impl StreamingFill {
     /// Pass 2 (or the only pass for per-cube fills): re-stream the
     /// windows, fill each batch on the pool, score with the batched
     /// sweeps, and emit as windows retire.
+    #[allow(clippy::too_many_arguments)]
     fn emit<R: Read, W: Write>(
         &self,
         open: &mut impl FnMut() -> io::Result<R>,
@@ -847,7 +898,9 @@ impl StreamingFill {
         pass1: Option<(usize, usize)>,
         perm: Option<Vec<u32>>,
         mut degradations: Vec<DegradeEvent>,
+        phase_ns: (u64, u64),
     ) -> Result<StreamReport, StreamError> {
+        let pass_start = Instant::now();
         let stream = PatternStream::new(open().map_err(StreamError::Open)?);
         let mut source = match (perm, pass1, self.opts.order) {
             (Some(perm), Some(p1), _) => EmitSource::Replay(ReplayStream::new(stream, perm, p1)),
@@ -1009,12 +1062,26 @@ impl StreamingFill {
             let batch_cubes: usize = batch.iter().map(|(_, set)| set.len()).sum();
             resident_peak = resident_peak.max(2 * batch_cubes + 2 + source.peak_resident_cubes());
 
-            for ((_, original), filled) in batch.iter().zip(&filled) {
+            for (i, ((_, original), filled)) in batch.iter().zip(&filled).enumerate() {
                 debug_assert!(CubeSet::is_filling_of(filled, original));
                 x_count += original.x_count();
                 let packed = filled.as_packed();
-                if let Some(tail) = &filled_tail {
-                    peak = peak.max(tail.hamming(packed.cube(0)));
+                let stitch = filled_tail
+                    .as_ref()
+                    .map(|tail| tail.hamming(packed.cube(0)));
+                let _span = minitrace::span_with(
+                    "stream.window.emit",
+                    &[
+                        ("window", (windows + i).into()),
+                        ("cubes", filled.len().into()),
+                        // The boundary transition stitched across the
+                        // one-cube overlap with the previous window.
+                        ("stitch_toggles", stitch.unwrap_or(0).into()),
+                        ("stitch_overlap", u64::from(stitch.is_some()).into()),
+                    ],
+                );
+                if let Some(toggles) = stitch {
+                    peak = peak.max(toggles);
                 }
                 // One-dispatch batched sweep over the window's
                 // transitions (PR-4 kernels).
@@ -1022,6 +1089,7 @@ impl StreamingFill {
                     peak = peak.max(t);
                 }
                 if let Some(ws) = score_weights {
+                    WEIGHTED_SCORE_WINDOWS.add(1);
                     if let Some(tail) = &filled_tail {
                         objective_peak = objective_peak.max(
                             tail.weighted_hamming(packed.cube(0), ws)
@@ -1087,6 +1155,9 @@ impl StreamingFill {
             baseline_peak: self.opts.collect_baseline.then_some(baseline_peak),
             resident_peak_cubes: resident_peak,
             degradations,
+            pass1_ns: phase_ns.0,
+            solve_ns: phase_ns.1,
+            pass2_ns: pass_start.elapsed().as_nanos() as u64,
         })
     }
 
@@ -1103,6 +1174,10 @@ impl StreamingFill {
         fill: &ResolvedFill,
         win_idx: usize,
     ) -> CubeSet {
+        let _span = minitrace::span_with(
+            "stream.window.fill",
+            &[("window", win_idx.into()), ("cubes", original.len().into())],
+        );
         if self.opts.chaos.panic_in_fill == Some(win_idx) {
             panic!("chaos: injected panic in the fill worker of window {win_idx}");
         }

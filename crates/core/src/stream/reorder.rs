@@ -192,6 +192,10 @@ impl<R: Read> ReorderStage<R> {
     ) -> Result<Option<CubeSet>, StreamError> {
         let window = window.max(1);
         let capacity = window.saturating_mul(self.order.band.max(1));
+        let _span = minitrace::span_with(
+            "stream.window.reorder",
+            &[("window", win_idx.into()), ("capacity", capacity.into())],
+        );
         self.fill_ring(capacity)?;
         if self.ring.is_empty() {
             return Ok(None);

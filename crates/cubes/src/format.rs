@@ -30,6 +30,14 @@ use crate::packed::PackedBits;
 use crate::retry::{self, RetryReader};
 use crate::{Bit, CubeError, CubeSet, TestCube};
 
+/// Parse/emit throughput (relaxed no-ops unless a [`minitrace`] sink is
+/// live): wall-clock per parsed window, cubes and raw bytes ingested,
+/// cubes emitted.
+static PARSE_WINDOW_NS: minitrace::Histogram = minitrace::Histogram::new("cubes.parse.window_ns");
+static PARSE_CUBES: minitrace::Counter = minitrace::Counter::new("cubes.parse.cubes");
+static PARSE_BYTES: minitrace::Counter = minitrace::Counter::new("cubes.parse.bytes");
+static EMIT_CUBES: minitrace::Counter = minitrace::Counter::new("cubes.emit.cubes");
+
 /// A pattern-file failure: either the underlying reader failed or a line
 /// did not parse. Flattens the previous `io::Result<Result<_, _>>`
 /// nesting into one enum.
@@ -232,13 +240,20 @@ impl<R: Read> PatternStream<R> {
     /// earlier window.
     pub fn next_window(&mut self, max_cubes: usize) -> Result<Option<CubeSet>, PatternError> {
         assert!(max_cubes > 0, "a window must hold at least one cube");
+        let parse_start = if minitrace::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut set = self.width.map(CubeSet::new);
         let mut count = 0usize;
+        let mut bytes = 0usize;
         while count < max_cubes {
             self.buf.clear();
             if self.reader.read_line(&mut self.buf)? == 0 {
                 break;
             }
+            bytes += self.buf.len();
             let idx = self.next_line;
             self.next_line += 1;
             let Some(row) = parse_line(idx, self.buf.trim_end_matches(['\n', '\r']))? else {
@@ -254,6 +269,11 @@ impl<R: Read> PatternStream<R> {
             set.get_or_insert_with(|| CubeSet::new(row.len()))
                 .push_packed(row)?;
             count += 1;
+        }
+        if let Some(at) = parse_start {
+            PARSE_WINDOW_NS.record(at.elapsed().as_nanos() as u64);
+            PARSE_CUBES.add(count as u64);
+            PARSE_BYTES.add(bytes as u64);
         }
         if count == 0 {
             return Ok(None);
@@ -327,6 +347,7 @@ impl<W: Write> PatternWriter<W> {
     ///
     /// Propagates the writer's I/O error.
     pub fn cube(&mut self, cube: &PackedBits) -> io::Result<()> {
+        EMIT_CUBES.add(1);
         self.line.clear();
         let _ = writeln!(self.line, "{cube}");
         self.emit()

@@ -32,6 +32,12 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+/// Kernel dispatches per tier (relaxed no-ops unless a [`minitrace`]
+/// sink is live): which reduction actually ran, post-degradation.
+static DISPATCH_SCALAR: minitrace::Counter = minitrace::Counter::new("cubes.popcount.scalar");
+static DISPATCH_SWAR: minitrace::Counter = minitrace::Counter::new("cubes.popcount.swar");
+static DISPATCH_AVX2: minitrace::Counter = minitrace::Counter::new("cubes.popcount.avx2");
+
 /// One tier of the masked-XOR popcount reduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PopcountKernel {
@@ -80,9 +86,16 @@ impl PopcountKernel {
             "plane word counts must match"
         );
         match self {
-            PopcountKernel::Scalar => masked_xor_popcount_scalar(va, vb, ca, cb),
-            PopcountKernel::Swar => masked_xor_popcount_swar(va, vb, ca, cb),
+            PopcountKernel::Scalar => {
+                DISPATCH_SCALAR.add(1);
+                masked_xor_popcount_scalar(va, vb, ca, cb)
+            }
+            PopcountKernel::Swar => {
+                DISPATCH_SWAR.add(1);
+                masked_xor_popcount_swar(va, vb, ca, cb)
+            }
             PopcountKernel::Avx2 => {
+                DISPATCH_AVX2.add(1);
                 #[cfg(target_arch = "x86_64")]
                 if avx2_available() {
                     // SAFETY: the AVX2 feature was just verified at

@@ -24,6 +24,11 @@
 
 use std::io::{self, Read};
 
+/// Retryable errors absorbed (interrupts, short ops, name collisions)
+/// across every retry loop — a relaxed no-op unless a [`minitrace`]
+/// sink is live.
+static RETRY_ABSORBED: minitrace::Counter = minitrace::Counter::new("retry.absorbed");
+
 /// How many consecutive `Interrupted` results an I/O primitive absorbs
 /// before giving up. Any real signal storm is far below this; a fault
 /// schedule injecting more is treated as a broken stream.
@@ -66,6 +71,7 @@ pub fn with_retries<T>(
         match op(attempt) {
             Ok(value) => return Ok(value),
             Err(e) if attempt + 1 < attempts && retryable(&e) => {
+                RETRY_ABSORBED.add(1);
                 backoff(attempt);
                 attempt += 1;
             }
@@ -164,6 +170,49 @@ impl<R: Read> RetryReader<R> {
 impl<R: Read> Read for RetryReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         read(&mut self.inner, buf)
+    }
+}
+
+/// The `Write` twin of [`RetryReader`]: every write goes through
+/// [`write_all`] (short writes and bounded `EINTR` bursts absorbed) and
+/// `flush` through the same interrupt budget. Diagnostic sinks such as
+/// the `--trace` writer wrap their raw target in this so a transient
+/// fault never aborts — and a permanent one surfaces as a typed error
+/// instead of a spin.
+#[derive(Debug)]
+pub struct RetryWriter<W> {
+    inner: W,
+}
+
+impl<W: io::Write> RetryWriter<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> RetryWriter<W> {
+        RetryWriter { inner }
+    }
+
+    /// Returns the wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> io::Write for RetryWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        write_all(&mut self.inner, buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        with_retries(MAX_INTERRUPT_RETRIES, is_interrupted, |_| {
+            self.inner.flush()
+        })
+        .map_err(|e| {
+            if is_interrupted(&e) {
+                interrupts_exhausted("flush")
+            } else {
+                e
+            }
+        })
     }
 }
 
@@ -317,6 +366,19 @@ mod tests {
         let err = write_all(&mut Storm, b"data").unwrap_err();
         assert_ne!(err.kind(), io::ErrorKind::Interrupted);
         assert!(err.to_string().contains("interrupted"), "{err}");
+    }
+
+    #[test]
+    fn retry_writer_absorbs_dribbles_and_interrupts() {
+        let w = Dribble {
+            interrupt_every: 2,
+            calls: 0,
+            sink: Vec::new(),
+        };
+        let mut w = RetryWriter::new(w);
+        w.write_all(b"trace line\n").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner().sink, b"trace line\n");
     }
 
     #[test]

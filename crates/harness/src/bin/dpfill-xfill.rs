@@ -42,7 +42,19 @@
 //!                         netlist powers the leakage/ir-drop models
 //!   --output FILE         write here instead of stdout
 //!   --stats               print peak/ordering statistics to stderr
+//!   --trace FILE          write a JSONL span/counter trace of the run
+//!                         (one event per line; see the README's
+//!                         "Observability" section for the schema)
+//!   --stats-json FILE     write a machine-readable superset of --stats
+//!                         (report fields + per-span aggregates +
+//!                         counter totals) as JSON
 //! ```
+//!
+//! All diagnostics — `--stats`, the aggregate trace table, warnings —
+//! go to **stderr**; stdout carries only the filled patterns. Tracing
+//! never changes the output bytes or the exit code: a full disk or a
+//! broken `--trace`/`--stats-json` target degrades to a typed warning
+//! on stderr while the fill completes normally.
 //!
 //! # Exit codes
 //!
@@ -79,7 +91,7 @@ use dpfill_core::stream::{
 };
 use dpfill_core::{FillObjective, ObjectiveError, ObjectiveKind, WeightTable};
 use dpfill_cubes::format::PatternError;
-use dpfill_cubes::retry::{self, RetryReader};
+use dpfill_cubes::retry::{self, RetryReader, RetryWriter};
 use dpfill_cubes::{format, peak_toggles, weighted_peak_toggles, Bit, CubeSet};
 use dpfill_netlist::CombView;
 use dpfill_power::{input_switch_caps, CapacitanceModel, GridModel, LeakageModel, PowerConfig};
@@ -192,6 +204,8 @@ struct Options {
     weights: Option<String>,
     circuit: Option<String>,
     stats: bool,
+    trace: Option<String>,
+    stats_json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -209,6 +223,8 @@ fn parse_args() -> Result<Options, String> {
         weights: None,
         circuit: None,
         stats: false,
+        trace: None,
+        stats_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -293,6 +309,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.output = Some(args.next().ok_or("--output needs a path")?);
             }
             "--stats" => opts.stats = true,
+            "--trace" => {
+                opts.trace = Some(args.next().ok_or("--trace needs a path")?);
+            }
+            "--stats-json" => {
+                opts.stats_json = Some(args.next().ok_or("--stats-json needs a path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "dpfill-xfill: order + X-fill a pattern file\n\
@@ -301,7 +323,8 @@ fn parse_args() -> Result<Options, String> {
                      \u{20}      [--window CUBES | --memory-budget MB] [--band B]\n\
                      \u{20}      [--objective peak-toggles|weighted|leakage|ir-drop]\n\
                      \u{20}      [--weights FILE] [--circuit NAME]\n\
-                     \u{20}      [--output FILE] [--stats] [INPUT|-]"
+                     \u{20}      [--output FILE] [--stats] [--trace FILE.jsonl]\n\
+                     \u{20}      [--stats-json FILE] [INPUT|-]"
                 );
                 std::process::exit(0);
             }
@@ -642,6 +665,140 @@ impl Drop for StreamSink {
     }
 }
 
+/// The machine-readable report: `(key, already-encoded JSON value)`
+/// pairs each pipeline pushes as it learns them, serialized under
+/// `"report"` in the `--stats-json` document.
+type JsonReport = Vec<(&'static str, String)>;
+
+/// Encodes a string as a JSON string literal (the keys and labels are
+/// ASCII, but paths in diagnostics may not be).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Installs the trace sinks the flags request. An unopenable `--trace`
+/// target is a *warning*, not an error: observability never changes
+/// the fill's outcome or exit code (mid-run sink failures are handled
+/// the same way by the sink itself — it detaches and the first error
+/// is surfaced by [`finalize_tracing`]).
+fn install_tracing(opts: &Options) {
+    if let Some(path) = &opts.trace {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                minitrace::install_jsonl(Box::new(RetryWriter::new(BufWriter::new(file))));
+            }
+            Err(e) => {
+                eprintln!("warning: trace: cannot open {path}: {e}; continuing without a trace");
+            }
+        }
+    }
+    if opts.stats || opts.stats_json.is_some() {
+        minitrace::enable_aggregate();
+    }
+}
+
+/// Flushes and tears down the trace sinks: surfaces any deferred sink
+/// error as a warning, prints the aggregate table under `--stats`, and
+/// writes the `--stats-json` document (on success only — a failed run
+/// has no report to serialize). Never alters the exit code.
+fn finalize_tracing(opts: &Options, report: &JsonReport, run_ok: bool) {
+    if opts.trace.is_none() && !opts.stats && opts.stats_json.is_none() {
+        return;
+    }
+    let (snap, sink_err) = minitrace::finish();
+    if let Some(e) = sink_err {
+        eprintln!("warning: trace sink: {e}; trace incomplete (fill output unaffected)");
+    }
+    if opts.stats {
+        let table = minitrace::render_table(&snap);
+        if !table.is_empty() {
+            eprint!("{table}");
+        }
+    }
+    if run_ok {
+        if let Some(path) = &opts.stats_json {
+            if let Err(e) = write_stats_json(path, report, &snap) {
+                eprintln!("warning: stats-json: cannot write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Serializes the `--stats-json` document: the pipeline's report
+/// fields plus every counter total, span aggregate, and histogram the
+/// trace layer collected.
+fn write_stats_json(
+    path: &str,
+    report: &JsonReport,
+    snap: &minitrace::Snapshot,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n  \"report\": {");
+    for (i, (key, value)) in report.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {value}", json_str(key)));
+    }
+    out.push_str("\n  },\n  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {value}", json_str(name)));
+    }
+    out.push_str("\n  },\n  \"spans\": [");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \
+             \"p95_ns\": {}, \"max_ns\": {}}}",
+            json_str(&s.name),
+            s.count,
+            s.total_ns,
+            s.p50_ns,
+            s.p95_ns,
+            s.max_ns
+        ));
+    }
+    out.push_str("\n  ],\n  \"histograms\": [");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \
+             \"max\": {}}}",
+            json_str(&h.name),
+            h.count,
+            h.sum,
+            h.p50,
+            h.p95,
+            h.max
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    let mut file = RetryWriter::new(std::fs::File::create(path)?);
+    file.write_all(out.as_bytes())?;
+    file.flush()
+}
+
 /// Resolves the ordering a streaming run applies. `--order keep` keeps
 /// arrival order (byte-identical to the monolithic unordered run);
 /// interleave/xstat — including the interleave *default* — run banded
@@ -684,7 +841,7 @@ fn streaming_order(opts: &Options) -> Result<Option<BandedOrder>, CliError> {
 /// to the monolithic run at every window size and thread count, with a
 /// banded ordering byte-identical to the monolithic *ordered* run
 /// whenever the band covers the whole set.
-fn run_streaming(opts: &Options) -> Result<(), CliError> {
+fn run_streaming(opts: &Options, json: &mut JsonReport) -> Result<(), CliError> {
     if opts.window.is_some() && opts.memory_budget.is_some() {
         return Err(CliError::usage(
             "pass either --window or --memory-budget, not both",
@@ -726,6 +883,30 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
         return Err(CliError::new(exit::NO_PATTERNS, "no patterns in input"));
     }
     sink.commit()?;
+    json.push(("mode", json_str("streaming")));
+    json.push(("fill", json_str(opts.fill.label())));
+    json.push(("order", json_str(opts.order.map_or("keep", |o| o.label()))));
+    json.push(("cubes", report.cubes.to_string()));
+    json.push(("width", report.width.to_string()));
+    json.push(("x_count", report.x_count.to_string()));
+    json.push((
+        "baseline_peak",
+        report
+            .baseline_peak
+            .map_or_else(|| "null".to_owned(), |p| p.to_string()),
+    ));
+    json.push(("peak_toggles", report.peak_toggles.to_string()));
+    json.push(("objective_peak", report.objective_peak.to_string()));
+    json.push(("windows", report.windows.to_string()));
+    json.push(("window_cubes", report.window_cubes.to_string()));
+    json.push((
+        "resident_peak_cubes",
+        report.resident_peak_cubes.to_string(),
+    ));
+    json.push(("degradations", report.degradations.len().to_string()));
+    json.push(("pass1_ns", report.pass1_ns.to_string()));
+    json.push(("solve_ns", report.solve_ns.to_string()));
+    json.push(("pass2_ns", report.pass2_ns.to_string()));
     if opts.stats {
         let total_bits = (report.cubes * report.width) as f64;
         eprintln!(
@@ -747,6 +928,13 @@ fn run_streaming(opts: &Options) -> Result<(), CliError> {
         eprintln!(
             "streamed {} windows of {} cubes; peak resident cubes {}",
             report.windows, report.window_cubes, report.resident_peak_cubes
+        );
+        // Wall-clock per-phase totals (always measured, `--trace` or
+        // not). Single-pass fills have no analyze/solve phases and
+        // report 0 there.
+        eprintln!(
+            "phase totals: pass-1 {} ns, solve {} ns, pass-2 {} ns",
+            report.pass1_ns, report.solve_ns, report.pass2_ns
         );
         if let Some(order) = order {
             eprintln!(
@@ -781,14 +969,23 @@ fn run(opts: &Options) -> Result<(), CliError> {
             })?;
         }
     }
-    if opts.window.is_some() || opts.memory_budget.is_some() {
-        return run_streaming(opts);
-    }
-    if opts.band.is_some() {
-        return Err(CliError::usage(
+    install_tracing(opts);
+    let mut json: JsonReport = Vec::new();
+    let result = if opts.window.is_some() || opts.memory_budget.is_some() {
+        run_streaming(opts, &mut json)
+    } else if opts.band.is_some() {
+        Err(CliError::usage(
             "--band needs streaming mode: pass --window or --memory-budget",
-        ));
-    }
+        ))
+    } else {
+        run_monolithic(opts, &mut json)
+    };
+    finalize_tracing(opts, &json, result.is_ok());
+    result
+}
+
+/// The whole-set pipeline: parse everything, order, fill, emit.
+fn run_monolithic(opts: &Options, json: &mut JsonReport) -> Result<(), CliError> {
     // Stream the pattern file straight into the packed cube planes —
     // the input never exists in memory as text or scalar bits, and a
     // malformed cube aborts the read at its line (no cubes are
@@ -825,27 +1022,40 @@ fn run(opts: &Options) -> Result<(), CliError> {
     let filled = opts.fill.fill_with(&ordered, &objective);
     debug_assert!(CubeSet::is_filling_of(&filled, &ordered));
 
-    if opts.stats {
+    if opts.stats || opts.stats_json.is_some() {
         let before = peak_toggles(&FillMethod::Zero.fill(&cubes))
             .map_err(|e| CliError::new(exit::OTHER, e.to_string()))?;
         let after = peak_toggles(&filled).map_err(|e| CliError::new(exit::OTHER, e.to_string()))?;
-        eprintln!(
-            "{} cubes x {} pins, {:.1}% X; peak toggles: 0-fill(as-given) {} -> {} {}",
-            cubes.len(),
-            cubes.width(),
-            cubes.x_percent(),
-            before,
-            opts.fill.label(),
-            after
-        );
+        json.push(("mode", json_str("monolithic")));
+        json.push(("fill", json_str(opts.fill.label())));
+        json.push(("order", json_str(opts.order.map_or("keep", |o| o.label()))));
+        json.push(("cubes", cubes.len().to_string()));
+        json.push(("width", cubes.width().to_string()));
+        json.push(("x_percent", format!("{:.1}", cubes.x_percent())));
+        json.push(("baseline_peak", before.to_string()));
+        json.push(("peak_toggles", after.to_string()));
+        if opts.stats {
+            eprintln!(
+                "{} cubes x {} pins, {:.1}% X; peak toggles: 0-fill(as-given) {} -> {} {}",
+                cubes.len(),
+                cubes.width(),
+                cubes.x_percent(),
+                before,
+                opts.fill.label(),
+                after
+            );
+        }
         if let Some(weights) = objective.weights() {
             let weighted = weighted_peak_toggles(&filled, weights)
                 .map_err(|e| CliError::new(exit::OVERFLOW, e.to_string()))?;
-            eprintln!(
-                "objective {}: weighted peak {} (fixed-point units)",
-                objective.label(),
-                weighted
-            );
+            json.push(("objective_peak", weighted.to_string()));
+            if opts.stats {
+                eprintln!(
+                    "objective {}: weighted peak {} (fixed-point units)",
+                    objective.label(),
+                    weighted
+                );
+            }
         }
     }
 

@@ -265,6 +265,52 @@ fn killed_consumer_mid_emit_exits_typed_and_leaks_no_spool() {
 }
 
 #[test]
+fn broken_trace_targets_warn_but_never_abort_the_fill() {
+    let reference = run_xfill(&["--order", "keep", "--window", "2"], INPUT);
+    assert_eq!(reference.code, Some(0), "stderr: {}", reference.stderr);
+
+    // An unopenable target: the run warns and traces nothing.
+    let run = run_xfill(
+        &[
+            "--order",
+            "keep",
+            "--window",
+            "2",
+            "--trace",
+            "/nonexistent-dir/run.jsonl",
+        ],
+        INPUT,
+    );
+    assert_eq!(run.code, Some(0), "stderr: {}", run.stderr);
+    assert_eq!(run.stdout, reference.stdout, "broken trace changed output");
+    assert!(
+        run.stderr.contains("warning: trace"),
+        "stderr: {}",
+        run.stderr
+    );
+
+    // A target that opens but cannot take bytes (disk full): the sink
+    // detaches mid-run, the deferred error surfaces as a warning, and
+    // the fill still succeeds byte-identically.
+    if std::path::Path::new("/dev/full").exists() {
+        let run = run_xfill(
+            &["--order", "keep", "--window", "2", "--trace", "/dev/full"],
+            INPUT,
+        );
+        assert_eq!(run.code, Some(0), "stderr: {}", run.stderr);
+        assert_eq!(
+            run.stdout, reference.stdout,
+            "full trace sink changed output"
+        );
+        assert!(
+            run.stderr.contains("warning: trace sink"),
+            "stderr: {}",
+            run.stderr
+        );
+    }
+}
+
+#[test]
 fn budget_pressure_degrades_gracefully_and_reports_it() {
     // ~512 KiB of interval sites against a 1 MiB budget: the window
     // must shrink (visible under --stats) while the output stays

@@ -1,0 +1,246 @@
+//! End-to-end checks of the observability layer (`--trace`,
+//! `--stats-json`, the aggregate table): tracing must never change the
+//! output bytes or the exit code, diagnostics must stay on stderr with
+//! stdout carrying only patterns, and the emitted artifacts must match
+//! their documented schemas.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const INPUT: &str = "\
+# cube dump from some ATPG
+0XX1XXXX0X
+XX1XXX0XXX
+1XXXX0XX1X
+XXX0XXXX0X
+X1XXXXXX1X
+XXXX1XX0XX
+0XXXXX1XXX
+XX0XXXXXX1
+";
+
+fn run_xfill(args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dpfill-xfill"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dpfill-xfill");
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes());
+    let out = child.wait_with_output().expect("dpfill-xfill exit");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.success(),
+    )
+}
+
+/// A scratch path that cleans up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        Scratch(
+            std::env::temp_dir().join(format!("dpfill-trace-test-{}-{tag}", std::process::id())),
+        )
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn tracing_never_changes_the_output_bytes() {
+    for fill in ["dp", "mt", "adj"] {
+        let (reference, _, ok) = run_xfill(&["--fill", fill, "--order", "keep"], INPUT);
+        assert!(ok, "untraced --fill {fill} failed");
+        for window in ["1", "64"] {
+            for threads in ["1", "8"] {
+                let trace = Scratch::new(&format!("ident-{fill}-{window}-{threads}.jsonl"));
+                let (out, stderr, ok) = run_xfill(
+                    &[
+                        "--fill",
+                        fill,
+                        "--order",
+                        "keep",
+                        "--window",
+                        window,
+                        "--threads",
+                        threads,
+                        "--trace",
+                        trace.as_str(),
+                    ],
+                    INPUT,
+                );
+                assert!(
+                    ok,
+                    "--fill {fill} --window {window} --threads {threads} --trace failed: {stderr}"
+                );
+                assert_eq!(
+                    out, reference,
+                    "--trace changed the output at --fill {fill} --window {window} \
+                     --threads {threads}"
+                );
+                let text = std::fs::read_to_string(&trace.0).expect("trace written");
+                assert!(!text.is_empty(), "trace file empty");
+            }
+        }
+    }
+}
+
+#[test]
+fn diagnostics_go_to_stderr_and_patterns_to_stdout() {
+    // Both pipelines under --stats: stdout is exactly the header plus
+    // pattern lines; every statistic, table, and diagnostic is stderr.
+    for args in [
+        &["--fill", "dp", "--order", "keep", "--stats"][..],
+        &[
+            "--fill", "dp", "--order", "keep", "--stats", "--window", "2",
+        ][..],
+    ] {
+        let (out, stderr, ok) = run_xfill(args, INPUT);
+        assert!(ok, "stderr: {stderr}");
+        for line in out.lines() {
+            assert!(
+                line.starts_with('#') || line.chars().all(|c| c == '0' || c == '1'),
+                "non-pattern line leaked to stdout: {line:?}"
+            );
+        }
+        assert!(stderr.contains("peak toggles"), "stats on stderr: {stderr}");
+        assert!(!out.contains("peak toggles"), "stats leaked to stdout");
+    }
+}
+
+#[test]
+fn trace_file_is_wellformed_jsonl_with_balanced_spans() {
+    let trace = Scratch::new("schema.jsonl");
+    let (_, stderr, ok) = run_xfill(
+        &[
+            "--fill",
+            "dp",
+            "--order",
+            "keep",
+            "--window",
+            "2",
+            "--trace",
+            trace.as_str(),
+        ],
+        INPUT,
+    );
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&trace.0).expect("trace written");
+    let mut enters = 0u64;
+    let mut exits = 0u64;
+    let mut counters = 0u64;
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+            "bad JSONL line: {line:?}"
+        );
+        if line.starts_with("{\"ev\":\"enter\"") {
+            enters += 1;
+            assert!(line.contains("\"id\":"), "{line:?}");
+            assert!(line.contains("\"parent\":"), "{line:?}");
+            assert!(line.contains("\"tid\":"), "{line:?}");
+            assert!(line.contains("\"name\":"), "{line:?}");
+        } else if line.starts_with("{\"ev\":\"exit\"") {
+            exits += 1;
+            assert!(line.contains("\"dur_ns\":"), "{line:?}");
+        } else if line.starts_with("{\"ev\":\"counter\"") {
+            counters += 1;
+            assert!(line.contains("\"value\":"), "{line:?}");
+        } else {
+            panic!("unknown event: {line:?}");
+        }
+    }
+    assert!(enters > 0, "no spans recorded");
+    assert_eq!(enters, exits, "unbalanced spans");
+    assert!(counters > 0, "no counters recorded");
+    // The layers the tentpole threads through all show up.
+    for name in ["stream.window.fill", "stream.solve", "bcp.solve"] {
+        assert!(text.contains(name), "{name} missing from trace");
+    }
+}
+
+#[test]
+fn stats_json_is_a_machine_readable_superset_of_stats() {
+    let json_path = Scratch::new("stats.json");
+    let (_, stderr, ok) = run_xfill(
+        &[
+            "--fill",
+            "dp",
+            "--order",
+            "keep",
+            "--window",
+            "2",
+            "--stats-json",
+            json_path.as_str(),
+        ],
+        INPUT,
+    );
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&json_path.0).expect("stats-json written");
+    for key in [
+        "\"report\"",
+        "\"mode\": \"streaming\"",
+        "\"cubes\": 8",
+        "\"peak_toggles\"",
+        "\"pass1_ns\"",
+        "\"solve_ns\"",
+        "\"pass2_ns\"",
+        "\"counters\"",
+        "\"spans\"",
+        "\"histograms\"",
+    ] {
+        assert!(text.contains(key), "{key} missing from stats-json: {text}");
+    }
+
+    // The monolithic pipeline writes its own (smaller) report.
+    let mono = Scratch::new("stats-mono.json");
+    let (_, stderr, ok) = run_xfill(
+        &[
+            "--fill",
+            "dp",
+            "--order",
+            "keep",
+            "--stats-json",
+            mono.as_str(),
+        ],
+        INPUT,
+    );
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&mono.0).expect("stats-json written");
+    assert!(text.contains("\"mode\": \"monolithic\""), "{text}");
+    assert!(text.contains("\"peak_toggles\""), "{text}");
+}
+
+#[test]
+fn stats_prints_the_aggregate_table() {
+    let (_, stderr, ok) = run_xfill(
+        &[
+            "--fill", "dp", "--order", "keep", "--stats", "--window", "2",
+        ],
+        INPUT,
+    );
+    assert!(ok, "stderr: {stderr}");
+    // --stats alone (no --trace) enables the aggregate sink; the
+    // per-span table lands on stderr after the classic stats lines.
+    assert!(
+        stderr.contains("stream.window.fill"),
+        "aggregate table missing: {stderr}"
+    );
+    assert!(stderr.contains("bcp.ladder.loads"), "counters: {stderr}");
+}

@@ -76,6 +76,32 @@ fn windowed_output_is_byte_identical_to_monolithic() {
 }
 
 #[test]
+fn stats_reports_nonzero_phase_totals() {
+    // The wall-clock per-phase totals are always measured (no --trace
+    // needed) and all three phases of a planned fill take real time.
+    let (_, stderr, ok) = run_xfill(
+        &[
+            "--fill", "dp", "--order", "keep", "--stats", "--window", "2",
+        ],
+        INPUT,
+    );
+    assert!(ok, "stderr: {stderr}");
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("phase totals:"))
+        .unwrap_or_else(|| panic!("no phase totals line in: {stderr}"));
+    // "phase totals: pass-1 N ns, solve N ns, pass-2 N ns"
+    let ns: Vec<u64> = line
+        .split_whitespace()
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    assert_eq!(ns.len(), 3, "expected three durations in {line:?}");
+    for (phase, v) in ["pass-1", "solve", "pass-2"].iter().zip(&ns) {
+        assert!(*v > 0, "{phase} total is zero: {line:?}");
+    }
+}
+
+#[test]
 fn memory_budget_mode_matches_monolithic() {
     let (reference, _, ok) = run_xfill(&["--fill", "dp", "--order", "keep"], INPUT);
     assert!(ok);

@@ -48,6 +48,14 @@ use std::thread;
 /// (or unwinds) before every task it spawned has finished.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Tasks executed, inline or pooled (a relaxed no-op unless a
+/// [`minitrace`] sink is live).
+static POOL_TASKS: minitrace::Counter = minitrace::Counter::new("pool.tasks");
+/// Tasks popped from another worker's deque.
+static POOL_STEALS: minitrace::Counter = minitrace::Counter::new("pool.steals");
+/// Nanoseconds workers spent parked on the wake condvar.
+static POOL_PARK_NS: minitrace::Histogram = minitrace::Histogram::new("pool.park_ns");
+
 /// State shared between the pool handle, its workers and helping scope
 /// waiters.
 struct Shared {
@@ -99,6 +107,9 @@ impl Shared {
                 continue;
             }
             if let Some(t) = self.queues[q].lock().expect("pool poisoned").pop_front() {
+                if me.is_some() {
+                    POOL_STEALS.add(1);
+                }
                 return Some(t);
             }
         }
@@ -138,8 +149,16 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             shared.notify();
             continue;
         }
+        let parked = if minitrace::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         while *ver == seen && !shared.shutdown.load(Ordering::Acquire) {
             ver = shared.wake.wait(ver).expect("pool poisoned");
+        }
+        if let Some(at) = parked {
+            POOL_PARK_NS.record(at.elapsed().as_nanos() as u64);
         }
     }
 }
@@ -380,6 +399,7 @@ impl<'env> Scope<'_, 'env> {
     pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
         let state = self.state.clone();
         let run = move || {
+            POOL_TASKS.add(1);
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
                 state.store_panic(payload);
             }

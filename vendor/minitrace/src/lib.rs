@@ -1,0 +1,1010 @@
+//! Zero-dependency tracing and metrics for the dpfill stack.
+//!
+//! The contract is the same one [`minipool`] makes for threading: no
+//! crates.io, no unsafe, and a cost model callers can reason about.
+//! Every instrumentation point in the fill stack compiles down to
+//!
+//! * **disabled** (no sink installed): one relaxed atomic load and a
+//!   predictable branch — nothing else runs, no clock is read, no
+//!   allocation happens;
+//! * **enabled**: monotonic-clock spans and atomic counters feeding two
+//!   sinks that can be active independently:
+//!   * a **JSONL trace** (one event per line: span enter/exit with
+//!     span id, parent id, thread id, nanosecond timestamps and typed
+//!     `key=value` attributes), and
+//!   * an **aggregate table** (count / total / p50 / p95 / max per span
+//!     name, plus counter totals) rendered at end of run.
+//!
+//! Span events are buffered in **per-thread** byte buffers and drained
+//! into the shared sink only when a thread's outermost span closes, so
+//! worker threads never contend on the sink lock mid-span. Counters and
+//! histograms are global atomics registered lazily on first touch,
+//! which lets leaf crates declare them as `static`s with no
+//! registration ceremony:
+//!
+//! ```
+//! static STEALS: minitrace::Counter = minitrace::Counter::new("pool.steals");
+//!
+//! fn hot_path() {
+//!     STEALS.add(1); // one relaxed load + branch when tracing is off
+//! }
+//! ```
+//!
+//! A sink that fails mid-run (disk full, closed pipe) never panics and
+//! never aborts the traced computation: the failing sink is detached,
+//! the first error is kept, and [`finish`] reports it so a CLI can warn
+//! on stderr while exiting with the fill's own status.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Bit flag: the JSONL trace sink is installed.
+pub const SINK_JSONL: u8 = 1;
+/// Bit flag: the aggregate (table / machine-readable stats) sink is on.
+pub const SINK_AGGREGATE: u8 = 2;
+
+/// Which sinks are live. The single relaxed load every disabled
+/// instrumentation point pays.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Monotonically increasing span ids, unique across threads.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Monotonically increasing thread ids (dense, unlike the std ones).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The instant timestamps are measured from — set when a sink is first
+/// installed in this process and reused for its lifetime.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    // u64 nanoseconds cover ~584 years of process uptime.
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Is any sink live? Inline by design: this is the whole cost of a
+/// disabled instrumentation point.
+#[inline(always)]
+pub fn enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != 0
+}
+
+/// Is the aggregate sink live?
+#[inline(always)]
+pub fn aggregate_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) & SINK_AGGREGATE != 0
+}
+
+#[inline(always)]
+fn jsonl_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) & SINK_JSONL != 0
+}
+
+// ---------------------------------------------------------------------
+// Typed attributes
+// ---------------------------------------------------------------------
+
+/// A typed span attribute value. Serialized as native JSON types, so a
+/// consumer never has to parse numbers back out of strings.
+#[derive(Clone, Copy, Debug)]
+pub enum AttrValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(&'static str),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+fn write_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_attr_value(out: &mut String, value: &AttrValue) {
+    match value {
+        AttrValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::F64(v) => {
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+                // `{}` prints integral floats without a dot; keep the
+                // value typed as a JSON number either way.
+            } else {
+                out.push_str("null");
+            }
+        }
+        AttrValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::Str(v) => {
+            out.push('"');
+            write_json_escaped(out, v);
+            out.push('"');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing global counter, cheap enough for hot
+/// loops: disabled cost is one relaxed load + branch, enabled cost one
+/// relaxed `fetch_add`. Declare as `static`; registration with the
+/// global registry happens lazily on first touch.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new unregistered counter (const, for `static` declarations).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n` when any sink is live; no-op otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if !self.registered.load(Ordering::Acquire) {
+            reg.counters.push(self);
+            self.registered.store(true, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+/// A lock-free log2-bucketed histogram (64 buckets: bucket `i` counts
+/// samples whose value has `i` significant bits). Like [`Counter`],
+/// declared `static` and registered lazily; recording is a handful of
+/// relaxed atomic ops.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+/// Bucket index of `value`: 0 for 0, otherwise `64 - leading_zeros`.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(63)
+}
+
+impl Histogram {
+    /// A new unregistered histogram (const, for `static` declarations).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; 64],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one sample when any sink is live; no-op otherwise.
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        if !self.registered.load(Ordering::Acquire) {
+            reg.histograms.push(self);
+            self.registered.store(true, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry + aggregate span stats
+// ---------------------------------------------------------------------
+
+/// Merged per-span-name aggregate stats (duration nanoseconds).
+#[derive(Clone)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    buckets: [u64; 64],
+}
+
+impl Default for SpanStats {
+    fn default() -> SpanStats {
+        SpanStats {
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl SpanStats {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_of(ns)] += 1;
+    }
+
+    /// Deterministic quantile estimate: the upper bound of the bucket
+    /// holding the q-th sample. Exact to within a factor of 2, stable
+    /// across thread interleavings (buckets commute).
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i).
+                let hi = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return hi.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    histograms: Vec<&'static Histogram>,
+    spans: HashMap<&'static str, SpanStats>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            spans: HashMap::new(),
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// JSONL sink
+// ---------------------------------------------------------------------
+
+struct JsonlSink {
+    writer: Box<dyn Write + Send>,
+}
+
+struct SinkSlot {
+    sink: Option<JsonlSink>,
+    /// First write/flush error; the sink is detached when this is set.
+    error: Option<io::Error>,
+}
+
+fn sink_slot() -> &'static Mutex<SinkSlot> {
+    static SINK: OnceLock<Mutex<SinkSlot>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(SinkSlot {
+            sink: None,
+            error: None,
+        })
+    })
+}
+
+/// Writes `buf` to the JSONL sink; on failure detaches the sink, keeps
+/// the first error and clears the JSONL mode bit so tracing quiesces
+/// instead of aborting the run.
+fn sink_write(buf: &[u8]) {
+    let mut slot = sink_slot().lock().unwrap_or_else(|e| e.into_inner());
+    let Some(sink) = slot.sink.as_mut() else {
+        return;
+    };
+    if let Err(e) = sink.writer.write_all(buf) {
+        slot.sink = None;
+        if slot.error.is_none() {
+            slot.error = Some(e);
+        }
+        MODE.fetch_and(!SINK_JSONL, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread span state
+// ---------------------------------------------------------------------
+
+struct ThreadState {
+    tid: u64,
+    /// Open span ids, innermost last.
+    stack: Vec<u64>,
+    /// Serialized JSONL lines awaiting the outermost-span drain.
+    buf: String,
+    /// (name, duration) pairs awaiting the aggregate merge.
+    pending: Vec<(&'static str, u64)>,
+}
+
+impl ThreadState {
+    fn new() -> ThreadState {
+        ThreadState {
+            tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            buf: String::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn drain(&mut self) {
+        if !self.buf.is_empty() {
+            if jsonl_enabled() {
+                sink_write(self.buf.as_bytes());
+            }
+            self.buf.clear();
+        }
+        if !self.pending.is_empty() {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            for (name, ns) in self.pending.drain(..) {
+                reg.spans.entry(name).or_default().record(ns);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static THREAD: std::cell::RefCell<ThreadState> =
+        std::cell::RefCell::new(ThreadState::new());
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// An open span; closing (dropping) it records the duration. Returned
+/// inactive — a two-word no-op — when no sink is live.
+pub struct SpanGuard {
+    /// `None` when tracing was off at open time.
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    start: Instant,
+}
+
+/// Opens a span with no attributes. See [`span_with`].
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Opens a span, emitting a JSONL `enter` event (when that sink is
+/// live) carrying `attrs` as typed key=value pairs. The returned guard
+/// records the duration — into the JSONL `exit` event and the
+/// aggregate table — when dropped.
+pub fn span_with(name: &'static str, attrs: &[(&'static str, AttrValue)]) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    if jsonl_enabled() {
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            let parent = t.stack.last().copied().unwrap_or(0);
+            let tid = t.tid;
+            let buf = &mut t.buf;
+            let _ = write!(
+                buf,
+                "{{\"ev\":\"enter\",\"id\":{id},\"parent\":{parent},\"tid\":{tid},\
+                 \"ts\":{},\"name\":\"",
+                now_ns()
+            );
+            write_json_escaped(buf, name);
+            buf.push('"');
+            if !attrs.is_empty() {
+                buf.push_str(",\"attrs\":{");
+                for (i, (key, value)) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    buf.push('"');
+                    write_json_escaped(buf, key);
+                    buf.push_str("\":");
+                    write_attr_value(buf, value);
+                }
+                buf.push('}');
+            }
+            buf.push_str("}\n");
+            t.stack.push(id);
+        });
+    } else {
+        THREAD.with(|t| t.borrow_mut().stack.push(id));
+    }
+    SpanGuard {
+        active: Some(ActiveSpan { name, id, start }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            // Unwind containment can drop guards out of order; pop to
+            // (and including) this span id rather than assuming LIFO.
+            while let Some(top) = t.stack.pop() {
+                if top == span.id {
+                    break;
+                }
+            }
+            if jsonl_enabled() {
+                let tid = t.tid;
+                let buf = &mut t.buf;
+                let _ = write!(
+                    buf,
+                    "{{\"ev\":\"exit\",\"id\":{},\"tid\":{tid},\"ts\":{},\
+                     \"dur_ns\":{dur_ns},\"name\":\"",
+                    span.id,
+                    now_ns()
+                );
+                write_json_escaped(buf, span.name);
+                buf.push_str("\"}\n");
+            }
+            if aggregate_enabled() {
+                t.pending.push((span.name, dur_ns));
+            }
+            if t.stack.is_empty() {
+                t.drain();
+            }
+        });
+    }
+}
+
+/// Force-drains the calling thread's buffered events into the sinks.
+/// Called automatically when the outermost span closes; useful before
+/// [`finish`] on threads that traced without an enclosing span.
+pub fn flush_thread() {
+    if !enabled() {
+        return;
+    }
+    THREAD.with(|t| t.borrow_mut().drain());
+}
+
+// ---------------------------------------------------------------------
+// Install / finish / snapshot
+// ---------------------------------------------------------------------
+
+/// Installs `writer` as the JSONL trace sink and turns the JSONL mode
+/// bit on. Replaces any previous sink (its buffered state is dropped).
+pub fn install_jsonl(writer: Box<dyn Write + Send>) {
+    epoch(); // pin the timestamp origin before the first event
+    let mut slot = sink_slot().lock().unwrap_or_else(|e| e.into_inner());
+    slot.sink = Some(JsonlSink { writer });
+    slot.error = None;
+    MODE.fetch_or(SINK_JSONL, Ordering::Relaxed);
+}
+
+/// Turns the aggregate sink on: spans fold into the per-name table,
+/// counters and histograms accumulate.
+pub fn enable_aggregate() {
+    epoch();
+    MODE.fetch_or(SINK_AGGREGATE, Ordering::Relaxed);
+}
+
+/// One span row of a [`Snapshot`] — the aggregate-table line for one
+/// span name.
+#[derive(Clone, Debug)]
+pub struct SpanSummary {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One histogram row of a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub max: u64,
+}
+
+/// Everything the aggregate sink accumulated, sorted by name for
+/// deterministic rendering.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub spans: Vec<SpanSummary>,
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSummary>,
+}
+
+/// Reads the aggregate registry (after draining the calling thread).
+pub fn snapshot() -> Snapshot {
+    flush_thread();
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut spans: Vec<SpanSummary> = reg
+        .spans
+        .iter()
+        .map(|(name, s)| SpanSummary {
+            name: (*name).to_string(),
+            count: s.count,
+            total_ns: s.total_ns,
+            p50_ns: s.quantile_ns(0.50),
+            p95_ns: s.quantile_ns(0.95),
+            max_ns: s.max_ns,
+        })
+        .collect();
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .iter()
+        .map(|c| (c.name.to_string(), c.value.load(Ordering::Relaxed)))
+        .filter(|(_, v)| *v > 0)
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramSummary> = reg
+        .histograms
+        .iter()
+        .filter(|h| h.count.load(Ordering::Relaxed) > 0)
+        .map(|h| {
+            let mut stats = SpanStats {
+                count: h.count.load(Ordering::Relaxed),
+                total_ns: h.sum.load(Ordering::Relaxed),
+                max_ns: h.max.load(Ordering::Relaxed),
+                buckets: [0; 64],
+            };
+            for (slot, bucket) in stats.buckets.iter_mut().zip(&h.buckets) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            HistogramSummary {
+                name: h.name.to_string(),
+                count: stats.count,
+                sum: stats.total_ns,
+                p50: stats.quantile_ns(0.50),
+                p95: stats.quantile_ns(0.95),
+                max: stats.max_ns,
+            }
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot {
+        spans,
+        counters,
+        histograms,
+    }
+}
+
+/// Drains the calling thread, appends one JSONL `counter` event per
+/// nonzero counter, flushes and detaches the JSONL sink, turns all
+/// mode bits off, and returns the final [`Snapshot`] plus the first
+/// sink error (if the trace target failed mid-run).
+///
+/// Aggregate state is cleared so a subsequent run starts fresh; other
+/// threads' undrained buffers (only possible if a span is still open
+/// there) are discarded when those threads next drain.
+pub fn finish() -> (Snapshot, Option<io::Error>) {
+    flush_thread();
+    let snap = snapshot();
+    if jsonl_enabled() {
+        let mut buf = String::new();
+        for (name, value) in &snap.counters {
+            buf.push_str("{\"ev\":\"counter\",\"name\":\"");
+            write_json_escaped(&mut buf, name);
+            let _ = writeln!(buf, "\",\"value\":{value}}}");
+        }
+        sink_write(buf.as_bytes());
+    }
+    let error = {
+        let mut slot = sink_slot().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(sink) = slot.sink.as_mut() {
+            if let Err(e) = sink.writer.flush() {
+                if slot.error.is_none() {
+                    slot.error = Some(e);
+                }
+            }
+        }
+        slot.sink = None;
+        slot.error.take()
+    };
+    MODE.store(0, Ordering::Relaxed);
+    reset_aggregates();
+    (snap, error)
+}
+
+/// Clears counters, histograms and the span table (not the sinks).
+/// Used by [`finish`] and by benches that measure repeated runs.
+pub fn reset_aggregates() {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for c in &reg.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in &reg.histograms {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+    }
+    reg.spans.clear();
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the end-of-run aggregate table: one row per span name
+/// (count / total / p50 / p95 / max), then counter totals, then
+/// histogram summaries. Deterministically ordered by name.
+pub fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total", "p50", "p95", "max"
+        ));
+        for s in &snap.spans {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                s.name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.max_ns)
+            ));
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str(&format!("{:<28} {:>8}\n", "counter", "total"));
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("{name:<28} {value:>8}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "sum", "p50", "p95", "max"
+        ));
+        for h in &snap.histograms {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                h.name, h.count, h.sum, h.p50, h.p95, h.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// The global MODE makes enabled-path tests mutually exclusive.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    static TEST_COUNTER: Counter = Counter::new("test.counter");
+    static TEST_HIST: Histogram = Histogram::new("test.hist");
+
+    #[test]
+    fn disabled_everything_is_inert() {
+        let _guard = serial();
+        let (_, _) = finish(); // ensure off
+        assert!(!enabled());
+        TEST_COUNTER.add(5);
+        TEST_HIST.record(9);
+        {
+            let _span = span_with("quiet", &[("k", AttrValue::U64(1))]);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.iter().all(|s| s.name != "quiet"));
+        assert!(snap.counters.iter().all(|(n, _)| n != "test.counter"));
+    }
+
+    #[test]
+    fn jsonl_events_nest_and_carry_attrs() {
+        let _guard = serial();
+        let buf = SharedBuf(Arc::new(StdMutex::new(Vec::new())));
+        install_jsonl(Box::new(buf.clone()));
+        enable_aggregate();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span_with(
+                    "inner",
+                    &[
+                        ("count", AttrValue::U64(3)),
+                        ("label", AttrValue::Str("a\"b")),
+                        ("ok", AttrValue::Bool(true)),
+                    ],
+                );
+            }
+        }
+        TEST_COUNTER.add(7);
+        let (snap, err) = finish();
+        assert!(err.is_none());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.iter().any(|l| l.contains("\"ev\":\"enter\"")
+            && l.contains("\"name\":\"inner\"")
+            && l.contains("\"count\":3")
+            && l.contains("\"label\":\"a\\\"b\"")
+            && l.contains("\"ok\":true")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"ev\":\"exit\"") && l.contains("\"name\":\"outer\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"ev\":\"counter\"") && l.contains("\"value\":7")));
+        // The inner span's parent is the outer span's id.
+        let outer_enter = lines
+            .iter()
+            .find(|l| l.contains("\"enter\"") && l.contains("\"outer\""))
+            .unwrap();
+        let id_of = |line: &str| -> u64 {
+            let at = line.find("\"id\":").unwrap() + 5;
+            line[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        let outer_id = id_of(outer_enter);
+        let inner_enter = lines
+            .iter()
+            .find(|l| l.contains("\"enter\"") && l.contains("\"inner\""))
+            .unwrap();
+        assert!(inner_enter.contains(&format!("\"parent\":{outer_id}")));
+        // Aggregates saw both spans and the counter.
+        assert!(snap.spans.iter().any(|s| s.name == "outer" && s.count == 1));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "test.counter" && *v == 7));
+    }
+
+    #[test]
+    fn aggregate_quantiles_are_order_of_magnitude_right() {
+        let _guard = serial();
+        enable_aggregate();
+        for _ in 0..95 {
+            let s = SpanGuard {
+                active: Some(ActiveSpan {
+                    name: "q",
+                    id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+                    start: Instant::now(),
+                }),
+            };
+            drop(s);
+        }
+        TEST_HIST.record(100);
+        TEST_HIST.record(200);
+        TEST_HIST.record(1_000_000);
+        let (snap, _) = finish();
+        let q = snap.spans.iter().find(|s| s.name == "q").unwrap();
+        assert_eq!(q.count, 95);
+        assert!(q.p50_ns <= q.p95_ns && q.p95_ns <= q.max_ns);
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.hist")
+            .unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1_000_300);
+        assert_eq!(h.max, 1_000_000);
+        assert!(h.p50 >= 100 && h.p50 < 1_000_000);
+    }
+
+    #[test]
+    fn failing_sink_detaches_without_panicking_and_reports_once() {
+        let _guard = serial();
+        install_jsonl(Box::new(FailingWriter));
+        {
+            let _span = span("doomed");
+        }
+        // The write failed; tracing quiesced but nothing panicked.
+        {
+            let _span = span("after-failure");
+        }
+        let (_, err) = finish();
+        let err = err.expect("sink error surfaced");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // A second finish has nothing left to report.
+        let (_, err) = finish();
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn spans_drain_per_thread_without_interleaving_lines() {
+        let _guard = serial();
+        let buf = SharedBuf(Arc::new(StdMutex::new(Vec::new())));
+        install_jsonl(Box::new(buf.clone()));
+        enable_aggregate();
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let _outer = span("thread.outer");
+                    let _inner = span("thread.inner");
+                }
+                flush_thread();
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..4 {
+            rx.recv().unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (snap, err) = finish();
+        assert!(err.is_none());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // Every line is complete JSON-ish (starts with { ends with }).
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "torn: {line}");
+        }
+        assert_eq!(text.lines().filter(|l| l.contains("enter")).count(), 64);
+        let s = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "thread.outer")
+            .unwrap();
+        assert_eq!(s.count, 32);
+    }
+
+    #[test]
+    fn bucket_of_is_monotone() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        let mut last = 0;
+        for shift in 0..63 {
+            let b = bucket_of(1u64 << shift);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+}
